@@ -1,0 +1,210 @@
+// Ablations of Bistro design choices (DESIGN.md §6).
+//
+// A1  Same-file locality heuristic (§4.3): when one file fans out to many
+//     subscribers of a partition, delivering it to all of them
+//     back-to-back reuses the staged read while the file is hot. Measures
+//     staging reads per delivered file with the heuristic on vs off.
+// A2  Dynamic subscriber re-partitioning (the paper's future work,
+//     exposed behind an option): subscribers whose responsiveness was
+//     misjudged at configuration time get re-placed from observed
+//     behaviour. Measures fast-subscriber lateness with a deliberately
+//     wrong initial partition assignment.
+// A3  Receipt checkpointing: recovery time with WAL-only vs checkpointed
+//     state at equal history (also covered by E8; summarized here).
+
+#include <cstdio>
+#include <map>
+
+#include "common/strings.h"
+#include "config/parser.h"
+#include "core/server.h"
+#include "kv/receipts.h"
+#include "vfs/memfs.h"
+
+using namespace bistro;
+
+namespace {
+
+// ------------------------------------------------------------------ A1
+
+struct LocalityResult {
+  uint64_t staging_reads = 0;
+  uint64_t delivered = 0;
+};
+
+LocalityResult RunLocality(bool locality) {
+  TimePoint start = FromCivil(CivilTime{2010, 9, 25});
+  SimClock clock(start);
+  EventLoop loop(&clock);
+  InMemoryFileSystem fs;
+  Rng rng(3);
+  SimNetwork network(&rng);
+  SimTransport transport(&loop, &network);
+  CallbackInvoker invoker;
+  Logger logger(&clock);
+  logger.SetMinLevel(LogLevel::kAlarm);
+
+  const int kSubs = 12;
+  std::string config_text = "feed F { pattern \"f_%i_%Y%m%d%H%M.dat\"; }\n";
+  for (int s = 0; s < kSubs; ++s) {
+    config_text += StrFormat("subscriber sub%02d { feeds F; method push; }\n", s);
+  }
+  auto config = ParseConfig(config_text);
+  std::vector<std::unique_ptr<FileSinkEndpoint>> sinks;
+  std::vector<std::unique_ptr<InMemoryFileSystem>> sub_fs;
+  for (int s = 0; s < kSubs; ++s) {
+    network.SetLink(StrFormat("sub%02d", s), LinkSpec::Fast());
+    sub_fs.push_back(std::make_unique<InMemoryFileSystem>());
+    sinks.push_back(
+        std::make_unique<FileSinkEndpoint>(sub_fs.back().get(), "/r"));
+    transport.Register(StrFormat("sub%02d", s), sinks.back().get());
+  }
+  PartitionedScheduler::Options sopts;
+  sopts.num_partitions = 1;
+  sopts.slots_per_partition = 4;
+  sopts.locality = locality;
+  // Round-robin inside the partition: a fairness discipline that
+  // interleaves subscribers — exactly the dequeue order that thrashes the
+  // hot-file cache unless the locality heuristic regroups same-file jobs.
+  sopts.intra_policy = PolicyKind::kRoundRobin;
+  PartitionedScheduler scheduler(sopts);
+  auto server = BistroServer::Create(BistroServer::Options(), *config, &fs,
+                                     &transport, &loop, &invoker, &logger,
+                                     &scheduler);
+  // Burst arrivals so many files' jobs are queued simultaneously.
+  for (int i = 0; i < 100; ++i) {
+    TimePoint t = start + (i / 20) * 30 * kSecond;
+    CivilTime c = ToCivil(t);
+    std::string name = StrFormat("f_%d_%04d%02d%02d%02d%02d.dat", i, c.year,
+                                 c.month, c.day, c.hour, c.minute);
+    loop.PostAt(t, [&, name] {
+      (void)(*server)->Deposit("src", name, std::string(10000, 'x'));
+    });
+  }
+  loop.RunUntil(start + 2 * kHour);
+  LocalityResult r;
+  r.staging_reads = (*server)->delivery_stats().staging_reads;
+  r.delivered = (*server)->delivery_stats().files_delivered;
+  return r;
+}
+
+// ------------------------------------------------------------------ A2
+
+double RunRebalance(bool dynamic) {
+  TimePoint start = FromCivil(CivilTime{2010, 9, 25});
+  SimClock clock(start);
+  EventLoop loop(&clock);
+  InMemoryFileSystem fs;
+  Rng rng(5);
+  SimNetwork network(&rng);
+  SimTransport transport(&loop, &network);
+  CallbackInvoker invoker;
+  Logger logger(&clock);
+  logger.SetMinLevel(LogLevel::kAlarm);
+
+  // 4 fast subscribers, 2 actually-slow ones that the operator wrongly
+  // placed in the fast partition.
+  std::string config_text = "feed F { pattern \"f_%i_%Y%m%d%H%M%S.dat\"; tardiness 60s; }\n";
+  std::map<std::string, bool> is_fast;
+  for (int s = 0; s < 6; ++s) {
+    std::string name = StrFormat("sub%d", s);
+    is_fast[name] = s < 4;
+    config_text += "subscriber " + name + " { feeds F; method push; }\n";
+  }
+  auto config = ParseConfig(config_text);
+  std::vector<std::unique_ptr<FileSinkEndpoint>> sinks;
+  std::vector<std::unique_ptr<InMemoryFileSystem>> sub_fs;
+  for (auto& [name, fast] : is_fast) {
+    LinkSpec link;
+    link.bandwidth_bytes_per_sec = fast ? 5000 * 1000 : 10 * 1000;
+    network.SetLink(name, link);
+    sub_fs.push_back(std::make_unique<InMemoryFileSystem>());
+    sinks.push_back(
+        std::make_unique<FileSinkEndpoint>(sub_fs.back().get(), "/r"));
+    transport.Register(name, sinks.back().get());
+  }
+  PartitionedScheduler::Options sopts;
+  sopts.num_partitions = 2;
+  sopts.slots_per_partition = 2;
+  sopts.rebalance_every = dynamic ? 50 : 0;
+  PartitionedScheduler scheduler(sopts);
+  // Deliberately wrong assignment: everyone starts in partition 0.
+  for (auto& [name, _] : is_fast) scheduler.SetPartition(name, 0);
+
+  std::map<std::string, std::pair<uint64_t, uint64_t>> late_of;  // late, total
+  scheduler.SetCompletionHook([&](const TransferJob& job, bool ok,
+                                  TimePoint now, Duration) {
+    if (!ok) return;
+    auto& [late, total] = late_of[job.subscriber];
+    total++;
+    if (now > job.deadline) late++;
+  });
+  auto server = BistroServer::Create(BistroServer::Options(), *config, &fs,
+                                     &transport, &loop, &invoker, &logger,
+                                     &scheduler);
+  // Oversubscribe the slow links (60 KB / 10 KB/s = 6 s service vs 5 s
+  // inter-arrival): their queues grow without bound, and in the static
+  // misconfiguration those ever-longer transfers pin the fast
+  // partition's slots.
+  for (int i = 0; i < 600; ++i) {
+    TimePoint t = start + i * 5 * kSecond;
+    CivilTime c = ToCivil(t);
+    std::string name = StrFormat("f_%d_%04d%02d%02d%02d%02d%02d.dat", i,
+                                 c.year, c.month, c.day, c.hour, c.minute,
+                                 c.second);
+    loop.PostAt(t, [&, name] {
+      (void)(*server)->Deposit("src", name, std::string(60000, 'x'));
+    });
+  }
+  loop.RunUntil(start + 4 * kHour);
+  uint64_t late = 0, total = 0;
+  for (auto& [name, counts] : late_of) {
+    if (!is_fast[name]) continue;
+    late += counts.first;
+    total += counts.second;
+  }
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(late) / total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations of Bistro design choices ===\n\n");
+
+  std::printf("--- A1: same-file delivery locality (12 subscribers/file) ---\n");
+  LocalityResult with = RunLocality(true);
+  LocalityResult without = RunLocality(false);
+  std::printf("locality on:  %llu staging reads for %llu deliveries "
+              "(%.2f reads/delivery)\n",
+              (unsigned long long)with.staging_reads,
+              (unsigned long long)with.delivered,
+              static_cast<double>(with.staging_reads) / with.delivered);
+  std::printf("locality off: %llu staging reads for %llu deliveries "
+              "(%.2f reads/delivery)\n",
+              (unsigned long long)without.staging_reads,
+              (unsigned long long)without.delivered,
+              static_cast<double>(without.staging_reads) / without.delivered);
+  std::printf("(finding: with the engine's single-entry hot-file cache, "
+              "~1 staging read per\nfile is achieved in BOTH "
+              "configurations — fan-out submission already groups\njobs "
+              "by file, so the explicit heuristic is a safety net for "
+              "dequeue orders\nthat would break the grouping, not a "
+              "steady-state win. Recorded as-is.)\n");
+
+  std::printf("\n--- A2: dynamic re-partitioning after misconfiguration ---\n");
+  std::printf("(2 slow subscribers wrongly placed in the fast partition)\n");
+  double static_late = RunRebalance(false);
+  double dynamic_late = RunRebalance(true);
+  std::printf("static partitions (paper's current impl): fast subscribers "
+              "%.1f%% late\n",
+              static_late);
+  std::printf("dynamic re-partitioning (paper's future work): fast "
+              "subscribers %.1f%% late\n",
+              dynamic_late);
+
+  std::printf("\n--- A3: receipt checkpointing ---\n");
+  std::printf("see bench_receipts: BM_CrashRecovery/100000 (WAL-only) vs\n"
+              "BM_RecoveryAfterCheckpoint/100000 — checkpointing bounds "
+              "recovery and WAL size.\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Experiment E6 (paper §2.3, §4.1): end-of-batch detection policies.
+//
+// Claims: fixed file-count batching is fragile when pollers drop out (a
+// missing file delays the trigger into the next interval AND then fires
+// mid-interval); pure time-based batching adds fixed delay; the
+// count-OR-time combination "works well in practice"; source punctuation
+// is exact but needs cooperating sources.
+//
+// Metrics per policy, per dropout rate, over 200 five-minute intervals
+// with 5 pollers (deposit jitter <= 15 s):
+//   delay   = batch close time - last on-time file of that interval
+//   splits  = batches that cover only part of an interval's files
+//   stale   = batches closing more than one full period late
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "trigger/batcher.h"
+
+using namespace bistro;
+
+namespace {
+
+struct Delivery {
+  TimePoint when;        // arrival at subscriber
+  TimePoint data_time;   // interval stamp
+  FileId file;
+};
+
+struct Outcome {
+  std::vector<Duration> delays;  // close - last on-time arrival of interval
+  int batches = 0;
+  int splits = 0;  // intervals covered by >1 batch
+  int stale = 0;   // closes > 1 period after interval completion
+
+  double MeanDelaySec() const {
+    if (delays.empty()) return 0;
+    double total = 0;
+    for (auto d : delays) total += static_cast<double>(d);
+    return total / delays.size() / kSecond;
+  }
+};
+
+constexpr int kPollers = 5;
+constexpr Duration kPeriod = 5 * kMinute;
+constexpr int kIntervals = 200;
+
+struct Trace {
+  std::vector<Delivery> deliveries;                 // sorted by arrival
+  std::map<TimePoint, TimePoint> interval_done_at;  // last on-time arrival
+  std::map<TimePoint, int> interval_files;
+};
+
+Trace MakeTrace(double dropout, uint64_t seed) {
+  Rng rng(seed);
+  Trace trace;
+  FileId next_id = 1;
+  for (int i = 0; i < kIntervals; ++i) {
+    TimePoint interval = static_cast<TimePoint>(i) * kPeriod;
+    for (int p = 0; p < kPollers; ++p) {
+      if (rng.Bernoulli(dropout)) continue;
+      Delivery d;
+      d.data_time = interval;
+      d.when = interval + static_cast<Duration>(rng.Uniform(15 * kSecond));
+      d.file = next_id++;
+      trace.deliveries.push_back(d);
+      auto [it, _] = trace.interval_done_at.try_emplace(interval, d.when);
+      if (d.when > it->second) it->second = d.when;
+      trace.interval_files[interval]++;
+    }
+  }
+  std::sort(trace.deliveries.begin(), trace.deliveries.end(),
+            [](const Delivery& a, const Delivery& b) { return a.when < b.when; });
+  return trace;
+}
+
+Outcome RunPolicy(const Trace& trace, BatchSpec spec, bool punctuate) {
+  Batcher batcher("F", "s", spec);
+  Outcome out;
+  std::map<TimePoint, int> batches_per_interval;
+  auto consume = [&](const BatchEvent& e) {
+    out.batches++;
+    batches_per_interval[e.batch_time]++;
+    auto done = trace.interval_done_at.find(e.batch_time);
+    if (done != trace.interval_done_at.end()) {
+      Duration delay = e.close_time - done->second;
+      if (delay < 0) delay = 0;  // split batch closed before stragglers
+      out.delays.push_back(delay);
+      if (e.close_time > done->second + kPeriod) out.stale++;
+    }
+  };
+  size_t i = 0;
+  // Tick once a second of simulated time between deliveries.
+  TimePoint now = 0;
+  TimePoint horizon = kIntervals * kPeriod + 2 * kPeriod;
+  TimePoint last_interval_punctuated = -1;
+  while (now <= horizon) {
+    while (i < trace.deliveries.size() && trace.deliveries[i].when <= now) {
+      const Delivery& d = trace.deliveries[i];
+      auto e = batcher.OnFileDelivered(d.file, d.data_time, d.when);
+      if (e.has_value()) consume(*e);
+      ++i;
+    }
+    if (punctuate) {
+      // Source emits punctuation right after the last on-time file of
+      // each completed interval.
+      for (const auto& [interval, done_at] : trace.interval_done_at) {
+        if (interval <= last_interval_punctuated) continue;
+        if (done_at <= now) {
+          auto e = batcher.OnPunctuation(done_at);
+          if (e.has_value()) consume(*e);
+          last_interval_punctuated = interval;
+        }
+        break;
+      }
+    }
+    auto e = batcher.OnTick(now);
+    if (e.has_value()) consume(*e);
+    now += kSecond;
+  }
+  auto tail = batcher.Flush(horizon);
+  if (tail.has_value()) consume(*tail);
+  for (const auto& [interval, count] : batches_per_interval) {
+    if (count > 1) out.splits++;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E6: batch boundary detection policies ===\n");
+  std::printf("(%d pollers, %d x %s intervals, arrival jitter <=15s)\n\n",
+              kPollers, kIntervals, FormatDuration(kPeriod).c_str());
+  std::printf("%-22s %8s | %10s %7s %7s\n", "policy", "dropout",
+              "mean delay", "splits", "stale");
+  for (double dropout : {0.0, 0.05, 0.20}) {
+    Trace trace = MakeTrace(dropout, /*seed=*/1234);
+    struct Row {
+      const char* name;
+      BatchSpec spec;
+      bool punctuate;
+    };
+    BatchSpec count_spec;
+    count_spec.mode = BatchSpec::Mode::kCount;
+    count_spec.count = kPollers;
+    BatchSpec time_spec;
+    time_spec.mode = BatchSpec::Mode::kTime;
+    time_spec.timeout = 60 * kSecond;
+    BatchSpec combo_spec;
+    combo_spec.mode = BatchSpec::Mode::kCountOrTime;
+    combo_spec.count = kPollers;
+    combo_spec.timeout = 60 * kSecond;
+    BatchSpec punc_spec;
+    punc_spec.mode = BatchSpec::Mode::kPunctuation;
+    Row rows[] = {
+        {"count=N", count_spec, false},
+        {"time=60s", time_spec, false},
+        {"count-or-time", combo_spec, false},
+        {"punctuation", punc_spec, true},
+    };
+    for (const Row& row : rows) {
+      Outcome out = RunPolicy(trace, row.spec, row.punctuate);
+      std::printf("%-22s %7.0f%% | %9.1fs %7d %7d\n", row.name,
+                  dropout * 100, out.MeanDelaySec(), out.splits, out.stale);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape: count=N is perfect at 0%% dropout but grows "
+              "stale/split\nbatches as dropout rises (missing files stall "
+              "the count until the next\ninterval); time-based pays a "
+              "constant ~60s; count-or-time tracks count's\nlow delay at "
+              "0%% and degrades gracefully; punctuation is exact "
+              "throughout.\n");
+  return 0;
+}

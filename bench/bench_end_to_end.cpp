@@ -1,0 +1,185 @@
+// Experiment E4 (paper §1, §4.1): end-to-end scale and propagation delay.
+//
+// Claims: Bistro servers manage 100+ feeds delivering up to 300 GB/day in
+// real time; the landing-zone design achieved "sub-minute data source to
+// application propagation delays" even with non-cooperating sources.
+//
+// Setup: 120 feeds (one per poller program), 2 pollers each, 5-minute
+// intervals, one simulated hour, pushed to two subscribers over simulated
+// links. Payload sizes are scaled 1:100 against the paper's deployment
+// (in-memory substrate); the *delay* results depend on scheduling and
+// notification, not on absolute byte counts.
+//
+// Two source modes are compared:
+//   cooperating: deposit+notify (Bistro's lightweight client protocol);
+//   non-cooperating: sources drop files silently; the server scans the
+//     landing zone every 30 s (cheap, because ingest keeps it empty).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.h"
+#include "config/parser.h"
+#include "core/server.h"
+#include "sim/sources.h"
+#include "vfs/memfs.h"
+
+using namespace bistro;
+
+namespace {
+
+struct DelayStats {
+  std::vector<Duration> delays;
+
+  void Add(Duration d) { delays.push_back(d); }
+  Duration Percentile(double p) {
+    if (delays.empty()) return 0;
+    std::sort(delays.begin(), delays.end());
+    size_t idx = static_cast<size_t>(p * (delays.size() - 1));
+    return delays[idx];
+  }
+};
+
+void RunMode(bool cooperating) {
+  const int kFeeds = 120;
+  const int kPollersPerFeed = 2;
+  const Duration kPeriod = 5 * kMinute;
+  const Duration kRun = kHour;
+  TimePoint start = FromCivil(CivilTime{2010, 9, 25});
+
+  SimClock clock(start);
+  EventLoop loop(&clock);
+  InMemoryFileSystem fs;
+  Rng rng(9);
+  SimNetwork network(&rng);
+  SimTransport transport(&loop, &network);
+  CallbackInvoker invoker;
+  Logger logger(&clock);
+  logger.SetMinLevel(LogLevel::kAlarm);
+
+  std::string config_text;
+  for (int f = 0; f < kFeeds; ++f) {
+    config_text += StrFormat(
+        "feed M%03d { pattern \"M%03d_POLL%%i_%%Y%%m%%d%%H%%M.dat\"; "
+        "tardiness 60s; }\n",
+        f, f);
+  }
+  config_text +=
+      "subscriber warehouse { feeds ";
+  for (int f = 0; f < kFeeds; ++f) {
+    config_text += StrFormat("M%03d%s", f, f + 1 < kFeeds ? ", " : "; ");
+  }
+  config_text += "method push; }\n";
+  auto config = ParseConfig(config_text);
+  if (!config.ok()) {
+    std::fprintf(stderr, "config: %s\n", config.status().ToString().c_str());
+    return;
+  }
+
+  network.SetLink("warehouse", LinkSpec::Fast());
+  FileSinkEndpoint warehouse(&fs, "/warehouse");
+  transport.Register("warehouse", &warehouse);
+
+  PartitionedScheduler scheduler;
+  DelayStats source_to_app;  // deposit -> delivered at subscriber
+  scheduler.SetCompletionHook(
+      [&](const TransferJob& job, bool ok, TimePoint now, Duration) {
+        if (ok) source_to_app.Add(now - job.arrival_time);
+      });
+
+  auto server = BistroServer::Create(BistroServer::Options(), *config, &fs,
+                                     &transport, &loop, &invoker, &logger,
+                                     &scheduler);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return;
+  }
+
+  // Track per-file deposit times for the scan mode (arrival_time is set
+  // at ingest, which for scans happens at the NEXT scan tick — we want
+  // true source-deposit-to-app delay, so measure from the write).
+  std::map<std::string, TimePoint> deposited_at;
+  DelayStats deposit_to_app;
+  warehouse.SetMessageHook([&](const Message& msg) {
+    auto it = deposited_at.find(msg.name);
+    if (it != deposited_at.end()) {
+      deposit_to_app.Add(clock.Now() - it->second);
+    }
+  });
+
+  uint64_t total_bytes = 0;
+  auto deposit = [&](const std::string& source, const std::string& name,
+                     std::string content) {
+    total_bytes += content.size();
+    deposited_at[name] = clock.Now();
+    if (cooperating) {
+      (void)(*server)->Deposit(source, name, std::move(content));
+    } else {
+      // Non-cooperating: write into the landing zone, no notification.
+      (void)fs.WriteFile(
+          path::Join(path::Join("/bistro/landing", source), name), content);
+    }
+  };
+
+  std::vector<std::unique_ptr<PollerFleet>> fleets;
+  for (int f = 0; f < kFeeds; ++f) {
+    PollerFleet::Options opts;
+    opts.metric = StrFormat("M%03d", f);
+    opts.source = StrFormat("src%03d", f);
+    opts.extension = "dat";
+    opts.num_pollers = kPollersPerFeed;
+    opts.period = kPeriod;
+    opts.max_delay = 5 * kSecond;
+    // 300 GB/day over ~69k files/day in the deployment ~ 4.3 MB/file;
+    // scaled 1:100 -> ~43 KB.
+    opts.file_size = 43 * 1000;
+    fleets.push_back(std::make_unique<PollerFleet>(&loop, &rng, opts, deposit));
+    fleets.back()->ScheduleInterval(start, start + kRun);
+  }
+
+  if (!cooperating) {
+    // Periodic landing-zone scan. The closure owns itself via shared_ptr
+    // so the reposted copies outlive this block.
+    auto scan = std::make_shared<std::function<void()>>();
+    *scan = [&loop, &server, scan] {
+      (void)(*server)->ScanLandingZone();
+      loop.PostAfter(30 * kSecond, *scan);
+    };
+    loop.PostAfter(30 * kSecond, *scan);
+  }
+
+  loop.RunUntil(start + kRun + 5 * kMinute);
+
+  const ServerStats& stats = (*server)->stats();
+  std::printf("%-16s files %5llu  volume %9s (scaled 1:100 => %7s/day "
+              "equivalent)\n",
+              cooperating ? "cooperating" : "non-cooperating",
+              (unsigned long long)stats.files_received,
+              HumanBytes(total_bytes).c_str(),
+              HumanBytes(total_bytes * 24 * 100).c_str());
+  std::printf("                 deposit->app delay p50 %-9s p95 %-9s p99 "
+              "%-9s max %-9s\n",
+              FormatDuration(deposit_to_app.Percentile(0.50)).c_str(),
+              FormatDuration(deposit_to_app.Percentile(0.95)).c_str(),
+              FormatDuration(deposit_to_app.Percentile(0.99)).c_str(),
+              FormatDuration(deposit_to_app.Percentile(1.0)).c_str());
+  std::printf("                 landing-zone residue after run: %zu files\n",
+              [&] {
+                auto entries = fs.ListRecursive("/bistro/landing");
+                return entries.ok() ? entries->size() : size_t{0};
+              }());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E4: 120 feeds, scaled 300GB/day, propagation delay ===\n\n");
+  RunMode(/*cooperating=*/true);
+  RunMode(/*cooperating=*/false);
+  std::printf("\nExpected shape: cooperating sources see second-scale "
+              "propagation;\nnon-cooperating sources add up to one scan "
+              "interval (30s) — both sub-minute,\nmatching the paper's "
+              "claim; the landing zone stays empty either way.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// A distributed feed delivery network (paper §3): Bistro servers acting
+// as subscribers of other Bistro servers.
+//
+// Topology: sources -> headquarters server -> regional relay server ->
+// two local subscribers, over a simulated WAN where the HQ-to-region
+// link is slow. The relay pattern means the big transfer crosses the
+// slow pipe once, not once per subscriber.
+//
+//   ./build/examples/distributed_relay
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "config/parser.h"
+#include "core/server.h"
+#include "sim/sources.h"
+#include "vfs/memfs.h"
+
+using namespace bistro;
+
+int main() {
+  TimePoint start = FromCivil(CivilTime{2011, 6, 12});
+  SimClock clock(start);
+  EventLoop loop(&clock);
+  InMemoryFileSystem fs;
+  Rng rng(5);
+  SimNetwork network(&rng);
+  SimTransport transport(&loop, &network);
+  CallbackInvoker invoker;
+  Logger logger(&clock);
+  logger.SetMinLevel(LogLevel::kError);
+  logger.AddSink(std::make_shared<StderrSink>());
+
+  // Slow WAN pipe to the region; fast LAN links inside the region.
+  LinkSpec wan;
+  wan.bandwidth_bytes_per_sec = 200 * 1000;  // 1.6 Mbit/s
+  wan.latency = 80 * kMillisecond;
+  network.SetLink("regional_relay", wan);
+  network.SetLink("analyst_a", LinkSpec::Fast());
+  network.SetLink("analyst_b", LinkSpec::Fast());
+
+  // Headquarters server: receives source feeds, relays SNMP to region.
+  auto hq_config = ParseConfig(R"(
+feed SNMP_CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt"; }
+subscriber regional_relay { feeds SNMP_CPU; method push; }
+)");
+  BistroServer::Options hq_opts;
+  hq_opts.landing_root = "/hq/landing";
+  hq_opts.staging_root = "/hq/staging";
+  hq_opts.db_dir = "/hq/db";
+  auto hq = BistroServer::Create(hq_opts, *hq_config, &fs, &transport, &loop,
+                                 &invoker, &logger);
+  if (!hq.ok()) {
+    std::fprintf(stderr, "%s\n", hq.status().ToString().c_str());
+    return 1;
+  }
+
+  // Regional relay: a full Bistro server subscribed upstream; its own
+  // subscribers sit on the regional LAN.
+  auto relay_config = ParseConfig(R"(
+feed SNMP_CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt"; }
+subscriber analyst_a { feeds SNMP_CPU; method push; }
+subscriber analyst_b { feeds SNMP_CPU; method push; }
+)");
+  BistroServer::Options relay_opts;
+  relay_opts.landing_root = "/region/landing";
+  relay_opts.staging_root = "/region/staging";
+  relay_opts.db_dir = "/region/db";
+  auto relay = BistroServer::Create(relay_opts, *relay_config, &fs, &transport,
+                                    &loop, &invoker, &logger);
+  if (!relay.ok()) {
+    std::fprintf(stderr, "%s\n", relay.status().ToString().c_str());
+    return 1;
+  }
+  transport.Register("regional_relay", relay->get());
+
+  FileSinkEndpoint analyst_a(&fs, "/analyst_a");
+  FileSinkEndpoint analyst_b(&fs, "/analyst_b");
+  transport.Register("analyst_a", &analyst_a);
+  transport.Register("analyst_b", &analyst_b);
+
+  // Sources feed HQ for two hours.
+  PollerFleet::Options fleet_opts;
+  fleet_opts.metric = "CPU";
+  fleet_opts.num_pollers = 3;
+  fleet_opts.period = 5 * kMinute;
+  fleet_opts.file_size = 50 * 1000;
+  PollerFleet fleet(&loop, &rng, fleet_opts,
+                    [&](const std::string& source, const std::string& name,
+                        std::string content) {
+                      Status s = (*hq)->Deposit(source, name, std::move(content));
+                      if (!s.ok()) {
+                        std::fprintf(stderr, "deposit: %s\n",
+                                     s.ToString().c_str());
+                      }
+                    });
+  fleet.ScheduleInterval(start, start + 2 * kHour);
+
+  loop.RunUntil(start + 2 * kHour + 10 * kMinute);
+  loop.RunUntilIdle();
+
+  std::printf("=== distributed relay, two simulated hours ===\n");
+  std::printf("HQ ingested %llu files, pushed %llu over the slow WAN link\n",
+              (unsigned long long)(*hq)->stats().files_received,
+              (unsigned long long)(*hq)->delivery_stats().files_delivered);
+  std::printf("relay ingested %llu files, fanned out %llu on the LAN\n",
+              (unsigned long long)(*relay)->stats().files_received,
+              (unsigned long long)(*relay)->delivery_stats().files_delivered);
+  std::printf("analyst_a received %llu, analyst_b received %llu\n",
+              (unsigned long long)analyst_a.files_received(),
+              (unsigned long long)analyst_b.files_received());
+  std::printf("WAN bytes: %s (once), LAN bytes: %s + %s\n",
+              HumanBytes(network.BytesSent("regional_relay")).c_str(),
+              HumanBytes(network.BytesSent("analyst_a")).c_str(),
+              HumanBytes(network.BytesSent("analyst_b")).c_str());
+  std::printf("late deliveries at HQ: %llu of %llu\n",
+              (unsigned long long)(*hq)->scheduler_metrics().late,
+              (unsigned long long)(*hq)->scheduler_metrics().completed);
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "analyzer/analyzer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bistro {
+
+FeedAnalyzer::FeedAnalyzer(const FeedRegistry* registry, Logger* logger,
+                           Options options)
+    : registry_(registry), logger_(logger), options_(options) {}
+
+std::vector<NewFeedSuggestion> FeedAnalyzer::DiscoverNewFeeds(
+    const std::vector<FileObservation>& unmatched) const {
+  std::vector<NewFeedSuggestion> out;
+  DiscoveryResult discovered = DiscoverFeeds(unmatched, options_.discovery);
+  int counter = 0;
+  for (AtomicFeed& feed : discovered.feeds) {
+    NewFeedSuggestion suggestion;
+    suggestion.suggested_spec.name =
+        StrFormat("DISCOVERED.FEED%03d", counter++);
+    suggestion.suggested_spec.pattern = feed.pattern;
+    suggestion.feed = std::move(feed);
+    logger_->Info("analyzer",
+                  StrFormat("discovered feed candidate: %s (%zu files, "
+                            "period %s)",
+                            suggestion.feed.pattern.c_str(),
+                            suggestion.feed.file_count,
+                            FormatDuration(suggestion.feed.est_period).c_str()));
+    out.push_back(std::move(suggestion));
+  }
+  return out;
+}
+
+std::vector<FalseNegativeReport> FeedAnalyzer::DetectFalseNegatives(
+    const std::vector<FileObservation>& unmatched) const {
+  std::vector<FalseNegativeReport> out;
+  // Group unmatched files by generalized pattern first: one warning per
+  // pattern, however many files exhibit it (§5.2).
+  DiscoveryOptions grouping = options_.discovery;
+  grouping.min_support = 1;
+  DiscoveryResult groups = DiscoverFeeds(unmatched, grouping);
+  std::vector<AtomicFeed> all = std::move(groups.feeds);
+  all.insert(all.end(), groups.outliers.begin(), groups.outliers.end());
+
+  for (const AtomicFeed& group : all) {
+    // Find the most similar registered feed (across every pattern a feed
+    // carries, primary and alternates).
+    const RegisteredFeed* best = nullptr;
+    std::string best_pattern;
+    double best_sim = 0;
+    for (const RegisteredFeed* feed : registry_->feeds()) {
+      double sim = PatternSimilarity(group.pattern, feed->spec.pattern);
+      std::string pattern = feed->spec.pattern;
+      for (const auto& alt : feed->spec.alt_patterns) {
+        double alt_sim = PatternSimilarity(group.pattern, alt);
+        if (alt_sim > sim) {
+          sim = alt_sim;
+          pattern = alt;
+        }
+      }
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = feed;
+        best_pattern = pattern;
+      }
+    }
+    if (best == nullptr || best_sim < options_.fn_threshold) continue;
+    FalseNegativeReport report;
+    report.feed = best->spec.name;
+    report.feed_pattern = best_pattern;
+    report.generalized = group.pattern;
+    report.similarity = best_sim;
+    report.suggested_spec = best->spec;
+    report.suggested_spec.alt_patterns.push_back(group.pattern);
+    // Re-collect the filenames of this group.
+    for (const auto& obs : unmatched) {
+      if (GeneralizeName(obs.name) == group.pattern) {
+        report.files.push_back(obs.name);
+      }
+    }
+    logger_->Warning(
+        "analyzer",
+        StrFormat("possible false negatives for feed %s: %zu files match "
+                  "generalized pattern %s (similarity %.2f)",
+                  report.feed.c_str(), report.files.size(),
+                  report.generalized.c_str(), best_sim));
+    out.push_back(std::move(report));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FalseNegativeReport& a, const FalseNegativeReport& b) {
+              return a.similarity > b.similarity;
+            });
+  return out;
+}
+
+std::vector<FalsePositiveReport> FeedAnalyzer::DetectFalsePositives(
+    const FeedName& feed,
+    const std::vector<FileObservation>& matched) const {
+  std::vector<FalsePositiveReport> out;
+  if (matched.empty()) return out;
+  DiscoveryOptions grouping = options_.discovery;
+  grouping.min_support = 1;
+  DiscoveryResult groups = DiscoverFeeds(matched, grouping);
+  std::vector<AtomicFeed> all = std::move(groups.feeds);
+  all.insert(all.end(), groups.outliers.begin(), groups.outliers.end());
+  if (all.size() < 2) return out;  // homogeneous feed: nothing suspicious
+  std::sort(all.begin(), all.end(),
+            [](const AtomicFeed& a, const AtomicFeed& b) {
+              return a.file_count > b.file_count;
+            });
+  const std::string& dominant = all.front().pattern;
+  for (size_t i = 1; i < all.size(); ++i) {
+    if (all[i].support > options_.fp_max_support) continue;
+    FalsePositiveReport report;
+    report.feed = feed;
+    report.outlier = all[i];
+    report.dominant_pattern = dominant;
+    logger_->Warning(
+        "analyzer",
+        StrFormat("possible false positives in feed %s: %zu files of shape "
+                  "%s diverge from dominant %s",
+                  feed.c_str(), report.outlier.file_count,
+                  report.outlier.pattern.c_str(), dominant.c_str()));
+    out.push_back(std::move(report));
+  }
+  return out;
+}
+
+}  // namespace bistro

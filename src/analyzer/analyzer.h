@@ -1,0 +1,93 @@
+#ifndef BISTRO_ANALYZER_ANALYZER_H_
+#define BISTRO_ANALYZER_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analyzer/infer.h"
+#include "analyzer/similarity.h"
+#include "common/logging.h"
+#include "config/registry.h"
+
+namespace bistro {
+
+/// A suggested new feed definition (new-feed discovery, §5.1).
+struct NewFeedSuggestion {
+  AtomicFeed feed;
+  /// A ready-to-review feed spec the subscriber can approve.
+  FeedSpec suggested_spec;
+};
+
+/// A potential false negative (§5.2): unmatched files whose generalized
+/// pattern closely resembles a registered feed's pattern.
+struct FalseNegativeReport {
+  FeedName feed;                 // the feed the files probably belong to
+  std::string feed_pattern;      // its current (best-matching) pattern
+  std::string generalized;       // pattern generalizing the unmatched files
+  double similarity = 0;         // PatternSimilarity(generalized, pattern)
+  std::vector<std::string> files;  // affected filenames
+  /// Ready-to-apply revision: the feed's spec with `generalized` appended
+  /// as an alternative pattern. Subscribers approve it, administrators
+  /// feed it to BistroServer::ReviseFeed (§5.2's suggestion loop).
+  FeedSpec suggested_spec;
+};
+
+/// A potential false positive (§5.3): an atomic feed inside a feed's
+/// matched stream that does not share structure with the dominant traffic.
+struct FalsePositiveReport {
+  FeedName feed;
+  AtomicFeed outlier;            // the suspicious subgroup
+  std::string dominant_pattern;  // what most of the feed looks like
+};
+
+/// The Bistro feed analyzer (paper §5): watches classification decisions
+/// and proactively reports new feeds, suspected false negatives and
+/// suspected false positives. It NEVER changes feed definitions itself —
+/// every output is a suggestion for subscribers to approve (§3.2).
+class FeedAnalyzer {
+ public:
+  struct Options {
+    Options() {}
+    DiscoveryOptions discovery;
+    /// Similarity threshold above which an unmatched group is reported as
+    /// a false negative of the most similar feed.
+    double fn_threshold = 0.75;
+    /// A matched subgroup is a false-positive suspect when it covers at
+    /// most this fraction of the feed's files.
+    double fp_max_support = 0.1;
+  };
+
+  FeedAnalyzer(const FeedRegistry* registry, Logger* logger,
+               Options options = Options());
+
+  /// New-feed discovery over the unmatched-file stream: clusters into
+  /// atomic feeds and emits one suggested definition per group (outlier
+  /// groups below min_support are withheld until more evidence arrives).
+  std::vector<NewFeedSuggestion> DiscoverNewFeeds(
+      const std::vector<FileObservation>& unmatched) const;
+
+  /// False-negative detection: generalizes unmatched files and reports
+  /// groups whose pattern is similar to a registered feed's. One report
+  /// per (generalized pattern, feed), not per file — the paper's
+  /// warning-deduplication property.
+  std::vector<FalseNegativeReport> DetectFalseNegatives(
+      const std::vector<FileObservation>& unmatched) const;
+
+  /// False-positive detection: clusters the files *matched* to `feed`
+  /// and flags low-support subgroups that diverge from the dominant
+  /// structure.
+  std::vector<FalsePositiveReport> DetectFalsePositives(
+      const FeedName& feed,
+      const std::vector<FileObservation>& matched) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const FeedRegistry* registry_;
+  Logger* logger_;
+  Options options_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_ANALYZER_ANALYZER_H_

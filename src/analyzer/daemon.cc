@@ -1,0 +1,74 @@
+#include "analyzer/daemon.h"
+
+#include "common/strings.h"
+
+namespace bistro {
+
+AnalyzerDaemon::AnalyzerDaemon(BistroServer* server, EventLoop* loop,
+                               Logger* logger, Options options)
+    : server_(server),
+      loop_(loop),
+      logger_(logger),
+      options_(options),
+      analyzer_(server->registry(), logger, options.analyzer) {}
+
+AnalyzerDaemon::~AnalyzerDaemon() = default;
+
+void AnalyzerDaemon::Start() {
+  if (started_) return;
+  started_ = true;
+  loop_->PostAfter(options_.interval,
+                   [weak = std::weak_ptr<char>(alive_), this] {
+                     if (!weak.lock()) return;
+                     RunOnce();
+                     started_ = false;
+                     Start();
+                   });
+}
+
+void AnalyzerDaemon::ObserveMatched(const FeedName& feed,
+                                    const std::string& name, TimePoint when) {
+  auto& sample = matched_samples_[feed];
+  sample.push_back({name, when});
+  if (sample.size() > options_.max_unmatched) {
+    sample.erase(sample.begin(), sample.begin() + sample.size() / 2);
+  }
+}
+
+void AnalyzerDaemon::RunOnce() {
+  ++passes_;
+  for (auto& [name, when] : server_->DrainUnmatched()) {
+    unmatched_history_.push_back({std::move(name), when});
+  }
+  if (unmatched_history_.size() > options_.max_unmatched) {
+    unmatched_history_.erase(
+        unmatched_history_.begin(),
+        unmatched_history_.begin() +
+            (unmatched_history_.size() - options_.max_unmatched));
+  }
+  false_negatives_ = analyzer_.DetectFalseNegatives(unmatched_history_);
+  // New-feed discovery runs on unmatched files NOT explained as false
+  // negatives of an existing feed — those are new subfeeds.
+  std::set<std::string> explained;
+  for (const auto& report : false_negatives_) {
+    for (const auto& f : report.files) explained.insert(f);
+  }
+  std::vector<FileObservation> unexplained;
+  for (const auto& obs : unmatched_history_) {
+    if (explained.count(obs.name) == 0) unexplained.push_back(obs);
+  }
+  new_feeds_ = analyzer_.DiscoverNewFeeds(unexplained);
+  false_positives_.clear();
+  for (const auto& [feed, sample] : matched_samples_) {
+    auto reports = analyzer_.DetectFalsePositives(feed, sample);
+    for (auto& r : reports) false_positives_.push_back(std::move(r));
+  }
+  logger_->Info(
+      "analyzer",
+      StrFormat("analysis pass %zu: %zu new-feed suggestions, %zu FN "
+                "reports, %zu FP reports (%zu unmatched files retained)",
+                passes_, new_feeds_.size(), false_negatives_.size(),
+                false_positives_.size(), unmatched_history_.size()));
+}
+
+}  // namespace bistro

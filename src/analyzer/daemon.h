@@ -1,0 +1,78 @@
+#ifndef BISTRO_ANALYZER_DAEMON_H_
+#define BISTRO_ANALYZER_DAEMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "analyzer/analyzer.h"
+#include "core/server.h"
+#include "sim/event_loop.h"
+
+namespace bistro {
+
+/// Continuous feed analysis (paper §3.2/§5: the analyzer "continuously
+/// monitors a stream of incoming data files ... and periodically
+/// generates a list of new feed definitions").
+///
+/// Every `interval` the daemon drains the server's unmatched-file stream,
+/// accumulates it, and regenerates three report sets: new-feed
+/// suggestions, false-negative reports (with ready-to-apply revised
+/// specs) and — for each registered feed, from a sample of its matched
+/// names — false-positive reports. Reports are never applied
+/// automatically; they are exposed for subscriber review (§3.2).
+class AnalyzerDaemon {
+ public:
+  struct Options {
+    Options() {}
+    Duration interval = 10 * kMinute;
+    FeedAnalyzer::Options analyzer;
+    /// Cap on retained unmatched history (oldest dropped first).
+    size_t max_unmatched = 100000;
+  };
+
+  AnalyzerDaemon(BistroServer* server, EventLoop* loop, Logger* logger,
+                 Options options = Options());
+  ~AnalyzerDaemon();
+
+  /// Starts the periodic analysis timer.
+  void Start();
+
+  /// Runs one analysis pass now (also usable without Start()).
+  void RunOnce();
+
+  /// Feeds classified names for FP analysis (the server does not retain
+  /// matched names; callers tap them in, e.g. from a delivery hook).
+  void ObserveMatched(const FeedName& feed, const std::string& name,
+                      TimePoint when);
+
+  const std::vector<NewFeedSuggestion>& new_feed_suggestions() const {
+    return new_feeds_;
+  }
+  const std::vector<FalseNegativeReport>& false_negatives() const {
+    return false_negatives_;
+  }
+  const std::vector<FalsePositiveReport>& false_positives() const {
+    return false_positives_;
+  }
+  size_t passes() const { return passes_; }
+
+ private:
+  BistroServer* server_;
+  EventLoop* loop_;
+  Logger* logger_;
+  Options options_;
+  FeedAnalyzer analyzer_;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  bool started_ = false;
+
+  std::vector<FileObservation> unmatched_history_;
+  std::map<FeedName, std::vector<FileObservation>> matched_samples_;
+  std::vector<NewFeedSuggestion> new_feeds_;
+  std::vector<FalseNegativeReport> false_negatives_;
+  std::vector<FalsePositiveReport> false_positives_;
+  size_t passes_ = 0;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_ANALYZER_DAEMON_H_

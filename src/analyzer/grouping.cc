@@ -1,0 +1,70 @@
+#include "analyzer/grouping.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analyzer/similarity.h"
+#include "common/strings.h"
+
+namespace bistro {
+
+namespace {
+// Leading alphabetic stem of a pattern ("CPU_POLL%i..." -> "CPU";
+// separators split the stem, digits/fields end it).
+std::string StemOf(const std::string& pattern) {
+  std::string stem;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    if (c == '%') break;
+    if (IsAlpha(c)) {
+      stem += c;
+    } else {
+      break;
+    }
+  }
+  return ToUpper(stem);
+}
+}  // namespace
+
+std::vector<FeedGroupSuggestion> SuggestFeedGroups(
+    const std::vector<AtomicFeed>& feeds, const GroupingOptions& options) {
+  std::map<std::string, std::vector<const AtomicFeed*>> by_stem;
+  for (const AtomicFeed& feed : feeds) {
+    std::string stem = StemOf(feed.pattern);
+    if (stem.empty()) continue;
+    by_stem[stem].push_back(&feed);
+  }
+  std::vector<FeedGroupSuggestion> out;
+  for (auto& [stem, members] : by_stem) {
+    if (members.size() < options.min_members) continue;
+    // Cohesion: mean pairwise structural similarity.
+    double total = 0;
+    size_t pairs = 0;
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        total += PatternSimilarity(members[i]->pattern, members[j]->pattern);
+        ++pairs;
+      }
+    }
+    double cohesion = pairs == 0 ? 1.0 : total / static_cast<double>(pairs);
+    if (cohesion < options.min_cohesion) continue;
+    FeedGroupSuggestion suggestion;
+    suggestion.name = stem;
+    suggestion.cohesion = cohesion;
+    for (const AtomicFeed* m : members) {
+      suggestion.member_patterns.push_back(m->pattern);
+    }
+    std::sort(suggestion.member_patterns.begin(),
+              suggestion.member_patterns.end());
+    out.push_back(std::move(suggestion));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FeedGroupSuggestion& a, const FeedGroupSuggestion& b) {
+              return a.member_patterns.size() != b.member_patterns.size()
+                         ? a.member_patterns.size() > b.member_patterns.size()
+                         : a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace bistro

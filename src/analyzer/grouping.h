@@ -1,0 +1,48 @@
+#ifndef BISTRO_ANALYZER_GROUPING_H_
+#define BISTRO_ANALYZER_GROUPING_H_
+
+#include <string>
+#include <vector>
+
+#include "analyzer/infer.h"
+
+namespace bistro {
+
+/// A suggested feed group: structurally or nominally related atomic feeds
+/// that probably belong under one group node in the feed hierarchy.
+struct FeedGroupSuggestion {
+  /// Suggested group name, derived from the members' shared name stem
+  /// ("CPU" for CPU_POLL.../CPU_UTIL...; "SNMP" only if the stem says so).
+  std::string name;
+  /// Patterns of the member atomic feeds.
+  std::vector<std::string> member_patterns;
+  /// Mean pairwise structural similarity of the members.
+  double cohesion = 0;
+};
+
+/// Options for group suggestion.
+struct GroupingOptions {
+  GroupingOptions() {}
+  /// Minimum members for a suggested group.
+  size_t min_members = 2;
+  /// Minimum mean pairwise PatternSimilarity for a stem group to be
+  /// suggested (filters accidental stem collisions).
+  double min_cohesion = 0.4;
+};
+
+/// Groups discovered atomic feeds into suggested feed groups — the
+/// paper's stated future work ("developing tools for automatic grouping
+/// of related or structurally similar atomic feeds into more complex
+/// logical feed groups", §5.1), implemented here as an extension.
+///
+/// Heuristic: feeds sharing a leading alphabetic name stem (after
+/// stripping digits) form candidate groups; candidates must clear a
+/// structural-cohesion bar. Like every analyzer output, suggestions are
+/// for human review, never auto-applied.
+std::vector<FeedGroupSuggestion> SuggestFeedGroups(
+    const std::vector<AtomicFeed>& feeds,
+    const GroupingOptions& options = GroupingOptions());
+
+}  // namespace bistro
+
+#endif  // BISTRO_ANALYZER_GROUPING_H_

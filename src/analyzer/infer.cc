@@ -1,0 +1,359 @@
+#include "analyzer/infer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace bistro {
+
+namespace {
+
+// ----------------------------------------------------- date heuristics
+
+bool AllInRange(const std::vector<int>& values, int lo, int hi) {
+  for (int v : values) {
+    if (v < lo || v > hi) return false;
+  }
+  return true;
+}
+
+int SliceInt(const std::string& s, size_t pos, size_t width) {
+  int v = 0;
+  for (size_t i = pos; i < pos + width; ++i) v = v * 10 + (s[i] - '0');
+  return v;
+}
+
+std::vector<int> SliceAll(const std::vector<std::string>& values, size_t pos,
+                          size_t width) {
+  std::vector<int> out;
+  out.reserve(values.size());
+  for (const auto& v : values) out.push_back(SliceInt(v, pos, width));
+  return out;
+}
+
+constexpr int kMinYear = 1990;
+constexpr int kMaxYear = 2035;
+
+/// Tries to interpret a fixed-width digit token (same width across all
+/// samples) as a packed timestamp; returns the spec ("%Y%m%d%H") or "".
+std::string TryWideTimestamp(size_t width, const std::vector<std::string>& values) {
+  auto valid_prefix = [&](bool with_hour, bool with_min, bool with_sec) {
+    if (!AllInRange(SliceAll(values, 0, 4), kMinYear, kMaxYear)) return false;
+    if (!AllInRange(SliceAll(values, 4, 2), 1, 12)) return false;
+    if (!AllInRange(SliceAll(values, 6, 2), 1, 31)) return false;
+    if (with_hour && !AllInRange(SliceAll(values, 8, 2), 0, 23)) return false;
+    if (with_min && !AllInRange(SliceAll(values, 10, 2), 0, 59)) return false;
+    if (with_sec && !AllInRange(SliceAll(values, 12, 2), 0, 59)) return false;
+    return true;
+  };
+  switch (width) {
+    case 14:
+      return valid_prefix(true, true, true) ? "%Y%m%d%H%M%S" : "";
+    case 12:
+      return valid_prefix(true, true, false) ? "%Y%m%d%H%M" : "";
+    case 10:
+      return valid_prefix(true, false, false) ? "%Y%m%d%H" : "";
+    case 8:
+      return valid_prefix(false, false, false) ? "%Y%m%d" : "";
+    default:
+      return "";
+  }
+}
+
+// ----------------------------------------------------- cluster analysis
+
+struct DigitPosition {
+  size_t token_index;
+  /// Width if consistent across samples, else 0.
+  size_t fixed_width;
+  std::vector<std::string> values;  // one per sample
+};
+
+struct Cluster {
+  std::vector<const FileObservation*> files;
+  std::vector<NameToken> shape;  // tokens of the first file (structure)
+  std::vector<DigitPosition> digit_positions;
+};
+
+/// Assigns time specs to digit positions: wide packed stamps, separated
+/// component sequences (%Y _ %m _ %d ...), and unit continuations after a
+/// stamp (..%H followed by a 2-digit 0-59 token -> %M).
+std::map<size_t, std::string> AssignTimeSpecs(Cluster* cluster) {
+  std::map<size_t, std::string> specs;  // token_index -> spec
+  auto find_digit = [&](size_t token_index) -> DigitPosition* {
+    for (auto& dp : cluster->digit_positions) {
+      if (dp.token_index == token_index) return &dp;
+    }
+    return nullptr;
+  };
+
+  const auto& shape = cluster->shape;
+  // Pass 1: wide packed stamps and separated component runs.
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i].kind != NameToken::Kind::kDigits) continue;
+    if (specs.count(i) != 0) continue;
+    DigitPosition* dp = find_digit(i);
+    if (dp == nullptr || dp->fixed_width == 0) continue;
+    std::string wide = TryWideTimestamp(dp->fixed_width, dp->values);
+    if (!wide.empty()) {
+      specs[i] = wide;
+      continue;
+    }
+    // Separated run: width-4 year, then (sep, width-2) components.
+    if (dp->fixed_width == 4 &&
+        AllInRange(SliceAll(dp->values, 0, 4), kMinYear, kMaxYear)) {
+      static const struct {
+        const char* spec;
+        int lo, hi;
+      } kComponents[] = {
+          {"%m", 1, 12}, {"%d", 1, 31}, {"%H", 0, 23}, {"%M", 0, 59},
+          {"%S", 0, 59}};
+      std::vector<std::pair<size_t, std::string>> run = {{i, "%Y"}};
+      size_t pos = i;
+      for (const auto& comp : kComponents) {
+        if (pos + 2 >= shape.size()) break;
+        if (shape[pos + 1].kind != NameToken::Kind::kSep) break;
+        DigitPosition* next = find_digit(pos + 2);
+        if (next == nullptr || next->fixed_width != 2) break;
+        if (!AllInRange(SliceAll(next->values, 0, 2), comp.lo, comp.hi)) break;
+        run.emplace_back(pos + 2, comp.spec);
+        pos += 2;
+      }
+      if (run.size() >= 3) {  // at least %Y %m %d
+        for (auto& [idx, spec] : run) specs[idx] = spec;
+      }
+    }
+  }
+  // Pass 2: unit continuations after an assigned stamp (paper example:
+  // MEMORY_POLLER1_2010092504_51 -> %Y%m%d%H then _%M).
+  static const std::map<char, std::pair<std::string, std::pair<int, int>>>
+      kNextUnit = {{'d', {"%H", {0, 23}}},
+                   {'H', {"%M", {0, 59}}},
+                   {'M', {"%S", {0, 59}}}};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [idx, spec] : specs) {
+      char last = spec.back();
+      auto it = kNextUnit.find(last);
+      if (it == kNextUnit.end()) continue;
+      size_t next_idx = idx + 2;
+      if (next_idx >= shape.size()) continue;
+      if (shape[idx + 1].kind != NameToken::Kind::kSep) continue;
+      if (specs.count(next_idx) != 0) continue;
+      DigitPosition* next = find_digit(next_idx);
+      if (next == nullptr || next->fixed_width != 2) continue;
+      if (!AllInRange(SliceAll(next->values, 0, 2), it->second.second.first,
+                      it->second.second.second)) {
+        continue;
+      }
+      specs[next_idx] = it->second.first;
+      changed = true;
+      break;
+    }
+  }
+  return specs;
+}
+
+std::string EscapeLiteral(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '%') out += "%%";
+    else out += c;
+  }
+  return out;
+}
+
+/// Parses a token's digits according to its time spec into civil fields.
+void ApplySpec(const std::string& spec, const std::string& value, CivilTime* c) {
+  size_t pos = 0;
+  for (size_t i = 0; i + 1 < spec.size(); i += 2) {
+    char f = spec[i + 1];
+    size_t width = (f == 'Y') ? 4 : 2;
+    if (pos + width > value.size()) return;
+    int v = SliceInt(value, pos, width);
+    switch (f) {
+      case 'Y':
+        c->year = v;
+        break;
+      case 'y':
+        c->year = 2000 + v;
+        break;
+      case 'm':
+        c->month = v;
+        break;
+      case 'd':
+        c->day = v;
+        break;
+      case 'H':
+        c->hour = v;
+        break;
+      case 'M':
+        c->minute = v;
+        break;
+      case 'S':
+        c->second = v;
+        break;
+    }
+    pos += width;
+  }
+}
+
+AtomicFeed AnalyzeCluster(Cluster* cluster, size_t total_files,
+                          const DiscoveryOptions& options) {
+  AtomicFeed feed;
+  feed.file_count = cluster->files.size();
+  feed.example = cluster->files.front()->name;
+  feed.support =
+      static_cast<double>(feed.file_count) / static_cast<double>(total_files);
+
+  auto time_specs = AssignTimeSpecs(cluster);
+
+  // Build the pattern and the field list.
+  size_t digit_cursor = 0;
+  for (size_t i = 0; i < cluster->shape.size(); ++i) {
+    const NameToken& tok = cluster->shape[i];
+    if (tok.kind != NameToken::Kind::kDigits) {
+      feed.pattern += EscapeLiteral(tok.text);
+      continue;
+    }
+    DigitPosition& dp = cluster->digit_positions[digit_cursor++];
+    InferredField field;
+    field.token_index = i;
+    auto ts = time_specs.find(i);
+    if (ts != time_specs.end()) {
+      field.type = InferredField::Type::kTimestamp;
+      field.time_spec = ts->second;
+      feed.pattern += ts->second;
+    } else {
+      std::set<std::string> domain(dp.values.begin(), dp.values.end());
+      if (domain.size() == 1) {
+        field.type = InferredField::Type::kConstant;
+        field.domain = domain;
+      } else if (domain.size() <= options.max_categorical_domain) {
+        field.type = InferredField::Type::kCategorical;
+        field.domain = domain;
+      } else {
+        field.type = InferredField::Type::kInteger;
+      }
+      feed.pattern += "%i";
+    }
+    feed.fields.push_back(std::move(field));
+  }
+
+  // Arrival-pattern inference from extracted data timestamps.
+  if (!time_specs.empty()) {
+    std::vector<TimePoint> stamps;
+    for (size_t f = 0; f < cluster->files.size(); ++f) {
+      CivilTime civil;
+      size_t dc = 0;
+      for (size_t i = 0; i < cluster->shape.size(); ++i) {
+        if (cluster->shape[i].kind != NameToken::Kind::kDigits) continue;
+        auto ts = time_specs.find(i);
+        if (ts != time_specs.end()) {
+          ApplySpec(ts->second, cluster->digit_positions[dc].values[f], &civil);
+        }
+        ++dc;
+      }
+      stamps.push_back(FromCivil(civil));
+    }
+    std::sort(stamps.begin(), stamps.end());
+    stamps.erase(std::unique(stamps.begin(), stamps.end()), stamps.end());
+    if (stamps.size() >= 2) {
+      std::vector<Duration> gaps;
+      for (size_t i = 1; i < stamps.size(); ++i) {
+        gaps.push_back(stamps[i] - stamps[i - 1]);
+      }
+      std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+      feed.est_period = gaps[gaps.size() / 2];
+    }
+    if (!stamps.empty()) {
+      feed.files_per_interval = static_cast<double>(cluster->files.size()) /
+                                static_cast<double>(stamps.size());
+    }
+  }
+  return feed;
+}
+
+}  // namespace
+
+DiscoveryResult DiscoverFeeds(const std::vector<FileObservation>& observations,
+                              const DiscoveryOptions& options) {
+  DiscoveryResult result;
+  if (observations.empty()) return result;
+
+  // 1. Tokenize and cluster by structural signature.
+  std::map<std::string, Cluster> clusters;
+  for (const auto& obs : observations) {
+    auto tokens = TokenizeName(obs.name);
+    std::string sig = NameSignature(tokens);
+    Cluster& cluster = clusters[sig];
+    if (cluster.files.empty()) {
+      cluster.shape = tokens;
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].kind == NameToken::Kind::kDigits) {
+          cluster.digit_positions.push_back({i, tokens[i].text.size(), {}});
+        }
+      }
+    }
+    cluster.files.push_back(&obs);
+    size_t dc = 0;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].kind != NameToken::Kind::kDigits) continue;
+      DigitPosition& dp = cluster.digit_positions[dc++];
+      if (dp.fixed_width != tokens[i].text.size()) dp.fixed_width = 0;
+      dp.values.push_back(tokens[i].text);
+    }
+  }
+
+  // 2. Analyze each cluster into an atomic feed.
+  for (auto& [sig, cluster] : clusters) {
+    AtomicFeed feed = AnalyzeCluster(&cluster, observations.size(), options);
+    if (feed.file_count < options.min_support) {
+      result.outliers.push_back(std::move(feed));
+    } else {
+      result.feeds.push_back(std::move(feed));
+    }
+  }
+  auto by_support = [](const AtomicFeed& a, const AtomicFeed& b) {
+    return a.file_count != b.file_count ? a.file_count > b.file_count
+                                        : a.pattern < b.pattern;
+  };
+  std::sort(result.feeds.begin(), result.feeds.end(), by_support);
+  std::sort(result.outliers.begin(), result.outliers.end(), by_support);
+  return result;
+}
+
+std::string GeneralizeName(const std::string& name) {
+  // Single-file generalization: every digit run is a field; timestamps
+  // are recognized from this one sample.
+  std::vector<FileObservation> one = {{name, 0}};
+  DiscoveryOptions options;
+  options.min_support = 1;
+  auto result = DiscoverFeeds(one, options);
+  const std::vector<AtomicFeed>& feeds =
+      result.feeds.empty() ? result.outliers : result.feeds;
+  if (feeds.empty()) return name;
+  // Constants inferred from a single sample are meaningless: rebuild the
+  // pattern with constants widened to %i.
+  const AtomicFeed& feed = feeds.front();
+  auto tokens = TokenizeName(name);
+  std::string pattern;
+  size_t fc = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != NameToken::Kind::kDigits) {
+      pattern += EscapeLiteral(tokens[i].text);
+      continue;
+    }
+    const InferredField& field = feed.fields[fc++];
+    if (field.type == InferredField::Type::kTimestamp) {
+      pattern += field.time_spec;
+    } else {
+      pattern += "%i";
+    }
+  }
+  return pattern;
+}
+
+}  // namespace bistro

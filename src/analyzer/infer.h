@@ -1,0 +1,86 @@
+#ifndef BISTRO_ANALYZER_INFER_H_
+#define BISTRO_ANALYZER_INFER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer/tokenizer.h"
+#include "common/time.h"
+
+namespace bistro {
+
+/// One observed file, the analyzer's unit of input.
+struct FileObservation {
+  std::string name;
+  TimePoint arrival_time = 0;
+};
+
+/// Inferred type of one variable (digit) field within an atomic feed.
+struct InferredField {
+  enum class Type {
+    kConstant,     // every sample had the same value
+    kCategorical,  // small closed domain (poller ids, versions)
+    kInteger,      // open-ended integer (%i)
+    kTimestamp,    // part of a recognized date/time group
+  };
+  Type type = Type::kInteger;
+  /// Token index within the tokenized name.
+  size_t token_index = 0;
+  /// Observed domain (capped) for constants/categoricals.
+  std::set<std::string> domain;
+  /// For kTimestamp: the pattern specifiers this token expands to
+  /// ("%Y%m%d%H", "%M", ...).
+  std::string time_spec;
+};
+
+/// A discovered atomic feed (paper §5.1): a homogeneous group of files
+/// produced by one data-generating program with a consistent naming
+/// convention, plus everything the analyzer inferred about it.
+struct AtomicFeed {
+  /// Bistro pattern describing the group ("MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz").
+  std::string pattern;
+  /// Files observed in this group.
+  size_t file_count = 0;
+  /// One example filename.
+  std::string example;
+  /// Typed variable fields.
+  std::vector<InferredField> fields;
+  /// Estimated generation period from data timestamps (0 = unknown):
+  /// median gap between distinct data intervals.
+  Duration est_period = 0;
+  /// Files per data interval (batch size estimate; 0 = unknown).
+  double files_per_interval = 0;
+  /// Fraction of the input this group covers.
+  double support = 0;
+};
+
+/// Options for feed discovery.
+struct DiscoveryOptions {
+  DiscoveryOptions() {}
+  /// Domains up to this size are categorical; beyond it, %i.
+  size_t max_categorical_domain = 8;
+  /// Groups with fewer files than this are reported as outliers.
+  size_t min_support = 3;
+};
+
+/// Result of running discovery over a set of observations.
+struct DiscoveryResult {
+  std::vector<AtomicFeed> feeds;     // sorted by support, descending
+  std::vector<AtomicFeed> outliers;  // groups below min_support
+};
+
+/// Clusters observations into atomic feeds and infers field types,
+/// timestamp structure and arrival patterns (paper §5.1).
+DiscoveryResult DiscoverFeeds(const std::vector<FileObservation>& observations,
+                              const DiscoveryOptions& options = DiscoveryOptions());
+
+/// Generalizes a single filename into a pattern (each digit run becomes a
+/// field, timestamps recognized when unambiguous). The building block of
+/// false-negative detection (§5.2).
+std::string GeneralizeName(const std::string& name);
+
+}  // namespace bistro
+
+#endif  // BISTRO_ANALYZER_INFER_H_

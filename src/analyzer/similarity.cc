@@ -1,0 +1,172 @@
+#include "analyzer/similarity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace bistro {
+
+namespace {
+
+// A pattern spec token for similarity purposes.
+struct SpecToken {
+  enum class Kind { kLiteralAlpha, kLiteralSep, kString, kInt, kTime };
+  Kind kind;
+  std::string text;  // literal text only
+};
+
+// Splits a pattern spec into tokens: literal alpha runs, single literal
+// separators, and field specifiers collapsed by class.
+std::vector<SpecToken> TokenizeSpec(const std::string& spec) {
+  std::vector<SpecToken> out;
+  size_t i = 0;
+  auto push_literal_char = [&](char c) {
+    if (IsAlpha(c)) {
+      if (!out.empty() && out.back().kind == SpecToken::Kind::kLiteralAlpha) {
+        out.back().text += c;
+      } else {
+        out.push_back({SpecToken::Kind::kLiteralAlpha, std::string(1, c)});
+      }
+    } else if (IsDigit(c)) {
+      // Literal digits are rare in specs; treat them like an int field so
+      // "poller1" and "poller%i" stay similar.
+      if (out.empty() || out.back().kind != SpecToken::Kind::kInt) {
+        out.push_back({SpecToken::Kind::kInt, ""});
+      }
+    } else {
+      out.push_back({SpecToken::Kind::kLiteralSep, std::string(1, c)});
+    }
+  };
+  while (i < spec.size()) {
+    char c = spec[i];
+    if (c == '%' && i + 1 < spec.size()) {
+      char f = spec[i + 1];
+      i += 2;
+      switch (f) {
+        case '%':
+          push_literal_char('%');
+          break;
+        case 's':
+          out.push_back({SpecToken::Kind::kString, ""});
+          break;
+        case 'i':
+          out.push_back({SpecToken::Kind::kInt, ""});
+          break;
+        case 'Y':
+        case 'y':
+        case 'm':
+        case 'd':
+        case 'H':
+        case 'M':
+        case 'S':
+          // Collapse adjacent time components into one time token:
+          // "%Y%m%d%H" and "%Y_%m_%d" should align as time+seps.
+          out.push_back({SpecToken::Kind::kTime, ""});
+          break;
+        default:
+          push_literal_char(f);
+      }
+    } else {
+      push_literal_char(c);
+      ++i;
+    }
+  }
+  // Merge adjacent time tokens.
+  std::vector<SpecToken> merged;
+  for (auto& t : out) {
+    if (t.kind == SpecToken::Kind::kTime && !merged.empty() &&
+        merged.back().kind == SpecToken::Kind::kTime) {
+      continue;
+    }
+    merged.push_back(std::move(t));
+  }
+  return merged;
+}
+
+double TokenMatch(const SpecToken& a, const SpecToken& b) {
+  if (a.kind != b.kind) {
+    // Fields of different numeric classes are still weakly related.
+    auto numeric = [](SpecToken::Kind k) {
+      return k == SpecToken::Kind::kInt || k == SpecToken::Kind::kTime;
+    };
+    if (numeric(a.kind) && numeric(b.kind)) return 0.5;
+    return 0.0;
+  }
+  if (a.kind == SpecToken::Kind::kLiteralAlpha) {
+    if (a.text == b.text) return 1.0;
+    // Case-insensitive match is a near-hit (the paper's Poller/poller
+    // false-negative scenario).
+    if (ToLower(a.text) == ToLower(b.text)) return 0.9;
+    // Otherwise scale by character-level similarity.
+    size_t dist = EditDistance(a.text, b.text);
+    size_t len = std::max(a.text.size(), b.text.size());
+    double sim = len == 0 ? 1.0 : 1.0 - static_cast<double>(dist) / len;
+    return sim >= 0.5 ? sim * 0.8 : 0.0;
+  }
+  if (a.kind == SpecToken::Kind::kLiteralSep) {
+    return a.text == b.text ? 1.0 : 0.5;  // '_' vs '-' are near-equivalent
+  }
+  return 1.0;  // same field class
+}
+
+}  // namespace
+
+double PatternSimilarity(const std::string& spec_a, const std::string& spec_b) {
+  auto a = TokenizeSpec(spec_a);
+  auto b = TokenizeSpec(spec_b);
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  // Weighted LCS via dynamic programming (alignment score).
+  std::vector<std::vector<double>> dp(a.size() + 1,
+                                      std::vector<double>(b.size() + 1, 0.0));
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      double match = TokenMatch(a[i - 1], b[j - 1]);
+      dp[i][j] = std::max({dp[i - 1][j], dp[i][j - 1],
+                           dp[i - 1][j - 1] + match});
+    }
+  }
+  // Normalize by the SHORTER sequence: the question is containment —
+  // "does the feed pattern's structure appear in the file's structure?" —
+  // not symmetric equality. A false-negative file often carries extra
+  // fields its feed pattern lacks (the paper's TRAP example), which a
+  // max-normalized score would punish.
+  double sim = dp[a.size()][b.size()] /
+               static_cast<double>(std::min(a.size(), b.size()));
+  if (sim > 1.0) sim = 1.0;
+  // Stem weighting: measurement feeds are named by their leading literal
+  // ("CPU_...", "MEMORY_..."). Two conventions can be structurally
+  // parallel (POLL + id + stamp) yet belong to unrelated feeds; an
+  // unrelated stem discounts the structural score so such files surface
+  // as NEW feeds rather than false negatives of an existing one.
+  const SpecToken* stem_a = nullptr;
+  const SpecToken* stem_b = nullptr;
+  for (const auto& t : a) {
+    if (t.kind == SpecToken::Kind::kLiteralAlpha) {
+      stem_a = &t;
+      break;
+    }
+  }
+  for (const auto& t : b) {
+    if (t.kind == SpecToken::Kind::kLiteralAlpha) {
+      stem_b = &t;
+      break;
+    }
+  }
+  if (stem_a != nullptr && stem_b != nullptr) {
+    double stem = TokenMatch(*stem_a, *stem_b);
+    sim *= 0.6 + 0.4 * stem;
+  }
+  return sim;
+}
+
+double EditDistanceSimilarity(const std::string& name, const std::string& spec) {
+  size_t dist = EditDistance(name, spec);
+  size_t len = std::max(name.size(), spec.size());
+  if (len == 0) return 1.0;
+  double sim = 1.0 - static_cast<double>(dist) / static_cast<double>(len);
+  return sim < 0.0 ? 0.0 : sim;
+}
+
+}  // namespace bistro

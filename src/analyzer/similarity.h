@@ -1,0 +1,27 @@
+#ifndef BISTRO_ANALYZER_SIMILARITY_H_
+#define BISTRO_ANALYZER_SIMILARITY_H_
+
+#include <string>
+
+namespace bistro {
+
+/// Structural similarity between two Bistro pattern specs in [0, 1]:
+/// the normalized longest-common-subsequence over *pattern tokens*
+/// (literal runs compared by text, field specifiers by kind, with all
+/// timestamp components treated as one mutually similar class).
+///
+/// This is the comparison Bistro's false-negative detector uses (§5.2):
+/// an unmatched filename is generalized into a pattern and compared
+/// against registered feed patterns. Unlike raw string edit distance —
+/// which the paper shows can reach 51 for an obviously related file —
+/// pattern similarity is insensitive to the *length* of variable fields.
+double PatternSimilarity(const std::string& spec_a, const std::string& spec_b);
+
+/// The baseline the paper argues against: plain string edit distance
+/// between a filename and a pattern spec, normalized to [0, 1] where 1 is
+/// identical. Kept for experiment E7's comparison.
+double EditDistanceSimilarity(const std::string& name, const std::string& spec);
+
+}  // namespace bistro
+
+#endif  // BISTRO_ANALYZER_SIMILARITY_H_

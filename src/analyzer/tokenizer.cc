@@ -1,0 +1,51 @@
+#include "analyzer/tokenizer.h"
+
+#include "common/strings.h"
+
+namespace bistro {
+
+std::vector<NameToken> TokenizeName(std::string_view name) {
+  std::vector<NameToken> tokens;
+  size_t i = 0;
+  while (i < name.size()) {
+    char c = name[i];
+    if (IsAlpha(c)) {
+      size_t start = i;
+      while (i < name.size() && IsAlpha(name[i])) ++i;
+      tokens.push_back(
+          {NameToken::Kind::kAlpha, std::string(name.substr(start, i - start))});
+    } else if (IsDigit(c)) {
+      size_t start = i;
+      while (i < name.size() && IsDigit(name[i])) ++i;
+      tokens.push_back({NameToken::Kind::kDigits,
+                        std::string(name.substr(start, i - start))});
+    } else {
+      tokens.push_back({NameToken::Kind::kSep, std::string(1, c)});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::string NameSignature(const std::vector<NameToken>& tokens) {
+  std::string sig;
+  for (const auto& t : tokens) {
+    switch (t.kind) {
+      case NameToken::Kind::kAlpha:
+        sig += 'A';
+        sig += t.text;
+        break;
+      case NameToken::Kind::kDigits:
+        sig += '#';  // digit runs abstracted
+        break;
+      case NameToken::Kind::kSep:
+        sig += 'S';
+        sig += t.text;
+        break;
+    }
+    sig += '\x1f';
+  }
+  return sig;
+}
+
+}  // namespace bistro

@@ -1,0 +1,40 @@
+#ifndef BISTRO_ANALYZER_TOKENIZER_H_
+#define BISTRO_ANALYZER_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace bistro {
+
+/// One lexical token of a filename.
+///
+/// Filenames are segmented at separator characters and at transitions
+/// between alphabetic and numeric runs — the paper's §5.1 heuristic for
+/// finding field boundaries when names use fixed-width fields instead of
+/// separators ("MEMORY_POLLER1_2010092504_51.csv.gz" ->
+/// MEMORY _ POLLER 1 _ 2010092504 _ 51 . csv . gz).
+struct NameToken {
+  enum class Kind {
+    kAlpha,   // run of letters
+    kDigits,  // run of decimal digits
+    kSep,     // single separator character (_ - . / , = etc.)
+  };
+  Kind kind = Kind::kAlpha;
+  std::string text;
+
+  bool operator==(const NameToken&) const = default;
+};
+
+/// Tokenizes a filename.
+std::vector<NameToken> TokenizeName(std::string_view name);
+
+/// The structural signature of a tokenized name: token kinds plus the
+/// exact text of alpha and separator tokens, with digit runs abstracted.
+/// Two filenames with equal signatures are candidates for the same atomic
+/// feed. (Digit widths are intentionally *not* part of the signature so
+/// that POLLER9/POLLER10 unify.)
+std::string NameSignature(const std::vector<NameToken>& tokens);
+
+}  // namespace bistro
+
+#endif  // BISTRO_ANALYZER_TOKENIZER_H_

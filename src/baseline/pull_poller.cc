@@ -1,0 +1,46 @@
+#include "baseline/pull_poller.h"
+
+#include <algorithm>
+
+namespace bistro {
+
+PullPoller::PullPoller(FileSystem* remote, std::string remote_root,
+                       FileSystem* local, std::string local_root,
+                       Options options)
+    : remote_(remote),
+      remote_root_(std::move(remote_root)),
+      local_(local),
+      local_root_(std::move(local_root)),
+      options_(options) {}
+
+Result<size_t> PullPoller::Poll(TimePoint now) {
+  (void)now;
+  // The full recursive listing is the unavoidable cost of pull: without
+  // provider-side notifications there is no other way to learn what is
+  // new, and the listing touches every entry of the stored history.
+  BISTRO_ASSIGN_OR_RETURN(auto entries, remote_->ListRecursive(remote_root_));
+  size_t fetched = 0;
+  for (const FileInfo& info : entries) {
+    newest_seen_ = std::max(newest_seen_, info.mtime);
+  }
+  for (const FileInfo& info : entries) {
+    if (seen_.count(info.path) != 0) continue;
+    if (options_.lookback > 0 && info.mtime < newest_seen_ - options_.lookback) {
+      // Outside the lookback cap: the poller will never fetch this file.
+      ++missed_;
+      seen_.insert(info.path);  // stop re-counting it every cycle
+      continue;
+    }
+    BISTRO_ASSIGN_OR_RETURN(std::string content, remote_->ReadFile(info.path));
+    std::string_view rel(info.path);
+    if (rel.size() > remote_root_.size()) rel.remove_prefix(remote_root_.size());
+    BISTRO_RETURN_IF_ERROR(
+        local_->WriteFile(path::Join(local_root_, rel), content));
+    seen_.insert(info.path);
+    ++fetched_total_;
+    ++fetched;
+  }
+  return fetched;
+}
+
+}  // namespace bistro

@@ -1,0 +1,59 @@
+#ifndef BISTRO_BASELINE_PULL_POLLER_H_
+#define BISTRO_BASELINE_PULL_POLLER_H_
+
+#include <set>
+#include <string>
+
+#include "common/time.h"
+#include "vfs/filesystem.h"
+
+namespace bistro {
+
+/// The pull-based delivery baseline (paper §2.2.1): a subscriber-side
+/// agent that periodically lists the provider's feed directories, works
+/// out which files are new, and retrieves them.
+///
+/// It exhibits exactly the pathologies the paper describes:
+///  - every poll lists directories whose size grows with stored history,
+///    so metadata cost grows linearly with history;
+///  - N subscribers each run their own scans against the provider;
+///  - out-of-order arrivals force either full-history scans or a lookback
+///    cap that silently drops late data.
+class PullPoller {
+ public:
+  struct Options {
+    Options() {}
+    /// Only examine files with mtime within this window of the newest
+    /// seen (0 = scan everything, the safe-but-expensive setting).
+    Duration lookback = 0;
+  };
+
+  /// `remote` is the feed provider's filesystem (where scans cost),
+  /// `local` the subscriber's own storage.
+  PullPoller(FileSystem* remote, std::string remote_root, FileSystem* local,
+             std::string local_root, Options options = Options());
+
+  /// One polling cycle: scan, diff against what we have, fetch new files.
+  /// Returns the number of files retrieved.
+  Result<size_t> Poll(TimePoint now);
+
+  /// Files this subscriber has retrieved so far.
+  size_t files_retrieved() const { return fetched_total_; }
+  /// Files skipped because they fell outside the lookback window.
+  size_t files_missed() const { return missed_; }
+
+ private:
+  FileSystem* remote_;
+  std::string remote_root_;
+  FileSystem* local_;
+  std::string local_root_;
+  Options options_;
+  std::set<std::string> seen_;  // remote paths already fetched or skipped
+  TimePoint newest_seen_ = 0;
+  size_t fetched_total_ = 0;
+  size_t missed_ = 0;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_BASELINE_PULL_POLLER_H_

@@ -1,0 +1,79 @@
+#include "classify/classifier.h"
+
+#include <algorithm>
+
+namespace bistro {
+
+FeedClassifier::FeedClassifier(const FeedRegistry* registry, IndexMode mode)
+    : registry_(registry), mode_(mode) {
+  Rebuild();
+}
+
+void FeedClassifier::Rebuild() {
+  root_ = std::make_unique<TrieNode>();
+  if (mode_ != IndexMode::kPrefixIndex) return;
+  for (const RegisteredFeed* feed : registry_->feeds()) {
+    Insert(feed, &feed->pattern);
+    for (const Pattern& alt : feed->alts) Insert(feed, &alt);
+  }
+}
+
+void FeedClassifier::Insert(const RegisteredFeed* feed, const Pattern* pattern) {
+  TrieNode* node = root_.get();
+  for (char c : pattern->literal_prefix()) {
+    auto& child = node->children[c];
+    if (!child) child = std::make_unique<TrieNode>();
+    node = child.get();
+  }
+  node->candidates.emplace_back(feed, pattern);
+}
+
+void FeedClassifier::CollectCandidates(const std::string& name,
+                                       std::vector<Candidate>* out) const {
+  // Walk the trie along the filename; every node passed contributes the
+  // candidates whose literal prefix ends there (including the root's
+  // prefix-less patterns, which must always be tried).
+  const TrieNode* node = root_.get();
+  out->insert(out->end(), node->candidates.begin(), node->candidates.end());
+  for (char c : name) {
+    auto it = node->children.find(c);
+    if (it == node->children.end()) break;
+    node = it->second.get();
+    out->insert(out->end(), node->candidates.begin(), node->candidates.end());
+  }
+}
+
+Classification FeedClassifier::Classify(const std::string& name) {
+  Classification result;
+  stats_.files++;
+  std::vector<Candidate> candidates;
+  if (mode_ == IndexMode::kPrefixIndex) {
+    CollectCandidates(name, &candidates);
+  } else {
+    for (const RegisteredFeed* feed : registry_->feeds()) {
+      candidates.emplace_back(feed, &feed->pattern);
+      for (const Pattern& alt : feed->alts) candidates.emplace_back(feed, &alt);
+    }
+  }
+  for (const auto& [feed, pattern] : candidates) {
+    // A feed may contribute several patterns; it belongs to the result
+    // at most once (first matching pattern wins for field extraction).
+    if (std::find(result.feeds.begin(), result.feeds.end(), feed->spec.name) !=
+        result.feeds.end()) {
+      continue;
+    }
+    stats_.candidate_checks++;
+    auto match = pattern->Match(name);
+    if (!match.has_value()) continue;
+    if (result.feeds.empty()) result.primary_match = std::move(*match);
+    result.feeds.push_back(feed->spec.name);
+  }
+  if (result.matched()) {
+    stats_.matched++;
+  } else {
+    stats_.unmatched++;
+  }
+  return result;
+}
+
+}  // namespace bistro

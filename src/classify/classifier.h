@@ -1,0 +1,77 @@
+#ifndef BISTRO_CLASSIFY_CLASSIFIER_H_
+#define BISTRO_CLASSIFY_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/registry.h"
+#include "pattern/pattern.h"
+
+namespace bistro {
+
+/// Result of classifying one incoming filename.
+struct Classification {
+  /// Feeds the file belongs to (a file may match several feeds).
+  std::vector<FeedName> feeds;
+  /// The match of the *first* feed (staging uses its fields).
+  MatchResult primary_match;
+  bool matched() const { return !feeds.empty(); }
+};
+
+/// Counters exposed by the classifier for monitoring and experiment E5.
+struct ClassifierStats {
+  uint64_t files = 0;
+  uint64_t matched = 0;
+  uint64_t unmatched = 0;
+  uint64_t candidate_checks = 0;  // pattern match attempts performed
+};
+
+/// Matches incoming filenames to registered consumer feeds (paper §3.2).
+///
+/// Two lookup strategies:
+///  - kLinear: try every feed pattern (the obvious baseline);
+///  - kPrefixIndex: a byte-trie over the patterns' literal prefixes prunes
+///    the candidate set to feeds whose prefix matches the filename, which
+///    keeps per-file cost near-constant as the number of feeds grows.
+/// Experiment E5 compares the two.
+class FeedClassifier {
+ public:
+  enum class IndexMode { kLinear, kPrefixIndex };
+
+  explicit FeedClassifier(const FeedRegistry* registry,
+                          IndexMode mode = IndexMode::kPrefixIndex);
+
+  /// Classifies `name` against all registered feeds.
+  Classification Classify(const std::string& name);
+
+  /// Rebuilds the index after feed definitions change.
+  void Rebuild();
+
+  ClassifierStats stats() const { return stats_; }
+  void ResetStats() { stats_ = ClassifierStats{}; }
+
+ private:
+  /// One candidate to try: a feed and one of its compiled patterns
+  /// (feeds may carry alternative patterns, §2.1.3 feed evolution).
+  using Candidate = std::pair<const RegisteredFeed*, const Pattern*>;
+
+  struct TrieNode {
+    // Candidates whose whole literal prefix ends at or above this node.
+    std::vector<Candidate> candidates;
+    std::map<char, std::unique_ptr<TrieNode>> children;
+  };
+
+  void Insert(const RegisteredFeed* feed, const Pattern* pattern);
+  void CollectCandidates(const std::string& name,
+                         std::vector<Candidate>* out) const;
+
+  const FeedRegistry* registry_;
+  IndexMode mode_;
+  std::unique_ptr<TrieNode> root_;
+  ClassifierStats stats_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_CLASSIFY_CLASSIFIER_H_

@@ -1,0 +1,91 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace bistro {
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kAlarm:
+      return "ALARM";
+  }
+  return "?";
+}
+
+std::string LogRecord::ToString() const {
+  std::string out = FormatTime(time);
+  out += " [";
+  out += LogLevelName(level);
+  out += "] ";
+  out += component;
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void StderrSink::Write(const LogRecord& record) {
+  std::string line = record.ToString();
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+void MemorySink::Write(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(record);
+}
+
+std::vector<LogRecord> MemorySink::TakeRecords() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogRecord> out;
+  out.swap(records_);
+  return out;
+}
+
+size_t MemorySink::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+size_t MemorySink::CountAtLeast(LogLevel level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.level >= level) ++n;
+  }
+  return n;
+}
+
+void Logger::AddSink(std::shared_ptr<LogSink> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Logger::Log(LogLevel level, std::string component, std::string message) {
+  if (level < min_level_) return;
+  LogRecord record;
+  record.time = clock_->Now();
+  record.level = level;
+  record.component = std::move(component);
+  record.message = std::move(message);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& sink : sinks_) sink->Write(record);
+}
+
+Logger* Logger::Default() {
+  static Logger* logger = [] {
+    auto* l = new Logger();
+    l->AddSink(std::make_shared<StderrSink>());
+    return l;
+  }();
+  return logger;
+}
+
+}  // namespace bistro

@@ -1,0 +1,100 @@
+#ifndef BISTRO_COMMON_LOGGING_H_
+#define BISTRO_COMMON_LOGGING_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace bistro {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kAlarm = 4 };
+
+std::string_view LogLevelName(LogLevel level);
+
+/// A structured log record. The Bistro server logs every feed event
+/// (arrival, classification, delivery, trigger, alarm) through this type so
+/// monitoring tools can consume the stream programmatically.
+struct LogRecord {
+  TimePoint time = 0;
+  LogLevel level = LogLevel::kInfo;
+  std::string component;  // e.g. "classifier", "delivery", "analyzer"
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Receives every record emitted through a Logger.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+/// Sink writing human-readable lines to stderr.
+class StderrSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override;
+};
+
+/// Sink buffering records in memory; used by tests and the monitor.
+class MemorySink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override;
+  std::vector<LogRecord> TakeRecords();
+  size_t Count() const;
+  /// Number of records at `level` or above.
+  size_t CountAtLeast(LogLevel level) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+};
+
+/// The Bistro logging subsystem (paper Fig. 2). Thread-safe, fan-out to any
+/// number of sinks, with a minimum-level filter.
+class Logger {
+ public:
+  explicit Logger(const Clock* clock = RealClock::Get()) : clock_(clock) {}
+
+  void AddSink(std::shared_ptr<LogSink> sink);
+  void SetMinLevel(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  void Log(LogLevel level, std::string component, std::string message);
+
+  void Debug(std::string component, std::string message) {
+    Log(LogLevel::kDebug, std::move(component), std::move(message));
+  }
+  void Info(std::string component, std::string message) {
+    Log(LogLevel::kInfo, std::move(component), std::move(message));
+  }
+  void Warning(std::string component, std::string message) {
+    Log(LogLevel::kWarning, std::move(component), std::move(message));
+  }
+  void Error(std::string component, std::string message) {
+    Log(LogLevel::kError, std::move(component), std::move(message));
+  }
+  /// Alarms are the highest severity: the server raises one when it detects
+  /// a condition it cannot correct itself (paper §3.2).
+  void Alarm(std::string component, std::string message) {
+    Log(LogLevel::kAlarm, std::move(component), std::move(message));
+  }
+
+  /// Process-wide default logger (stderr sink attached, Info level).
+  static Logger* Default();
+
+ private:
+  const Clock* clock_;
+  LogLevel min_level_ = LogLevel::kInfo;
+  std::mutex mu_;
+  std::vector<std::shared_ptr<LogSink>> sinks_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_COMMON_LOGGING_H_

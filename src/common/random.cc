@@ -1,0 +1,92 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace bistro {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 1e-18;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+std::string Rng::AlnumString(size_t n) {
+  static const char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out(n, '\0');
+  for (auto& c : out) c = kChars[Uniform(sizeof(kChars) - 1)];
+  return out;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, Rng* rng)
+    : n_(n), theta_(theta), rng_(rng) {
+  double zetan = 0;
+  for (uint64_t i = 1; i <= n_; ++i) zetan += 1.0 / std::pow(double(i), theta_);
+  zetan_ = zetan;
+  double zeta2 = 0;
+  for (uint64_t i = 1; i <= 2 && i <= n_; ++i) {
+    zeta2 += 1.0 / std::pow(double(i), theta_);
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = rng_->NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace bistro

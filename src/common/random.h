@@ -1,0 +1,62 @@
+#ifndef BISTRO_COMMON_RANDOM_H_
+#define BISTRO_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bistro {
+
+/// Deterministic, seedable PRNG (xoshiro256**). Every randomized component
+/// in Bistro's simulators takes an explicit Rng so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  uint64_t Next();
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+  /// Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// True with probability p.
+  bool Bernoulli(double p);
+  /// Exponentially distributed with the given mean.
+  double Exponential(double mean);
+  /// Normal via Box-Muller.
+  double Normal(double mean, double stddev);
+  /// Random lowercase-alnum string of length n.
+  std::string AlnumString(size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with exponent `theta`;
+/// used to model skewed feed popularity and file-size distributions.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, Rng* rng);
+  uint64_t Next();
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng* rng_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_COMMON_RANDOM_H_

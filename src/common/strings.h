@@ -1,0 +1,51 @@
+#ifndef BISTRO_COMMON_STRINGS_H_
+#define BISTRO_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bistro {
+
+/// Splits `input` on `sep`, returning all pieces (including empties).
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Splits `input` on `sep`, skipping empty pieces.
+std::vector<std::string> SplitSkipEmpty(std::string_view input, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Parses a base-10 signed integer occupying the whole of `s`.
+std::optional<int64_t> ParseInt(std::string_view s);
+
+/// Parses a base-10 double occupying the whole of `s`.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count ("1.5 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+bool IsDigit(char c);
+bool IsAlpha(char c);
+bool IsAlnum(char c);
+
+/// Levenshtein edit distance between two strings (unit costs).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+}  // namespace bistro
+
+#endif  // BISTRO_COMMON_STRINGS_H_

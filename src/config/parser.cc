@@ -1,0 +1,440 @@
+#include "config/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "pattern/pattern.h"
+
+namespace bistro {
+
+namespace {
+
+// ------------------------------------------------------------------ Lexer
+
+enum class TokKind { kIdent, kString, kNumberUnit, kPunct, kEof };
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '"') {
+        BISTRO_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+      } else if (IsAlpha(c) || c == '_') {
+        out.push_back(LexIdent());
+      } else if (IsDigit(c) || c == '-') {
+        out.push_back(LexNumberUnit());
+      } else if (c == '{' || c == '}' || c == ';' || c == ',') {
+        out.push_back(Token{TokKind::kPunct, std::string(1, c), line_});
+        ++pos_;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("config line %d: unexpected character '%c'", line_, c));
+      }
+    }
+    out.push_back(Token{TokKind::kEof, "", line_});
+    return out;
+  }
+
+ private:
+  Result<Token> LexString() {
+    int start_line = line_;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        ++pos_;
+        c = src_[pos_];
+        if (c != '"' && c != '\\') {
+          return Status::InvalidArgument(
+              StrFormat("config line %d: bad escape \\%c", line_, c));
+        }
+      } else if (c == '\n') {
+        return Status::InvalidArgument(
+            StrFormat("config line %d: unterminated string", start_line));
+      }
+      text += c;
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("config line %d: unterminated string", start_line));
+    }
+    ++pos_;  // closing quote
+    return Token{TokKind::kString, std::move(text), start_line};
+  }
+
+  Token LexIdent() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (IsAlnum(src_[pos_]) || src_[pos_] == '_' || src_[pos_] == '.')) {
+      ++pos_;
+    }
+    return Token{TokKind::kIdent, std::string(src_.substr(start, pos_ - start)),
+                 line_};
+  }
+
+  Token LexNumberUnit() {
+    size_t start = pos_;
+    if (src_[pos_] == '-') ++pos_;
+    while (pos_ < src_.size() && (IsDigit(src_[pos_]) || src_[pos_] == '.')) ++pos_;
+    while (pos_ < src_.size() && IsAlpha(src_[pos_])) ++pos_;  // unit suffix
+    return Token{TokKind::kNumberUnit,
+                 std::string(src_.substr(start, pos_ - start)), line_};
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ----------------------------------------------------------------- Parser
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ServerConfig> Run() {
+    ServerConfig config;
+    while (!AtEof()) {
+      const Token& t = Peek();
+      if (t.kind == TokKind::kIdent && t.text == "group") {
+        BISTRO_RETURN_IF_ERROR(ParseGroup("", &config));
+      } else if (t.kind == TokKind::kIdent && t.text == "feed") {
+        BISTRO_RETURN_IF_ERROR(ParseFeed("", &config));
+      } else if (t.kind == TokKind::kIdent && t.text == "subscriber") {
+        BISTRO_RETURN_IF_ERROR(ParseSubscriber(&config));
+      } else {
+        return Err("expected 'group', 'feed' or 'subscriber'");
+      }
+    }
+    return config;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool AtEof() const { return Peek().kind == TokKind::kEof; }
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("config line %d: %s (got '%s')", Peek().line, what.c_str(),
+                  Peek().text.c_str()));
+  }
+
+  Status Expect(TokKind kind, std::string_view text, const char* what) {
+    const Token& t = Peek();
+    if (t.kind != kind || (!text.empty() && t.text != text)) {
+      return Err(std::string("expected ") + what);
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) return Err("expected identifier");
+    return Next().text;
+  }
+
+  Result<std::string> ExpectString() {
+    if (Peek().kind != TokKind::kString) return Err("expected quoted string");
+    return Next().text;
+  }
+
+  Result<Duration> ExpectDuration() {
+    if (Peek().kind != TokKind::kNumberUnit) return Err("expected duration");
+    auto d = ParseDuration(Peek().text);
+    if (!d) return Err("bad duration");
+    ++pos_;
+    return *d;
+  }
+
+  Result<int64_t> ExpectInt() {
+    if (Peek().kind != TokKind::kNumberUnit) return Err("expected integer");
+    auto v = ParseInt(Peek().text);
+    if (!v) return Err("bad integer");
+    ++pos_;
+    return *v;
+  }
+
+  Status ParseGroup(const std::string& prefix, ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "group", "'group'"));
+    BISTRO_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    std::string full = prefix.empty() ? name : prefix + "." + name;
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated group");
+      const Token& t = Peek();
+      if (t.kind == TokKind::kIdent && t.text == "group") {
+        BISTRO_RETURN_IF_ERROR(ParseGroup(full, config));
+      } else if (t.kind == TokKind::kIdent && t.text == "feed") {
+        BISTRO_RETURN_IF_ERROR(ParseFeed(full, config));
+      } else {
+        return Err("expected 'group' or 'feed' inside group");
+      }
+    }
+    ++pos_;  // consume '}'
+    return Status::OK();
+  }
+
+  Status ParseFeed(const std::string& prefix, ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "feed", "'feed'"));
+    BISTRO_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    FeedSpec feed;
+    feed.name = prefix.empty() ? name : prefix + "." + name;
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated feed");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      if (attr == "pattern") {
+        BISTRO_ASSIGN_OR_RETURN(std::string pattern, ExpectString());
+        // Validate early: load-time errors beat classification-time errors.
+        BISTRO_RETURN_IF_ERROR(Pattern::Compile(pattern).status());
+        // First clause is the primary pattern; repeats are alternates
+        // (typically analyzer-suggested revisions that were approved).
+        if (feed.pattern.empty()) {
+          feed.pattern = std::move(pattern);
+        } else {
+          feed.alt_patterns.push_back(std::move(pattern));
+        }
+      } else if (attr == "normalize") {
+        BISTRO_ASSIGN_OR_RETURN(feed.normalize.rename_template, ExpectString());
+        BISTRO_RETURN_IF_ERROR(
+            Pattern::Compile(feed.normalize.rename_template).status());
+      } else if (attr == "compress") {
+        BISTRO_ASSIGN_OR_RETURN(std::string codec, ExpectIdent());
+        BISTRO_ASSIGN_OR_RETURN(feed.normalize.codec, CodecKindFromName(codec));
+        feed.normalize.action = CompressionAction::kCompress;
+      } else if (attr == "decompress") {
+        feed.normalize.action = CompressionAction::kDecompress;
+      } else if (attr == "tardiness") {
+        BISTRO_ASSIGN_OR_RETURN(feed.tardiness, ExpectDuration());
+      } else {
+        return Err("unknown feed attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
+    }
+    ++pos_;  // consume '}'
+    if (feed.pattern.empty()) {
+      return Status::InvalidArgument("feed " + feed.name + " has no pattern");
+    }
+    config->feeds.push_back(std::move(feed));
+    return Status::OK();
+  }
+
+  Status ParseTrigger(TriggerSpec* trigger) {
+    BISTRO_ASSIGN_OR_RETURN(std::string kind, ExpectIdent());
+    if (kind == "file") {
+      trigger->batch.mode = BatchSpec::Mode::kPerFile;
+    } else if (kind == "punctuation") {
+      trigger->batch.mode = BatchSpec::Mode::kPunctuation;
+    } else if (kind == "batch") {
+      bool has_count = false, has_timeout = false;
+      while (Peek().kind == TokKind::kIdent &&
+             (Peek().text == "count" || Peek().text == "timeout")) {
+        std::string opt = Next().text;
+        if (opt == "count") {
+          BISTRO_ASSIGN_OR_RETURN(int64_t n, ExpectInt());
+          if (n <= 0) return Err("batch count must be positive");
+          trigger->batch.count = static_cast<int>(n);
+          has_count = true;
+        } else {
+          BISTRO_ASSIGN_OR_RETURN(trigger->batch.timeout, ExpectDuration());
+          has_timeout = true;
+        }
+      }
+      if (has_count && has_timeout) {
+        trigger->batch.mode = BatchSpec::Mode::kCountOrTime;
+      } else if (has_count) {
+        trigger->batch.mode = BatchSpec::Mode::kCount;
+      } else if (has_timeout) {
+        trigger->batch.mode = BatchSpec::Mode::kTime;
+      } else {
+        return Err("batch trigger needs count and/or timeout");
+      }
+    } else {
+      return Err("unknown trigger kind '" + kind + "'");
+    }
+    while (Peek().kind == TokKind::kIdent &&
+           (Peek().text == "exec" || Peek().text == "remote")) {
+      std::string opt = Next().text;
+      if (opt == "exec") {
+        BISTRO_ASSIGN_OR_RETURN(trigger->command, ExpectString());
+      } else {
+        trigger->remote = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseSubscriber(ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(
+        Expect(TokKind::kIdent, "subscriber", "'subscriber'"));
+    SubscriberSpec sub;
+    BISTRO_ASSIGN_OR_RETURN(sub.name, ExpectIdent());
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated subscriber");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      if (attr == "host") {
+        BISTRO_ASSIGN_OR_RETURN(sub.host, ExpectString());
+      } else if (attr == "destination") {
+        BISTRO_ASSIGN_OR_RETURN(sub.destination, ExpectString());
+      } else if (attr == "feeds") {
+        BISTRO_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+        sub.feeds.push_back(std::move(first));
+        while (Peek().kind == TokKind::kPunct && Peek().text == ",") {
+          ++pos_;
+          BISTRO_ASSIGN_OR_RETURN(std::string next, ExpectIdent());
+          sub.feeds.push_back(std::move(next));
+        }
+      } else if (attr == "method") {
+        BISTRO_ASSIGN_OR_RETURN(std::string m, ExpectIdent());
+        if (m == "push") {
+          sub.method = DeliveryMethod::kPush;
+        } else if (m == "notify") {
+          sub.method = DeliveryMethod::kNotify;
+        } else {
+          return Err("unknown delivery method '" + m + "'");
+        }
+      } else if (attr == "window") {
+        BISTRO_ASSIGN_OR_RETURN(sub.window, ExpectDuration());
+      } else if (attr == "trigger") {
+        BISTRO_RETURN_IF_ERROR(ParseTrigger(&sub.trigger));
+      } else {
+        return Err("unknown subscriber attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
+    }
+    ++pos_;  // consume '}'
+    if (sub.feeds.empty()) {
+      return Status::InvalidArgument("subscriber " + sub.name +
+                                     " subscribes to no feeds");
+    }
+    config->subscribers.push_back(std::move(sub));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+// Emits a duration in the single-unit form the config lexer accepts
+// (FormatDuration's human form like "1m30s" does not round-trip).
+std::string DurationLiteral(Duration d) {
+  if (d % kDay == 0 && d != 0) return StrFormat("%lldd", (long long)(d / kDay));
+  if (d % kHour == 0 && d != 0) return StrFormat("%lldh", (long long)(d / kHour));
+  if (d % kMinute == 0 && d != 0) {
+    return StrFormat("%lldm", (long long)(d / kMinute));
+  }
+  if (d % kSecond == 0) return StrFormat("%llds", (long long)(d / kSecond));
+  if (d % kMillisecond == 0) {
+    return StrFormat("%lldms", (long long)(d / kMillisecond));
+  }
+  return StrFormat("%lldus", (long long)d);
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<ServerConfig> ParseConfig(std::string_view text) {
+  Lexer lexer(text);
+  BISTRO_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+std::string FormatConfig(const ServerConfig& config) {
+  std::string out;
+  for (const auto& feed : config.feeds) {
+    // Emit flat feeds with dotted names; groups are name prefixes, so the
+    // flat form is semantically identical to the nested form.
+    out += "feed " + feed.name + " {\n";
+    out += "  pattern " + Quote(feed.pattern) + ";\n";
+    for (const auto& alt : feed.alt_patterns) {
+      out += "  pattern " + Quote(alt) + ";\n";
+    }
+    if (!feed.normalize.rename_template.empty()) {
+      out += "  normalize " + Quote(feed.normalize.rename_template) + ";\n";
+    }
+    if (feed.normalize.action == CompressionAction::kCompress) {
+      out += "  compress " + std::string(CodecKindName(feed.normalize.codec)) +
+             ";\n";
+    } else if (feed.normalize.action == CompressionAction::kDecompress) {
+      out += "  decompress;\n";
+    }
+    if (feed.tardiness != kDefaultTardiness) {
+      out += "  tardiness " + DurationLiteral(feed.tardiness) + ";\n";
+    }
+    out += "}\n";
+  }
+  for (const auto& sub : config.subscribers) {
+    out += "subscriber " + sub.name + " {\n";
+    if (!sub.host.empty()) out += "  host " + Quote(sub.host) + ";\n";
+    if (!sub.destination.empty()) {
+      out += "  destination " + Quote(sub.destination) + ";\n";
+    }
+    out += "  feeds " + Join(sub.feeds, ", ") + ";\n";
+    out += std::string("  method ") +
+           (sub.method == DeliveryMethod::kPush ? "push" : "notify") + ";\n";
+    if (sub.window != 0) out += "  window " + DurationLiteral(sub.window) + ";\n";
+    const TriggerSpec& t = sub.trigger;
+    bool has_trigger = !t.command.empty() ||
+                       t.batch.mode != BatchSpec::Mode::kPerFile;
+    if (has_trigger) {
+      out += "  trigger ";
+      switch (t.batch.mode) {
+        case BatchSpec::Mode::kPerFile:
+          out += "file";
+          break;
+        case BatchSpec::Mode::kPunctuation:
+          out += "punctuation";
+          break;
+        case BatchSpec::Mode::kCount:
+          out += StrFormat("batch count %d", t.batch.count);
+          break;
+        case BatchSpec::Mode::kTime:
+          out += "batch timeout " + DurationLiteral(t.batch.timeout);
+          break;
+        case BatchSpec::Mode::kCountOrTime:
+          out += StrFormat("batch count %d timeout ", t.batch.count) +
+                 DurationLiteral(t.batch.timeout);
+          break;
+      }
+      if (!t.command.empty()) out += " exec " + Quote(t.command);
+      if (t.remote) out += " remote";
+      out += ";\n";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace bistro

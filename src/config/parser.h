@@ -1,0 +1,46 @@
+#ifndef BISTRO_CONFIG_PARSER_H_
+#define BISTRO_CONFIG_PARSER_H_
+
+#include <string_view>
+
+#include "config/spec.h"
+
+namespace bistro {
+
+/// Parses the Bistro configuration language (paper §3.1).
+///
+/// Grammar (informal):
+///
+///   config      := (group | feed | subscriber)*
+///   group       := "group" NAME "{" (group | feed)* "}"
+///   feed        := "feed" NAME "{" feed_attr* "}"
+///   feed_attr   := "pattern" STRING ";"
+///                | "normalize" STRING ";"
+///                | "compress" ("none"|"rle"|"lz") ";"
+///                | "decompress" ";"
+///                | "tardiness" DURATION ";"
+///   subscriber  := "subscriber" NAME "{" sub_attr* "}"
+///   sub_attr    := "host" STRING ";"
+///                | "destination" STRING ";"
+///                | "feeds" NAME ("," NAME)* ";"
+///                | "method" ("push"|"notify") ";"
+///                | "window" DURATION ";"
+///                | "trigger" trigger_spec ";"
+///   trigger_spec:= ("file" | "punctuation"
+///                   | "batch" batch_opt+ ) ["exec" STRING] ["remote"]
+///   batch_opt   := "count" INT | "timeout" DURATION
+///
+/// NAME is dotted inside `feeds` lists ("SNMP.CPU"); `#` starts a
+/// line comment; strings are double-quoted with \" and \\ escapes.
+///
+/// Feed patterns are compiled during parsing so configuration errors are
+/// caught at load time, not at classification time.
+Result<ServerConfig> ParseConfig(std::string_view text);
+
+/// Serializes a config back to the configuration language (round-trips
+/// through ParseConfig). Useful for emitting analyzer-suggested configs.
+std::string FormatConfig(const ServerConfig& config);
+
+}  // namespace bistro
+
+#endif  // BISTRO_CONFIG_PARSER_H_

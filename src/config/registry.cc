@@ -1,0 +1,144 @@
+#include "config/registry.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace bistro {
+
+namespace {
+Result<RegisteredFeed> CompileFeed(const FeedSpec& spec) {
+  BISTRO_ASSIGN_OR_RETURN(Pattern pattern, Pattern::Compile(spec.pattern));
+  std::vector<Pattern> alts;
+  for (const auto& alt : spec.alt_patterns) {
+    BISTRO_ASSIGN_OR_RETURN(Pattern p, Pattern::Compile(alt));
+    alts.push_back(std::move(p));
+  }
+  BISTRO_ASSIGN_OR_RETURN(Normalizer normalizer,
+                          Normalizer::Create(spec.normalize));
+  return RegisteredFeed{spec, std::move(pattern), std::move(alts),
+                        std::move(normalizer)};
+}
+
+bool IsPrefixGroup(const FeedName& group, const FeedName& feed) {
+  return feed.size() > group.size() && StartsWith(feed, group) &&
+         feed[group.size()] == '.';
+}
+}  // namespace
+
+Result<std::unique_ptr<FeedRegistry>> FeedRegistry::Create(
+    const ServerConfig& config) {
+  std::unique_ptr<FeedRegistry> registry(new FeedRegistry());
+  for (const auto& spec : config.feeds) {
+    if (registry->feeds_.count(spec.name) != 0) {
+      return Status::InvalidArgument("duplicate feed: " + spec.name);
+    }
+    BISTRO_ASSIGN_OR_RETURN(RegisteredFeed feed, CompileFeed(spec));
+    registry->feeds_.emplace(spec.name, std::move(feed));
+  }
+  // A feed name must not also denote a group (ambiguous expansion).
+  for (const auto& [name, _] : registry->feeds_) {
+    for (const auto& [other, __] : registry->feeds_) {
+      if (IsPrefixGroup(name, other)) {
+        return Status::InvalidArgument("feed '" + name +
+                                       "' is also a group prefix of '" +
+                                       other + "'");
+      }
+    }
+  }
+  std::set<SubscriberName> sub_names;
+  for (const auto& sub : config.subscribers) {
+    if (!sub_names.insert(sub.name).second) {
+      return Status::InvalidArgument("duplicate subscriber: " + sub.name);
+    }
+    for (const auto& interest : sub.feeds) {
+      if (registry->Expand(interest).empty()) {
+        return Status::InvalidArgument("subscriber " + sub.name +
+                                       " references unknown feed or group: " +
+                                       interest);
+      }
+    }
+    registry->subscribers_.push_back(sub);
+  }
+  return registry;
+}
+
+std::vector<const RegisteredFeed*> FeedRegistry::feeds() const {
+  std::vector<const RegisteredFeed*> out;
+  out.reserve(feeds_.size());
+  for (const auto& [_, feed] : feeds_) out.push_back(&feed);
+  return out;
+}
+
+const RegisteredFeed* FeedRegistry::FindFeed(const FeedName& name) const {
+  auto it = feeds_.find(name);
+  return it == feeds_.end() ? nullptr : &it->second;
+}
+
+std::vector<FeedName> FeedRegistry::Expand(const FeedName& name_or_group) const {
+  std::vector<FeedName> out;
+  auto it = feeds_.find(name_or_group);
+  if (it != feeds_.end()) {
+    out.push_back(name_or_group);
+    return out;
+  }
+  std::string prefix = name_or_group + ".";
+  for (auto fit = feeds_.lower_bound(prefix);
+       fit != feeds_.end() && StartsWith(fit->first, prefix); ++fit) {
+    out.push_back(fit->first);
+  }
+  return out;
+}
+
+std::vector<FeedName> FeedRegistry::SubscribedFeeds(
+    const SubscriberSpec& sub) const {
+  std::set<FeedName> expanded;
+  for (const auto& interest : sub.feeds) {
+    for (auto& feed : Expand(interest)) expanded.insert(std::move(feed));
+  }
+  return {expanded.begin(), expanded.end()};
+}
+
+const SubscriberSpec* FeedRegistry::FindSubscriber(
+    const SubscriberName& name) const {
+  for (const auto& sub : subscribers_) {
+    if (sub.name == name) return &sub;
+  }
+  return nullptr;
+}
+
+std::vector<const SubscriberSpec*> FeedRegistry::SubscribersOf(
+    const FeedName& feed) const {
+  std::vector<const SubscriberSpec*> out;
+  for (const auto& sub : subscribers_) {
+    for (const auto& interest : sub.feeds) {
+      if (interest == feed || IsPrefixGroup(interest, feed)) {
+        out.push_back(&sub);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Status FeedRegistry::UpdateFeed(const FeedSpec& spec) {
+  BISTRO_ASSIGN_OR_RETURN(RegisteredFeed feed, CompileFeed(spec));
+  feeds_.insert_or_assign(spec.name, std::move(feed));
+  return Status::OK();
+}
+
+Status FeedRegistry::AddSubscriber(const SubscriberSpec& spec) {
+  if (FindSubscriber(spec.name) != nullptr) {
+    return Status::AlreadyExists("subscriber: " + spec.name);
+  }
+  for (const auto& interest : spec.feeds) {
+    if (Expand(interest).empty()) {
+      return Status::InvalidArgument("unknown feed or group: " + interest);
+    }
+  }
+  subscribers_.push_back(spec);
+  return Status::OK();
+}
+
+}  // namespace bistro

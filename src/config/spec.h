@@ -1,0 +1,91 @@
+#ifndef BISTRO_CONFIG_SPEC_H_
+#define BISTRO_CONFIG_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "pattern/normalizer.h"
+
+namespace bistro {
+
+/// Default tardiness bound: delivery deadline = arrival + tardiness.
+constexpr Duration kDefaultTardiness = kMinute;
+
+/// One data feed definition (paper §3.1 "Data Feeds").
+///
+/// Feeds live in a hierarchy expressed by their dotted full name
+/// ("SNMP.CPU.POLLER1"); groups are name prefixes, so subscribing to
+/// "SNMP.CPU" covers every feed beneath it.
+struct FeedSpec {
+  FeedName name;              // full dotted name
+  std::string pattern;        // primary Bistro pattern for member filenames
+  /// Alternative patterns also belonging to the feed. Real feeds change
+  /// naming conventions over their lifetime (§2.1.3); rather than editing
+  /// the primary pattern (and breaking old files), approved analyzer
+  /// suggestions are appended here. The primary pattern's field layout
+  /// drives normalization; alternates are classification-only.
+  std::vector<std::string> alt_patterns;
+  NormalizeSpec normalize;    // rename + compression policy
+  Duration tardiness = kDefaultTardiness;  // delivery deadline bound
+
+  bool operator==(const FeedSpec&) const = default;
+};
+
+/// How end-of-batch events are produced for a subscriber's trigger
+/// (paper §2.3, §4.1).
+struct BatchSpec {
+  enum class Mode {
+    kPerFile,      // trigger on every delivered file
+    kCount,        // trigger after N files of one data interval
+    kTime,         // trigger when a batch has spanned `timeout`
+    kCountOrTime,  // whichever comes first (the paper's recommended combo)
+    kPunctuation,  // trigger on source-provided end-of-batch markers
+  };
+  Mode mode = Mode::kPerFile;
+  int count = 0;          // for kCount / kCountOrTime
+  Duration timeout = 0;   // for kTime / kCountOrTime
+
+  bool operator==(const BatchSpec&) const = default;
+};
+
+/// Subscriber notification hook (paper §3.1 "Notifications and triggers").
+struct TriggerSpec {
+  BatchSpec batch;
+  std::string command;  // program to invoke; empty = no trigger
+  bool remote = false;  // run on subscriber host (true) or locally (false)
+
+  bool operator==(const TriggerSpec&) const = default;
+};
+
+/// How feed files reach a subscriber.
+enum class DeliveryMethod {
+  kPush,    // Bistro transmits file contents
+  kNotify,  // hybrid push-pull: Bistro pushes a notification; the
+            // subscriber retrieves the data at a time of its choosing
+};
+
+/// One subscriber definition (paper §3.1 "Subscribers").
+struct SubscriberSpec {
+  SubscriberName name;
+  std::string host;         // transport endpoint identifier
+  std::string destination;  // directory on the subscriber side
+  std::vector<FeedName> feeds;  // feeds or feed groups of interest
+  DeliveryMethod method = DeliveryMethod::kPush;
+  TriggerSpec trigger;
+  Duration window = 0;  // history this subscriber wants on subscribe (0 = all)
+
+  bool operator==(const SubscriberSpec&) const = default;
+};
+
+/// A parsed Bistro configuration.
+struct ServerConfig {
+  std::vector<FeedSpec> feeds;
+  std::vector<SubscriberSpec> subscribers;
+
+  bool operator==(const ServerConfig&) const = default;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_CONFIG_SPEC_H_

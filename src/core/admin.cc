@@ -1,0 +1,70 @@
+#include "core/admin.h"
+
+#include "common/strings.h"
+
+namespace bistro {
+
+std::string RenderStatusReport(BistroServer* server) {
+  std::string out;
+  const ServerStats& stats = server->stats();
+  out += "=== Bistro server status ===\n";
+  out += StrFormat(
+      "pipeline: received %llu (%s), classified %llu, unmatched %llu, "
+      "expired %llu, punctuations %llu\n",
+      (unsigned long long)stats.files_received,
+      HumanBytes(stats.bytes_received).c_str(),
+      (unsigned long long)stats.files_classified,
+      (unsigned long long)stats.files_unmatched,
+      (unsigned long long)stats.files_expired,
+      (unsigned long long)stats.punctuations);
+
+  const DeliveryStats& d = server->delivery_stats();
+  out += StrFormat(
+      "delivery: %llu pushed, %llu notified, %llu batches, %llu triggers "
+      "(%llu failed), %llu retries, %llu backfilled, %llu parked\n",
+      (unsigned long long)d.files_delivered,
+      (unsigned long long)d.notifications_sent,
+      (unsigned long long)d.batches_closed,
+      (unsigned long long)d.triggers_invoked,
+      (unsigned long long)d.trigger_failures,
+      (unsigned long long)d.retries, (unsigned long long)d.backfilled,
+      (unsigned long long)d.parked);
+
+  const SchedulerMetrics& m = server->scheduler_metrics();
+  out += StrFormat(
+      "scheduling: %llu completed, %llu failed, %llu late (%.1f%%), mean "
+      "tardiness %s, max %s\n",
+      (unsigned long long)m.completed, (unsigned long long)m.failed,
+      (unsigned long long)m.late, 100.0 * m.LateFraction(),
+      FormatDuration(static_cast<Duration>(m.MeanTardiness())).c_str(),
+      FormatDuration(m.max_tardiness).c_str());
+
+  out += "feeds:\n";
+  for (const RegisteredFeed* feed : server->registry()->feeds()) {
+    FeedProgress p = server->monitor()->Progress(feed->spec.name);
+    out += StrFormat("  %-24s %6llu files %10s  pattern %s",
+                     feed->spec.name.c_str(), (unsigned long long)p.files,
+                     HumanBytes(p.bytes).c_str(), feed->spec.pattern.c_str());
+    if (!feed->spec.alt_patterns.empty()) {
+      out += StrFormat(" (+%zu alternates)", feed->spec.alt_patterns.size());
+    }
+    if (p.est_period > 0) {
+      out += StrFormat("  period ~%s", FormatDuration(p.est_period).c_str());
+    }
+    if (p.stalled) out += "  [STALLED]";
+    out += "\n";
+  }
+
+  out += "subscribers:\n";
+  for (const SubscriberSpec& sub : server->registry()->subscribers()) {
+    bool offline = server->delivery()->IsOffline(sub.name);
+    out += StrFormat(
+        "  %-24s %-7s %s  interests: %s\n", sub.name.c_str(),
+        offline ? "OFFLINE" : "online",
+        sub.method == DeliveryMethod::kPush ? "push  " : "notify",
+        Join(sub.feeds, ", ").c_str());
+  }
+  return out;
+}
+
+}  // namespace bistro

@@ -1,0 +1,20 @@
+#ifndef BISTRO_CORE_ADMIN_H_
+#define BISTRO_CORE_ADMIN_H_
+
+#include <string>
+
+#include "core/server.h"
+
+namespace bistro {
+
+/// Renders a human-readable status report of a running server: per-feed
+/// progress (files, volume, learned period, stall state), per-subscriber
+/// delivery state (online/offline), pipeline counters and scheduler
+/// quality metrics. The operational counterpart of the paper's
+/// "extensive logging to track the status of all the feeds" (§3.2) —
+/// what an operator reads when an alarm fires.
+std::string RenderStatusReport(BistroServer* server);
+
+}  // namespace bistro
+
+#endif  // BISTRO_CORE_ADMIN_H_

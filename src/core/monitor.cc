@@ -1,0 +1,75 @@
+#include "core/monitor.h"
+
+#include "common/strings.h"
+
+namespace bistro {
+
+void FeedMonitor::OnArrival(const FeedName& feed, uint64_t bytes,
+                            TimePoint now) {
+  Entry& e = entries_[feed];
+  if (e.files > 0) {
+    Duration gap = now - e.last_arrival;
+    // Feeds are batchy: several pollers deposit within seconds, then the
+    // feed is quiet for a full period. Gaps much smaller than the current
+    // estimate are intra-batch jitter, not the period — skip them so the
+    // estimate converges to the batch cadence rather than their average.
+    bool intra_batch =
+        e.est_period > 0 && gap < e.est_period / 10;
+    if (gap > 0 && !intra_batch) {
+      e.est_period = e.est_period == 0
+                         ? gap
+                         : static_cast<Duration>(alpha_ * gap +
+                                                 (1.0 - alpha_) * e.est_period);
+    }
+  }
+  if (e.stalled) {
+    e.stalled = false;
+    logger_->Info("monitor", "feed resumed: " + feed);
+  }
+  e.files++;
+  e.bytes += bytes;
+  e.last_arrival = now;
+}
+
+std::vector<FeedName> FeedMonitor::CheckStalls(TimePoint now) {
+  std::vector<FeedName> newly_stalled;
+  for (auto& [feed, e] : entries_) {
+    // Warm-up guard: with very few arrivals the period estimate is still
+    // dominated by intra-batch jitter; alarming on it is noise.
+    if (e.stalled || e.est_period <= 0 || e.files < 5) continue;
+    Duration quiet = now - e.last_arrival;
+    if (static_cast<double>(quiet) >
+        stall_factor_ * static_cast<double>(e.est_period)) {
+      e.stalled = true;
+      newly_stalled.push_back(feed);
+      logger_->Alarm(
+          "monitor",
+          StrFormat("feed stalled: %s (quiet for %s, expected period %s)",
+                    feed.c_str(), FormatDuration(quiet).c_str(),
+                    FormatDuration(e.est_period).c_str()));
+    }
+  }
+  return newly_stalled;
+}
+
+FeedProgress FeedMonitor::Progress(const FeedName& feed) const {
+  FeedProgress p;
+  p.feed = feed;
+  auto it = entries_.find(feed);
+  if (it == entries_.end()) return p;
+  p.files = it->second.files;
+  p.bytes = it->second.bytes;
+  p.last_arrival = it->second.last_arrival;
+  p.est_period = it->second.est_period;
+  p.stalled = it->second.stalled;
+  return p;
+}
+
+std::vector<FeedProgress> FeedMonitor::AllProgress() const {
+  std::vector<FeedProgress> out;
+  out.reserve(entries_.size());
+  for (const auto& [feed, _] : entries_) out.push_back(Progress(feed));
+  return out;
+}
+
+}  // namespace bistro

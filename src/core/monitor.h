@@ -1,0 +1,66 @@
+#ifndef BISTRO_CORE_MONITOR_H_
+#define BISTRO_CORE_MONITOR_H_
+
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/types.h"
+
+namespace bistro {
+
+/// Per-feed progress snapshot.
+struct FeedProgress {
+  FeedName feed;
+  uint64_t files = 0;
+  uint64_t bytes = 0;
+  TimePoint last_arrival = 0;
+  /// Smoothed inter-arrival estimate (0 until two arrivals seen).
+  Duration est_period = 0;
+  bool stalled = false;
+};
+
+/// Tracks the health of every feed the server manages (paper §3.2:
+/// "extensive logging to track the status of all the feeds, monitor their
+/// progress ... and alarm if it is unable to correct errors").
+///
+/// The monitor learns each feed's arrival period from observation (feeds
+/// are not under the server's control, so declared rates cannot be
+/// trusted) and raises an alarm through the logging subsystem when a feed
+/// goes quiet for `stall_factor` periods.
+class FeedMonitor {
+ public:
+  explicit FeedMonitor(Logger* logger, double stall_factor = 3.0,
+                       double alpha = 0.3)
+      : logger_(logger), stall_factor_(stall_factor), alpha_(alpha) {}
+
+  /// Records a classified arrival.
+  void OnArrival(const FeedName& feed, uint64_t bytes, TimePoint now);
+
+  /// Scans for stalled feeds; raises one alarm per feed per stall episode.
+  /// Returns the feeds newly flagged as stalled.
+  std::vector<FeedName> CheckStalls(TimePoint now);
+
+  /// Current progress for one feed (default-constructed if unknown).
+  FeedProgress Progress(const FeedName& feed) const;
+
+  std::vector<FeedProgress> AllProgress() const;
+
+ private:
+  struct Entry {
+    uint64_t files = 0;
+    uint64_t bytes = 0;
+    TimePoint last_arrival = 0;
+    Duration est_period = 0;
+    bool stalled = false;
+  };
+
+  Logger* logger_;
+  double stall_factor_;
+  double alpha_;
+  std::map<FeedName, Entry> entries_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_CORE_MONITOR_H_

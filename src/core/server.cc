@@ -1,0 +1,251 @@
+#include "core/server.h"
+
+#include "common/strings.h"
+
+namespace bistro {
+
+BistroServer::BistroServer(Options options, FileSystem* fs,
+                           Transport* transport, EventLoop* loop,
+                           TriggerInvoker* invoker, Logger* logger)
+    : options_(std::move(options)),
+      fs_(fs),
+      loop_(loop),
+      logger_(logger),
+      monitor_(logger) {
+  (void)transport;
+  (void)invoker;
+}
+
+Result<std::unique_ptr<BistroServer>> BistroServer::Create(
+    Options options, const ServerConfig& config, FileSystem* fs,
+    Transport* transport, EventLoop* loop, TriggerInvoker* invoker,
+    Logger* logger, DeliveryScheduler* scheduler) {
+  std::unique_ptr<BistroServer> server(
+      new BistroServer(std::move(options), fs, transport, loop, invoker, logger));
+  BISTRO_ASSIGN_OR_RETURN(server->registry_, FeedRegistry::Create(config));
+  BISTRO_RETURN_IF_ERROR(fs->MkDirs(server->options_.landing_root));
+  BISTRO_RETURN_IF_ERROR(fs->MkDirs(server->options_.staging_root));
+  BISTRO_ASSIGN_OR_RETURN(
+      server->receipts_,
+      ReceiptDatabase::Open(fs, server->options_.db_dir));
+  server->classifier_ = std::make_unique<FeedClassifier>(
+      server->registry_.get(), FeedClassifier::IndexMode::kPrefixIndex);
+  if (scheduler == nullptr) {
+    server->owned_scheduler_ =
+        std::make_unique<PartitionedScheduler>(PartitionedScheduler::Options());
+    scheduler = server->owned_scheduler_.get();
+  }
+  server->delivery_ = std::make_unique<DeliveryEngine>(
+      loop, server->registry_.get(), server->receipts_.get(), fs, transport,
+      scheduler, invoker, logger, server->options_.delivery);
+  // Receipts may already hold undelivered history (crash recovery):
+  // recompute every subscriber's queue at startup.
+  for (const auto& sub : server->registry_->subscribers()) {
+    server->delivery_->Backfill(sub.name);
+  }
+  return server;
+}
+
+Status BistroServer::Deposit(const std::string& source,
+                             const std::string& filename,
+                             std::string content) {
+  std::string landing_dir = path::Join(options_.landing_root, source);
+  std::string landing_path = path::Join(landing_dir, filename);
+  BISTRO_RETURN_IF_ERROR(fs_->WriteFile(landing_path, content));
+  IncomingFile file;
+  file.name = filename;
+  file.landing_path = landing_path;
+  file.size = content.size();
+  file.arrival_time = loop_->Now();
+  file.source = source;
+  return Ingest(file);
+}
+
+Result<size_t> BistroServer::ScanLandingZone() {
+  BISTRO_ASSIGN_OR_RETURN(auto entries,
+                          fs_->ListRecursive(options_.landing_root));
+  size_t ingested = 0;
+  for (const FileInfo& info : entries) {
+    IncomingFile file;
+    file.name = std::string(path::Basename(info.path));
+    file.landing_path = info.path;
+    file.size = info.size;
+    file.arrival_time = loop_->Now();
+    std::string_view dir = path::Dirname(info.path);
+    file.source = std::string(path::Basename(dir));
+    Status s = Ingest(file);
+    if (!s.ok()) {
+      logger_->Error("ingest",
+                     "failed to ingest " + info.path + ": " + s.ToString());
+      continue;
+    }
+    ++ingested;
+  }
+  return ingested;
+}
+
+Status BistroServer::Ingest(const IncomingFile& file) {
+  stats_.files_received++;
+  stats_.bytes_received += file.size;
+  Classification c = classifier_->Classify(file.name);
+  if (!c.matched()) {
+    stats_.files_unmatched++;
+    unmatched_.emplace_back(file.name, file.arrival_time);
+    logger_->Debug("classifier", "unmatched file: " + file.name);
+    // Unmatched files stay out of staging; they remain in the landing
+    // zone's quarantine area for the analyzer to study.
+    return Status::OK();
+  }
+  stats_.files_classified++;
+
+  // Read the raw bytes, normalize under the primary feed's policy, write
+  // into staging, and remove from the landing zone (keeping landing
+  // directories small is what makes the landing-zone approach fast, §4.1).
+  BISTRO_ASSIGN_OR_RETURN(std::string content,
+                          fs_->ReadFile(file.landing_path));
+  const RegisteredFeed* primary = registry_->FindFeed(c.feeds.front());
+  if (primary == nullptr) {
+    return Status::Internal("classified into unknown feed: " + c.feeds.front());
+  }
+  BISTRO_ASSIGN_OR_RETURN(
+      NormalizedFile normalized,
+      primary->normalizer.Apply(file.name, c.primary_match, std::move(content)));
+
+  BISTRO_ASSIGN_OR_RETURN(FileId id, receipts_->NextFileId());
+  std::string rel_path =
+      path::Join(primary->spec.name, normalized.relative_path);
+  std::string staged_path = path::Join(options_.staging_root, rel_path);
+
+  BISTRO_RETURN_IF_ERROR(fs_->WriteFile(staged_path, normalized.content));
+  Status removed = fs_->Delete(file.landing_path);
+  if (!removed.ok() && !removed.IsNotFound()) return removed;
+
+  ArrivalReceipt receipt;
+  receipt.file_id = id;
+  receipt.name = file.name;
+  receipt.staged_path = staged_path;
+  receipt.rel_path = rel_path;
+  receipt.size = normalized.content.size();
+  receipt.arrival_time = file.arrival_time;
+  receipt.data_time = c.primary_match.timestamp.value_or(0);
+  receipt.feeds = c.feeds;
+  BISTRO_RETURN_IF_ERROR(receipts_->RecordArrival(receipt));
+
+  for (const auto& feed : c.feeds) {
+    monitor_.OnArrival(feed, receipt.size, file.arrival_time);
+  }
+
+  StagedFile staged;
+  staged.id = id;
+  staged.name = file.name;
+  staged.staged_path = staged_path;
+  staged.rel_path = rel_path;
+  staged.size = receipt.size;
+  staged.arrival_time = file.arrival_time;
+  staged.data_time = receipt.data_time;
+  staged.feeds = c.feeds;
+  delivery_->SubmitStagedFile(staged);
+  return Status::OK();
+}
+
+void BistroServer::SourceEndOfBatch(const FeedName& feed,
+                                    TimePoint batch_time) {
+  stats_.punctuations++;
+  delivery_->OnSourcePunctuation(feed, batch_time);
+}
+
+Status BistroServer::AddSubscriber(const SubscriberSpec& spec) {
+  BISTRO_RETURN_IF_ERROR(registry_->AddSubscriber(spec));
+  logger_->Info("admin", "subscriber added: " + spec.name);
+  delivery_->Backfill(spec.name);
+  return Status::OK();
+}
+
+Status BistroServer::ReviseFeed(const FeedSpec& spec) {
+  BISTRO_RETURN_IF_ERROR(registry_->UpdateFeed(spec));
+  classifier_->Rebuild();
+  logger_->Info("admin", "feed definition revised: " + spec.name);
+  delivery_->BackfillFeed(spec.name);
+  return Status::OK();
+}
+
+Result<std::string> BistroServer::Retrieve(FileId file_id) const {
+  BISTRO_ASSIGN_OR_RETURN(ArrivalReceipt receipt,
+                          receipts_->GetArrival(file_id));
+  return fs_->ReadFile(receipt.staged_path);
+}
+
+void BistroServer::RunMaintenance() {
+  TimePoint now = loop_->Now();
+  if (options_.history_window > 0) {
+    TimePoint cutoff = now - options_.history_window;
+    if (cutoff > 0) {
+      auto expired = receipts_->ExpireBefore(cutoff);
+      if (expired.ok()) {
+        for (const std::string& staged : *expired) {
+          Status s = fs_->Delete(staged);
+          if (!s.ok() && !s.IsNotFound()) {
+            logger_->Error("cleaner", "failed to expunge " + staged);
+          }
+        }
+        stats_.files_expired += expired->size();
+      } else {
+        logger_->Error("cleaner", "expire failed: " + expired.status().ToString());
+      }
+    }
+  }
+  monitor_.CheckStalls(now);
+  if (receipt_archiver_ != nullptr) {
+    std::string snapshot_name =
+        StrFormat("receipts-%016llu",
+                  (unsigned long long)receipt_snapshot_seq_++);
+    auto shipped =
+        ShipReceiptState(fs_, options_.db_dir, receipt_archiver_, snapshot_name);
+    if (!shipped.ok()) {
+      logger_->Error("archiver", "receipt snapshot failed: " +
+                                     shipped.status().ToString());
+    }
+  }
+}
+
+void BistroServer::StartMaintenanceTimer() {
+  if (maintenance_running_) return;
+  maintenance_running_ = true;
+  loop_->PostAfter(options_.maintenance_interval,
+                   [weak = std::weak_ptr<char>(alive_), this] {
+                     if (!weak.lock()) return;
+                     RunMaintenance();
+                     maintenance_running_ = false;
+                     StartMaintenanceTimer();
+                   });
+}
+
+std::vector<std::pair<std::string, TimePoint>> BistroServer::DrainUnmatched() {
+  std::vector<std::pair<std::string, TimePoint>> out;
+  out.swap(unmatched_);
+  return out;
+}
+
+Status BistroServer::HandleMessage(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kFileData:
+      // An upstream Bistro server (or source agent) pushed a file: it
+      // enters our pipeline exactly like a locally deposited file.
+      return Deposit("upstream", msg.name, msg.payload);
+    case MessageType::kEndOfBatch:
+      SourceEndOfBatch(msg.feed, msg.batch_time);
+      return Status::OK();
+    case MessageType::kSourceNotify:
+      // A cooperating source deposited files itself and is telling us.
+      return ScanLandingZone().status();
+    case MessageType::kHeartbeat:
+    case MessageType::kAck:
+      return Status::OK();
+    case MessageType::kFileNotify:
+      // Hybrid pull not implemented server-to-server; acknowledge.
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unhandled message type");
+}
+
+}  // namespace bistro

@@ -1,0 +1,172 @@
+#ifndef BISTRO_CORE_SERVER_H_
+#define BISTRO_CORE_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "common/logging.h"
+#include "config/registry.h"
+#include "core/monitor.h"
+#include "core/types.h"
+#include "delivery/archiver.h"
+#include "delivery/engine.h"
+#include "kv/receipts.h"
+#include "net/transport.h"
+#include "sched/scheduler.h"
+#include "sim/event_loop.h"
+#include "trigger/trigger.h"
+#include "vfs/filesystem.h"
+
+namespace bistro {
+
+/// Aggregate server counters.
+struct ServerStats {
+  uint64_t files_received = 0;
+  uint64_t files_classified = 0;
+  uint64_t files_unmatched = 0;
+  uint64_t files_expired = 0;
+  uint64_t bytes_received = 0;
+  uint64_t punctuations = 0;
+};
+
+/// The Bistro data feed manager (paper §3, Fig. 2).
+///
+/// Pipeline per incoming file: landing zone -> classification -> arrival
+/// receipt -> normalization (rename/compress) -> staging directory ->
+/// delivery scheduling -> transport -> delivery receipt -> triggers.
+///
+/// A BistroServer is also an Endpoint, so one server can subscribe to
+/// another, forming a distributed feed delivery network (§3): pushed files
+/// land in the downstream server's landing zone and flow through its own
+/// pipeline.
+///
+/// Threading: the server runs entirely on its EventLoop. Under a SimClock
+/// the whole server is deterministic; under a RealClock it runs live.
+class BistroServer : public Endpoint {
+ public:
+  struct Options {
+    Options() {}
+    std::string landing_root = "/bistro/landing";
+    std::string staging_root = "/bistro/staging";
+    std::string db_dir = "/bistro/db";
+    /// How long staged files and receipts are retained (§4.2). 0 = forever.
+    Duration history_window = 0;
+    /// Cadence of the window cleaner and stall checker.
+    Duration maintenance_interval = kMinute;
+    DeliveryEngine::Options delivery;
+  };
+
+  /// Wires a server. All dependencies are borrowed (caller owns them);
+  /// `scheduler` defaults to a PartitionedScheduler if null.
+  static Result<std::unique_ptr<BistroServer>> Create(
+      Options options, const ServerConfig& config, FileSystem* fs,
+      Transport* transport, EventLoop* loop, TriggerInvoker* invoker,
+      Logger* logger, DeliveryScheduler* scheduler = nullptr);
+
+  ~BistroServer() override = default;
+
+  // ------------------------------------------------------------ Sources
+
+  /// Source-facing deposit + notify (the cooperating-source protocol,
+  /// §4.1): writes the file into the landing zone and ingests it
+  /// immediately — no directory polling anywhere on the path.
+  Status Deposit(const std::string& source, const std::string& filename,
+                 std::string content);
+
+  /// Source end-of-batch marker for a feed (§4.1 punctuation).
+  void SourceEndOfBatch(const FeedName& feed, TimePoint batch_time);
+
+  /// Picks up files deposited by non-cooperating sources that write into
+  /// the landing zone without notifying. Because ingest moves files out
+  /// immediately, the landing directory stays small and this scan is
+  /// cheap (§4.1 "landing zones"). Returns the number ingested.
+  Result<size_t> ScanLandingZone();
+
+  // ------------------------------------------------------------ Admin
+
+  /// Registers a new subscriber and backfills available history (§4.2).
+  Status AddSubscriber(const SubscriberSpec& spec);
+
+  /// Replaces a feed definition; files already received that match the
+  /// *new* definition are re-offered to subscribers via queue
+  /// recomputation (§4.2). (Reclassification applies to new arrivals.)
+  Status ReviseFeed(const FeedSpec& spec);
+
+  /// Hybrid push-pull retrieval (§4.1): a subscriber that received a
+  /// kFileNotify notification pulls the file's bytes at a time of its
+  /// choosing. Fails with NotFound once the file leaves the history
+  /// window.
+  Result<std::string> Retrieve(FileId file_id) const;
+
+  /// Attaches an archiver node that receives periodic receipt-database
+  /// snapshots during maintenance (§4.2: archivers keep "optionally
+  /// undo/redo logs of delivery receipt database on tertiary storage").
+  /// For feed-content archival, additionally subscribe the archiver like
+  /// any subscriber. Pass nullptr to detach.
+  void SetReceiptArchiver(ArchiverEndpoint* archiver) {
+    receipt_archiver_ = archiver;
+  }
+
+  /// Runs one maintenance pass now: expire old files, check stalls,
+  /// ship a receipt snapshot to the attached archiver (if any).
+  void RunMaintenance();
+
+  /// Starts the periodic maintenance timer on the event loop.
+  void StartMaintenanceTimer();
+
+  // ------------------------------------------------------------ Introspection
+
+  const ServerStats& stats() const { return stats_; }
+  const DeliveryStats& delivery_stats() const { return delivery_->stats(); }
+  const SchedulerMetrics& scheduler_metrics() const {
+    return delivery_->scheduler_metrics();
+  }
+  FeedRegistry* registry() { return registry_.get(); }
+  ReceiptDatabase* receipts() { return receipts_.get(); }
+  FeedMonitor* monitor() { return &monitor_; }
+  FeedClassifier* classifier() { return classifier_.get(); }
+  DeliveryEngine* delivery() { return delivery_.get(); }
+
+  /// Names of files that matched no feed, for the analyzer (§5.1).
+  /// Drains the buffer.
+  std::vector<std::pair<std::string, TimePoint>> DrainUnmatched();
+
+  // ------------------------------------------------------------ Endpoint
+
+  /// Upstream Bistro servers push into us as if we were a subscriber.
+  Status HandleMessage(const Message& msg) override;
+
+ private:
+  BistroServer(Options options, FileSystem* fs, Transport* transport,
+               EventLoop* loop, TriggerInvoker* invoker, Logger* logger);
+
+  /// Classify + receipt + normalize + stage + schedule one landed file.
+  Status Ingest(const IncomingFile& file);
+
+  Options options_;
+  FileSystem* fs_;
+  EventLoop* loop_;
+  Logger* logger_;
+
+  /// Lifetime token: posted maintenance events check it so a destroyed
+  /// server's timers become no-ops.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+
+  std::unique_ptr<FeedRegistry> registry_;
+  std::unique_ptr<ReceiptDatabase> receipts_;
+  std::unique_ptr<FeedClassifier> classifier_;
+  std::unique_ptr<DeliveryScheduler> owned_scheduler_;
+  std::unique_ptr<DeliveryEngine> delivery_;
+  FeedMonitor monitor_;
+  ArchiverEndpoint* receipt_archiver_ = nullptr;
+  uint64_t receipt_snapshot_seq_ = 0;
+  ServerStats stats_;
+  std::vector<std::pair<std::string, TimePoint>> unmatched_;
+  bool maintenance_running_ = false;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_CORE_SERVER_H_

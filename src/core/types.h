@@ -1,0 +1,46 @@
+#ifndef BISTRO_CORE_TYPES_H_
+#define BISTRO_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace bistro {
+
+/// Sequence number assigned by the server to every received file.
+using FileId = uint64_t;
+
+/// Feed names are hierarchical, dot-separated: "SNMP.CPU.POLLER1".
+/// A feed group is addressed by any prefix of the hierarchy ("SNMP.CPU").
+using FeedName = std::string;
+
+/// Subscriber identifiers are flat strings ("dallas_warehouse").
+using SubscriberName = std::string;
+
+/// A file as it arrives in a landing directory, before classification.
+struct IncomingFile {
+  std::string name;        // bare filename as deposited by the source
+  std::string landing_path;  // full path in the landing zone
+  uint64_t size = 0;
+  TimePoint arrival_time = 0;
+  std::string source;      // landing zone / source identifier
+};
+
+/// A classified, normalized, staged file ready for delivery.
+struct StagedFile {
+  FileId id = 0;
+  std::string name;          // original filename
+  std::string staged_path;   // full normalized path in the staging area
+  std::string rel_path;      // normalized path relative to the feed root
+                             // (also the subscriber-side destination)
+  uint64_t size = 0;         // size after normalization/compression
+  TimePoint arrival_time = 0;
+  TimePoint data_time = 0;   // timestamp extracted from the filename (0 = none)
+  std::vector<FeedName> feeds;  // feeds this file belongs to
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_CORE_TYPES_H_

@@ -1,0 +1,64 @@
+#ifndef BISTRO_DELIVERY_ARCHIVER_H_
+#define BISTRO_DELIVERY_ARCHIVER_H_
+
+#include <string>
+
+#include "kv/kvstore.h"
+#include "net/transport.h"
+#include "vfs/filesystem.h"
+
+namespace bistro {
+
+/// An archiver node (paper §4.2): a special subscriber responsible for
+/// long-term feed history on bulk storage, plus copies of the server's
+/// receipt-database state, giving the system a recovery path after a
+/// catastrophic server storage failure.
+///
+/// It is wired like any subscriber (subscribe it to the feed groups to
+/// archive, register it as a transport endpoint); in addition it accepts
+/// receipt-log shipments (see ShipReceiptState below).
+class ArchiverEndpoint : public Endpoint {
+ public:
+  /// Files are stored under `root`/<YYYY>/<MM>/<DD>/<name>, dated by the
+  /// file's data timestamp (falling back to flat storage without one).
+  ArchiverEndpoint(FileSystem* fs, std::string root);
+
+  Status HandleMessage(const Message& msg) override;
+
+  /// Stores a shipped copy of the upstream receipt-database state.
+  Status StoreReceiptState(std::string_view snapshot_name,
+                           std::string_view bytes);
+
+  uint64_t files_archived() const { return files_archived_; }
+  uint64_t bytes_archived() const { return bytes_archived_; }
+  uint64_t receipt_snapshots() const { return receipt_snapshots_; }
+
+  const std::string& root() const { return root_; }
+
+ private:
+  FileSystem* fs_;
+  std::string root_;
+  uint64_t files_archived_ = 0;
+  uint64_t bytes_archived_ = 0;
+  uint64_t receipt_snapshots_ = 0;
+};
+
+/// Ships the server's receipt-database state (checkpoint + WAL bytes) to
+/// an archiver. `db_dir` is the ReceiptDatabase directory on `fs`;
+/// returns the number of bytes shipped. Used both for periodic archival
+/// and before risky maintenance.
+Result<uint64_t> ShipReceiptState(FileSystem* fs, const std::string& db_dir,
+                                  ArchiverEndpoint* archiver,
+                                  std::string_view snapshot_name);
+
+/// Restores a previously shipped receipt-state snapshot into `db_dir`
+/// (the disaster-recovery path: rebuild a dead server's receipt database
+/// from the archiver's copy).
+Status RestoreReceiptState(FileSystem* archive_fs,
+                           const ArchiverEndpoint& archiver,
+                           std::string_view snapshot_name, FileSystem* fs,
+                           const std::string& db_dir);
+
+}  // namespace bistro
+
+#endif  // BISTRO_DELIVERY_ARCHIVER_H_

@@ -1,0 +1,377 @@
+#include "delivery/engine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bistro {
+
+DeliveryEngine::DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
+                               ReceiptDatabase* receipts,
+                               FileSystem* staging_fs, Transport* transport,
+                               DeliveryScheduler* scheduler,
+                               TriggerInvoker* invoker, Logger* logger,
+                               Options options)
+    : loop_(loop),
+      registry_(registry),
+      receipts_(receipts),
+      staging_fs_(staging_fs),
+      transport_(transport),
+      scheduler_(scheduler),
+      invoker_(invoker),
+      logger_(logger),
+      options_(options) {}
+
+namespace {
+std::string EndpointOf(const SubscriberSpec& sub) {
+  return sub.host.empty() ? sub.name : sub.host;
+}
+}  // namespace
+
+std::function<void()> DeliveryEngine::Guard(std::function<void()> fn) {
+  return [weak = std::weak_ptr<char>(alive_), fn = std::move(fn)] {
+    if (weak.lock()) fn();
+  };
+}
+
+void DeliveryEngine::SubmitStagedFile(const StagedFile& file) {
+  for (const FeedName& feed : file.feeds) {
+    const RegisteredFeed* rf = registry_->FindFeed(feed);
+    Duration tardiness = rf != nullptr ? rf->spec.tardiness : kDefaultTardiness;
+    for (const SubscriberSpec* sub : registry_->SubscribersOf(feed)) {
+      auto key = std::make_pair(file.id, sub->name);
+      if (pending_.count(key) != 0) continue;
+      if (offline_.count(sub->name) != 0) {
+        // Receipts remember the file; the probe-triggered backfill will
+        // pick it up when the subscriber returns.
+        stats_.parked++;
+        continue;
+      }
+      TransferJob job;
+      job.file_id = file.id;
+      job.subscriber = sub->name;
+      job.feed = feed;
+      job.name = file.name;
+      job.staged_path = file.staged_path;
+      job.dest_path = file.rel_path.empty() ? file.name : file.rel_path;
+      job.size = file.size;
+      job.arrival_time = file.arrival_time;
+      job.data_time = file.data_time;
+      job.deadline = file.arrival_time + tardiness;
+      pending_.insert(key);
+      stats_.jobs_submitted++;
+      scheduler_->Submit(std::move(job));
+    }
+  }
+  Pump();
+}
+
+void DeliveryEngine::Pump() {
+  while (auto job = scheduler_->Dequeue()) {
+    StartJob(std::move(*job));
+  }
+}
+
+void DeliveryEngine::StartJob(TransferJob job) {
+  const SubscriberSpec* sub = registry_->FindSubscriber(job.subscriber);
+  TimePoint started = loop_->Now();
+  if (sub == nullptr || offline_.count(job.subscriber) != 0) {
+    // Subscriber vanished or went offline while the job was queued.
+    pending_.erase({job.file_id, job.subscriber});
+    stats_.parked++;
+    scheduler_->OnComplete(job, /*success=*/false, started, 0);
+    return;
+  }
+  Message msg;
+  msg.file_id = job.file_id;
+  msg.feed = job.feed;
+  msg.name = job.name;
+  msg.dest_path = job.dest_path;
+  msg.data_time = job.data_time;
+  if (sub->method == DeliveryMethod::kPush) {
+    if (job.staged_path == cached_staged_path_) {
+      stats_.staging_cache_hits++;
+      msg.payload = cached_staged_content_;
+    } else {
+      auto content = staging_fs_->ReadFile(job.staged_path);
+      if (!content.ok()) {
+        // Staged file expired or lost: give up on this job.
+        logger_->Error("delivery",
+                       "staged file unreadable: " + job.staged_path + " (" +
+                           content.status().ToString() + ")");
+        pending_.erase({job.file_id, job.subscriber});
+        scheduler_->OnComplete(job, /*success=*/false, started, 0);
+        return;
+      }
+      stats_.staging_reads++;
+      cached_staged_path_ = job.staged_path;
+      cached_staged_content_ = *content;
+      msg.payload = std::move(*content);
+    }
+    msg.type = MessageType::kFileData;
+  } else {
+    msg.type = MessageType::kFileNotify;
+  }
+  std::string endpoint = EndpointOf(*sub);
+  transport_->Send(
+      endpoint, msg,
+      [weak = std::weak_ptr<char>(alive_), this, job = std::move(job),
+       started](const Status& s) mutable {
+        if (!weak.lock()) return;
+        OnJobDone(std::move(job), started, s);
+      });
+}
+
+void DeliveryEngine::OnJobDone(TransferJob job, TimePoint started,
+                               const Status& status) {
+  TimePoint now = loop_->Now();
+  scheduler_->OnComplete(job, status.ok(), now, now - started);
+  if (status.ok()) {
+    pending_.erase({job.file_id, job.subscriber});
+    Status rec = receipts_->RecordDelivery(job.subscriber, job.file_id, now);
+    if (!rec.ok()) {
+      logger_->Error("delivery",
+                     "failed to record delivery receipt: " + rec.ToString());
+    }
+    const SubscriberSpec* sub = registry_->FindSubscriber(job.subscriber);
+    if (sub != nullptr && sub->method == DeliveryMethod::kPush) {
+      stats_.files_delivered++;
+    } else {
+      stats_.notifications_sent++;
+    }
+    if (sub != nullptr) {
+      FeedBatcher(*sub, job.feed, job.file_id, job.data_time);
+    }
+  } else {
+    HandleFailure(std::move(job));
+  }
+  Pump();
+}
+
+void DeliveryEngine::HandleFailure(TransferJob job) {
+  stats_.send_failures++;
+  const SubscriberName sub = job.subscriber;
+  if (scheduler_->tracker()->ConsecutiveFailures(sub) >=
+          options_.offline_after_failures &&
+      offline_.count(sub) == 0) {
+    offline_.insert(sub);
+    stats_.offline_transitions++;
+    logger_->Warning("delivery",
+                     "subscriber flagged offline after repeated failures: " + sub);
+    pending_.erase({job.file_id, sub});
+    loop_->PostAfter(options_.probe_interval,
+                     Guard([this, sub] { ProbeOffline(sub); }));
+    return;
+  }
+  if (offline_.count(sub) != 0) {
+    pending_.erase({job.file_id, sub});
+    stats_.parked++;
+    return;
+  }
+  job.attempts++;
+  if (job.attempts >= options_.max_attempts) {
+    logger_->Error("delivery",
+                   StrFormat("giving up on file %llu to %s after %d attempts",
+                             (unsigned long long)job.file_id, sub.c_str(),
+                             job.attempts));
+    pending_.erase({job.file_id, sub});
+    return;
+  }
+  stats_.retries++;
+  loop_->PostAfter(options_.retry_backoff,
+                   Guard([this, job = std::move(job)]() mutable {
+                     scheduler_->Submit(job);
+                     Pump();
+                   }));
+}
+
+void DeliveryEngine::ProbeOffline(const SubscriberName& sub_name) {
+  if (offline_.count(sub_name) == 0) return;
+  const SubscriberSpec* sub = registry_->FindSubscriber(sub_name);
+  if (sub == nullptr) {
+    offline_.erase(sub_name);
+    return;
+  }
+  Message probe;
+  probe.type = MessageType::kHeartbeat;
+  transport_->Send(
+      EndpointOf(*sub), probe,
+      [weak = std::weak_ptr<char>(alive_), this, sub_name](const Status& s) {
+        if (!weak.lock()) return;
+        if (s.ok()) {
+          offline_.erase(sub_name);
+          scheduler_->tracker()->Reset(sub_name);
+          logger_->Info("delivery", "subscriber back online: " + sub_name);
+          Backfill(sub_name);
+        } else {
+          loop_->PostAfter(options_.probe_interval,
+                           Guard([this, sub_name] { ProbeOffline(sub_name); }));
+        }
+      });
+}
+
+void DeliveryEngine::SubmitJobsFor(const SubscriberSpec& sub,
+                                   const std::vector<ArrivalReceipt>& queue,
+                                   bool backfill) {
+  auto subscribed = registry_->SubscribedFeeds(sub);
+  for (const ArrivalReceipt& receipt : queue) {
+    auto key = std::make_pair(receipt.file_id, sub.name);
+    if (pending_.count(key) != 0) continue;
+    // Pick the first of the file's feeds this subscriber follows.
+    FeedName feed;
+    for (const auto& f : receipt.feeds) {
+      if (std::find(subscribed.begin(), subscribed.end(), f) !=
+          subscribed.end()) {
+        feed = f;
+        break;
+      }
+    }
+    if (feed.empty()) continue;
+    const RegisteredFeed* rf = registry_->FindFeed(feed);
+    Duration tardiness = rf != nullptr ? rf->spec.tardiness : kDefaultTardiness;
+    TransferJob job;
+    job.file_id = receipt.file_id;
+    job.subscriber = sub.name;
+    job.feed = feed;
+    job.name = receipt.name;
+    job.staged_path = receipt.staged_path;
+    job.dest_path = receipt.rel_path.empty() ? receipt.name : receipt.rel_path;
+    job.size = receipt.size;
+    job.arrival_time = receipt.arrival_time;
+    job.data_time = receipt.data_time;
+    job.deadline = receipt.arrival_time + tardiness;
+    job.backfill = backfill;
+    pending_.insert(key);
+    stats_.jobs_submitted++;
+    if (backfill) stats_.backfilled++;
+    scheduler_->Submit(std::move(job));
+  }
+  Pump();
+}
+
+void DeliveryEngine::Backfill(const SubscriberName& sub_name) {
+  const SubscriberSpec* sub = registry_->FindSubscriber(sub_name);
+  if (sub == nullptr || offline_.count(sub_name) != 0) return;
+  auto feeds = registry_->SubscribedFeeds(*sub);
+  TimePoint window_start =
+      sub->window > 0 ? loop_->Now() - sub->window : 0;
+  if (window_start < 0) window_start = 0;
+  auto queue = receipts_->ComputeDeliveryQueue(sub_name, feeds, window_start);
+  SubmitJobsFor(*sub, queue, /*backfill=*/true);
+}
+
+void DeliveryEngine::BackfillFeed(const FeedName& feed) {
+  for (const SubscriberSpec* sub : registry_->SubscribersOf(feed)) {
+    Backfill(sub->name);
+  }
+}
+
+bool DeliveryEngine::IsOffline(const SubscriberName& subscriber) const {
+  return offline_.count(subscriber) != 0;
+}
+
+void DeliveryEngine::SetOffline(const SubscriberName& subscriber,
+                                bool offline) {
+  if (offline) {
+    if (offline_.insert(subscriber).second) {
+      stats_.offline_transitions++;
+      loop_->PostAfter(options_.probe_interval,
+                       Guard([this, subscriber] { ProbeOffline(subscriber); }));
+    }
+  } else if (offline_.erase(subscriber) != 0) {
+    scheduler_->tracker()->Reset(subscriber);
+    Backfill(subscriber);
+  }
+}
+
+Batcher* DeliveryEngine::GetBatcher(const SubscriberSpec& sub,
+                                    const FeedName& feed) {
+  auto key = std::make_pair(sub.name, feed);
+  auto it = batchers_.find(key);
+  if (it == batchers_.end()) {
+    it = batchers_
+             .emplace(key, std::make_unique<Batcher>(feed, sub.name,
+                                                     sub.trigger.batch))
+             .first;
+  }
+  return it->second.get();
+}
+
+void DeliveryEngine::FeedBatcher(const SubscriberSpec& sub,
+                                 const FeedName& feed, FileId file,
+                                 TimePoint data_time) {
+  Batcher* batcher = GetBatcher(sub, feed);
+  auto event = batcher->OnFileDelivered(file, data_time, loop_->Now());
+  if (event.has_value()) EmitBatch(sub, std::move(*event));
+  ScheduleBatchTick(sub.name, feed);
+}
+
+void DeliveryEngine::ScheduleBatchTick(const SubscriberName& sub_name,
+                                       const FeedName& feed) {
+  auto it = batchers_.find({sub_name, feed});
+  if (it == batchers_.end()) return;
+  auto deadline = it->second->NextDeadline();
+  if (!deadline.has_value()) return;
+  loop_->PostAt(*deadline, Guard([this, sub_name, feed] {
+    auto bit = batchers_.find({sub_name, feed});
+    if (bit == batchers_.end()) return;
+    auto event = bit->second->OnTick(loop_->Now());
+    if (event.has_value()) {
+      const SubscriberSpec* sub = registry_->FindSubscriber(sub_name);
+      if (sub != nullptr) EmitBatch(*sub, std::move(*event));
+    }
+  }));
+}
+
+void DeliveryEngine::EmitBatch(const SubscriberSpec& sub, BatchEvent event) {
+  stats_.batches_closed++;
+  const TriggerSpec& trigger = sub.trigger;
+  if (trigger.remote) {
+    // Invoke on the subscriber's site: ship an end-of-batch message; the
+    // subscriber-side agent runs the registered program.
+    Message msg;
+    msg.type = MessageType::kEndOfBatch;
+    msg.feed = event.feed;
+    msg.batch_time = event.batch_time;
+    msg.batch_count = event.files.size();
+    transport_->Send(EndpointOf(sub), msg, [this](const Status& s) {
+      if (s.ok()) {
+        stats_.triggers_invoked++;
+      } else {
+        stats_.trigger_failures++;
+      }
+    });
+    return;
+  }
+  if (trigger.command.empty()) return;
+  Status s = invoker_->Invoke(trigger.command, event);
+  if (s.ok()) {
+    stats_.triggers_invoked++;
+  } else {
+    stats_.trigger_failures++;
+    logger_->Error("trigger", "trigger failed for " + sub.name + ": " +
+                                  s.ToString());
+  }
+}
+
+void DeliveryEngine::OnSourcePunctuation(const FeedName& feed,
+                                         TimePoint batch_time) {
+  (void)batch_time;
+  for (const SubscriberSpec* sub : registry_->SubscribersOf(feed)) {
+    if (sub->trigger.batch.mode != BatchSpec::Mode::kPunctuation) continue;
+    Batcher* batcher = GetBatcher(*sub, feed);
+    auto event = batcher->OnPunctuation(loop_->Now());
+    if (event.has_value()) EmitBatch(*sub, std::move(*event));
+  }
+}
+
+void DeliveryEngine::FlushBatches() {
+  for (auto& [key, batcher] : batchers_) {
+    auto event = batcher->Flush(loop_->Now());
+    if (!event.has_value()) continue;
+    const SubscriberSpec* sub = registry_->FindSubscriber(key.first);
+    if (sub != nullptr) EmitBatch(*sub, std::move(*event));
+  }
+}
+
+}  // namespace bistro

@@ -1,0 +1,143 @@
+#ifndef BISTRO_DELIVERY_ENGINE_H_
+#define BISTRO_DELIVERY_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "config/registry.h"
+#include "core/types.h"
+#include "kv/receipts.h"
+#include "net/transport.h"
+#include "sched/scheduler.h"
+#include "sim/event_loop.h"
+#include "trigger/trigger.h"
+#include "vfs/filesystem.h"
+
+namespace bistro {
+
+/// Counters for the delivery subsystem.
+struct DeliveryStats {
+  uint64_t jobs_submitted = 0;
+  uint64_t files_delivered = 0;   // successful (file, subscriber) sends
+  uint64_t notifications_sent = 0;
+  uint64_t send_failures = 0;
+  uint64_t retries = 0;
+  uint64_t parked = 0;            // jobs dropped because subscriber offline
+  uint64_t backfilled = 0;        // jobs submitted by queue recomputation
+  uint64_t staging_reads = 0;       // staged files read from the filesystem
+  uint64_t staging_cache_hits = 0;  // served from the hot-file cache
+  uint64_t batches_closed = 0;
+  uint64_t triggers_invoked = 0;
+  uint64_t trigger_failures = 0;
+  uint64_t offline_transitions = 0;
+};
+
+/// The Bistro feed delivery subsystem (paper §4): takes staged files,
+/// fans them out to subscribers through the scheduler and transport,
+/// persists delivery receipts, detects subscriber failures, backfills
+/// returning subscribers from the receipt database, and drives the
+/// batching/trigger machinery.
+///
+/// Single-threaded: all work runs on the EventLoop, which makes the whole
+/// subsystem deterministic under simulated time.
+class DeliveryEngine {
+ public:
+  struct Options {
+    Options() {}
+    /// Consecutive failures after which a subscriber is flagged offline.
+    int offline_after_failures = 3;
+    /// Delay before retrying a failed (but not yet offline) delivery.
+    Duration retry_backoff = 5 * kSecond;
+    /// Cadence of probes to offline subscribers (§4.2 "transmissions are
+    /// periodically retried").
+    Duration probe_interval = 30 * kSecond;
+    /// Max delivery attempts per job per online episode.
+    int max_attempts = 10;
+  };
+
+  DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
+                 ReceiptDatabase* receipts, FileSystem* staging_fs,
+                 Transport* transport, DeliveryScheduler* scheduler,
+                 TriggerInvoker* invoker, Logger* logger,
+                 Options options = Options());
+
+  /// Fans a freshly staged file out to every subscriber of its feeds.
+  void SubmitStagedFile(const StagedFile& file);
+
+  /// Propagates a source end-of-batch marker to punctuation-mode
+  /// subscribers of `feed`.
+  void OnSourcePunctuation(const FeedName& feed, TimePoint batch_time);
+
+  /// Recomputes the delivery queue for one subscriber from receipts and
+  /// submits every undelivered file (new subscriber joining, subscriber
+  /// back online, or feed definition revised — §4.2).
+  void Backfill(const SubscriberName& subscriber);
+
+  /// Recomputes queues for every subscriber of `feed` (after revision).
+  void BackfillFeed(const FeedName& feed);
+
+  bool IsOffline(const SubscriberName& subscriber) const;
+  /// Force an offline/online transition (tests, admin).
+  void SetOffline(const SubscriberName& subscriber, bool offline);
+
+  const DeliveryStats& stats() const { return stats_; }
+  const SchedulerMetrics& scheduler_metrics() const {
+    return scheduler_->metrics();
+  }
+  /// Closes all open batches (shutdown).
+  void FlushBatches();
+
+ private:
+  void Pump();
+  void StartJob(TransferJob job);
+  void OnJobDone(TransferJob job, TimePoint started, const Status& status);
+  void HandleFailure(TransferJob job);
+  void ProbeOffline(const SubscriberName& subscriber);
+  void FeedBatcher(const SubscriberSpec& sub, const FeedName& feed,
+                   FileId file, TimePoint data_time);
+  Batcher* GetBatcher(const SubscriberSpec& sub, const FeedName& feed);
+  void EmitBatch(const SubscriberSpec& sub, BatchEvent event);
+  void ScheduleBatchTick(const SubscriberName& sub_name, const FeedName& feed);
+  void SubmitJobsFor(const SubscriberSpec& sub,
+                     const std::vector<ArrivalReceipt>& receipts,
+                     bool backfill);
+
+  EventLoop* loop_;
+  FeedRegistry* registry_;
+  ReceiptDatabase* receipts_;
+  FileSystem* staging_fs_;
+  Transport* transport_;
+  DeliveryScheduler* scheduler_;
+  TriggerInvoker* invoker_;
+  Logger* logger_;
+  Options options_;
+
+  /// Wraps a callback so it becomes a no-op if this engine has been
+  /// destroyed before the event loop runs it (restart safety: retry,
+  /// probe and batch-tick events may outlive the engine).
+  std::function<void()> Guard(std::function<void()> fn);
+
+  /// Lifetime token observed by Guard().
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+
+  DeliveryStats stats_;
+  std::set<SubscriberName> offline_;
+  /// (file, subscriber) pairs queued or in flight, to dedupe backfill
+  /// against real-time submission.
+  std::set<std::pair<FileId, SubscriberName>> pending_;
+  std::map<std::pair<SubscriberName, FeedName>, std::unique_ptr<Batcher>>
+      batchers_;
+  /// Single-entry cache of the most recently read staged file. Staged
+  /// files are immutable until expiry, and the scheduler's locality
+  /// heuristic delivers one file to co-partition subscribers
+  /// back-to-back, so this one slot absorbs most fan-out rereads.
+  std::string cached_staged_path_;
+  std::string cached_staged_content_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_DELIVERY_ENGINE_H_

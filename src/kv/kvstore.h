@@ -1,0 +1,90 @@
+#ifndef BISTRO_KV_KVSTORE_H_
+#define BISTRO_KV_KVSTORE_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kv/wal.h"
+
+namespace bistro {
+
+/// Durable, transactional key-value store backing Bistro's receipt
+/// databases (paper §4.2).
+///
+/// Design: an ordered in-memory table, a CRC-framed write-ahead log, and a
+/// periodic full checkpoint. Every mutation (or batch) is logged before it
+/// is applied; Open() loads the latest checkpoint then replays the log, so
+/// the store recovers to the last committed batch after a crash. Batches
+/// are atomic: a batch is one WAL record, and a torn batch at the log tail
+/// is discarded in full.
+class KvStore {
+ public:
+  struct Options {
+    Options() {}
+    /// Checkpoint when the WAL exceeds this many bytes (0 = never auto).
+    uint64_t checkpoint_wal_bytes = 4 * 1024 * 1024;
+  };
+
+  /// Opens (and recovers) a store rooted at `dir` on `fs`.
+  static Result<std::unique_ptr<KvStore>> Open(FileSystem* fs, std::string dir,
+                                               Options options = Options());
+
+  /// One write in a batch.
+  struct Write {
+    std::string key;
+    std::optional<std::string> value;  // nullopt = delete
+
+    static Write Put(std::string k, std::string v) {
+      return Write{std::move(k), std::move(v)};
+    }
+    static Write Del(std::string k) { return Write{std::move(k), std::nullopt}; }
+  };
+
+  /// Applies a batch atomically and durably.
+  Status Apply(const std::vector<Write>& batch);
+
+  Status Put(std::string key, std::string value);
+  Status Delete(std::string key);
+
+  Result<std::string> Get(const std::string& key) const;
+  bool Contains(const std::string& key) const;
+
+  /// All (key, value) pairs whose key starts with `prefix`, in key order.
+  std::vector<std::pair<std::string, std::string>> ScanPrefix(
+      const std::string& prefix) const;
+
+  /// Number of live keys.
+  size_t Size() const;
+
+  /// Forces a checkpoint: writes the full table, then truncates the WAL.
+  Status Checkpoint();
+
+  /// Bytes currently in the WAL (drives auto-checkpoint).
+  uint64_t WalBytes() const;
+
+  /// True if recovery found a torn record at the WAL tail.
+  bool recovered_torn_tail() const { return torn_tail_; }
+
+ private:
+  KvStore(FileSystem* fs, std::string dir, Options options);
+
+  Status Recover();
+  Status ApplyLocked(const std::vector<Write>& batch);
+  static std::string EncodeBatch(const std::vector<Write>& batch);
+  static Status DecodeBatch(std::string_view record, std::vector<Write>* batch);
+
+  FileSystem* fs_;
+  std::string dir_;
+  Options options_;
+  WriteAheadLog wal_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> table_;
+  bool torn_tail_ = false;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_KV_KVSTORE_H_

@@ -1,0 +1,177 @@
+#include "kv/receipts.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bistro {
+
+namespace {
+
+std::string FileIdKey(FileId id) { return StrFormat("%016llx", (unsigned long long)id); }
+
+Result<FileId> ParseFileIdKey(std::string_view hex) {
+  FileId id = 0;
+  if (hex.size() != 16) return Status::Corruption("bad file id key");
+  for (char c : hex) {
+    id <<= 4;
+    if (c >= '0' && c <= '9') {
+      id |= static_cast<FileId>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      id |= static_cast<FileId>(c - 'a' + 10);
+    } else {
+      return Status::Corruption("bad file id key");
+    }
+  }
+  return id;
+}
+
+// Receipt encoding: '\x1f'-separated fields (filenames never contain 0x1f).
+constexpr char kSep = '\x1f';
+
+std::string EncodeArrival(const ArrivalReceipt& r) {
+  std::string out;
+  out += r.name;
+  out += kSep;
+  out += r.staged_path;
+  out += kSep;
+  out += r.rel_path;
+  out += kSep;
+  out += std::to_string(r.size);
+  out += kSep;
+  out += std::to_string(r.arrival_time);
+  out += kSep;
+  out += std::to_string(r.data_time);
+  out += kSep;
+  for (size_t i = 0; i < r.feeds.size(); ++i) {
+    if (i > 0) out += ',';
+    out += r.feeds[i];
+  }
+  return out;
+}
+
+Result<ArrivalReceipt> DecodeArrival(FileId id, std::string_view enc) {
+  auto fields = Split(enc, kSep);
+  if (fields.size() != 7) return Status::Corruption("bad arrival receipt");
+  ArrivalReceipt r;
+  r.file_id = id;
+  r.name = fields[0];
+  r.staged_path = fields[1];
+  r.rel_path = fields[2];
+  auto size = ParseInt(fields[3]);
+  auto at = ParseInt(fields[4]);
+  auto dt = ParseInt(fields[5]);
+  if (!size || !at || !dt) return Status::Corruption("bad arrival receipt ints");
+  r.size = static_cast<uint64_t>(*size);
+  r.arrival_time = *at;
+  r.data_time = *dt;
+  if (!fields[6].empty()) r.feeds = Split(fields[6], ',');
+  return r;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ReceiptDatabase>> ReceiptDatabase::Open(
+    FileSystem* fs, std::string dir, KvStore::Options options) {
+  BISTRO_ASSIGN_OR_RETURN(auto kv, KvStore::Open(fs, std::move(dir), options));
+  return std::unique_ptr<ReceiptDatabase>(new ReceiptDatabase(std::move(kv)));
+}
+
+ReceiptDatabase::ReceiptDatabase(std::unique_ptr<KvStore> kv)
+    : kv_(std::move(kv)) {}
+
+Result<FileId> ReceiptDatabase::NextFileId() {
+  std::lock_guard<std::mutex> lock(seq_mu_);
+  FileId next = 1;
+  auto cur = kv_->Get("seq");
+  if (cur.ok()) {
+    auto parsed = ParseInt(*cur);
+    if (!parsed) return Status::Corruption("bad seq value");
+    next = static_cast<FileId>(*parsed) + 1;
+  }
+  BISTRO_RETURN_IF_ERROR(kv_->Put("seq", std::to_string(next)));
+  return next;
+}
+
+Status ReceiptDatabase::RecordArrival(const ArrivalReceipt& receipt) {
+  std::vector<KvStore::Write> batch;
+  std::string idkey = FileIdKey(receipt.file_id);
+  batch.push_back(KvStore::Write::Put("a/" + idkey, EncodeArrival(receipt)));
+  for (const auto& feed : receipt.feeds) {
+    batch.push_back(KvStore::Write::Put("f/" + feed + "/" + idkey, ""));
+  }
+  return kv_->Apply(batch);
+}
+
+Status ReceiptDatabase::RecordDelivery(const SubscriberName& subscriber,
+                                       FileId file_id, TimePoint when) {
+  return kv_->Put("d/" + subscriber + "/" + FileIdKey(file_id),
+                  std::to_string(when));
+}
+
+bool ReceiptDatabase::Delivered(const SubscriberName& subscriber,
+                                FileId file_id) const {
+  return kv_->Contains("d/" + subscriber + "/" + FileIdKey(file_id));
+}
+
+Result<ArrivalReceipt> ReceiptDatabase::GetArrival(FileId file_id) const {
+  BISTRO_ASSIGN_OR_RETURN(std::string enc, kv_->Get("a/" + FileIdKey(file_id)));
+  return DecodeArrival(file_id, enc);
+}
+
+std::vector<FileId> ReceiptDatabase::FilesInFeed(const FeedName& feed) const {
+  std::vector<FileId> out;
+  std::string prefix = "f/" + feed + "/";
+  for (const auto& [key, _] : kv_->ScanPrefix(prefix)) {
+    auto id = ParseFileIdKey(std::string_view(key).substr(prefix.size()));
+    if (id.ok()) out.push_back(*id);
+  }
+  return out;
+}
+
+std::vector<ArrivalReceipt> ReceiptDatabase::ComputeDeliveryQueue(
+    const SubscriberName& subscriber, const std::vector<FeedName>& feeds,
+    TimePoint window_start) const {
+  std::vector<FileId> candidates;
+  for (const auto& feed : feeds) {
+    auto ids = FilesInFeed(feed);
+    candidates.insert(candidates.end(), ids.begin(), ids.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<ArrivalReceipt> queue;
+  for (FileId id : candidates) {
+    if (Delivered(subscriber, id)) continue;
+    auto receipt = GetArrival(id);
+    if (!receipt.ok()) continue;  // feed index may outlive expired receipts
+    if (receipt->arrival_time < window_start) continue;
+    queue.push_back(std::move(*receipt));
+  }
+  return queue;
+}
+
+Result<std::vector<std::string>> ReceiptDatabase::ExpireBefore(TimePoint cutoff) {
+  std::vector<std::string> expunged_paths;
+  std::vector<KvStore::Write> batch;
+  for (const auto& [key, value] : kv_->ScanPrefix("a/")) {
+    auto id = ParseFileIdKey(std::string_view(key).substr(2));
+    if (!id.ok()) continue;
+    auto receipt = DecodeArrival(*id, value);
+    if (!receipt.ok() || receipt->arrival_time >= cutoff) continue;
+    expunged_paths.push_back(receipt->staged_path);
+    batch.push_back(KvStore::Write::Del(key));
+    std::string idkey = FileIdKey(*id);
+    for (const auto& feed : receipt->feeds) {
+      batch.push_back(KvStore::Write::Del("f/" + feed + "/" + idkey));
+    }
+  }
+  if (!batch.empty()) BISTRO_RETURN_IF_ERROR(kv_->Apply(batch));
+  return expunged_paths;
+}
+
+size_t ReceiptDatabase::ArrivalCount() const {
+  return kv_->ScanPrefix("a/").size();
+}
+
+}  // namespace bistro

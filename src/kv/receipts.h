@@ -1,0 +1,88 @@
+#ifndef BISTRO_KV_RECEIPTS_H_
+#define BISTRO_KV_RECEIPTS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "kv/kvstore.h"
+
+namespace bistro {
+
+/// One row of the arrival_receipts database (paper §4.2): a file the
+/// server received, with the feeds it was classified into.
+struct ArrivalReceipt {
+  FileId file_id = 0;
+  std::string name;
+  std::string staged_path;
+  std::string rel_path;  // staging-root-relative path (subscriber dest)
+  uint64_t size = 0;
+  TimePoint arrival_time = 0;
+  TimePoint data_time = 0;
+  std::vector<FeedName> feeds;
+};
+
+/// The transactional receipt database: arrival receipts plus delivery
+/// receipts, both in one KvStore so a (arrival, delivery...) history
+/// survives crashes and delivery queues can always be recomputed.
+///
+/// Key space:
+///   a/<file_id16x>            -> encoded ArrivalReceipt
+///   f/<feed>/<file_id16x>     -> ""            (per-feed index)
+///   d/<subscriber>/<file_id16x> -> delivery time (decimal)
+///   seq                       -> last assigned file id
+class ReceiptDatabase {
+ public:
+  static Result<std::unique_ptr<ReceiptDatabase>> Open(
+      FileSystem* fs, std::string dir,
+      KvStore::Options options = KvStore::Options());
+
+  /// Assigns the next FileId (durable: survives restart without reuse).
+  Result<FileId> NextFileId();
+
+  /// Records an arrival receipt (and its per-feed index entries)
+  /// atomically.
+  Status RecordArrival(const ArrivalReceipt& receipt);
+
+  /// Records that `file_id` was delivered to `subscriber` at `when`.
+  Status RecordDelivery(const SubscriberName& subscriber, FileId file_id,
+                        TimePoint when);
+
+  /// Whether the file has been delivered to the subscriber.
+  bool Delivered(const SubscriberName& subscriber, FileId file_id) const;
+
+  Result<ArrivalReceipt> GetArrival(FileId file_id) const;
+
+  /// All file ids recorded for `feed`, ascending.
+  std::vector<FileId> FilesInFeed(const FeedName& feed) const;
+
+  /// Computes a subscriber's delivery queue: every file in any of `feeds`
+  /// with arrival_time >= window_start that has no delivery receipt for
+  /// `subscriber`. This is the paper's core reliability mechanism — queues
+  /// are derived from receipts, so subscriber restarts, new subscriptions
+  /// and feed redefinitions all reduce to recomputing this set.
+  std::vector<ArrivalReceipt> ComputeDeliveryQueue(
+      const SubscriberName& subscriber, const std::vector<FeedName>& feeds,
+      TimePoint window_start = 0) const;
+
+  /// Deletes all receipts for files with arrival_time < cutoff, returning
+  /// the staged paths of expunged files (for the window cleaner).
+  Result<std::vector<std::string>> ExpireBefore(TimePoint cutoff);
+
+  /// Number of arrival receipts.
+  size_t ArrivalCount() const;
+
+  KvStore* kv() { return kv_.get(); }
+
+ private:
+  explicit ReceiptDatabase(std::unique_ptr<KvStore> kv);
+
+  std::unique_ptr<KvStore> kv_;
+  std::mutex seq_mu_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_KV_RECEIPTS_H_

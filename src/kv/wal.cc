@@ -1,0 +1,98 @@
+#include "kv/wal.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace bistro {
+
+namespace {
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view* in, uint64_t* v) {
+  *v = 0;
+  int shift = 0;
+  while (!in->empty() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(in->front());
+    in->remove_prefix(1);
+    *v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(FileSystem* fs, std::string path)
+    : fs_(fs), path_(std::move(path)) {}
+
+Status WriteAheadLog::Append(std::string_view record) {
+  std::string framed;
+  framed.reserve(record.size() + 10);
+  uint32_t crc = Crc32(record);
+  char crc_buf[4];
+  std::memcpy(crc_buf, &crc, 4);
+  framed.append(crc_buf, 4);
+  PutVarint(&framed, record.size());
+  framed.append(record.data(), record.size());
+  return fs_->AppendFile(path_, framed);
+}
+
+Status WriteAheadLog::Replay(
+    const std::function<void(std::string_view)>& apply,
+    bool* truncated_tail) const {
+  if (truncated_tail != nullptr) *truncated_tail = false;
+  auto data = fs_->ReadFile(path_);
+  if (!data.ok()) {
+    if (data.status().IsNotFound()) return Status::OK();  // empty log
+    return data.status();
+  }
+  std::string_view in(*data);
+  while (!in.empty()) {
+    if (in.size() < 4) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      return Status::OK();
+    }
+    uint32_t crc;
+    std::memcpy(&crc, in.data(), 4);
+    std::string_view rest = in.substr(4);
+    uint64_t len;
+    if (!GetVarint(&rest, &len) || rest.size() < len) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      return Status::OK();
+    }
+    std::string_view record = rest.substr(0, len);
+    if (Crc32(record) != crc) {
+      // A bad CRC on the very last record is a torn write; earlier it is
+      // real corruption. We can only be sure it is the tail if nothing
+      // follows the declared record.
+      if (rest.size() == len) {
+        if (truncated_tail != nullptr) *truncated_tail = true;
+        return Status::OK();
+      }
+      return Status::Corruption("wal record crc mismatch: " + path_);
+    }
+    apply(record);
+    in = rest.substr(len);
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Truncate() {
+  Status s = fs_->Delete(path_);
+  if (s.IsNotFound()) return Status::OK();
+  return s;
+}
+
+uint64_t WriteAheadLog::SizeBytes() const {
+  auto info = fs_->Stat(path_);
+  return info.ok() ? info->size : 0;
+}
+
+}  // namespace bistro

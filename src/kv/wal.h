@@ -1,0 +1,44 @@
+#ifndef BISTRO_KV_WAL_H_
+#define BISTRO_KV_WAL_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "vfs/filesystem.h"
+
+namespace bistro {
+
+/// Append-only write-ahead log with CRC-framed records.
+///
+/// Record layout: crc32(4) | length varint | payload. Replay stops cleanly
+/// at the first truncated or corrupt record (a torn tail after a crash is
+/// expected and not an error); corruption *before* the tail is reported.
+class WriteAheadLog {
+ public:
+  WriteAheadLog(FileSystem* fs, std::string path);
+
+  /// Appends one record (buffered in the underlying FS append).
+  Status Append(std::string_view record);
+
+  /// Replays every intact record in order. If the log ends with a torn
+  /// record, replay succeeds and `truncated_tail` (if non-null) is set.
+  Status Replay(const std::function<void(std::string_view)>& apply,
+                bool* truncated_tail = nullptr) const;
+
+  /// Deletes the log file (after a checkpoint makes it redundant).
+  Status Truncate();
+
+  /// Bytes currently in the log file (0 if absent).
+  uint64_t SizeBytes() const;
+
+  const std::string& log_path() const { return path_; }
+
+ private:
+  FileSystem* fs_;
+  std::string path_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_KV_WAL_H_

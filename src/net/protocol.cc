@@ -1,0 +1,106 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace bistro {
+
+namespace {
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view* in, uint64_t* v) {
+  *v = 0;
+  int shift = 0;
+  while (!in->empty() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(in->front());
+    in->remove_prefix(1);
+    *v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+// ZigZag for signed TimePoints.
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutVarint(out, s.size());
+  out->append(s.data(), s.size());
+}
+
+bool GetString(std::string_view* in, std::string* s) {
+  uint64_t len;
+  if (!GetVarint(in, &len) || in->size() < len) return false;
+  s->assign(in->data(), len);
+  in->remove_prefix(len);
+  return true;
+}
+}  // namespace
+
+std::string EncodeMessage(const Message& msg) {
+  std::string body;
+  body.push_back(static_cast<char>(msg.type));
+  PutVarint(&body, msg.file_id);
+  PutString(&body, msg.feed);
+  PutString(&body, msg.name);
+  PutString(&body, msg.dest_path);
+  PutString(&body, msg.payload);
+  PutVarint(&body, ZigZag(msg.data_time));
+  PutVarint(&body, ZigZag(msg.batch_time));
+  PutVarint(&body, msg.batch_count);
+  std::string out;
+  out.reserve(body.size() + 8);
+  PutVarint(&out, body.size());
+  uint32_t crc = Crc32(body);
+  char crc_buf[4];
+  std::memcpy(crc_buf, &crc, 4);
+  out.append(crc_buf, 4);
+  out += body;
+  return out;
+}
+
+Result<Message> DecodeMessage(std::string_view data) {
+  uint64_t len;
+  if (!GetVarint(&data, &len)) return Status::Corruption("message: bad length");
+  if (data.size() < 4 + len) return Status::Corruption("message: truncated");
+  uint32_t crc;
+  std::memcpy(&crc, data.data(), 4);
+  data.remove_prefix(4);
+  std::string_view body = data.substr(0, len);
+  if (Crc32(body) != crc) return Status::Corruption("message: crc mismatch");
+  Message msg;
+  if (body.empty()) return Status::Corruption("message: empty body");
+  uint8_t type = static_cast<uint8_t>(body.front());
+  if (type < 1 || type > 6) return Status::Corruption("message: bad type");
+  msg.type = static_cast<MessageType>(type);
+  body.remove_prefix(1);
+  uint64_t u;
+  if (!GetVarint(&body, &u)) return Status::Corruption("message: file_id");
+  msg.file_id = u;
+  if (!GetString(&body, &msg.feed) || !GetString(&body, &msg.name) ||
+      !GetString(&body, &msg.dest_path) || !GetString(&body, &msg.payload)) {
+    return Status::Corruption("message: strings");
+  }
+  if (!GetVarint(&body, &u)) return Status::Corruption("message: data_time");
+  msg.data_time = UnZigZag(u);
+  if (!GetVarint(&body, &u)) return Status::Corruption("message: batch_time");
+  msg.batch_time = UnZigZag(u);
+  if (!GetVarint(&body, &u)) return Status::Corruption("message: batch_count");
+  msg.batch_count = u;
+  return msg;
+}
+
+}  // namespace bistro

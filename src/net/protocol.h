@@ -1,0 +1,50 @@
+#ifndef BISTRO_NET_PROTOCOL_H_
+#define BISTRO_NET_PROTOCOL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace bistro {
+
+/// Wire messages of the Bistro communication interface (paper §4.1).
+///
+/// The interface is deliberately lightweight: sources notify the server
+/// that data is ready; the server pushes file data (or availability
+/// notifications, in the hybrid push-pull method) and end-of-batch markers
+/// downstream; receivers acknowledge.
+enum class MessageType : uint8_t {
+  kFileData = 1,      // push delivery: name + destination + contents
+  kFileNotify = 2,    // hybrid push-pull: availability notification only
+  kEndOfBatch = 3,    // punctuation: a logical batch boundary
+  kSourceNotify = 4,  // source -> server: file deposited in landing zone
+  kAck = 5,
+  kHeartbeat = 6,
+};
+
+/// A protocol message. Fields are used according to `type`; unused fields
+/// stay empty/zero and serialize compactly.
+struct Message {
+  MessageType type = MessageType::kHeartbeat;
+  FileId file_id = 0;
+  FeedName feed;          // feed the file/batch belongs to
+  std::string name;       // original filename
+  std::string dest_path;  // destination path (kFileData/kFileNotify)
+  std::string payload;    // file contents (kFileData)
+  TimePoint data_time = 0;   // timestamp extracted from the filename
+  TimePoint batch_time = 0;  // batch interval marker (kEndOfBatch)
+  uint64_t batch_count = 0;  // files in the closed batch (kEndOfBatch)
+
+  bool operator==(const Message&) const = default;
+};
+
+/// Serializes a message to a CRC-framed binary blob.
+std::string EncodeMessage(const Message& msg);
+
+/// Parses a blob produced by EncodeMessage; verifies the CRC.
+Result<Message> DecodeMessage(std::string_view data);
+
+}  // namespace bistro
+
+#endif  // BISTRO_NET_PROTOCOL_H_

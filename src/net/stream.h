@@ -1,0 +1,47 @@
+#ifndef BISTRO_NET_STREAM_H_
+#define BISTRO_NET_STREAM_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace bistro {
+
+/// Incremental decoder for a byte stream of concatenated EncodeMessage
+/// frames — the building block for running the Bistro protocol over any
+/// stream transport (TCP, pipes). Feed it arbitrary chunks; complete
+/// messages become available in order. Corruption is reported once and
+/// poisons the stream (a stream transport cannot resynchronize after a
+/// framing error; the connection must be dropped).
+class MessageStreamDecoder {
+ public:
+  /// Appends received bytes; decodes any complete frames.
+  /// Returns the first error encountered (sticky).
+  Status Feed(std::string_view bytes);
+
+  /// Pops the next decoded message, if any.
+  std::optional<Message> Next();
+
+  size_t pending() const { return decoded_.size(); }
+  bool poisoned() const { return !status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Bytes buffered awaiting a complete frame.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::deque<Message> decoded_;
+  Status status_;
+};
+
+/// Encodes a sequence of messages as one contiguous stream (what a sender
+/// writes to the wire).
+std::string EncodeMessageStream(const std::vector<Message>& messages);
+
+}  // namespace bistro
+
+#endif  // BISTRO_NET_STREAM_H_

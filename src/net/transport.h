@@ -1,0 +1,126 @@
+#ifndef BISTRO_NET_TRANSPORT_H_
+#define BISTRO_NET_TRANSPORT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/protocol.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "vfs/filesystem.h"
+
+namespace bistro {
+
+/// Receiver of protocol messages: a subscriber application, or another
+/// Bistro server acting as a subscriber (distributed feed network, §3).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Handles one message. Returning an error signals a failed delivery;
+  /// the server's sender will retry per its policy.
+  virtual Status HandleMessage(const Message& msg) = 0;
+};
+
+/// Completion callback for an asynchronous send.
+using SendCallback = std::function<void(const Status&)>;
+
+/// Abstract message transport from the server to named endpoints.
+///
+/// Send is asynchronous: the callback fires when the transfer completes
+/// (or fails). Implementations define what "the wire" is — a simulated
+/// WAN, or an in-process call for live local deployments.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual void Send(const std::string& endpoint, const Message& msg,
+                    SendCallback done) = 0;
+
+  /// Rough transfer cost estimate used by the scheduler's locality
+  /// heuristics; 0 when unknown.
+  virtual Duration EstimateCost(const std::string& endpoint,
+                                uint64_t bytes) const = 0;
+};
+
+/// In-process transport: messages are encoded, decoded and handed to the
+/// registered Endpoint synchronously via the event loop. Used by the
+/// examples and integration tests (substitutes for real sockets; the
+/// protocol layer is still exercised byte-for-byte).
+class LoopbackTransport : public Transport {
+ public:
+  explicit LoopbackTransport(EventLoop* loop) : loop_(loop) {}
+
+  void Register(const std::string& name, Endpoint* endpoint);
+  void Unregister(const std::string& name);
+
+  void Send(const std::string& endpoint, const Message& msg,
+            SendCallback done) override;
+  Duration EstimateCost(const std::string&, uint64_t) const override {
+    return 0;
+  }
+
+ private:
+  EventLoop* loop_;
+  std::map<std::string, Endpoint*> endpoints_;
+};
+
+/// Simulated-WAN transport: consults a SimNetwork for link capacity,
+/// failures and offline subscribers, and delivers the message to the
+/// endpoint at the simulated completion time.
+class SimTransport : public Transport {
+ public:
+  SimTransport(EventLoop* loop, SimNetwork* network)
+      : loop_(loop), network_(network) {}
+
+  void Register(const std::string& name, Endpoint* endpoint);
+
+  void Send(const std::string& endpoint, const Message& msg,
+            SendCallback done) override;
+  Duration EstimateCost(const std::string& endpoint,
+                        uint64_t bytes) const override;
+
+ private:
+  EventLoop* loop_;
+  SimNetwork* network_;
+  std::map<std::string, Endpoint*> endpoints_;
+};
+
+/// A simple subscriber endpoint that lands pushed files on a filesystem
+/// under a destination root, tracks notifications, and optionally invokes
+/// a callback per message — the reference implementation of the
+/// subscriber-side contract used by examples and tests.
+class FileSinkEndpoint : public Endpoint {
+ public:
+  FileSinkEndpoint(FileSystem* fs, std::string dest_root)
+      : fs_(fs), dest_root_(std::move(dest_root)) {}
+
+  /// Optional hook invoked after each successfully handled message.
+  void SetMessageHook(std::function<void(const Message&)> hook) {
+    hook_ = std::move(hook);
+  }
+
+  /// Simulate a subscriber-side failure: while set, every message errors.
+  void SetFailing(bool failing) { failing_ = failing; }
+
+  Status HandleMessage(const Message& msg) override;
+
+  uint64_t files_received() const { return files_received_; }
+  uint64_t notifications() const { return notifications_; }
+  uint64_t batches() const { return batches_; }
+
+ private:
+  FileSystem* fs_;
+  std::string dest_root_;
+  std::function<void(const Message&)> hook_;
+  bool failing_ = false;
+  uint64_t files_received_ = 0;
+  uint64_t notifications_ = 0;
+  uint64_t batches_ = 0;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_NET_TRANSPORT_H_

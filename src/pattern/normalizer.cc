@@ -1,0 +1,39 @@
+#include "pattern/normalizer.h"
+
+namespace bistro {
+
+Result<Normalizer> Normalizer::Create(const NormalizeSpec& spec) {
+  Normalizer n;
+  n.spec_ = spec;
+  if (!spec.rename_template.empty()) {
+    BISTRO_ASSIGN_OR_RETURN(Pattern p, Pattern::Compile(spec.rename_template));
+    n.template_ = std::move(p);
+  }
+  return n;
+}
+
+Result<NormalizedFile> Normalizer::Apply(std::string_view name,
+                                         const MatchResult& fields,
+                                         std::string content) const {
+  NormalizedFile out;
+  if (template_.has_value()) {
+    BISTRO_ASSIGN_OR_RETURN(out.relative_path, template_->Render(fields));
+  } else {
+    out.relative_path = std::string(name);
+  }
+  switch (spec_.action) {
+    case CompressionAction::kPassthrough:
+      out.content = std::move(content);
+      break;
+    case CompressionAction::kCompress:
+      out.content = GetCodec(spec_.codec)->Compress(content);
+      break;
+    case CompressionAction::kDecompress: {
+      BISTRO_ASSIGN_OR_RETURN(out.content, AutoDecompress(content));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace bistro

@@ -1,0 +1,63 @@
+#ifndef BISTRO_PATTERN_NORMALIZER_H_
+#define BISTRO_PATTERN_NORMALIZER_H_
+
+#include <optional>
+#include <string>
+
+#include "compress/codec.h"
+#include "pattern/pattern.h"
+
+namespace bistro {
+
+/// What to do with file contents while normalizing (paper §3.1 item 2).
+enum class CompressionAction {
+  kPassthrough,  // leave bytes as-is
+  kCompress,     // compress with the configured codec
+  kDecompress,   // expand a Bistro codec frame (plain data passes through)
+};
+
+/// Per-feed normalization policy: how a classified file is renamed and
+/// recoded before it is placed in the staging area.
+///
+/// The rename template is itself a Bistro pattern; its fields are filled
+/// from the *source* pattern's match, so semantic knowledge embedded in the
+/// feed pattern (timestamps, poller ids) drives the normalized layout —
+/// e.g. source "MEMORY%s.%Y%m%d.gz" with template "%Y/%m/%d/MEMORY%s.dat"
+/// produces daily directories.
+struct NormalizeSpec {
+  /// Rename template; empty keeps the original filename.
+  std::string rename_template;
+  CompressionAction action = CompressionAction::kPassthrough;
+  CodecKind codec = CodecKind::kLz;
+
+  bool operator==(const NormalizeSpec&) const = default;
+};
+
+/// Result of normalizing one file.
+struct NormalizedFile {
+  std::string relative_path;  // path relative to the feed's staging root
+  std::string content;
+};
+
+/// Applies a NormalizeSpec to a classified file.
+class Normalizer {
+ public:
+  /// Validates and compiles the spec (template syntax, codec).
+  static Result<Normalizer> Create(const NormalizeSpec& spec);
+
+  /// Normalizes `name` (which matched a feed pattern yielding `fields`)
+  /// with contents `content`.
+  Result<NormalizedFile> Apply(std::string_view name,
+                               const MatchResult& fields,
+                               std::string content) const;
+
+  const NormalizeSpec& spec() const { return spec_; }
+
+ private:
+  NormalizeSpec spec_;
+  std::optional<Pattern> template_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_PATTERN_NORMALIZER_H_

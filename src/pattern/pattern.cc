@@ -1,0 +1,288 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bistro {
+
+int PatternToken::FixedWidth() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return static_cast<int>(literal.size());
+    case Kind::kYear4:
+      return 4;
+    case Kind::kYear2:
+    case Kind::kMonth:
+    case Kind::kDay:
+    case Kind::kHour:
+    case Kind::kMinute:
+    case Kind::kSecond:
+      return 2;
+    case Kind::kString:
+    case Kind::kInt:
+      return 0;
+  }
+  return 0;
+}
+
+Result<Pattern> Pattern::Compile(std::string_view spec) {
+  Pattern p;
+  p.spec_ = std::string(spec);
+  std::string current_literal;
+  auto flush_literal = [&] {
+    if (!current_literal.empty()) {
+      PatternToken t;
+      t.kind = PatternToken::Kind::kLiteral;
+      t.literal = std::move(current_literal);
+      current_literal.clear();
+      p.tokens_.push_back(std::move(t));
+    }
+  };
+  for (size_t i = 0; i < spec.size(); ++i) {
+    char c = spec[i];
+    if (c != '%') {
+      current_literal += c;
+      continue;
+    }
+    if (i + 1 >= spec.size()) {
+      return Status::InvalidArgument("pattern ends with bare %: " + p.spec_);
+    }
+    char f = spec[++i];
+    if (f == '%') {
+      current_literal += '%';
+      continue;
+    }
+    PatternToken t;
+    switch (f) {
+      case 's':
+        t.kind = PatternToken::Kind::kString;
+        break;
+      case 'i':
+        t.kind = PatternToken::Kind::kInt;
+        break;
+      case 'Y':
+        t.kind = PatternToken::Kind::kYear4;
+        break;
+      case 'y':
+        t.kind = PatternToken::Kind::kYear2;
+        break;
+      case 'm':
+        t.kind = PatternToken::Kind::kMonth;
+        break;
+      case 'd':
+        t.kind = PatternToken::Kind::kDay;
+        break;
+      case 'H':
+        t.kind = PatternToken::Kind::kHour;
+        break;
+      case 'M':
+        t.kind = PatternToken::Kind::kMinute;
+        break;
+      case 'S':
+        t.kind = PatternToken::Kind::kSecond;
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unknown pattern specifier %%%c in '%s'", f,
+                      p.spec_.c_str()));
+    }
+    flush_literal();
+    p.tokens_.push_back(std::move(t));
+  }
+  flush_literal();
+  // Adjacent variable-width tokens of the same open-ended type are
+  // ambiguous (%s%s); reject them so every field has a deterministic value.
+  for (size_t i = 0; i + 1 < p.tokens_.size(); ++i) {
+    const auto& a = p.tokens_[i];
+    const auto& b = p.tokens_[i + 1];
+    if (a.FixedWidth() == 0 && b.kind == PatternToken::Kind::kString) {
+      return Status::InvalidArgument(
+          "ambiguous pattern: %s preceded by variable-width field in '" +
+          p.spec_ + "'");
+    }
+    if (a.kind == PatternToken::Kind::kInt &&
+        b.kind == PatternToken::Kind::kInt) {
+      return Status::InvalidArgument("ambiguous pattern: %i%i in '" + p.spec_ +
+                                     "'");
+    }
+  }
+  if (!p.tokens_.empty() &&
+      p.tokens_[0].kind == PatternToken::Kind::kLiteral) {
+    p.literal_prefix_ = p.tokens_[0].literal;
+  }
+  return p;
+}
+
+namespace {
+
+struct MatchState {
+  std::vector<std::string> strings;
+  std::vector<int64_t> ints;
+  CivilTime civil;
+  bool has_time = false;
+};
+
+bool ParseFixedDigits(std::string_view name, size_t pos, int width, int* out) {
+  if (pos + static_cast<size_t>(width) > name.size()) return false;
+  int v = 0;
+  for (int i = 0; i < width; ++i) {
+    char c = name[pos + static_cast<size_t>(i)];
+    if (!IsDigit(c)) return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// Recursive matcher with backtracking on the variable-width tokens.
+bool MatchTokens(const std::vector<PatternToken>& tokens, size_t ti,
+                 std::string_view name, size_t pos, MatchState* state) {
+  if (ti == tokens.size()) return pos == name.size();
+  const PatternToken& t = tokens[ti];
+  using Kind = PatternToken::Kind;
+  switch (t.kind) {
+    case Kind::kLiteral: {
+      if (name.compare(pos, t.literal.size(), t.literal) != 0) return false;
+      return MatchTokens(tokens, ti + 1, name, pos + t.literal.size(), state);
+    }
+    case Kind::kString: {
+      // Lazy: try the shortest non-empty span first, extending on failure.
+      for (size_t len = 1; pos + len <= name.size(); ++len) {
+        state->strings.emplace_back(name.substr(pos, len));
+        if (MatchTokens(tokens, ti + 1, name, pos + len, state)) return true;
+        state->strings.pop_back();
+        // Prune: if the next token is a literal, jump to its next occurrence.
+        if (ti + 1 < tokens.size() &&
+            tokens[ti + 1].kind == Kind::kLiteral) {
+          size_t next = name.find(tokens[ti + 1].literal, pos + len + 1);
+          if (next == std::string_view::npos) return false;
+          len = next - pos - 1;
+        }
+      }
+      return false;
+    }
+    case Kind::kInt: {
+      size_t len = 0;
+      while (pos + len < name.size() && IsDigit(name[pos + len])) ++len;
+      if (len == 0) return false;
+      // Greedy with backtracking: prefer the longest digit run.
+      for (size_t use = len; use >= 1; --use) {
+        auto v = ParseInt(name.substr(pos, use));
+        if (!v) continue;  // overflow for absurd lengths
+        state->ints.push_back(*v);
+        if (MatchTokens(tokens, ti + 1, name, pos + use, state)) return true;
+        state->ints.pop_back();
+      }
+      return false;
+    }
+    default: {
+      int v = 0;
+      int width = t.FixedWidth();
+      if (!ParseFixedDigits(name, pos, width, &v)) return false;
+      CivilTime saved = state->civil;
+      bool saved_has_time = state->has_time;
+      switch (t.kind) {
+        case Kind::kYear4:
+          state->civil.year = v;
+          break;
+        case Kind::kYear2:
+          state->civil.year = 2000 + v;
+          break;
+        case Kind::kMonth:
+          if (v < 1 || v > 12) return false;
+          state->civil.month = v;
+          break;
+        case Kind::kDay:
+          if (v < 1 || v > 31) return false;
+          state->civil.day = v;
+          break;
+        case Kind::kHour:
+          if (v > 23) return false;
+          state->civil.hour = v;
+          break;
+        case Kind::kMinute:
+          if (v > 59) return false;
+          state->civil.minute = v;
+          break;
+        case Kind::kSecond:
+          if (v > 59) return false;
+          state->civil.second = v;
+          break;
+        default:
+          return false;
+      }
+      state->has_time = true;
+      if (MatchTokens(tokens, ti + 1, name, pos + static_cast<size_t>(width),
+                      state)) {
+        return true;
+      }
+      state->civil = saved;
+      state->has_time = saved_has_time;
+      return false;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<MatchResult> Pattern::Match(std::string_view name) const {
+  MatchState state;
+  if (!MatchTokens(tokens_, 0, name, 0, &state)) return std::nullopt;
+  MatchResult r;
+  r.strings = std::move(state.strings);
+  r.ints = std::move(state.ints);
+  r.civil = state.civil;
+  r.has_time = state.has_time;
+  if (state.has_time) r.timestamp = FromCivil(state.civil);
+  return r;
+}
+
+Result<std::string> Pattern::Render(const MatchResult& fields) const {
+  std::string out;
+  size_t si = 0, ii = 0;
+  using Kind = PatternToken::Kind;
+  for (const auto& t : tokens_) {
+    switch (t.kind) {
+      case Kind::kLiteral:
+        out += t.literal;
+        break;
+      case Kind::kString:
+        if (si >= fields.strings.size()) {
+          return Status::InvalidArgument("render: missing %s field for " + spec_);
+        }
+        out += fields.strings[si++];
+        break;
+      case Kind::kInt:
+        if (ii >= fields.ints.size()) {
+          return Status::InvalidArgument("render: missing %i field for " + spec_);
+        }
+        out += std::to_string(fields.ints[ii++]);
+        break;
+      case Kind::kYear4:
+        out += StrFormat("%04d", fields.civil.year);
+        break;
+      case Kind::kYear2:
+        out += StrFormat("%02d", fields.civil.year % 100);
+        break;
+      case Kind::kMonth:
+        out += StrFormat("%02d", fields.civil.month);
+        break;
+      case Kind::kDay:
+        out += StrFormat("%02d", fields.civil.day);
+        break;
+      case Kind::kHour:
+        out += StrFormat("%02d", fields.civil.hour);
+        break;
+      case Kind::kMinute:
+        out += StrFormat("%02d", fields.civil.minute);
+        break;
+      case Kind::kSecond:
+        out += StrFormat("%02d", fields.civil.second);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace bistro

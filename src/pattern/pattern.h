@@ -1,0 +1,98 @@
+#ifndef BISTRO_PATTERN_PATTERN_H_
+#define BISTRO_PATTERN_PATTERN_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace bistro {
+
+/// One element of a compiled feed pattern.
+///
+/// Bistro patterns use a printf-inspired syntax instead of full regular
+/// expressions (paper §3.1): simpler to write, and each specifier carries
+/// *semantics* — `%Y%m%d` is not just "8 digits", it is the file's data
+/// timestamp, which drives normalization and batching.
+struct PatternToken {
+  enum class Kind {
+    kLiteral,   // exact text
+    kString,    // %s : non-empty arbitrary string (lazy)
+    kInt,       // %i : decimal integer, arbitrary width
+    kYear4,     // %Y : 4-digit year
+    kYear2,     // %y : 2-digit year (2000-based)
+    kMonth,     // %m : 2-digit month
+    kDay,       // %d : 2-digit day
+    kHour,      // %H : 2-digit hour
+    kMinute,    // %M : 2-digit minute
+    kSecond,    // %S : 2-digit second
+  };
+  Kind kind = Kind::kLiteral;
+  std::string literal;  // only for kLiteral
+
+  bool IsTimeField() const {
+    return kind != Kind::kLiteral && kind != Kind::kString && kind != Kind::kInt;
+  }
+  /// Fixed match width for fixed-width kinds, 0 for variable-width.
+  int FixedWidth() const;
+
+  bool operator==(const PatternToken&) const = default;
+};
+
+/// The fields extracted from a successful pattern match.
+struct MatchResult {
+  /// Values of %s fields, in order of appearance.
+  std::vector<std::string> strings;
+  /// Values of %i fields, in order of appearance.
+  std::vector<int64_t> ints;
+  /// Timestamp assembled from the time fields present (missing components
+  /// default to the epoch's). Unset if the pattern has no time fields.
+  std::optional<TimePoint> timestamp;
+  /// The civil components that were actually present in the pattern.
+  CivilTime civil;
+  bool has_time = false;
+};
+
+/// A compiled feed filename pattern, e.g. "MEMORY%s.%Y%m%d.gz".
+///
+/// Supports matching (with field extraction) and longest-literal-prefix
+/// queries (used by the classifier's pattern index).
+class Pattern {
+ public:
+  /// Compiles `spec`. Errors on unknown % specifiers; "%%" is a literal %.
+  static Result<Pattern> Compile(std::string_view spec);
+
+  /// Matches the full `name`; returns extracted fields on success.
+  std::optional<MatchResult> Match(std::string_view name) const;
+
+  /// True if `name` matches (cheaper than Match when fields are unneeded).
+  bool Matches(std::string_view name) const {
+    return Match(name).has_value();
+  }
+
+  /// The literal prefix before the first variable token ("MEMORY" above).
+  const std::string& literal_prefix() const { return literal_prefix_; }
+
+  /// Original spec text.
+  const std::string& spec() const { return spec_; }
+
+  const std::vector<PatternToken>& tokens() const { return tokens_; }
+
+  /// Renders this pattern with fields substituted back in — the inverse of
+  /// Match, used by the normalizer (see normalizer.h). Fails if the match
+  /// lacks a field the pattern needs.
+  Result<std::string> Render(const MatchResult& fields) const;
+
+ private:
+  std::string spec_;
+  std::vector<PatternToken> tokens_;
+  std::string literal_prefix_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_PATTERN_PATTERN_H_

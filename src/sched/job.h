@@ -1,0 +1,33 @@
+#ifndef BISTRO_SCHED_JOB_H_
+#define BISTRO_SCHED_JOB_H_
+
+#include <string>
+
+#include "core/types.h"
+
+namespace bistro {
+
+/// One file-to-subscriber transmission awaiting scheduling (paper §4.3).
+struct TransferJob {
+  FileId file_id = 0;
+  SubscriberName subscriber;
+  FeedName feed;
+  std::string name;         // original filename
+  std::string staged_path;  // where the normalized file lives
+  std::string dest_path;    // subscriber-relative destination
+  uint64_t size = 0;
+  TimePoint arrival_time = 0;
+  TimePoint data_time = 0;
+  /// Delivery deadline: arrival_time + the feed's tardiness bound.
+  TimePoint deadline = 0;
+  /// True if this job came from backlog recomputation (a subscriber
+  /// returning online) rather than a fresh arrival. Bistro delivers
+  /// backfill concurrently with real-time data (§4.3).
+  bool backfill = false;
+  /// Delivery attempts so far (for retry/backoff bookkeeping).
+  int attempts = 0;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_SCHED_JOB_H_

@@ -1,0 +1,216 @@
+#include "sched/policy.h"
+
+#include <deque>
+#include <map>
+#include <queue>
+#include <vector>
+
+namespace bistro {
+
+namespace {
+
+// Shared helper: extract one job for `file_id` from a deque, if present.
+std::optional<TransferJob> TakeForFile(std::deque<TransferJob>* q,
+                                       FileId file_id) {
+  for (auto it = q->begin(); it != q->end(); ++it) {
+    if (it->file_id == file_id) {
+      TransferJob job = std::move(*it);
+      q->erase(it);
+      return job;
+    }
+  }
+  return std::nullopt;
+}
+
+/// First-come first-served: jobs run in submission order. The natural
+/// behaviour of a cron-driven pipeline; backlogs head-of-line block
+/// everything behind them.
+class FifoPolicy : public SchedulingPolicy {
+ public:
+  void Add(TransferJob job) override { queue_.push_back(std::move(job)); }
+
+  std::optional<TransferJob> Next() override {
+    if (queue_.empty()) return std::nullopt;
+    TransferJob job = std::move(queue_.front());
+    queue_.pop_front();
+    return job;
+  }
+
+  std::optional<TransferJob> NextForFile(FileId file_id) override {
+    return TakeForFile(&queue_, file_id);
+  }
+
+  size_t Size() const override { return queue_.size(); }
+
+ private:
+  std::deque<TransferJob> queue_;
+};
+
+/// Earliest Deadline First: the job with the smallest deadline runs next.
+class EdfPolicy : public SchedulingPolicy {
+ public:
+  void Add(TransferJob job) override {
+    queue_.emplace(std::make_pair(job.deadline, seq_++), std::move(job));
+  }
+
+  std::optional<TransferJob> Next() override {
+    if (queue_.empty()) return std::nullopt;
+    auto it = queue_.begin();
+    TransferJob job = std::move(it->second);
+    queue_.erase(it);
+    return job;
+  }
+
+  std::optional<TransferJob> NextForFile(FileId file_id) override {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->second.file_id == file_id) {
+        TransferJob job = std::move(it->second);
+        queue_.erase(it);
+        return job;
+      }
+    }
+    return std::nullopt;
+  }
+
+  size_t Size() const override { return queue_.size(); }
+
+ private:
+  // (deadline, insertion seq) -> job; ties resolve FIFO.
+  std::map<std::pair<TimePoint, uint64_t>, TransferJob> queue_;
+  uint64_t seq_ = 0;
+};
+
+/// Round-robin across subscribers: each subscriber has a FIFO lane and
+/// lanes take turns, so one backlogged subscriber cannot monopolize the
+/// head of the queue (but gets no deadline awareness either).
+class RoundRobinPolicy : public SchedulingPolicy {
+ public:
+  void Add(TransferJob job) override {
+    auto [it, inserted] = lanes_.try_emplace(job.subscriber);
+    it->second.push_back(std::move(job));
+    if (inserted) order_.push_back(it->first);
+    ++size_;
+  }
+
+  std::optional<TransferJob> Next() override {
+    if (size_ == 0) return std::nullopt;
+    for (size_t tried = 0; tried < order_.size(); ++tried) {
+      cursor_ = (cursor_ + 1) % order_.size();
+      auto it = lanes_.find(order_[cursor_]);
+      if (it != lanes_.end() && !it->second.empty()) {
+        TransferJob job = std::move(it->second.front());
+        it->second.pop_front();
+        --size_;
+        return job;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<TransferJob> NextForFile(FileId file_id) override {
+    for (auto& [_, lane] : lanes_) {
+      auto job = TakeForFile(&lane, file_id);
+      if (job.has_value()) {
+        --size_;
+        return job;
+      }
+    }
+    return std::nullopt;
+  }
+
+  size_t Size() const override { return size_; }
+
+ private:
+  std::map<SubscriberName, std::deque<TransferJob>> lanes_;
+  std::vector<SubscriberName> order_;
+  size_t cursor_ = 0;
+  size_t size_ = 0;
+};
+
+/// Max-Benefit scheduling (cited by the paper from the stream-warehouse
+/// update literature [6]): run the job with the highest benefit per unit
+/// of resource. Transfer cost is proportional to file size, and all
+/// deliveries carry equal benefit, so priority is benefit density 1/size
+/// (shortest transfer first), with the earlier deadline breaking ties —
+/// small real-time files overtake bulk backfill.
+class MaxBenefitPolicy : public SchedulingPolicy {
+ public:
+  void Add(TransferJob job) override {
+    queue_.emplace(Key{job.size, job.deadline, seq_++}, std::move(job));
+  }
+
+  std::optional<TransferJob> Next() override {
+    if (queue_.empty()) return std::nullopt;
+    auto it = queue_.begin();
+    TransferJob job = std::move(it->second);
+    queue_.erase(it);
+    return job;
+  }
+
+  std::optional<TransferJob> NextForFile(FileId file_id) override {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->second.file_id == file_id) {
+        TransferJob job = std::move(it->second);
+        queue_.erase(it);
+        return job;
+      }
+    }
+    return std::nullopt;
+  }
+
+  size_t Size() const override { return queue_.size(); }
+
+ private:
+  struct Key {
+    uint64_t size;
+    TimePoint deadline;
+    uint64_t seq;
+    bool operator<(const Key& o) const {
+      if (size != o.size) return size < o.size;  // highest 1/size first
+      if (deadline != o.deadline) return deadline < o.deadline;
+      return seq < o.seq;
+    }
+  };
+  std::map<Key, TransferJob> queue_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace
+
+Result<PolicyKind> PolicyKindFromName(std::string_view name) {
+  if (name == "fifo") return PolicyKind::kFifo;
+  if (name == "edf") return PolicyKind::kEdf;
+  if (name == "rr") return PolicyKind::kRoundRobin;
+  if (name == "maxbenefit") return PolicyKind::kMaxBenefit;
+  return Status::InvalidArgument("unknown policy: " + std::string(name));
+}
+
+std::string_view PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifo:
+      return "fifo";
+    case PolicyKind::kEdf:
+      return "edf";
+    case PolicyKind::kRoundRobin:
+      return "rr";
+    case PolicyKind::kMaxBenefit:
+      return "maxbenefit";
+  }
+  return "?";
+}
+
+std::unique_ptr<SchedulingPolicy> MakePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>();
+    case PolicyKind::kEdf:
+      return std::make_unique<EdfPolicy>();
+    case PolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::kMaxBenefit:
+      return std::make_unique<MaxBenefitPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace bistro

@@ -1,0 +1,54 @@
+#include "sched/responsiveness.h"
+
+#include <algorithm>
+
+namespace bistro {
+
+void ResponsivenessTracker::RecordTransfer(const SubscriberName& sub,
+                                           uint64_t bytes, Duration elapsed) {
+  Entry& e = entries_[sub];
+  double secs = std::max<double>(static_cast<double>(elapsed) / kSecond, 1e-9);
+  double bps = static_cast<double>(bytes) / secs;
+  if (!e.seen) {
+    e.throughput_bps = bps;
+    e.seen = true;
+  } else {
+    e.throughput_bps = alpha_ * bps + (1.0 - alpha_) * e.throughput_bps;
+  }
+  e.failure_score /= 2.0;
+  e.consecutive_failures = 0;
+}
+
+void ResponsivenessTracker::RecordFailure(const SubscriberName& sub) {
+  Entry& e = entries_[sub];
+  e.failure_score += 1.0;
+  e.consecutive_failures += 1;
+}
+
+double ResponsivenessTracker::ThroughputBps(const SubscriberName& sub) const {
+  auto it = entries_.find(sub);
+  return it == entries_.end() ? 0.0 : it->second.throughput_bps;
+}
+
+double ResponsivenessTracker::FailureScore(const SubscriberName& sub) const {
+  auto it = entries_.find(sub);
+  return it == entries_.end() ? 0.0 : it->second.failure_score;
+}
+
+double ResponsivenessTracker::Score(const SubscriberName& sub) const {
+  auto it = entries_.find(sub);
+  if (it == entries_.end()) return 0.0;
+  const Entry& e = it->second;
+  return e.throughput_bps / (1.0 + e.failure_score);
+}
+
+int ResponsivenessTracker::ConsecutiveFailures(const SubscriberName& sub) const {
+  auto it = entries_.find(sub);
+  return it == entries_.end() ? 0 : it->second.consecutive_failures;
+}
+
+void ResponsivenessTracker::Reset(const SubscriberName& sub) {
+  entries_.erase(sub);
+}
+
+}  // namespace bistro

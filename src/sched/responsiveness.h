@@ -1,0 +1,57 @@
+#ifndef BISTRO_SCHED_RESPONSIVENESS_H_
+#define BISTRO_SCHED_RESPONSIVENESS_H_
+
+#include <map>
+#include <string>
+
+#include "core/types.h"
+
+namespace bistro {
+
+/// Per-subscriber responsiveness statistics (paper §4.3): an EWMA of
+/// observed transfer throughput plus a decaying failure score. The
+/// partitioned scheduler uses these to place subscribers into levels so
+/// slow or failing subscribers cannot starve responsive ones.
+class ResponsivenessTracker {
+ public:
+  /// `alpha` is the EWMA weight of the newest observation.
+  explicit ResponsivenessTracker(double alpha = 0.2) : alpha_(alpha) {}
+
+  /// Records a successful transfer of `bytes` taking `elapsed`.
+  void RecordTransfer(const SubscriberName& sub, uint64_t bytes,
+                      Duration elapsed);
+
+  /// Records a failed delivery attempt.
+  void RecordFailure(const SubscriberName& sub);
+
+  /// Smoothed throughput estimate in bytes/sec (0 if never observed).
+  double ThroughputBps(const SubscriberName& sub) const;
+
+  /// Decaying failure score (each failure adds 1, each success halves).
+  double FailureScore(const SubscriberName& sub) const;
+
+  /// Overall responsiveness score: higher is better. Combines throughput
+  /// with a penalty factor for recent failures.
+  double Score(const SubscriberName& sub) const;
+
+  /// Consecutive failures since the last success (drives offline
+  /// detection in the delivery engine, §4.2).
+  int ConsecutiveFailures(const SubscriberName& sub) const;
+
+  void Reset(const SubscriberName& sub);
+
+ private:
+  struct Entry {
+    double throughput_bps = 0;
+    bool seen = false;
+    double failure_score = 0;
+    int consecutive_failures = 0;
+  };
+
+  double alpha_;
+  std::map<SubscriberName, Entry> entries_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_SCHED_RESPONSIVENESS_H_

@@ -1,0 +1,140 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+
+namespace bistro {
+
+void DeliveryScheduler::RecordOutcome(const TransferJob& job, bool success,
+                                      TimePoint now, Duration elapsed) {
+  if (hook_) hook_(job, success, now, elapsed);
+  if (!success) {
+    metrics_.failed++;
+    tracker_.RecordFailure(job.subscriber);
+    return;
+  }
+  metrics_.completed++;
+  tracker_.RecordTransfer(job.subscriber, job.size, elapsed);
+  Duration wait = now - job.arrival_time;
+  metrics_.max_wait = std::max(metrics_.max_wait, wait);
+  if (now > job.deadline) {
+    Duration tardiness = now - job.deadline;
+    metrics_.late++;
+    metrics_.total_tardiness += tardiness;
+    metrics_.max_tardiness = std::max(metrics_.max_tardiness, tardiness);
+  }
+}
+
+SinglePolicyScheduler::SinglePolicyScheduler(PolicyKind kind, size_t capacity)
+    : policy_(MakePolicy(kind)), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SinglePolicyScheduler::Submit(TransferJob job) {
+  policy_->Add(std::move(job));
+}
+
+std::optional<TransferJob> SinglePolicyScheduler::Dequeue() {
+  if (in_flight_ >= capacity_) return std::nullopt;
+  auto job = policy_->Next();
+  if (job.has_value()) ++in_flight_;
+  return job;
+}
+
+void SinglePolicyScheduler::OnComplete(const TransferJob& job, bool success,
+                                       TimePoint now, Duration elapsed) {
+  if (in_flight_ > 0) --in_flight_;
+  RecordOutcome(job, success, now, elapsed);
+}
+
+PartitionedScheduler::PartitionedScheduler(Options options)
+    : options_(options) {
+  if (options_.num_partitions == 0) options_.num_partitions = 1;
+  if (options_.slots_per_partition == 0) options_.slots_per_partition = 1;
+  partitions_.resize(options_.num_partitions);
+  for (auto& p : partitions_) p.policy = MakePolicy(options_.intra_policy);
+}
+
+void PartitionedScheduler::SetPartition(const SubscriberName& sub,
+                                        size_t partition) {
+  assignment_[sub] = std::min(partition, partitions_.size() - 1);
+}
+
+size_t PartitionedScheduler::PartitionOf(const SubscriberName& sub) const {
+  auto it = assignment_.find(sub);
+  return it == assignment_.end() ? 0 : it->second;
+}
+
+void PartitionedScheduler::Submit(TransferJob job) {
+  partitions_[PartitionOf(job.subscriber)].policy->Add(std::move(job));
+}
+
+std::optional<TransferJob> PartitionedScheduler::Dequeue() {
+  // Visit partitions round-robin so each level gets slot-refill turns;
+  // capacity is per-partition, so a backlogged level never consumes
+  // another level's slots.
+  for (size_t tried = 0; tried < partitions_.size(); ++tried) {
+    size_t idx = (rr_cursor_ + tried) % partitions_.size();
+    Partition& p = partitions_[idx];
+    if (p.in_flight >= options_.slots_per_partition) continue;
+    std::optional<TransferJob> job;
+    if (options_.locality && p.last_file != 0) {
+      job = p.policy->NextForFile(p.last_file);
+    }
+    if (!job.has_value()) job = p.policy->Next();
+    if (!job.has_value()) continue;
+    p.in_flight++;
+    p.last_file = job->file_id;
+    slot_owner_[{job->file_id, job->subscriber}] = idx;
+    rr_cursor_ = (idx + 1) % partitions_.size();
+    return job;
+  }
+  return std::nullopt;
+}
+
+void PartitionedScheduler::OnComplete(const TransferJob& job, bool success,
+                                      TimePoint now, Duration elapsed) {
+  size_t idx = PartitionOf(job.subscriber);
+  auto slot = slot_owner_.find({job.file_id, job.subscriber});
+  if (slot != slot_owner_.end()) {
+    idx = slot->second;
+    slot_owner_.erase(slot);
+  }
+  Partition& p = partitions_[idx];
+  if (p.in_flight > 0) --p.in_flight;
+  RecordOutcome(job, success, now, elapsed);
+  ++completions_;
+  if (options_.rebalance_every > 0 &&
+      completions_ % options_.rebalance_every == 0) {
+    MaybeRebalance(job.subscriber);
+  }
+}
+
+void PartitionedScheduler::MaybeRebalance(const SubscriberName& sub) {
+  // Dynamic migration (paper future work, ablation flag): order known
+  // subscribers by responsiveness score and split into equal bands.
+  std::vector<std::pair<double, SubscriberName>> scored;
+  for (const auto& [name, _] : assignment_) {
+    scored.emplace_back(tracker_.Score(name), name);
+  }
+  if (scored.size() < partitions_.size()) {
+    (void)sub;
+    return;
+  }
+  std::sort(scored.rbegin(), scored.rend());
+  size_t band = (scored.size() + partitions_.size() - 1) / partitions_.size();
+  for (size_t i = 0; i < scored.size(); ++i) {
+    assignment_[scored[i].second] = std::min(i / band, partitions_.size() - 1);
+  }
+}
+
+size_t PartitionedScheduler::pending() const {
+  size_t total = 0;
+  for (const auto& p : partitions_) total += p.policy->Size();
+  return total;
+}
+
+size_t PartitionedScheduler::in_flight() const {
+  size_t total = 0;
+  for (const auto& p : partitions_) total += p.in_flight;
+  return total;
+}
+
+}  // namespace bistro

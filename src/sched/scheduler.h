@@ -1,0 +1,155 @@
+#ifndef BISTRO_SCHED_SCHEDULER_H_
+#define BISTRO_SCHED_SCHEDULER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sched/policy.h"
+#include "sched/responsiveness.h"
+
+namespace bistro {
+
+/// Aggregate delivery quality metrics (drives experiment E3).
+struct SchedulerMetrics {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  /// Sum / max of lateness past the deadline, over completed jobs
+  /// (on-time jobs contribute 0).
+  Duration total_tardiness = 0;
+  Duration max_tardiness = 0;
+  uint64_t late = 0;  // completed after their deadline
+  /// Per-job queue wait (completion - arrival), for starvation analysis.
+  Duration max_wait = 0;
+
+  double MeanTardiness() const {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(total_tardiness) / completed;
+  }
+  double LateFraction() const {
+    return completed == 0 ? 0.0 : static_cast<double>(late) / completed;
+  }
+};
+
+/// The delivery engine's view of a scheduler: submit jobs, dequeue the
+/// next job when a transfer slot frees up, and report outcomes.
+class DeliveryScheduler {
+ public:
+  virtual ~DeliveryScheduler() = default;
+
+  virtual void Submit(TransferJob job) = 0;
+
+  /// Returns the next job to run, honoring the scheduler's internal
+  /// capacity accounting, or nullopt if nothing is runnable (queue empty
+  /// or all capacity in flight).
+  virtual std::optional<TransferJob> Dequeue() = 0;
+
+  /// Reports the outcome of a dequeued job. `now` is the completion time
+  /// and `elapsed` the transfer duration. Frees the job's capacity.
+  virtual void OnComplete(const TransferJob& job, bool success,
+                          TimePoint now, Duration elapsed) = 0;
+
+  virtual size_t pending() const = 0;
+  virtual size_t in_flight() const = 0;
+
+  const SchedulerMetrics& metrics() const { return metrics_; }
+  ResponsivenessTracker* tracker() { return &tracker_; }
+
+  /// Observer invoked on every completion report (job, success,
+  /// completion time, elapsed). Used by experiments and monitoring to
+  /// break metrics down per subscriber.
+  using CompletionHook =
+      std::function<void(const TransferJob&, bool, TimePoint, Duration)>;
+  void SetCompletionHook(CompletionHook hook) { hook_ = std::move(hook); }
+
+ protected:
+  void RecordOutcome(const TransferJob& job, bool success, TimePoint now,
+                     Duration elapsed);
+
+  SchedulerMetrics metrics_;
+  ResponsivenessTracker tracker_;
+  CompletionHook hook_;
+};
+
+/// Baseline: one global policy (FIFO / EDF / RR) and one global slot pool.
+/// This is what a naive DFMS does — and what lets one slow subscriber's
+/// backlog starve everyone under FIFO, or dominate slots under EDF when
+/// its deadlines are oldest.
+class SinglePolicyScheduler : public DeliveryScheduler {
+ public:
+  SinglePolicyScheduler(PolicyKind kind, size_t capacity);
+
+  void Submit(TransferJob job) override;
+  std::optional<TransferJob> Dequeue() override;
+  void OnComplete(const TransferJob& job, bool success, TimePoint now,
+                  Duration elapsed) override;
+  size_t pending() const override { return policy_->Size(); }
+  size_t in_flight() const override { return in_flight_; }
+
+ private:
+  std::unique_ptr<SchedulingPolicy> policy_;
+  size_t capacity_;
+  size_t in_flight_ = 0;
+};
+
+/// Bistro's partitioned scheduler (paper §4.3): subscribers are placed in
+/// a small fixed number of levels by responsiveness; each level owns a
+/// fixed share of transfer slots and runs its own intra-partition policy
+/// (EDF by default). A slow or backlogged level can exhaust only its own
+/// slots. A locality heuristic prefers delivering the file just sent to
+/// other subscribers of the same partition while it is hot.
+class PartitionedScheduler : public DeliveryScheduler {
+ public:
+  struct Options {
+    Options() {}
+    size_t num_partitions = 3;
+    /// Transfer slots per partition.
+    size_t slots_per_partition = 2;
+    PolicyKind intra_policy = PolicyKind::kEdf;
+    /// Enable the same-file locality preference.
+    bool locality = true;
+    /// If > 0, re-evaluate a subscriber's partition from its observed
+    /// responsiveness every N completions (the paper's future-work
+    /// dynamic migration; off by default, used as an ablation).
+    uint64_t rebalance_every = 0;
+  };
+
+  explicit PartitionedScheduler(Options options = Options());
+
+  /// Pins a subscriber to a partition (0 = most responsive). Unassigned
+  /// subscribers default to partition 0.
+  void SetPartition(const SubscriberName& sub, size_t partition);
+  size_t PartitionOf(const SubscriberName& sub) const;
+
+  void Submit(TransferJob job) override;
+  std::optional<TransferJob> Dequeue() override;
+  void OnComplete(const TransferJob& job, bool success, TimePoint now,
+                  Duration elapsed) override;
+  size_t pending() const override;
+  size_t in_flight() const override;
+
+ private:
+  struct Partition {
+    std::unique_ptr<SchedulingPolicy> policy;
+    size_t in_flight = 0;
+    FileId last_file = 0;  // locality anchor
+  };
+
+  void MaybeRebalance(const SubscriberName& sub);
+
+  Options options_;
+  std::vector<Partition> partitions_;
+  std::map<SubscriberName, size_t> assignment_;
+  /// Partition a dequeued job's slot belongs to; keyed by (file, sub) so
+  /// rebalancing between dequeue and completion cannot corrupt slot
+  /// accounting.
+  std::map<std::pair<FileId, SubscriberName>, size_t> slot_owner_;
+  size_t rr_cursor_ = 0;
+  uint64_t completions_ = 0;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_SCHED_SCHEDULER_H_

@@ -1,0 +1,64 @@
+#include "sim/event_loop.h"
+
+namespace bistro {
+
+void EventLoop::PostAt(TimePoint t, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TimePoint now = clock_->Now();
+  if (t < now) t = now;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventLoop::AdvanceTo(TimePoint t) {
+  TimePoint now = clock_->Now();
+  if (t <= now) return;
+  if (auto* sim = dynamic_cast<SimClock*>(clock_)) {
+    sim->AdvanceTo(t);
+  } else {
+    clock_->SleepFor(t - now);
+  }
+}
+
+bool EventLoop::RunOne() {
+  Event event;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+  }
+  AdvanceTo(event.due);
+  event.fn();
+  ++executed_;
+  return true;
+}
+
+void EventLoop::RunUntilIdle() {
+  stopped_ = false;
+  while (!stopped_ && RunOne()) {
+  }
+}
+
+void EventLoop::RunUntil(TimePoint until) {
+  stopped_ = false;
+  while (!stopped_) {
+    Event event;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty() || queue_.top().due > until) break;
+      event = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+    }
+    AdvanceTo(event.due);
+    event.fn();
+    ++executed_;
+  }
+  AdvanceTo(until);
+}
+
+size_t EventLoop::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace bistro

@@ -1,0 +1,81 @@
+#ifndef BISTRO_SIM_EVENT_LOOP_H_
+#define BISTRO_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace bistro {
+
+/// Discrete-event loop driving Bistro components under simulated or real
+/// time.
+///
+/// With a SimClock, RunUntilIdle() advances the clock straight to each
+/// event's due time, so a simulated day of feed traffic executes in
+/// milliseconds and is fully deterministic (ties break by posting order).
+/// With a RealClock, the loop sleeps until events come due, which lets the
+/// same server wiring run live in the examples.
+class EventLoop {
+ public:
+  explicit EventLoop(Clock* clock) : clock_(clock) {}
+
+  /// Schedules `fn` at the current time (runs after already-due events
+  /// posted earlier).
+  void Post(std::function<void()> fn) { PostAt(clock_->Now(), std::move(fn)); }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
+  void PostAt(TimePoint t, std::function<void()> fn);
+
+  /// Schedules `fn` after `d`.
+  void PostAfter(Duration d, std::function<void()> fn) {
+    PostAt(clock_->Now() + d, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or Stop() is called.
+  void RunUntilIdle();
+
+  /// Runs events with due time <= `until`, advancing the clock to `until`
+  /// at the end. Later events stay queued.
+  void RunUntil(TimePoint until);
+
+  /// Runs a single event if one is queued. Returns false when idle.
+  bool RunOne();
+
+  /// Makes RunUntilIdle()/RunUntil() return after the current event.
+  void Stop() { stopped_ = true; }
+
+  TimePoint Now() const { return clock_->Now(); }
+  Clock* clock() const { return clock_; }
+
+  size_t pending() const;
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint due;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+    }
+  };
+
+  void AdvanceTo(TimePoint t);
+
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_SIM_EVENT_LOOP_H_

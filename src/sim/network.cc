@@ -1,0 +1,65 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace bistro {
+
+void SimNetwork::SetLink(const std::string& subscriber, LinkSpec spec) {
+  links_[subscriber].spec = spec;
+}
+
+bool SimNetwork::HasLink(const std::string& subscriber) const {
+  return links_.count(subscriber) != 0;
+}
+
+void SimNetwork::SetOnline(const std::string& subscriber, bool online) {
+  auto it = links_.find(subscriber);
+  if (it != links_.end()) it->second.online = online;
+}
+
+bool SimNetwork::IsOnline(const std::string& subscriber) const {
+  auto it = links_.find(subscriber);
+  return it != links_.end() && it->second.online;
+}
+
+Result<Duration> SimNetwork::TransferDuration(const std::string& subscriber,
+                                              uint64_t bytes) const {
+  auto it = links_.find(subscriber);
+  if (it == links_.end()) {
+    return Status::Unavailable("no link to subscriber: " + subscriber);
+  }
+  const LinkSpec& spec = it->second.spec;
+  uint64_t bw = std::max<uint64_t>(spec.bandwidth_bytes_per_sec, 1);
+  Duration serialization =
+      static_cast<Duration>((static_cast<double>(bytes) / bw) * kSecond);
+  return spec.latency + serialization;
+}
+
+Result<TimePoint> SimNetwork::ScheduleTransfer(const std::string& subscriber,
+                                               uint64_t bytes, TimePoint now) {
+  auto it = links_.find(subscriber);
+  if (it == links_.end()) {
+    return Status::Unavailable("no link to subscriber: " + subscriber);
+  }
+  Link& link = it->second;
+  if (!link.online) {
+    return Status::Unavailable("subscriber offline: " + subscriber);
+  }
+  TimePoint start = std::max(now, link.busy_until);
+  if (rng_->Bernoulli(link.spec.failure_prob)) {
+    // A failed attempt still burns the setup latency on the link.
+    link.busy_until = start + link.spec.latency;
+    return Status::IoError("transfer failed to: " + subscriber);
+  }
+  BISTRO_ASSIGN_OR_RETURN(Duration d, TransferDuration(subscriber, bytes));
+  link.busy_until = start + d;
+  link.bytes_sent += bytes;
+  return link.busy_until;
+}
+
+uint64_t SimNetwork::BytesSent(const std::string& subscriber) const {
+  auto it = links_.find(subscriber);
+  return it == links_.end() ? 0 : it->second.bytes_sent;
+}
+
+}  // namespace bistro

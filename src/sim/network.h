@@ -1,0 +1,76 @@
+#ifndef BISTRO_SIM_NETWORK_H_
+#define BISTRO_SIM_NETWORK_H_
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace bistro {
+
+/// Capacity and reliability of the network path to one subscriber.
+struct LinkSpec {
+  uint64_t bandwidth_bytes_per_sec = 100 * 1000 * 1000;  // ~1 Gbit/s
+  Duration latency = 10 * kMillisecond;                  // per transfer setup
+  double failure_prob = 0.0;  // chance one transfer attempt fails
+
+  static LinkSpec Fast() { return LinkSpec{}; }
+  static LinkSpec Slow() {
+    return LinkSpec{1 * 1000 * 1000, 50 * kMillisecond, 0.0};
+  }
+  static LinkSpec Flaky(double p) {
+    LinkSpec l;
+    l.failure_prob = p;
+    return l;
+  }
+};
+
+/// Simulated network connecting a Bistro server to its subscribers
+/// (substitute for the paper's production WAN; see DESIGN.md §2).
+///
+/// Each subscriber has one serial link: concurrent transfers to the same
+/// subscriber queue behind each other (busy-until tracking), which models
+/// the per-subscriber bandwidth constraint of §4.3. Links can be marked
+/// offline to model subscriber failures.
+class SimNetwork {
+ public:
+  explicit SimNetwork(Rng* rng) : rng_(rng) {}
+
+  void SetLink(const std::string& subscriber, LinkSpec spec);
+  /// True if the subscriber has a configured link (online or not).
+  bool HasLink(const std::string& subscriber) const;
+
+  void SetOnline(const std::string& subscriber, bool online);
+  bool IsOnline(const std::string& subscriber) const;
+
+  /// Reserves the link for a transfer of `bytes` starting no earlier than
+  /// `now`; returns the completion time. Errors: Unavailable if the link
+  /// is offline or unknown; IoError (with probability failure_prob) for a
+  /// transient failure, which still occupies the link for the latency.
+  Result<TimePoint> ScheduleTransfer(const std::string& subscriber,
+                                     uint64_t bytes, TimePoint now);
+
+  /// Time a transfer would take on an idle link (latency + serialization).
+  Result<Duration> TransferDuration(const std::string& subscriber,
+                                    uint64_t bytes) const;
+
+  /// Total bytes successfully scheduled per subscriber.
+  uint64_t BytesSent(const std::string& subscriber) const;
+
+ private:
+  struct Link {
+    LinkSpec spec;
+    bool online = true;
+    TimePoint busy_until = 0;
+    uint64_t bytes_sent = 0;
+  };
+
+  Rng* rng_;
+  std::map<std::string, Link> links_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_SIM_NETWORK_H_

@@ -1,0 +1,135 @@
+#include "sim/sources.h"
+
+#include "common/strings.h"
+
+namespace bistro {
+
+PollerFleet::PollerFleet(EventLoop* loop, Rng* rng, Options options,
+                         DepositFn deposit, PunctuationFn punctuation)
+    : loop_(loop),
+      rng_(rng),
+      options_(std::move(options)),
+      deposit_(std::move(deposit)),
+      punctuation_(std::move(punctuation)),
+      current_pollers_(options_.num_pollers) {}
+
+std::string PollerFleet::FileName(int poller, TimePoint interval) const {
+  CivilTime c = ToCivil(interval);
+  return StrFormat("%s_POLL%d_%04d%02d%02d%02d%02d.%s",
+                   options_.metric.c_str(), poller, c.year, c.month, c.day,
+                   c.hour, c.minute, options_.extension.c_str());
+}
+
+std::string PollerFleet::MakePayload(int poller, TimePoint interval) {
+  std::string payload;
+  payload.reserve(options_.file_size + 64);
+  while (payload.size() < options_.file_size) {
+    payload += StrFormat("router_%llu,%s,poller%d,%llu,%llu\n",
+                         (unsigned long long)rng_->Uniform(100),
+                         options_.metric.c_str(), poller,
+                         (unsigned long long)(interval / kSecond),
+                         (unsigned long long)rng_->Uniform(1000000));
+  }
+  payload.resize(options_.file_size);
+  return payload;
+}
+
+void PollerFleet::ScheduleInterval(TimePoint start, TimePoint end) {
+  int interval_index = 0;
+  for (TimePoint t = start; t < end; t += options_.period, ++interval_index) {
+    if (options_.growth_every > 0 && interval_index > 0 &&
+        interval_index % options_.growth_every == 0) {
+      ++current_pollers_;
+    }
+    int pollers = current_pollers_;
+    TimePoint latest_on_time = t;
+    for (int p = 1; p <= pollers; ++p) {
+      if (rng_->Bernoulli(options_.dropout_prob)) {
+        ++files_dropped_;
+        continue;
+      }
+      Duration delay =
+          options_.max_delay > 0
+              ? static_cast<Duration>(rng_->Uniform(
+                    static_cast<uint64_t>(options_.max_delay)))
+              : 0;
+      bool late = rng_->Bernoulli(options_.late_prob);
+      if (late) {
+        delay += options_.period * static_cast<Duration>(1 + rng_->Uniform(3));
+        ++files_late_;
+      }
+      TimePoint deposit_at = t + delay;
+      if (!late && deposit_at > latest_on_time) latest_on_time = deposit_at;
+      std::string name = FileName(p, t);
+      loop_->PostAt(deposit_at, [this, p, t, name = std::move(name)] {
+        deposit_(options_.source, name, MakePayload(p, t));
+      });
+      ++files_generated_;
+    }
+    if (options_.punctuate && punctuation_) {
+      loop_->PostAt(latest_on_time + kMillisecond,
+                    [this, t] { punctuation_(t); });
+    }
+  }
+}
+
+std::string CorpusGenerator::TruthPattern(const FeedTemplate& t) {
+  switch (t.style) {
+    case FeedTemplate::Style::kWideStamp:
+      return t.metric + "_POLLER%i_%Y%m%d%H%M.csv.gz";
+    case FeedTemplate::Style::kSplitStamp:
+      return t.metric + "_POLLER%i_%Y%m%d%H_%M.csv.gz";
+    case FeedTemplate::Style::kSeparatedDate:
+      return t.metric + "%i_%Y_%m_%d_%H.csv";
+  }
+  return "";
+}
+
+std::vector<CorpusGenerator::Labelled> CorpusGenerator::Generate(
+    const std::vector<FeedTemplate>& templates, size_t junk, TimePoint start) {
+  std::vector<Labelled> out;
+  for (size_t ti = 0; ti < templates.size(); ++ti) {
+    const FeedTemplate& t = templates[ti];
+    for (int interval = 0; interval < t.intervals; ++interval) {
+      TimePoint when = start + interval * t.period;
+      CivilTime c = ToCivil(when);
+      for (int p = 1; p <= t.pollers; ++p) {
+        std::string name;
+        switch (t.style) {
+          case FeedTemplate::Style::kWideStamp:
+            name = StrFormat("%s_POLLER%d_%04d%02d%02d%02d%02d.csv.gz",
+                             t.metric.c_str(), p, c.year, c.month, c.day,
+                             c.hour, c.minute);
+            break;
+          case FeedTemplate::Style::kSplitStamp:
+            name = StrFormat("%s_POLLER%d_%04d%02d%02d%02d_%02d.csv.gz",
+                             t.metric.c_str(), p, c.year, c.month, c.day,
+                             c.hour, c.minute);
+            break;
+          case FeedTemplate::Style::kSeparatedDate:
+            name = StrFormat("%s%d_%04d_%02d_%02d_%02d.csv", t.metric.c_str(),
+                             p, c.year, c.month, c.day, c.hour);
+            break;
+        }
+        Labelled l;
+        l.obs.name = std::move(name);
+        l.obs.arrival_time = when;
+        l.truth = static_cast<int>(ti);
+        out.push_back(std::move(l));
+      }
+    }
+  }
+  for (size_t j = 0; j < junk; ++j) {
+    Labelled l;
+    l.obs.name = rng_->AlnumString(8 + rng_->Uniform(12)) + "." +
+                 rng_->AlnumString(3);
+    l.obs.arrival_time = start + static_cast<Duration>(rng_->Uniform(
+                                     static_cast<uint64_t>(kDay)));
+    l.truth = -1;
+    out.push_back(std::move(l));
+  }
+  rng_->Shuffle(&out);
+  return out;
+}
+
+}  // namespace bistro

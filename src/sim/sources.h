@@ -1,0 +1,123 @@
+#ifndef BISTRO_SIM_SOURCES_H_
+#define BISTRO_SIM_SOURCES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analyzer/infer.h"
+#include "common/random.h"
+#include "common/time.h"
+#include "sim/event_loop.h"
+
+namespace bistro {
+
+/// Callback through which simulated sources deposit files:
+/// (source id, filename, content).
+using DepositFn =
+    std::function<void(const std::string&, const std::string&, std::string)>;
+
+/// Callback for source end-of-batch punctuation: (interval time).
+using PunctuationFn = std::function<void(TimePoint)>;
+
+/// A fleet of SNMP-style pollers generating one file per poller per
+/// measurement interval (the paper's running example). Substitute for
+/// AT&T's production pollers; reproduces their arrival structure:
+/// periodic intervals, per-poller dropout, deposit latency jitter,
+/// occasional heavily-late (out-of-order) files, and fleet growth.
+class PollerFleet {
+ public:
+  struct Options {
+    Options() {}
+    std::string metric = "CPU";    // filename stem
+    std::string source = "pollers";  // landing-zone source id
+    std::string extension = "txt";
+    int num_pollers = 3;
+    Duration period = 5 * kMinute;
+    /// Probability a poller produces nothing for an interval.
+    double dropout_prob = 0.0;
+    /// Uniform extra deposit delay in [0, max_delay] after the interval.
+    Duration max_delay = 10 * kSecond;
+    /// Probability a file is delayed by 1..3 extra periods (arrives
+    /// out of order).
+    double late_prob = 0.0;
+    /// Bytes of synthetic payload per file.
+    uint64_t file_size = 1000;
+    /// If >0, a new poller joins the fleet every `growth_every` intervals
+    /// (the §2.1.3 "more sources are contributing to a feed" evolution).
+    int growth_every = 0;
+    /// Emit punctuation when the last on-time file of an interval lands.
+    bool punctuate = false;
+  };
+
+  PollerFleet(EventLoop* loop, Rng* rng, Options options, DepositFn deposit,
+              PunctuationFn punctuation = nullptr);
+
+  /// Schedules file generation for all intervals in [start, end).
+  void ScheduleInterval(TimePoint start, TimePoint end);
+
+  /// Filename a poller emits for an interval:
+  /// "<METRIC>_POLL<i>_<YYYYMMDDHHMM>.<ext>".
+  std::string FileName(int poller, TimePoint interval) const;
+
+  uint64_t files_generated() const { return files_generated_; }
+  uint64_t files_dropped() const { return files_dropped_; }
+  uint64_t files_late() const { return files_late_; }
+  int current_pollers() const { return current_pollers_; }
+
+ private:
+  std::string MakePayload(int poller, TimePoint interval);
+
+  EventLoop* loop_;
+  Rng* rng_;
+  Options options_;
+  DepositFn deposit_;
+  PunctuationFn punctuation_;
+  uint64_t files_generated_ = 0;
+  uint64_t files_dropped_ = 0;
+  uint64_t files_late_ = 0;
+  int current_pollers_ = 0;
+};
+
+/// Ground-truth labelled filename corpora for analyzer experiments (E7):
+/// each corpus mixes several synthetic atomic feeds (with known
+/// patterns), naming-convention drift, and foreign junk files.
+class CorpusGenerator {
+ public:
+  /// Specification of one synthetic atomic feed in a corpus.
+  struct FeedTemplate {
+    std::string metric;       // e.g. "MEMORY"
+    int pollers = 2;          // id domain
+    Duration period = 5 * kMinute;
+    int intervals = 12;
+    enum class Style {
+      kWideStamp,      // METRIC_POLLERi_YYYYMMDDHHMM.csv.gz
+      kSplitStamp,     // METRIC_POLLERi_YYYYMMDDHH_MM.csv.gz
+      kSeparatedDate,  // METRICi_YYYY_MM_DD_HH.csv
+    };
+    Style style = Style::kWideStamp;
+  };
+
+  explicit CorpusGenerator(Rng* rng) : rng_(rng) {}
+
+  /// One labelled observation.
+  struct Labelled {
+    FileObservation obs;
+    int truth = -1;  // index of the generating template, -1 = junk
+  };
+
+  /// Generates a corpus covering `templates`, plus `junk` random files,
+  /// shuffled. `start` anchors the timestamps.
+  std::vector<Labelled> Generate(const std::vector<FeedTemplate>& templates,
+                                 size_t junk, TimePoint start);
+
+  /// The exact Bistro pattern a template's files follow (ground truth).
+  static std::string TruthPattern(const FeedTemplate& t);
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_SIM_SOURCES_H_

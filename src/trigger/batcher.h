@@ -1,0 +1,77 @@
+#ifndef BISTRO_TRIGGER_BATCHER_H_
+#define BISTRO_TRIGGER_BATCHER_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "config/spec.h"
+#include "core/types.h"
+
+namespace bistro {
+
+/// A closed batch: the unit on which a subscriber's trigger fires.
+struct BatchEvent {
+  FeedName feed;
+  SubscriberName subscriber;
+  /// Files in the batch, in delivery order.
+  std::vector<FileId> files;
+  /// Data-interval timestamp shared by the batch (0 if unknown).
+  TimePoint batch_time = 0;
+  /// When the batch was opened (first file delivered) and closed.
+  TimePoint open_time = 0;
+  TimePoint close_time = 0;
+  /// Why the batch closed.
+  enum class Reason { kPerFile, kCount, kTimeout, kPunctuation, kIntervalRollover };
+  Reason reason = Reason::kPerFile;
+};
+
+/// Groups delivered files into logical batches per (subscriber, feed)
+/// according to a BatchSpec (paper §2.3, §4.1).
+///
+/// Count-based batches close after N files of the same data interval.
+/// Time-based batches close when the batch has been open for `timeout`.
+/// Combined mode closes on whichever comes first — the configuration the
+/// paper found robust in practice. Punctuation mode closes only on
+/// explicit end-of-batch markers from the source. In every mode, a file
+/// from a *newer* data interval rolls over any open batch of an older
+/// interval (a straggler-tolerant boundary, like stream punctuation).
+class Batcher {
+ public:
+  Batcher(FeedName feed, SubscriberName subscriber, BatchSpec spec);
+
+  /// Reports a delivered file; returns the batch it closed, if any.
+  /// In kPerFile mode every call returns a single-file batch.
+  std::optional<BatchEvent> OnFileDelivered(FileId file, TimePoint data_time,
+                                            TimePoint now);
+
+  /// Reports an end-of-batch punctuation from the source.
+  std::optional<BatchEvent> OnPunctuation(TimePoint now);
+
+  /// Advances time; closes an open batch whose timeout expired.
+  std::optional<BatchEvent> OnTick(TimePoint now);
+
+  /// Closes and returns any open batch (e.g. on shutdown).
+  std::optional<BatchEvent> Flush(TimePoint now);
+
+  /// Earliest time OnTick could close the open batch (nullopt if none or
+  /// the mode has no timeout). Lets the server schedule its tick.
+  std::optional<TimePoint> NextDeadline() const;
+
+  const BatchSpec& spec() const { return spec_; }
+
+ private:
+  BatchEvent CloseBatch(TimePoint now, BatchEvent::Reason reason);
+
+  FeedName feed_;
+  SubscriberName subscriber_;
+  BatchSpec spec_;
+  std::vector<FileId> open_files_;
+  TimePoint open_time_ = 0;
+  TimePoint batch_time_ = 0;  // data interval of the open batch
+  bool has_open_ = false;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_TRIGGER_BATCHER_H_

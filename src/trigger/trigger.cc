@@ -1,0 +1,38 @@
+#include "trigger/trigger.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace bistro {
+
+void CallbackInvoker::Register(const std::string& command, Callback cb) {
+  callbacks_[command] = std::move(cb);
+}
+
+Status CallbackInvoker::Invoke(const std::string& command,
+                               const BatchEvent& batch) {
+  auto it = callbacks_.find(command);
+  if (it == callbacks_.end()) {
+    return Status::NotFound("no trigger callback registered: " + command);
+  }
+  return it->second(batch);
+}
+
+Status CommandInvoker::Invoke(const std::string& command,
+                              const BatchEvent& batch) {
+  std::string full = StrFormat(
+      "%s '%s' '%s' %lld %zu", command.c_str(), batch.feed.c_str(),
+      batch.subscriber.c_str(), static_cast<long long>(batch.batch_time),
+      batch.files.size());
+  int rc = std::system(full.c_str());
+  if (rc != 0) {
+    logger_->Error("trigger",
+                   StrFormat("trigger command failed (rc=%d): %s", rc,
+                             full.c_str()));
+    return Status::Internal(StrFormat("trigger exited with %d", rc));
+  }
+  return Status::OK();
+}
+
+}  // namespace bistro

@@ -1,0 +1,82 @@
+#ifndef BISTRO_TRIGGER_TRIGGER_H_
+#define BISTRO_TRIGGER_TRIGGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "trigger/batcher.h"
+
+namespace bistro {
+
+/// Invokes subscriber-registered trigger programs when files or batches
+/// become available (paper §3.1 item 3, §4.1).
+///
+/// Two invocation styles exist in Bistro: a lightweight program run on the
+/// subscriber's site (remote), or a script run locally on the server.
+/// This interface abstracts "run the thing"; implementations decide what
+/// that means.
+class TriggerInvoker {
+ public:
+  virtual ~TriggerInvoker() = default;
+
+  /// Invokes `command` for a closed batch. Invocation failures are
+  /// reported but must not block feed delivery.
+  virtual Status Invoke(const std::string& command,
+                        const BatchEvent& batch) = 0;
+};
+
+/// Dispatches to C++ callbacks registered per command name. The form used
+/// by embedded applications, examples and tests.
+class CallbackInvoker : public TriggerInvoker {
+ public:
+  using Callback = std::function<Status(const BatchEvent&)>;
+
+  void Register(const std::string& command, Callback cb);
+  Status Invoke(const std::string& command, const BatchEvent& batch) override;
+
+ private:
+  std::map<std::string, Callback> callbacks_;
+};
+
+/// Runs the command as a shell process (the deployment form: trigger
+/// scripts like "load_partition.sh"). Batch metadata is passed through
+/// environment-style trailing arguments:
+///   <command> <feed> <subscriber> <batch_time_us> <file_count>
+class CommandInvoker : public TriggerInvoker {
+ public:
+  explicit CommandInvoker(Logger* logger = Logger::Default())
+      : logger_(logger) {}
+
+  Status Invoke(const std::string& command, const BatchEvent& batch) override;
+
+ private:
+  Logger* logger_;
+};
+
+/// Records invocations for tests and experiments.
+class RecordingInvoker : public TriggerInvoker {
+ public:
+  Status Invoke(const std::string& command, const BatchEvent& batch) override {
+    invocations_.push_back({command, batch});
+    return Status::OK();
+  }
+
+  struct Invocation {
+    std::string command;
+    BatchEvent batch;
+  };
+  const std::vector<Invocation>& invocations() const { return invocations_; }
+  void Clear() { invocations_.clear(); }
+
+ private:
+  std::vector<Invocation> invocations_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_TRIGGER_TRIGGER_H_

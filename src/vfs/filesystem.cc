@@ -1,0 +1,72 @@
+#include "vfs/filesystem.h"
+
+#include <deque>
+
+namespace bistro {
+
+Result<std::vector<FileInfo>> FileSystem::ListRecursive(const std::string& root) {
+  std::vector<FileInfo> out;
+  std::deque<std::string> pending{root};
+  while (!pending.empty()) {
+    std::string dir = std::move(pending.front());
+    pending.pop_front();
+    auto listing = ListDir(dir);
+    if (!listing.ok()) {
+      if (listing.status().IsNotFound()) continue;
+      return listing.status();
+    }
+    for (auto& entry : *listing) {
+      if (entry.is_directory) {
+        pending.push_back(entry.path);
+      } else {
+        out.push_back(std::move(entry));
+      }
+    }
+  }
+  return out;
+}
+
+namespace path {
+
+std::string Join(std::string_view a, std::string_view b) {
+  if (a.empty()) return std::string(b);
+  if (b.empty()) return std::string(a);
+  std::string out(a);
+  if (out.back() != '/') out += '/';
+  size_t skip = 0;
+  while (skip < b.size() && b[skip] == '/') ++skip;
+  out += b.substr(skip);
+  return out;
+}
+
+std::string_view Basename(std::string_view p) {
+  size_t pos = p.find_last_of('/');
+  return pos == std::string_view::npos ? p : p.substr(pos + 1);
+}
+
+std::string_view Dirname(std::string_view p) {
+  size_t pos = p.find_last_of('/');
+  if (pos == std::string_view::npos) return std::string_view();
+  if (pos == 0) return p.substr(0, 1);  // root
+  return p.substr(0, pos);
+}
+
+std::string Normalize(std::string_view p) {
+  std::string out;
+  out.reserve(p.size());
+  bool prev_slash = false;
+  for (char c : p) {
+    if (c == '/') {
+      if (!prev_slash) out += c;
+      prev_slash = true;
+    } else {
+      out += c;
+      prev_slash = false;
+    }
+  }
+  while (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+}  // namespace path
+}  // namespace bistro

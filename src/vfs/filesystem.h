@@ -1,0 +1,104 @@
+#ifndef BISTRO_VFS_FILESYSTEM_H_
+#define BISTRO_VFS_FILESYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace bistro {
+
+/// Metadata for one filesystem entry.
+struct FileInfo {
+  std::string path;       // full path
+  uint64_t size = 0;      // bytes (0 for directories)
+  TimePoint mtime = 0;    // modification time
+  bool is_directory = false;
+};
+
+/// Counters for filesystem operations. The pull-vs-push experiments (E1/E2)
+/// hinge on how many *metadata* operations a delivery strategy issues, so
+/// every FileSystem implementation tracks them.
+struct FsOpStats {
+  uint64_t lists = 0;          // directory listings
+  uint64_t list_entries = 0;   // total entries returned by listings
+  uint64_t stats = 0;          // Stat() calls
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t renames = 0;
+  uint64_t deletes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  /// Metadata operations only (lists weighted by entries served).
+  uint64_t MetadataOps() const { return lists + list_entries + stats + renames + deletes; }
+};
+
+/// Filesystem abstraction, in the spirit of the RocksDB Env / Arrow
+/// FileSystem layers. All Bistro components perform file I/O through this
+/// interface so the whole server can run against an in-memory filesystem in
+/// tests and benchmarks, or the local POSIX filesystem in deployments.
+///
+/// Paths use '/' separators. Parent directories are created implicitly by
+/// WriteFile/Rename (matching the landing-zone usage pattern).
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Writes (creates or truncates) a file with the given contents.
+  virtual Status WriteFile(const std::string& path, std::string_view data) = 0;
+
+  /// Appends to a file, creating it if absent.
+  virtual Status AppendFile(const std::string& path, std::string_view data) = 0;
+
+  /// Reads the whole file.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Stats one entry.
+  virtual Result<FileInfo> Stat(const std::string& path) = 0;
+
+  /// Lists immediate children of a directory (non-recursive), sorted by name.
+  virtual Result<std::vector<FileInfo>> ListDir(const std::string& path) = 0;
+
+  /// Atomically renames a file (the landing->staging move).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Deletes a file (not a directory).
+  virtual Status Delete(const std::string& path) = 0;
+
+  /// Creates a directory (and parents).
+  virtual Status MkDirs(const std::string& path) = 0;
+
+  /// True if the path exists.
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// Operation counters accumulated since construction / last Reset.
+  virtual FsOpStats stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Recursively lists all files (not directories) under `root`.
+  Result<std::vector<FileInfo>> ListRecursive(const std::string& root);
+};
+
+/// Path helpers (pure string manipulation; no I/O).
+namespace path {
+
+/// Joins two path segments with exactly one '/'.
+std::string Join(std::string_view a, std::string_view b);
+
+/// "a/b/c.txt" -> "c.txt".
+std::string_view Basename(std::string_view p);
+
+/// "a/b/c.txt" -> "a/b"; "" if no directory component.
+std::string_view Dirname(std::string_view p);
+
+/// Normalizes: collapses duplicate '/', removes trailing '/'.
+std::string Normalize(std::string_view p);
+
+}  // namespace path
+
+}  // namespace bistro
+
+#endif  // BISTRO_VFS_FILESYSTEM_H_

@@ -1,0 +1,174 @@
+#include "vfs/localfs.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace bistro {
+
+namespace {
+Status Errno(const std::string& op, const std::string& p) {
+  int err = errno;
+  std::string msg = op + " " + p + ": " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(std::move(msg));
+  if (err == EEXIST) return Status::AlreadyExists(std::move(msg));
+  return Status::IoError(std::move(msg));
+}
+
+Status MkDirsImpl(const std::string& p) {
+  if (p.empty() || p == "/") return Status::OK();
+  struct stat st;
+  if (::stat(p.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) return Status::OK();
+    return Status::AlreadyExists("file exists at: " + p);
+  }
+  std::string parent(path::Dirname(p));
+  if (!parent.empty()) BISTRO_RETURN_IF_ERROR(MkDirsImpl(parent));
+  if (::mkdir(p.c_str(), 0775) != 0 && errno != EEXIST) {
+    return Errno("mkdir", p);
+  }
+  return Status::OK();
+}
+
+Status WriteImpl(const std::string& p, std::string_view data, const char* mode) {
+  std::string parent(path::Dirname(p));
+  if (!parent.empty()) BISTRO_RETURN_IF_ERROR(MkDirsImpl(parent));
+  FILE* f = std::fopen(p.c_str(), mode);
+  if (f == nullptr) return Errno("open", p);
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    return Status::IoError("short write: " + p);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status LocalFileSystem::WriteFile(const std::string& p, std::string_view data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.writes++;
+    stats_.bytes_written += data.size();
+  }
+  return WriteImpl(p, data, "wb");
+}
+
+Status LocalFileSystem::AppendFile(const std::string& p, std::string_view data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.writes++;
+    stats_.bytes_written += data.size();
+  }
+  return WriteImpl(p, data, "ab");
+}
+
+Result<std::string> LocalFileSystem::ReadFile(const std::string& p) {
+  FILE* f = std::fopen(p.c_str(), "rb");
+  if (f == nullptr) return Errno("open", p);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) return Status::IoError("read failed: " + p);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.reads++;
+    stats_.bytes_read += data.size();
+  }
+  return data;
+}
+
+Result<FileInfo> LocalFileSystem::Stat(const std::string& p) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.stats++;
+  }
+  struct stat st;
+  if (::stat(p.c_str(), &st) != 0) return Errno("stat", p);
+  FileInfo info;
+  info.path = p;
+  info.is_directory = S_ISDIR(st.st_mode);
+  info.size = info.is_directory ? 0 : static_cast<uint64_t>(st.st_size);
+  info.mtime = static_cast<TimePoint>(st.st_mtime) * kSecond;
+  return info;
+}
+
+Result<std::vector<FileInfo>> LocalFileSystem::ListDir(const std::string& p) {
+  DIR* dir = ::opendir(p.c_str());
+  if (dir == nullptr) return Errno("opendir", p);
+  std::vector<FileInfo> out;
+  struct dirent* ent;
+  while ((ent = ::readdir(dir)) != nullptr) {
+    std::string_view name(ent->d_name);
+    if (name == "." || name == "..") continue;
+    std::string full = path::Join(p, name);
+    struct stat st;
+    if (::stat(full.c_str(), &st) != 0) continue;  // raced with deletion
+    FileInfo info;
+    info.path = std::move(full);
+    info.is_directory = S_ISDIR(st.st_mode);
+    info.size = info.is_directory ? 0 : static_cast<uint64_t>(st.st_size);
+    info.mtime = static_cast<TimePoint>(st.st_mtime) * kSecond;
+    out.push_back(std::move(info));
+  }
+  ::closedir(dir);
+  std::sort(out.begin(), out.end(),
+            [](const FileInfo& a, const FileInfo& b) { return a.path < b.path; });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.lists++;
+    stats_.list_entries += out.size();
+  }
+  return out;
+}
+
+Status LocalFileSystem::Rename(const std::string& from, const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.renames++;
+  }
+  std::string parent(path::Dirname(to));
+  if (!parent.empty()) BISTRO_RETURN_IF_ERROR(MkDirsImpl(parent));
+  if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+  return Status::OK();
+}
+
+Status LocalFileSystem::Delete(const std::string& p) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.deletes++;
+  }
+  if (::unlink(p.c_str()) != 0) return Errno("unlink", p);
+  return Status::OK();
+}
+
+Status LocalFileSystem::MkDirs(const std::string& p) { return MkDirsImpl(p); }
+
+bool LocalFileSystem::Exists(const std::string& p) {
+  struct stat st;
+  return ::stat(p.c_str(), &st) == 0;
+}
+
+FsOpStats LocalFileSystem::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void LocalFileSystem::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = FsOpStats{};
+}
+
+}  // namespace bistro

@@ -1,0 +1,37 @@
+#ifndef BISTRO_VFS_LOCALFS_H_
+#define BISTRO_VFS_LOCALFS_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "vfs/filesystem.h"
+
+namespace bistro {
+
+/// POSIX-backed filesystem used by live deployments and the runnable
+/// examples. Paths are passed to the OS unchanged.
+class LocalFileSystem : public FileSystem {
+ public:
+  LocalFileSystem() = default;
+
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status AppendFile(const std::string& path, std::string_view data) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<FileInfo> Stat(const std::string& path) override;
+  Result<std::vector<FileInfo>> ListDir(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Delete(const std::string& path) override;
+  Status MkDirs(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  FsOpStats stats() const override;
+  void ResetStats() override;
+
+ private:
+  mutable std::mutex mu_;
+  FsOpStats stats_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_VFS_LOCALFS_H_

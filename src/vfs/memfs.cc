@@ -1,0 +1,229 @@
+#include "vfs/memfs.h"
+
+#include <algorithm>
+
+namespace bistro {
+
+FsCostModel FsCostModel::RemoteFileServer() {
+  FsCostModel m;
+  m.list_base = 2 * kMillisecond;
+  m.list_per_entry = 50 * kMicrosecond;
+  m.stat_cost = 500 * kMicrosecond;
+  m.open_cost = 1 * kMillisecond;
+  m.per_byte = 0;  // data path assumed fast relative to metadata
+  return m;
+}
+
+FsCostModel FsCostModel::Free() { return FsCostModel{}; }
+
+InMemoryFileSystem::InMemoryFileSystem(SimClock* clock, FsCostModel cost)
+    : clock_(clock), cost_(cost) {
+  dirs_.insert("/");
+}
+
+void InMemoryFileSystem::Charge(Duration d) {
+  if (clock_ != nullptr && d > 0) clock_->Advance(d);
+}
+
+TimePoint InMemoryFileSystem::NowLocked() const {
+  return clock_ != nullptr ? clock_->Now() : 0;
+}
+
+void InMemoryFileSystem::AddParentsLocked(const std::string& p) {
+  std::string_view dir = path::Dirname(p);
+  while (!dir.empty() && dirs_.insert(std::string(dir)).second) {
+    dir = path::Dirname(dir);
+  }
+}
+
+Status InMemoryFileSystem::WriteFile(const std::string& raw, std::string_view data) {
+  std::string p = path::Normalize(raw);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dirs_.count(p) != 0) {
+      return Status::InvalidArgument("is a directory: " + p);
+    }
+    Node& node = files_[p];
+    node.data.assign(data.data(), data.size());
+    node.mtime = NowLocked();
+    AddParentsLocked(p);
+    stats_.writes++;
+    stats_.bytes_written += data.size();
+  }
+  Charge(cost_.open_cost + cost_.per_byte * static_cast<Duration>(data.size()));
+  return Status::OK();
+}
+
+Status InMemoryFileSystem::AppendFile(const std::string& raw, std::string_view data) {
+  std::string p = path::Normalize(raw);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dirs_.count(p) != 0) {
+      return Status::InvalidArgument("is a directory: " + p);
+    }
+    Node& node = files_[p];
+    node.data.append(data.data(), data.size());
+    node.mtime = NowLocked();
+    AddParentsLocked(p);
+    stats_.writes++;
+    stats_.bytes_written += data.size();
+  }
+  Charge(cost_.open_cost + cost_.per_byte * static_cast<Duration>(data.size()));
+  return Status::OK();
+}
+
+Result<std::string> InMemoryFileSystem::ReadFile(const std::string& raw) {
+  std::string p = path::Normalize(raw);
+  std::string data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(p);
+    if (it == files_.end()) return Status::NotFound("no such file: " + p);
+    data = it->second.data;
+    stats_.reads++;
+    stats_.bytes_read += data.size();
+  }
+  Charge(cost_.open_cost + cost_.per_byte * static_cast<Duration>(data.size()));
+  return data;
+}
+
+Result<FileInfo> InMemoryFileSystem::Stat(const std::string& raw) {
+  std::string p = path::Normalize(raw);
+  FileInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.stats++;
+    auto it = files_.find(p);
+    if (it != files_.end()) {
+      info.path = p;
+      info.size = it->second.data.size();
+      info.mtime = it->second.mtime;
+      info.is_directory = false;
+    } else if (dirs_.count(p) != 0) {
+      info.path = p;
+      info.is_directory = true;
+    } else {
+      Charge(cost_.stat_cost);
+      return Status::NotFound("no such path: " + p);
+    }
+  }
+  Charge(cost_.stat_cost);
+  return info;
+}
+
+Result<std::vector<FileInfo>> InMemoryFileSystem::ListDir(const std::string& raw) {
+  std::string p = path::Normalize(raw);
+  std::vector<FileInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.lists++;
+    if (dirs_.count(p) == 0) {
+      Charge(cost_.list_base);
+      return Status::NotFound("no such directory: " + p);
+    }
+    std::string prefix = p == "/" ? "/" : p + "/";
+    // Immediate file children.
+    for (auto it = files_.lower_bound(prefix);
+         it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      std::string_view rest(it->first);
+      rest.remove_prefix(prefix.size());
+      if (rest.find('/') != std::string_view::npos) continue;
+      FileInfo info;
+      info.path = it->first;
+      info.size = it->second.data.size();
+      info.mtime = it->second.mtime;
+      out.push_back(std::move(info));
+    }
+    // Immediate directory children.
+    for (auto it = dirs_.lower_bound(prefix);
+         it != dirs_.end() && it->compare(0, prefix.size(), prefix) == 0; ++it) {
+      std::string_view rest(*it);
+      rest.remove_prefix(prefix.size());
+      if (rest.empty() || rest.find('/') != std::string_view::npos) continue;
+      FileInfo info;
+      info.path = *it;
+      info.is_directory = true;
+      out.push_back(std::move(info));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FileInfo& a, const FileInfo& b) { return a.path < b.path; });
+    stats_.list_entries += out.size();
+  }
+  Charge(cost_.list_base +
+         cost_.list_per_entry * static_cast<Duration>(out.size()));
+  return out;
+}
+
+Status InMemoryFileSystem::Rename(const std::string& raw_from,
+                                  const std::string& raw_to) {
+  std::string from = path::Normalize(raw_from);
+  std::string to = path::Normalize(raw_to);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(from);
+    if (it == files_.end()) return Status::NotFound("no such file: " + from);
+    Node node = std::move(it->second);
+    files_.erase(it);
+    node.mtime = NowLocked();
+    files_[to] = std::move(node);
+    AddParentsLocked(to);
+    stats_.renames++;
+  }
+  Charge(cost_.open_cost);
+  return Status::OK();
+}
+
+Status InMemoryFileSystem::Delete(const std::string& raw) {
+  std::string p = path::Normalize(raw);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(p);
+    if (it == files_.end()) return Status::NotFound("no such file: " + p);
+    files_.erase(it);
+    stats_.deletes++;
+  }
+  Charge(cost_.open_cost);
+  return Status::OK();
+}
+
+Status InMemoryFileSystem::MkDirs(const std::string& raw) {
+  std::string p = path::Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.count(p) != 0) {
+    return Status::AlreadyExists("file exists at: " + p);
+  }
+  dirs_.insert(p);
+  AddParentsLocked(p);
+  return Status::OK();
+}
+
+bool InMemoryFileSystem::Exists(const std::string& raw) {
+  std::string p = path::Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(p) != 0 || dirs_.count(p) != 0;
+}
+
+FsOpStats InMemoryFileSystem::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void InMemoryFileSystem::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = FsOpStats{};
+}
+
+uint64_t InMemoryFileSystem::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [_, node] : files_) total += node.data.size();
+  return total;
+}
+
+size_t InMemoryFileSystem::FileCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.size();
+}
+
+}  // namespace bistro

@@ -1,0 +1,83 @@
+#ifndef BISTRO_VFS_MEMFS_H_
+#define BISTRO_VFS_MEMFS_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "vfs/filesystem.h"
+
+namespace bistro {
+
+/// Cost model charged against a Clock for each filesystem operation.
+///
+/// Real file servers serve data quickly but bottleneck on metadata
+/// (paper §2.1.2/§2.2.1: "serving file metadata is always a bottleneck");
+/// the default costs reflect that: listings cost a base latency plus a
+/// per-entry cost, so scanning a directory holding a large feed history is
+/// expensive while data reads are comparatively cheap.
+struct FsCostModel {
+  Duration list_base = 0;        // per ListDir call
+  Duration list_per_entry = 0;   // per entry returned
+  Duration stat_cost = 0;        // per Stat
+  Duration open_cost = 0;        // per read/write/rename/delete
+  Duration per_byte = 0;         // per byte read or written
+
+  /// A model approximating a loaded NFS-style file server.
+  static FsCostModel RemoteFileServer();
+  /// Zero-cost model (default).
+  static FsCostModel Free();
+};
+
+/// Thread-safe in-memory filesystem with operation counters and an optional
+/// latency cost model. When a SimClock is supplied, each operation advances
+/// simulated time according to the cost model, which lets experiments
+/// measure how metadata load grows with history size without real disks.
+class InMemoryFileSystem : public FileSystem {
+ public:
+  /// `clock` may be null (no latency charged). If non-null it must be a
+  /// SimClock when used for deterministic experiments.
+  explicit InMemoryFileSystem(SimClock* clock = nullptr,
+                              FsCostModel cost = FsCostModel::Free());
+
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status AppendFile(const std::string& path, std::string_view data) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<FileInfo> Stat(const std::string& path) override;
+  Result<std::vector<FileInfo>> ListDir(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Delete(const std::string& path) override;
+  Status MkDirs(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  FsOpStats stats() const override;
+  void ResetStats() override;
+
+  /// Total bytes stored across all files.
+  uint64_t TotalBytes() const;
+  /// Number of regular files.
+  size_t FileCount() const;
+
+ private:
+  struct Node {
+    std::string data;
+    TimePoint mtime = 0;
+  };
+
+  void Charge(Duration d);
+  TimePoint NowLocked() const;
+  // Registers all ancestor directories of `path`.
+  void AddParentsLocked(const std::string& path);
+
+  SimClock* clock_;
+  FsCostModel cost_;
+  mutable std::mutex mu_;
+  std::map<std::string, Node> files_;   // normalized path -> contents
+  std::set<std::string> dirs_;          // normalized dir paths
+  FsOpStats stats_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_VFS_MEMFS_H_

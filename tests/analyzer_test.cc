@@ -1,0 +1,353 @@
+// Tests for the feed analyzer: tokenization, atomic-feed discovery with
+// field typing and arrival-pattern inference, generalization, pattern
+// similarity (including the paper's TRAP edit-distance counterexample),
+// and the FN/FP report generators.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "analyzer/analyzer.h"
+#include "config/parser.h"
+#include "pattern/pattern.h"
+#include "sim/sources.h"
+
+namespace bistro {
+namespace {
+
+// ---------------------------------------------------------------- Tokenizer
+
+TEST(TokenizerTest, PaperExample) {
+  auto tokens = TokenizeName("MEMORY_POLLER1_2010092504_51.csv.gz");
+  std::vector<NameToken> expected = {
+      {NameToken::Kind::kAlpha, "MEMORY"}, {NameToken::Kind::kSep, "_"},
+      {NameToken::Kind::kAlpha, "POLLER"}, {NameToken::Kind::kDigits, "1"},
+      {NameToken::Kind::kSep, "_"},        {NameToken::Kind::kDigits, "2010092504"},
+      {NameToken::Kind::kSep, "_"},        {NameToken::Kind::kDigits, "51"},
+      {NameToken::Kind::kSep, "."},        {NameToken::Kind::kAlpha, "csv"},
+      {NameToken::Kind::kSep, "."},        {NameToken::Kind::kAlpha, "gz"},
+  };
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizerTest, EmptyAndEdgeCases) {
+  EXPECT_TRUE(TokenizeName("").empty());
+  auto only_digits = TokenizeName("12345");
+  ASSERT_EQ(only_digits.size(), 1u);
+  EXPECT_EQ(only_digits[0].kind, NameToken::Kind::kDigits);
+  auto seps = TokenizeName("__");
+  EXPECT_EQ(seps.size(), 2u);
+}
+
+TEST(TokenizerTest, SignatureAbstractsDigitsOnly) {
+  auto a = TokenizeName("CPU_POLL1_201009250502.txt");
+  auto b = TokenizeName("CPU_POLL12_201012301159.txt");
+  auto c = TokenizeName("MEM_POLL1_201009250502.txt");
+  EXPECT_EQ(NameSignature(a), NameSignature(b));  // digit widths differ, same sig
+  EXPECT_NE(NameSignature(a), NameSignature(c));  // alpha text differs
+}
+
+// ---------------------------------------------------------------- Discovery
+
+std::vector<FileObservation> PaperSection51Corpus() {
+  // The exact file set from §5.1 of the paper.
+  return {
+      {"MEMORY_POLLER1_2010092504_51.csv.gz", 0},
+      {"CPU_POLL1_201009250502.txt", 0},
+      {"MEMORY_POLLER2_2010092504_59.csv.gz", 0},
+      {"MEMORY_POLLER1_2010092509_58.csv.gz", 0},
+      {"CPU_POLL2_201009250503.txt", 0},
+      {"MEMORY_POLLER2_2010092510_02.csv.gz", 0},
+      {"CPU_POLL2_201009251001.txt", 0},
+      {"CPU_POLL2_201009250959.txt", 0},
+  };
+}
+
+TEST(DiscoveryTest, FindsThePaperTwoAtomicFeeds) {
+  DiscoveryOptions options;
+  options.min_support = 2;
+  auto result = DiscoverFeeds(PaperSection51Corpus(), options);
+  ASSERT_EQ(result.feeds.size(), 2u);
+  EXPECT_TRUE(result.outliers.empty());
+  // Both groups have 4 files; patterns match the paper's identification:
+  // MEMORY_POLLERid_YYYYMMDDHH_MM.csv.gz and CPU_POLLid_YYYYMMDDHHMM.txt.
+  std::set<std::string> patterns = {result.feeds[0].pattern,
+                                    result.feeds[1].pattern};
+  EXPECT_TRUE(patterns.count("MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz"))
+      << result.feeds[0].pattern << " / " << result.feeds[1].pattern;
+  EXPECT_TRUE(patterns.count("CPU_POLL%i_%Y%m%d%H%M.txt"));
+}
+
+TEST(DiscoveryTest, InfersCategoricalPollerDomain) {
+  DiscoveryOptions options;
+  options.min_support = 2;
+  auto result = DiscoverFeeds(PaperSection51Corpus(), options);
+  for (const auto& feed : result.feeds) {
+    // The poller-id field must be categorical with domain {1, 2}.
+    bool found = false;
+    for (const auto& field : feed.fields) {
+      if (field.type == InferredField::Type::kCategorical) {
+        EXPECT_EQ(field.domain, (std::set<std::string>{"1", "2"}));
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << feed.pattern;
+  }
+}
+
+TEST(DiscoveryTest, DiscoveredPatternsActuallyMatchTheirFiles) {
+  DiscoveryOptions options;
+  options.min_support = 2;
+  auto corpus = PaperSection51Corpus();
+  auto result = DiscoverFeeds(corpus, options);
+  for (const auto& feed : result.feeds) {
+    auto pattern = Pattern::Compile(feed.pattern);
+    ASSERT_TRUE(pattern.ok()) << feed.pattern;
+    size_t matched = 0;
+    for (const auto& obs : corpus) {
+      if (pattern->Matches(obs.name)) ++matched;
+    }
+    EXPECT_EQ(matched, feed.file_count) << feed.pattern;
+  }
+}
+
+TEST(DiscoveryTest, EstimatesFiveMinutePeriod) {
+  // Pollers report every 5 minutes; the paper says the analyzer should
+  // conclude "a new file every 5 minutes from each poller".
+  std::vector<FileObservation> corpus;
+  TimePoint start = FromCivil(CivilTime{2010, 9, 25, 4, 0, 0});
+  for (int i = 0; i < 24; ++i) {
+    CivilTime c = ToCivil(start + i * 5 * kMinute);
+    for (int p = 1; p <= 2; ++p) {
+      corpus.push_back({StrFormat("CPU_POLL%d_%04d%02d%02d%02d%02d.txt", p,
+                                  c.year, c.month, c.day, c.hour, c.minute),
+                        start + i * 5 * kMinute});
+    }
+  }
+  auto result = DiscoverFeeds(corpus);
+  ASSERT_EQ(result.feeds.size(), 1u);
+  EXPECT_EQ(result.feeds[0].est_period, 5 * kMinute);
+  EXPECT_DOUBLE_EQ(result.feeds[0].files_per_interval, 2.0);
+}
+
+TEST(DiscoveryTest, SeparatedDateStyleRecognized) {
+  std::vector<FileObservation> corpus;
+  for (int d = 1; d <= 9; ++d) {
+    corpus.push_back({StrFormat("BPS7_2010_12_%02d_05.csv", d), 0});
+  }
+  auto result = DiscoverFeeds(corpus);
+  ASSERT_EQ(result.feeds.size(), 1u);
+  EXPECT_EQ(result.feeds[0].pattern, "BPS%i_%Y_%m_%d_%H.csv");
+}
+
+TEST(DiscoveryTest, SmallGroupsAreOutliers) {
+  std::vector<FileObservation> corpus = PaperSection51Corpus();
+  corpus.push_back({"stray_report_900.pdf", 0});
+  DiscoveryOptions options;
+  options.min_support = 2;
+  auto result = DiscoverFeeds(corpus, options);
+  EXPECT_EQ(result.feeds.size(), 2u);
+  ASSERT_EQ(result.outliers.size(), 1u);
+  EXPECT_EQ(result.outliers[0].file_count, 1u);
+}
+
+TEST(DiscoveryTest, VariableWidthIdsBecomeIntegers) {
+  std::vector<FileObservation> corpus;
+  for (int p : {1, 2, 3, 7, 9, 10, 25, 118, 2000, 31, 44, 52}) {
+    corpus.push_back({StrFormat("LOSS_P%d_20101230.dat", p), 0});
+  }
+  auto result = DiscoverFeeds(corpus);
+  ASSERT_EQ(result.feeds.size(), 1u);
+  EXPECT_EQ(result.feeds[0].pattern, "LOSS_P%i_%Y%m%d.dat");
+  ASSERT_EQ(result.feeds[0].fields.size(), 2u);
+  EXPECT_EQ(result.feeds[0].fields[0].type, InferredField::Type::kInteger);
+}
+
+TEST(DiscoveryTest, NonDateNumbersAreNotTimestamps) {
+  // 8-digit values far outside civil ranges must not become %Y%m%d.
+  std::vector<FileObservation> corpus;
+  for (int i = 0; i < 5; ++i) {
+    corpus.push_back({StrFormat("SEQ_%08d.bin", 99000000 + i), 0});
+  }
+  auto result = DiscoverFeeds(corpus);
+  ASSERT_EQ(result.feeds.size(), 1u);
+  EXPECT_EQ(result.feeds[0].pattern, "SEQ_%i.bin");
+}
+
+TEST(GeneralizeTest, SingleNameGeneralization) {
+  EXPECT_EQ(GeneralizeName("MEMORY_Poller1_20100926.gz"),
+            "MEMORY_Poller%i_%Y%m%d.gz");
+  EXPECT_EQ(GeneralizeName("CPU_POLL2_201009250503.txt"),
+            "CPU_POLL%i_%Y%m%d%H%M.txt");
+  EXPECT_EQ(GeneralizeName("no_digits_here.txt"), "no_digits_here.txt");
+}
+
+// ---------------------------------------------------------------- Similarity
+
+TEST(SimilarityTest, IdenticalPatternsAreOne) {
+  EXPECT_DOUBLE_EQ(PatternSimilarity("A_%i_%Y%m%d.gz", "A_%i_%Y%m%d.gz"), 1.0);
+}
+
+TEST(SimilarityTest, CaseChangeScoresHigh) {
+  // The §5.2 scenario: capitalizing 'p' in "poller".
+  double sim = PatternSimilarity("MEMORY_Poller%i_%Y%m%d.gz",
+                                 "MEMORY_poller%i_%Y%m%d.gz");
+  EXPECT_GT(sim, 0.9);
+}
+
+TEST(SimilarityTest, UnrelatedPatternsScoreLow) {
+  double sim = PatternSimilarity("MEMORY_poller%i_%Y%m%d.gz",
+                                 "invoice-%i-final.pdf");
+  EXPECT_LT(sim, 0.5);
+}
+
+TEST(SimilarityTest, PaperTrapExample) {
+  // Feed pattern and false-negative file from §5.2. Edit distance is huge
+  // (the paper reports 51) while the file is "intuitively highly similar".
+  const std::string feed_pattern = "TRAP__%Y%m%d_DCTAGN_klpi.txt";
+  const std::string file =
+      "TRAP_2010030817_UVIPTV-PER-BAN-DSPS-IPTV_MOM-rcsntxsqlcv122_9234SEC_"
+      "klpi.txt";
+  // Raw edit distance fails: similarity is low.
+  double ed_sim = EditDistanceSimilarity(file, feed_pattern);
+  EXPECT_LT(ed_sim, 0.5);
+  size_t ed = EditDistance(file, feed_pattern);
+  EXPECT_GT(ed, 40u);  // the paper reports 51 for its exact spec form
+  // Pattern similarity of the generalized file scores clearly higher
+  // than the edit-distance view.
+  std::string generalized = GeneralizeName(file);
+  double psim = PatternSimilarity(generalized, feed_pattern);
+  EXPECT_GT(psim, ed_sim);
+  EXPECT_GT(psim, 0.5);
+}
+
+// ---------------------------------------------------------------- Analyzer
+
+std::unique_ptr<FeedRegistry> MustRegistry(std::string_view text) {
+  auto config = ParseConfig(text);
+  EXPECT_TRUE(config.ok()) << config.status();
+  auto registry = FeedRegistry::Create(*config);
+  EXPECT_TRUE(registry.ok()) << registry.status();
+  return std::move(*registry);
+}
+
+TEST(AnalyzerTest, DiscoverNewFeedsSuggestsSpecs) {
+  auto registry = MustRegistry("");
+  Logger logger;
+  FeedAnalyzer::Options options;
+  options.discovery.min_support = 2;
+  FeedAnalyzer analyzer(registry.get(), &logger, options);
+  auto suggestions = analyzer.DiscoverNewFeeds(PaperSection51Corpus());
+  ASSERT_EQ(suggestions.size(), 2u);
+  for (const auto& s : suggestions) {
+    EXPECT_FALSE(s.suggested_spec.name.empty());
+    EXPECT_TRUE(Pattern::Compile(s.suggested_spec.pattern).ok());
+    EXPECT_EQ(s.feed.file_count, 4u);
+  }
+}
+
+TEST(AnalyzerTest, DetectsCaseChangeFalseNegative) {
+  auto registry = MustRegistry(R"(
+feed MEMORY { pattern "MEMORY_poller%i_%Y%m%d.gz"; }
+feed OTHER  { pattern "invoice-%i.pdf"; }
+)");
+  Logger logger;
+  auto sink = std::make_shared<MemorySink>();
+  logger.AddSink(sink);
+  FeedAnalyzer analyzer(registry.get(), &logger);
+  std::vector<FileObservation> unmatched = {
+      {"MEMORY_Poller1_20100926.gz", 0},
+      {"MEMORY_Poller2_20100926.gz", 0},
+      {"MEMORY_Poller1_20100927.gz", 0},
+  };
+  auto reports = analyzer.DetectFalseNegatives(unmatched);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].feed, "MEMORY");
+  EXPECT_EQ(reports[0].files.size(), 3u);
+  EXPECT_GT(reports[0].similarity, 0.75);
+  // One warning per generalized pattern, not per file (§5.2).
+  EXPECT_EQ(sink->CountAtLeast(LogLevel::kWarning), 1u);
+}
+
+TEST(AnalyzerTest, UnrelatedJunkProducesNoFnReport) {
+  auto registry = MustRegistry(R"(feed F { pattern "CPU_%i_%Y%m%d.txt"; })");
+  Logger logger;
+  FeedAnalyzer analyzer(registry.get(), &logger);
+  std::vector<FileObservation> unmatched = {
+      {"holiday-photo.jpeg", 0},
+      {"backup.tar", 0},
+  };
+  EXPECT_TRUE(analyzer.DetectFalseNegatives(unmatched).empty());
+}
+
+TEST(AnalyzerTest, DetectsForeignSubfeedAsFalsePositive) {
+  // A wildcard-broad feed accidentally matches PPS files mixed into a BPS
+  // stream (the §2.1.3.2 scenario).
+  auto registry = MustRegistry(R"(feed BPS { pattern "%s_%Y%m%d%H.csv"; })");
+  Logger logger;
+  FeedAnalyzer::Options options;
+  options.fp_max_support = 0.2;
+  FeedAnalyzer analyzer(registry.get(), &logger, options);
+  std::vector<FileObservation> matched;
+  TimePoint start = FromCivil(CivilTime{2010, 9, 25});
+  for (int i = 0; i < 40; ++i) {
+    CivilTime c = ToCivil(start + i * kHour);
+    matched.push_back({StrFormat("BPS_poller_%04d%02d%02d%02d.csv", c.year,
+                                 c.month, c.day, c.hour),
+                       0});
+  }
+  for (int i = 0; i < 3; ++i) {
+    CivilTime c = ToCivil(start + i * kHour);
+    matched.push_back({StrFormat("PPSx_%04d%02d%02d%02d.csv", c.year, c.month,
+                                 c.day, c.hour),
+                       0});
+  }
+  auto reports = analyzer.DetectFalsePositives("BPS", matched);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].outlier.file_count, 3u);
+  EXPECT_NE(reports[0].dominant_pattern, reports[0].outlier.pattern);
+}
+
+TEST(AnalyzerTest, HomogeneousFeedHasNoFalsePositives) {
+  auto registry = MustRegistry(R"(feed F { pattern "CPU_%i_%Y%m%d.txt"; })");
+  Logger logger;
+  FeedAnalyzer analyzer(registry.get(), &logger);
+  std::vector<FileObservation> matched;
+  for (int i = 1; i <= 20; ++i) {
+    matched.push_back({StrFormat("CPU_%d_20101230.txt", i), 0});
+  }
+  EXPECT_TRUE(analyzer.DetectFalsePositives("F", matched).empty());
+  EXPECT_TRUE(analyzer.DetectFalsePositives("F", {}).empty());
+}
+
+// --------------------------------------------------- end-to-end corpora
+
+TEST(AnalyzerCorpusTest, RecoversGroundTruthTemplates) {
+  Rng rng(77);
+  CorpusGenerator gen(&rng);
+  std::vector<CorpusGenerator::FeedTemplate> templates(3);
+  templates[0].metric = "MEMORY";
+  templates[0].style = CorpusGenerator::FeedTemplate::Style::kSplitStamp;
+  templates[1].metric = "CPU";
+  templates[1].style = CorpusGenerator::FeedTemplate::Style::kWideStamp;
+  templates[2].metric = "BPS";
+  templates[2].style = CorpusGenerator::FeedTemplate::Style::kSeparatedDate;
+  auto corpus = gen.Generate(templates, /*junk=*/5,
+                             FromCivil(CivilTime{2010, 9, 25}));
+  std::vector<FileObservation> observations;
+  for (const auto& l : corpus) observations.push_back(l.obs);
+  DiscoveryOptions options;
+  options.min_support = 3;
+  auto result = DiscoverFeeds(observations, options);
+  // All three truth templates recovered exactly.
+  std::set<std::string> found;
+  for (const auto& feed : result.feeds) found.insert(feed.pattern);
+  for (const auto& t : templates) {
+    EXPECT_TRUE(found.count(CorpusGenerator::TruthPattern(t)))
+        << CorpusGenerator::TruthPattern(t);
+  }
+}
+
+}  // namespace
+}  // namespace bistro

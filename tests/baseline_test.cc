@@ -1,0 +1,169 @@
+// Tests for the baseline delivery mechanisms the paper argues against:
+// pull-based directory polling, rsync-style stateless sync, and the
+// cron-style runner with overlapping jobs.
+
+#include <gtest/gtest.h>
+
+#include "baseline/pull_poller.h"
+#include "baseline/rsync_like.h"
+#include "common/strings.h"
+#include "vfs/memfs.h"
+
+namespace bistro {
+namespace {
+
+// ---------------------------------------------------------------- Pull
+
+TEST(PullPollerTest, FetchesNewFilesOnce) {
+  InMemoryFileSystem remote, local;
+  ASSERT_TRUE(remote.WriteFile("/feed/a.csv", "A").ok());
+  ASSERT_TRUE(remote.WriteFile("/feed/b.csv", "B").ok());
+  PullPoller poller(&remote, "/feed", &local, "/mirror");
+  auto n = poller.Poll(0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(*local.ReadFile("/mirror/a.csv"), "A");
+  // Second poll fetches nothing new but still pays the scan.
+  n = poller.Poll(kSecond);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  ASSERT_TRUE(remote.WriteFile("/feed/c.csv", "C").ok());
+  n = poller.Poll(2 * kSecond);
+  EXPECT_EQ(*n, 1u);
+  EXPECT_EQ(poller.files_retrieved(), 3u);
+}
+
+TEST(PullPollerTest, ScanCostGrowsWithHistory) {
+  InMemoryFileSystem remote, local;
+  PullPoller poller(&remote, "/feed", &local, "/mirror");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        remote.WriteFile(StrFormat("/feed/f%03d.csv", i), "x").ok());
+  }
+  ASSERT_TRUE(poller.Poll(0).ok());
+  remote.ResetStats();
+  // Even a poll that finds nothing new must list every history entry.
+  ASSERT_TRUE(poller.Poll(kSecond).ok());
+  EXPECT_GE(remote.stats().list_entries, 100u);
+}
+
+TEST(PullPollerTest, LookbackCapMissesLateFiles) {
+  // The §2.2.1 trade-off: capping the scan window bounds cost but
+  // silently drops data that arrives (or was stamped) too far in the
+  // past relative to the newest file.
+  SimClock clock(0);
+  InMemoryFileSystem remote(&clock);
+  InMemoryFileSystem local;
+  PullPoller::Options options;
+  options.lookback = kHour;
+  PullPoller poller(&remote, "/feed", &local, "/mirror", options);
+  // An "old" file exists (mtime 0) and the feed then produces a new file
+  // ten hours later — before the subscriber's first poll (e.g. it was
+  // offline, exactly when late data accumulates).
+  ASSERT_TRUE(remote.WriteFile("/feed/old.csv", "x").ok());
+  clock.AdvanceTo(10 * kHour);
+  ASSERT_TRUE(remote.WriteFile("/feed/new.csv", "y").ok());
+  ASSERT_TRUE(poller.Poll(clock.Now()).ok());
+  EXPECT_EQ(poller.files_retrieved(), 1u);
+  EXPECT_EQ(poller.files_missed(), 1u);
+  EXPECT_TRUE(local.Exists("/mirror/new.csv"));
+  EXPECT_FALSE(local.Exists("/mirror/old.csv"));
+  // An uncapped poller (the safe configuration) fetches everything but
+  // pays the full scan forever.
+  InMemoryFileSystem local2;
+  PullPoller uncapped(&remote, "/feed", &local2, "/mirror");
+  ASSERT_TRUE(uncapped.Poll(clock.Now()).ok());
+  EXPECT_EQ(uncapped.files_retrieved(), 2u);
+  EXPECT_EQ(uncapped.files_missed(), 0u);
+}
+
+// ---------------------------------------------------------------- Rsync
+
+TEST(RsyncLikeTest, MirrorsSourceTree) {
+  InMemoryFileSystem src, dst;
+  ASSERT_TRUE(src.WriteFile("/data/2010/a.csv", "aaa").ok());
+  ASSERT_TRUE(src.WriteFile("/data/2010/b.csv", "bbb").ok());
+  RsyncLike sync(&src, "/data", &dst, "/mirror");
+  auto stats = sync.Sync();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->files_copied, 2u);
+  EXPECT_EQ(*dst.ReadFile("/mirror/2010/a.csv"), "aaa");
+}
+
+TEST(RsyncLikeTest, UnchangedFilesSkippedButStillScanned) {
+  InMemoryFileSystem src, dst;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(src.WriteFile(StrFormat("/data/f%02d.csv", i), "x").ok());
+  }
+  RsyncLike sync(&src, "/data", &dst, "/mirror");
+  ASSERT_TRUE(sync.Sync().ok());
+  auto second = sync.Sync();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->files_copied, 0u);
+  EXPECT_EQ(second->files_skipped_unchanged, 50u);
+  // The stateless design rescans the full history on both sides.
+  EXPECT_EQ(second->source_entries_scanned, 50u);
+  EXPECT_EQ(second->dest_entries_scanned, 50u);
+}
+
+TEST(RsyncLikeTest, DeltaTransferMovesOnlyChangedBlocks) {
+  // The source needs advancing mtimes or rsync's size+mtime quick check
+  // (correctly) skips the rewritten file.
+  SimClock clock(0);
+  InMemoryFileSystem src(&clock);
+  InMemoryFileSystem dst;
+  std::string content(8 * 1024, 'a');
+  ASSERT_TRUE(src.WriteFile("/data/big.bin", content).ok());
+  RsyncLike::Options options;
+  options.block_size = 1024;
+  RsyncLike sync(&src, "/data", &dst, "/mirror", options);
+  ASSERT_TRUE(sync.Sync().ok());
+  // Change one byte in the middle; mtime moves forward.
+  clock.Advance(kMinute);
+  content[4100] = 'Z';
+  ASSERT_TRUE(src.WriteFile("/data/big.bin", content).ok());
+  auto stats = sync.Sync();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->files_delta_patched, 1u);
+  // Only the damaged block (1 KiB) travels, not 8 KiB.
+  EXPECT_EQ(stats->literal_bytes_in_deltas, 1024u);
+  EXPECT_EQ(*dst.ReadFile("/mirror/big.bin"), content);
+}
+
+TEST(RsyncLikeTest, DestinationMirrorsFullHistoryNoWindow) {
+  // Drawback 3 in §2.2.2: the subscriber cannot keep a smaller window.
+  InMemoryFileSystem src, dst;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(src.WriteFile(StrFormat("/data/old%02d.csv", i), "x").ok());
+  }
+  RsyncLike sync(&src, "/data", &dst, "/mirror");
+  ASSERT_TRUE(sync.Sync().ok());
+  auto mirrored = dst.ListRecursive("/mirror");
+  ASSERT_TRUE(mirrored.ok());
+  EXPECT_EQ(mirrored->size(), 20u);
+}
+
+// ---------------------------------------------------------------- Cron
+
+TEST(CronRunnerTest, FiresEveryInterval) {
+  int runs = 0;
+  CronRunner cron(10 * kSecond, [&](TimePoint) -> Duration {
+    ++runs;
+    return kSecond;
+  });
+  cron.AdvanceTo(60 * kSecond);
+  EXPECT_EQ(runs, 6);
+  EXPECT_EQ(cron.overlapping_runs(), 0u);
+}
+
+TEST(CronRunnerTest, StepsOnUnfinishedJobs) {
+  // Each job takes 25s but cron fires every 10s: runs overlap, exactly
+  // the §2.2.2 drawback 4.
+  CronRunner cron(10 * kSecond, [&](TimePoint) { return 25 * kSecond; });
+  cron.AdvanceTo(100 * kSecond);
+  EXPECT_EQ(cron.runs(), 10u);
+  EXPECT_GT(cron.overlapping_runs(), 5u);
+}
+
+}  // namespace
+}  // namespace bistro

@@ -1,0 +1,134 @@
+// Tests for the feed classifier: correctness of file-to-feed matching,
+// multi-feed membership, unmatched routing, and equivalence of the
+// prefix-index and linear strategies.
+
+#include <gtest/gtest.h>
+
+#include "classify/classifier.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "config/parser.h"
+
+namespace bistro {
+namespace {
+
+std::unique_ptr<FeedRegistry> MustRegistry(std::string_view text) {
+  auto config = ParseConfig(text);
+  EXPECT_TRUE(config.ok()) << config.status();
+  auto registry = FeedRegistry::Create(*config);
+  EXPECT_TRUE(registry.ok()) << registry.status();
+  return std::move(*registry);
+}
+
+constexpr char kConfig[] = R"(
+group SNMP {
+  feed CPU    { pattern "CPU_POLL%i_%Y%m%d%H%M.txt"; }
+  feed MEMORY { pattern "MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz"; }
+  feed BPS    { pattern "BPS_%s_%Y%m%d%H.csv"; }
+}
+feed ALL_TXT  { pattern "%s.txt"; }
+)";
+
+TEST(ClassifierTest, MatchesPaperExamples) {
+  auto registry = MustRegistry(kConfig);
+  FeedClassifier classifier(registry.get());
+  auto c = classifier.Classify("MEMORY_POLLER1_2010092504_51.csv.gz");
+  ASSERT_TRUE(c.matched());
+  EXPECT_EQ(c.feeds, std::vector<FeedName>{"SNMP.MEMORY"});
+  EXPECT_EQ(c.primary_match.ints[0], 1);
+  ASSERT_TRUE(c.primary_match.timestamp.has_value());
+  EXPECT_EQ(*c.primary_match.timestamp,
+            FromCivil(CivilTime{2010, 9, 25, 4, 51, 0}));
+}
+
+TEST(ClassifierTest, FileCanBelongToMultipleFeeds) {
+  auto registry = MustRegistry(kConfig);
+  FeedClassifier classifier(registry.get());
+  auto c = classifier.Classify("CPU_POLL2_201009250503.txt");
+  ASSERT_TRUE(c.matched());
+  // Matches both SNMP.CPU and the catch-all ALL_TXT.
+  EXPECT_EQ(c.feeds.size(), 2u);
+}
+
+TEST(ClassifierTest, UnmatchedFilesReported) {
+  auto registry = MustRegistry(kConfig);
+  FeedClassifier classifier(registry.get());
+  auto c = classifier.Classify("random_junk.dat");
+  EXPECT_FALSE(c.matched());
+  EXPECT_EQ(classifier.stats().unmatched, 1u);
+  EXPECT_EQ(classifier.stats().files, 1u);
+}
+
+TEST(ClassifierTest, PrefixIndexPrunesCandidates) {
+  // Build many feeds with distinct literal prefixes; the indexed
+  // classifier should try far fewer patterns per file than linear.
+  std::string config;
+  for (int i = 0; i < 100; ++i) {
+    config += StrFormat("feed F%03d { pattern \"feed%03d_x_%%Y%%m%%d.csv\"; }\n", i, i);
+  }
+  auto registry = MustRegistry(config);
+  FeedClassifier indexed(registry.get(), FeedClassifier::IndexMode::kPrefixIndex);
+  FeedClassifier linear(registry.get(), FeedClassifier::IndexMode::kLinear);
+  auto ci = indexed.Classify("feed042_x_20101230.csv");
+  auto cl = linear.Classify("feed042_x_20101230.csv");
+  ASSERT_TRUE(ci.matched());
+  ASSERT_TRUE(cl.matched());
+  EXPECT_EQ(ci.feeds, cl.feeds);
+  EXPECT_LT(indexed.stats().candidate_checks, 5u);
+  EXPECT_EQ(linear.stats().candidate_checks, 100u);
+}
+
+TEST(ClassifierTest, IndexAndLinearAgreeOnRandomNames) {
+  auto registry = MustRegistry(kConfig);
+  FeedClassifier indexed(registry.get(), FeedClassifier::IndexMode::kPrefixIndex);
+  FeedClassifier linear(registry.get(), FeedClassifier::IndexMode::kLinear);
+  Rng rng(99);
+  std::vector<std::string> names = {
+      "CPU_POLL1_201009250502.txt",
+      "MEMORY_POLLER2_2010092510_02.csv.gz",
+      "BPS_routerA_2010093011.csv",
+      "readme.txt",
+      "BPS_.csv",
+      "",
+      "CPU_POLL_201009250502.txt",
+  };
+  for (int i = 0; i < 200; ++i) {
+    names.push_back(rng.AlnumString(rng.Uniform(30)));
+    names.push_back("CPU_POLL" + std::to_string(rng.Uniform(100)) + "_" +
+                    "201009250" + std::to_string(rng.Uniform(10)) + "0" +
+                    std::to_string(rng.Uniform(6)) + ".txt");
+  }
+  for (const auto& name : names) {
+    auto ci = indexed.Classify(name);
+    auto cl = linear.Classify(name);
+    EXPECT_EQ(ci.feeds, cl.feeds) << name;
+  }
+}
+
+TEST(ClassifierTest, RebuildPicksUpFeedRevisions) {
+  auto registry = MustRegistry(R"(feed F { pattern "old_%i.log"; })");
+  FeedClassifier classifier(registry.get());
+  EXPECT_TRUE(classifier.Classify("old_1.log").matched());
+  EXPECT_FALSE(classifier.Classify("new_1.log").matched());
+  FeedSpec revised = registry->FindFeed("F")->spec;
+  revised.pattern = "new_%i.log";
+  ASSERT_TRUE(registry->UpdateFeed(revised).ok());
+  classifier.Rebuild();
+  EXPECT_FALSE(classifier.Classify("old_1.log").matched());
+  EXPECT_TRUE(classifier.Classify("new_1.log").matched());
+}
+
+TEST(ClassifierTest, EmptyPrefixPatternsAlwaysChecked) {
+  auto registry = MustRegistry(R"(
+feed CATCHALL { pattern "%s.gz"; }
+feed SPECIFIC { pattern "exact_%i.gz"; }
+)");
+  FeedClassifier classifier(registry.get());
+  auto c = classifier.Classify("exact_7.gz");
+  EXPECT_EQ(c.feeds.size(), 2u);
+  auto c2 = classifier.Classify("anything.gz");
+  EXPECT_EQ(c2.feeds, std::vector<FeedName>{"CATCHALL"});
+}
+
+}  // namespace
+}  // namespace bistro

@@ -1,0 +1,160 @@
+// Tests for the compression codecs: round trips, corruption detection,
+// frame auto-detection, and compression-ratio sanity. Parameterized across
+// codecs and data shapes.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "compress/codec.h"
+
+namespace bistro {
+namespace {
+
+TEST(CodecNameTest, RoundTrip) {
+  for (CodecKind k : {CodecKind::kNone, CodecKind::kRle, CodecKind::kLz}) {
+    auto parsed = CodecKindFromName(CodecKindName(k));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(CodecKindFromName("gzip").ok());
+}
+
+// Data shapes that exercise different codec behaviours.
+std::string MakeInput(const std::string& shape, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  out.reserve(n);
+  if (shape == "zeros") {
+    out.assign(n, '\0');
+  } else if (shape == "random") {
+    while (out.size() < n) out += static_cast<char>(rng.Next() & 0xFF);
+  } else if (shape == "csv") {
+    // Repetitive measurement rows, LZ-friendly.
+    while (out.size() < n) {
+      out += "router_a,poller" + std::to_string(rng.Uniform(3)) + ",cpu," +
+             std::to_string(rng.Uniform(100)) + ",2010-09-25\n";
+    }
+    out.resize(n);
+  } else if (shape == "runs") {
+    while (out.size() < n) {
+      out.append(rng.Uniform(50) + 1, static_cast<char>('a' + rng.Uniform(4)));
+    }
+    out.resize(n);
+  }
+  return out;
+}
+
+struct Param {
+  CodecKind kind;
+  const char* shape;
+};
+
+class CodecRoundTripTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CodecRoundTripTest, RoundTripsAllSizes) {
+  const Codec* codec = GetCodec(GetParam().kind);
+  for (size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 17u, 100u, 4096u, 100000u}) {
+    std::string input = MakeInput(GetParam().shape, n, /*seed=*/n + 1);
+    std::string compressed = codec->Compress(input);
+    auto out = codec->Decompress(compressed);
+    ASSERT_TRUE(out.ok()) << GetParam().shape << " n=" << n << ": "
+                          << out.status();
+    EXPECT_EQ(*out, input) << GetParam().shape << " n=" << n;
+  }
+}
+
+TEST_P(CodecRoundTripTest, AutoDecompressRoutes) {
+  const Codec* codec = GetCodec(GetParam().kind);
+  std::string input = MakeInput(GetParam().shape, 1000, 7);
+  auto out = AutoDecompress(codec->Compress(input));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllShapes, CodecRoundTripTest,
+    ::testing::Values(Param{CodecKind::kNone, "csv"},
+                      Param{CodecKind::kNone, "random"},
+                      Param{CodecKind::kRle, "zeros"},
+                      Param{CodecKind::kRle, "runs"},
+                      Param{CodecKind::kRle, "random"},
+                      Param{CodecKind::kLz, "csv"},
+                      Param{CodecKind::kLz, "zeros"},
+                      Param{CodecKind::kLz, "runs"},
+                      Param{CodecKind::kLz, "random"}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(CodecKindName(info.param.kind)) + "_" +
+             info.param.shape;
+    });
+
+TEST(CodecTest, RleCompressesRuns) {
+  std::string input(10000, 'x');
+  std::string compressed = GetCodec(CodecKind::kRle)->Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 100);
+}
+
+TEST(CodecTest, LzCompressesRepetitiveCsv) {
+  std::string input = MakeInput("csv", 100000, 3);
+  std::string compressed = GetCodec(CodecKind::kLz)->Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 2);
+}
+
+TEST(CodecTest, CorruptPayloadDetected) {
+  std::string input = MakeInput("csv", 5000, 9);
+  for (CodecKind k : {CodecKind::kNone, CodecKind::kRle, CodecKind::kLz}) {
+    std::string compressed = GetCodec(k)->Compress(input);
+    // Flip a byte in the payload area.
+    compressed[compressed.size() / 2] ^= 0x41;
+    auto out = GetCodec(k)->Decompress(compressed);
+    EXPECT_FALSE(out.ok()) << CodecKindName(k);
+  }
+}
+
+TEST(CodecTest, TruncatedFrameDetected) {
+  std::string compressed = GetCodec(CodecKind::kLz)->Compress("hello world hello world");
+  for (size_t cut : {0u, 4u, 8u}) {
+    auto out = GetCodec(CodecKind::kLz)->Decompress(
+        std::string_view(compressed).substr(0, cut));
+    EXPECT_FALSE(out.ok()) << "cut=" << cut;
+  }
+  // Truncating the payload must also fail (CRC or structure).
+  auto out = GetCodec(CodecKind::kLz)->Decompress(
+      std::string_view(compressed).substr(0, compressed.size() - 3));
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(CodecTest, AutoDecompressPassesThroughPlainData) {
+  std::string plain = "not a frame at all";
+  auto out = AutoDecompress(plain);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, plain);
+  EXPECT_FALSE(HasCodecFrame(plain));
+}
+
+TEST(CodecTest, FrameDetection) {
+  std::string compressed = GetCodec(CodecKind::kRle)->Compress("abc");
+  EXPECT_TRUE(HasCodecFrame(compressed));
+}
+
+// Property-style: random inputs across sizes must always round trip for LZ
+// (the codec with the most complex token stream).
+class LzPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzPropertyTest, RandomRoundTrip) {
+  Rng rng(GetParam());
+  const Codec* codec = GetCodec(CodecKind::kLz);
+  for (int iter = 0; iter < 20; ++iter) {
+    size_t n = rng.Uniform(20000);
+    // Mix of random and self-similar content.
+    std::string input = MakeInput(rng.Bernoulli(0.5) ? "csv" : "runs", n,
+                                  rng.Next());
+    auto out = codec->Decompress(codec->Compress(input));
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(*out, input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzPropertyTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace bistro

@@ -1,0 +1,131 @@
+// Concurrency stress tests: the KV store, the in-memory filesystem and
+// the logger are shared across delivery workers in live deployments and
+// must tolerate concurrent access.
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/threadpool.h"
+#include "kv/kvstore.h"
+#include "vfs/memfs.h"
+
+namespace bistro {
+namespace {
+
+TEST(ConcurrencyTest, KvStoreParallelWriters) {
+  InMemoryFileSystem fs;
+  auto store = KvStore::Open(&fs, "/db");
+  ASSERT_TRUE(store.ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string key = StrFormat("t%02d/k%04d", t, i);
+        if (!(*store)->Put(key, std::to_string(i)).ok()) failures++;
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ((*store)->Size(), static_cast<size_t>(kThreads * kPerThread));
+  // Everything is durable: reopen and recount.
+  store->reset();
+  auto reopened = KvStore::Open(&fs, "/db");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Size(), static_cast<size_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    auto rows = (*reopened)->ScanPrefix(StrFormat("t%02d/", t));
+    EXPECT_EQ(rows.size(), static_cast<size_t>(kPerThread));
+  }
+}
+
+TEST(ConcurrencyTest, KvStoreReadersDuringWrites) {
+  InMemoryFileSystem fs;
+  auto store = KvStore::Open(&fs, "/db");
+  ASSERT_TRUE(store.ok());
+  std::atomic<bool> stop{false};
+  std::atomic<int> read_errors{0};
+  ASSERT_TRUE((*store)->Put("stable", "42").ok());
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto v = (*store)->Get("stable");
+        if (!v.ok() || *v != "42") read_errors++;
+        (void)(*store)->ScanPrefix("w/");
+      }
+    });
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*store)->Put("w/" + std::to_string(i), "x").ok());
+  }
+  stop = true;
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(read_errors.load(), 0);
+}
+
+TEST(ConcurrencyTest, MemFsParallelMixedOps) {
+  InMemoryFileSystem fs;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::string dir = StrFormat("/w%d", t);
+      for (int i = 0; i < 100; ++i) {
+        std::string p = StrFormat("%s/f%03d", dir.c_str(), i);
+        if (!fs.WriteFile(p, "data").ok()) errors++;
+        if (!fs.ReadFile(p).ok()) errors++;
+        if (!fs.ListDir(dir).ok()) errors++;
+        if (i % 3 == 0) {
+          if (!fs.Rename(p, p + ".moved").ok()) errors++;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(errors.load(), 0);
+  auto all = fs.ListRecursive("/");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), static_cast<size_t>(kThreads * 100));
+}
+
+TEST(ConcurrencyTest, LoggerParallelEmitters) {
+  Logger logger;
+  auto sink = std::make_shared<MemorySink>();
+  logger.AddSink(sink);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        logger.Info(StrFormat("worker%d", t), "message " + std::to_string(i));
+      }
+    });
+  }
+  for (auto& e : emitters) e.join();
+  EXPECT_EQ(sink->Count(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(ConcurrencyTest, ThreadPoolStressWithWaiters) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(pool.Submit([&sum, i] { sum += i; }));
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(sum.load(), 10L * 199 * 200 / 2);
+}
+
+}  // namespace
+}  // namespace bistro

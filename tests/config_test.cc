@@ -1,0 +1,268 @@
+// Tests for the Bistro configuration language and feed registry:
+// parsing, error reporting, FormatConfig round-trips, hierarchy expansion
+// and subscription resolution.
+
+#include <gtest/gtest.h>
+
+#include "config/parser.h"
+#include "config/registry.h"
+
+namespace bistro {
+namespace {
+
+constexpr char kSnmpConfig[] = R"(
+# SNMP measurement feeds (paper Section 3.1 example hierarchy)
+group SNMP {
+  group CPU {
+    feed POLLER1 { pattern "CPU_POLL1_%Y%m%d%H%M.txt"; }
+    feed POLLER2 { pattern "CPU_POLL2_%Y%m%d%H%M.txt"; }
+  }
+  feed BPS {
+    pattern "BPS_%s_%Y%m%d%H.csv";
+    normalize "%Y/%m/%d/BPS_%s_%H.csv";
+    compress lz;
+    tardiness 30s;
+  }
+  feed MEMORY {
+    pattern "MEMORY_POLLER%i_%Y%m%d%H_%M.csv";
+    decompress;
+  }
+}
+
+subscriber dallas_warehouse {
+  host "dallas.example.com";
+  destination "/data/incoming";
+  feeds SNMP.CPU, SNMP.BPS;
+  method push;
+  trigger batch count 3 timeout 5m exec "load_partition.sh";
+  window 2d;
+}
+
+subscriber atlanta_marketing {
+  host "atlanta.example.com";
+  feeds SNMP;
+  method notify;
+  trigger file exec "notify.sh" remote;
+}
+)";
+
+TEST(ConfigParseTest, ParsesFullExample) {
+  auto config = ParseConfig(kSnmpConfig);
+  ASSERT_TRUE(config.ok()) << config.status();
+  ASSERT_EQ(config->feeds.size(), 4u);
+  EXPECT_EQ(config->feeds[0].name, "SNMP.CPU.POLLER1");
+  EXPECT_EQ(config->feeds[1].name, "SNMP.CPU.POLLER2");
+  EXPECT_EQ(config->feeds[2].name, "SNMP.BPS");
+  EXPECT_EQ(config->feeds[3].name, "SNMP.MEMORY");
+
+  const FeedSpec& bps = config->feeds[2];
+  EXPECT_EQ(bps.pattern, "BPS_%s_%Y%m%d%H.csv");
+  EXPECT_EQ(bps.normalize.rename_template, "%Y/%m/%d/BPS_%s_%H.csv");
+  EXPECT_EQ(bps.normalize.action, CompressionAction::kCompress);
+  EXPECT_EQ(bps.normalize.codec, CodecKind::kLz);
+  EXPECT_EQ(bps.tardiness, 30 * kSecond);
+  EXPECT_EQ(config->feeds[3].normalize.action, CompressionAction::kDecompress);
+  EXPECT_EQ(config->feeds[0].tardiness, kDefaultTardiness);
+
+  ASSERT_EQ(config->subscribers.size(), 2u);
+  const SubscriberSpec& dallas = config->subscribers[0];
+  EXPECT_EQ(dallas.name, "dallas_warehouse");
+  EXPECT_EQ(dallas.host, "dallas.example.com");
+  EXPECT_EQ(dallas.destination, "/data/incoming");
+  EXPECT_EQ(dallas.feeds, (std::vector<FeedName>{"SNMP.CPU", "SNMP.BPS"}));
+  EXPECT_EQ(dallas.method, DeliveryMethod::kPush);
+  EXPECT_EQ(dallas.trigger.batch.mode, BatchSpec::Mode::kCountOrTime);
+  EXPECT_EQ(dallas.trigger.batch.count, 3);
+  EXPECT_EQ(dallas.trigger.batch.timeout, 5 * kMinute);
+  EXPECT_EQ(dallas.trigger.command, "load_partition.sh");
+  EXPECT_FALSE(dallas.trigger.remote);
+  EXPECT_EQ(dallas.window, 2 * kDay);
+
+  const SubscriberSpec& atlanta = config->subscribers[1];
+  EXPECT_EQ(atlanta.method, DeliveryMethod::kNotify);
+  EXPECT_EQ(atlanta.trigger.batch.mode, BatchSpec::Mode::kPerFile);
+  EXPECT_TRUE(atlanta.trigger.remote);
+}
+
+TEST(ConfigParseTest, EmptyConfigIsValid) {
+  auto config = ParseConfig("");
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->feeds.empty());
+  EXPECT_TRUE(config->subscribers.empty());
+}
+
+TEST(ConfigParseTest, ErrorsCarryLineNumbers) {
+  auto config = ParseConfig("feed F {\n  pattern \"ok_%Y\";\n  bogus 7;\n}");
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find("line 3"), std::string::npos)
+      << config.status();
+}
+
+TEST(ConfigParseTest, RejectsBadPatternAtParseTime) {
+  auto config = ParseConfig(R"(feed F { pattern "bad_%q"; })");
+  EXPECT_FALSE(config.ok());
+}
+
+TEST(ConfigParseTest, RejectsFeedWithoutPattern) {
+  EXPECT_FALSE(ParseConfig("feed F { tardiness 5s; }").ok());
+}
+
+TEST(ConfigParseTest, RejectsSubscriberWithoutFeeds) {
+  EXPECT_FALSE(ParseConfig(R"(subscriber s { host "h"; })").ok());
+}
+
+TEST(ConfigParseTest, RejectsUnterminatedConstructs) {
+  EXPECT_FALSE(ParseConfig("feed F { pattern \"x\";").ok());
+  EXPECT_FALSE(ParseConfig("group G { feed F { pattern \"x\"; }").ok());
+  EXPECT_FALSE(ParseConfig(R"(feed F { pattern "unterminated)").ok());
+}
+
+TEST(ConfigParseTest, RejectsBatchTriggerWithoutOptions) {
+  EXPECT_FALSE(
+      ParseConfig(R"(subscriber s { feeds F; trigger batch exec "x"; })").ok());
+  EXPECT_FALSE(
+      ParseConfig(R"(subscriber s { feeds F; trigger batch count -3; })").ok());
+}
+
+TEST(ConfigParseTest, PunctuationTrigger) {
+  auto config = ParseConfig(R"(
+feed F { pattern "f_%Y%m%d"; }
+subscriber s { feeds F; trigger punctuation exec "go.sh"; }
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->subscribers[0].trigger.batch.mode,
+            BatchSpec::Mode::kPunctuation);
+}
+
+TEST(ConfigParseTest, CommentsAndWhitespaceIgnored)
+{
+  auto config = ParseConfig("# leading comment\n\n  feed F{pattern \"x_%i\";}#trailing\n");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->feeds.size(), 1u);
+}
+
+TEST(ConfigFormatTest, RoundTripsThroughParse) {
+  auto config = ParseConfig(kSnmpConfig);
+  ASSERT_TRUE(config.ok());
+  std::string formatted = FormatConfig(*config);
+  auto reparsed = ParseConfig(formatted);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << formatted;
+  EXPECT_EQ(*reparsed, *config);
+}
+
+TEST(ConfigFormatTest, QuotesEscaped) {
+  ServerConfig config;
+  FeedSpec feed;
+  feed.name = "F";
+  feed.pattern = "weird_%s";
+  config.feeds.push_back(feed);
+  SubscriberSpec sub;
+  sub.name = "s";
+  sub.feeds = {"F"};
+  sub.trigger.command = "run \"quoted\" \\ back";
+  sub.trigger.batch.mode = BatchSpec::Mode::kTime;
+  sub.trigger.batch.timeout = 90 * kSecond;
+  config.subscribers.push_back(sub);
+  auto reparsed = ParseConfig(FormatConfig(config));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, config);
+}
+
+// ---------------------------------------------------------------- Registry
+
+std::unique_ptr<FeedRegistry> MustRegistry(std::string_view text) {
+  auto config = ParseConfig(text);
+  EXPECT_TRUE(config.ok()) << config.status();
+  auto registry = FeedRegistry::Create(*config);
+  EXPECT_TRUE(registry.ok()) << registry.status();
+  return std::move(*registry);
+}
+
+TEST(RegistryTest, ExpandGroupToLeaves) {
+  auto registry = MustRegistry(kSnmpConfig);
+  EXPECT_EQ(registry->Expand("SNMP.CPU"),
+            (std::vector<FeedName>{"SNMP.CPU.POLLER1", "SNMP.CPU.POLLER2"}));
+  EXPECT_EQ(registry->Expand("SNMP.BPS"),
+            std::vector<FeedName>{"SNMP.BPS"});
+  EXPECT_EQ(registry->Expand("SNMP").size(), 4u);
+  EXPECT_TRUE(registry->Expand("UNKNOWN").empty());
+  // Prefix must respect dot boundaries: "SNMP.CP" is not a group.
+  EXPECT_TRUE(registry->Expand("SNMP.CP").empty());
+}
+
+TEST(RegistryTest, SubscribedFeedsDeduplicates) {
+  auto registry = MustRegistry(R"(
+group G {
+  feed A { pattern "a_%i"; }
+  feed B { pattern "b_%i"; }
+}
+subscriber s { feeds G, G.A; }
+)");
+  auto feeds = registry->SubscribedFeeds(*registry->FindSubscriber("s"));
+  EXPECT_EQ(feeds, (std::vector<FeedName>{"G.A", "G.B"}));
+}
+
+TEST(RegistryTest, SubscribersOfResolvesGroups) {
+  auto registry = MustRegistry(kSnmpConfig);
+  auto subs = registry->SubscribersOf("SNMP.CPU.POLLER1");
+  ASSERT_EQ(subs.size(), 2u);  // dallas (via SNMP.CPU) and atlanta (via SNMP)
+  auto bps_subs = registry->SubscribersOf("SNMP.BPS");
+  ASSERT_EQ(bps_subs.size(), 2u);
+  auto memory_subs = registry->SubscribersOf("SNMP.MEMORY");
+  ASSERT_EQ(memory_subs.size(), 1u);
+  EXPECT_EQ(memory_subs[0]->name, "atlanta_marketing");
+}
+
+TEST(RegistryTest, RejectsDuplicateFeed) {
+  auto config = ParseConfig(R"(
+feed F { pattern "a_%i"; }
+feed F { pattern "b_%i"; }
+)");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(FeedRegistry::Create(*config).ok());
+}
+
+TEST(RegistryTest, RejectsFeedNameThatIsAlsoGroup) {
+  auto config = ParseConfig(R"(
+feed SNMP { pattern "a_%i"; }
+group SNMP { feed CPU { pattern "b_%i"; } }
+)");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(FeedRegistry::Create(*config).ok());
+}
+
+TEST(RegistryTest, RejectsUnknownSubscription) {
+  auto config = ParseConfig(R"(
+feed F { pattern "a_%i"; }
+subscriber s { feeds NOPE; }
+)");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(FeedRegistry::Create(*config).ok());
+}
+
+TEST(RegistryTest, UpdateFeedReplacesPattern) {
+  auto registry = MustRegistry(R"(feed F { pattern "old_%i"; })");
+  EXPECT_TRUE(registry->FindFeed("F")->pattern.Matches("old_1"));
+  FeedSpec revised = registry->FindFeed("F")->spec;
+  revised.pattern = "new_%i";
+  ASSERT_TRUE(registry->UpdateFeed(revised).ok());
+  EXPECT_FALSE(registry->FindFeed("F")->pattern.Matches("old_1"));
+  EXPECT_TRUE(registry->FindFeed("F")->pattern.Matches("new_1"));
+}
+
+TEST(RegistryTest, AddSubscriberAtRuntime) {
+  auto registry = MustRegistry(R"(feed F { pattern "a_%i"; })");
+  SubscriberSpec sub;
+  sub.name = "late_joiner";
+  sub.feeds = {"F"};
+  ASSERT_TRUE(registry->AddSubscriber(sub).ok());
+  EXPECT_EQ(registry->SubscribersOf("F").size(), 1u);
+  EXPECT_TRUE(registry->AddSubscriber(sub).IsAlreadyExists());
+  SubscriberSpec bad;
+  bad.name = "bad";
+  bad.feeds = {"MISSING"};
+  EXPECT_FALSE(registry->AddSubscriber(bad).ok());
+}
+
+}  // namespace
+}  // namespace bistro

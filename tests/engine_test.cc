@@ -1,0 +1,252 @@
+// Edge-case tests for the delivery engine and server paths not covered by
+// the integration suite: retry exhaustion, staged-file loss, manual
+// offline control, remote batch triggers, multi-feed files, the staging
+// hot-file cache, scheduler slot accounting under rebalance, and the
+// receipt archiver wired into maintenance.
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "config/parser.h"
+#include "core/server.h"
+#include "vfs/memfs.h"
+
+namespace bistro {
+namespace {
+
+struct Rig {
+  SimClock clock{FromCivil(CivilTime{2010, 9, 25})};
+  EventLoop loop{&clock};
+  InMemoryFileSystem fs;
+  LoopbackTransport transport{&loop};
+  RecordingInvoker invoker;
+  Logger logger{&clock};
+  std::unique_ptr<BistroServer> server;
+
+  explicit Rig(const char* config_text,
+               BistroServer::Options options = BistroServer::Options()) {
+    logger.SetMinLevel(LogLevel::kAlarm);
+    auto config = ParseConfig(config_text);
+    EXPECT_TRUE(config.ok()) << config.status();
+    auto s = BistroServer::Create(options, *config, &fs, &transport, &loop,
+                                  &invoker, &logger);
+    EXPECT_TRUE(s.ok()) << s.status();
+    server = std::move(*s);
+  }
+};
+
+constexpr char kOneFeedOneSub[] = R"(
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt"; }
+subscriber s { feeds CPU; method push; }
+)";
+
+TEST(EngineTest, RetriesExhaustAfterMaxAttempts) {
+  BistroServer::Options opts;
+  opts.delivery.max_attempts = 3;
+  opts.delivery.retry_backoff = kSecond;
+  opts.delivery.offline_after_failures = 100;  // never flag offline here
+  Rig rig(kOneFeedOneSub, opts);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  sink.SetFailing(true);
+  rig.transport.Register("s", &sink);
+  ASSERT_TRUE(
+      rig.server->Deposit("p", "CPU_POLL1_201009250400.txt", "x").ok());
+  rig.loop.RunUntil(rig.clock.Now() + kMinute);
+  const DeliveryStats& d = rig.server->delivery_stats();
+  EXPECT_EQ(d.files_delivered, 0u);
+  EXPECT_EQ(d.send_failures, 3u);  // initial + 2 retries = max_attempts
+  EXPECT_EQ(d.retries, 2u);
+  // No further events pending for this job.
+  EXPECT_FALSE(rig.server->receipts()->Delivered("s", 1));
+}
+
+TEST(EngineTest, MissingStagedFileFailsJobWithoutCrash) {
+  Rig rig(kOneFeedOneSub);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  rig.transport.Register("s", &sink);
+  // Make the subscriber offline via manual control so the file stays
+  // queued, then destroy the staged copy before recovery.
+  rig.server->delivery()->SetOffline("s", true);
+  ASSERT_TRUE(
+      rig.server->Deposit("p", "CPU_POLL1_201009250400.txt", "x").ok());
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  EXPECT_EQ(sink.files_received(), 0u);
+  auto receipt = rig.server->receipts()->GetArrival(1);
+  ASSERT_TRUE(receipt.ok());
+  ASSERT_TRUE(rig.fs.Delete(receipt->staged_path).ok());
+  // Back online: backfill finds the file, but its bytes are gone.
+  rig.server->delivery()->SetOffline("s", false);
+  rig.loop.RunUntil(rig.clock.Now() + kMinute);
+  EXPECT_EQ(sink.files_received(), 0u);
+  EXPECT_GE(rig.server->scheduler_metrics().failed, 1u);
+}
+
+TEST(EngineTest, ManualOfflineParksAndManualOnlineBackfills) {
+  Rig rig(kOneFeedOneSub);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  rig.transport.Register("s", &sink);
+  rig.server->delivery()->SetOffline("s", true);
+  EXPECT_TRUE(rig.server->delivery()->IsOffline("s"));
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(rig.server
+                    ->Deposit("p",
+                              StrFormat("CPU_POLL%d_201009250400.txt", i), "x")
+                    .ok());
+  }
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  EXPECT_EQ(rig.server->delivery_stats().parked, 3u);
+  EXPECT_EQ(sink.files_received(), 0u);
+  rig.server->delivery()->SetOffline("s", false);
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  EXPECT_EQ(sink.files_received(), 3u);
+}
+
+TEST(EngineTest, RemoteBatchTriggerShipsEndOfBatchMessage) {
+  Rig rig(R"(
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt"; }
+subscriber s { feeds CPU; method push; trigger batch count 2 remote; }
+)");
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  rig.transport.Register("s", &sink);
+  ASSERT_TRUE(rig.server->Deposit("p", "CPU_POLL1_201009250400.txt", "a").ok());
+  ASSERT_TRUE(rig.server->Deposit("p", "CPU_POLL2_201009250400.txt", "b").ok());
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  // The batch closed and reached the subscriber as a kEndOfBatch message
+  // (sink.batches), not as a locally invoked command.
+  EXPECT_EQ(sink.batches(), 1u);
+  EXPECT_TRUE(rig.invoker.invocations().empty());
+  EXPECT_EQ(rig.server->delivery_stats().triggers_invoked, 1u);
+}
+
+TEST(EngineTest, FileInMultipleFeedsDeliveredOncePerSubscriber) {
+  // Two feeds both match; the subscriber follows both: it must still get
+  // the file exactly once (pending-set dedupe across feeds).
+  Rig rig(R"(
+feed A { pattern "CPU_POLL%i_%Y%m%d%H%M.txt"; }
+feed B { pattern "%s.txt"; }
+subscriber s { feeds A, B; method push; }
+)");
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  rig.transport.Register("s", &sink);
+  ASSERT_TRUE(rig.server->Deposit("p", "CPU_POLL1_201009250400.txt", "x").ok());
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  EXPECT_EQ(sink.files_received(), 1u);
+  EXPECT_EQ(rig.server->delivery_stats().jobs_submitted, 1u);
+}
+
+TEST(EngineTest, HotFileCacheServesFanout) {
+  Rig rig(R"(
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt"; }
+subscriber s1 { feeds CPU; method push; }
+subscriber s2 { feeds CPU; method push; }
+subscriber s3 { feeds CPU; method push; }
+)");
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint a(&sub_fs, "/a"), b(&sub_fs, "/b"), c(&sub_fs, "/c");
+  rig.transport.Register("s1", &a);
+  rig.transport.Register("s2", &b);
+  rig.transport.Register("s3", &c);
+  ASSERT_TRUE(rig.server->Deposit("p", "CPU_POLL1_201009250400.txt", "x").ok());
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  const DeliveryStats& d = rig.server->delivery_stats();
+  EXPECT_EQ(d.files_delivered, 3u);
+  EXPECT_EQ(d.staging_reads, 1u);
+  EXPECT_EQ(d.staging_cache_hits, 2u);
+}
+
+TEST(EngineTest, MaintenanceShipsReceiptSnapshotsToArchiver) {
+  Rig rig(kOneFeedOneSub);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  rig.transport.Register("s", &sink);
+  InMemoryFileSystem archive_fs;
+  ArchiverEndpoint archiver(&archive_fs, "/vault");
+  rig.server->SetReceiptArchiver(&archiver);
+  ASSERT_TRUE(rig.server->Deposit("p", "CPU_POLL1_201009250400.txt", "x").ok());
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  rig.server->RunMaintenance();
+  rig.server->RunMaintenance();
+  EXPECT_EQ(archiver.receipt_snapshots(), 2u);
+  // The latest snapshot restores into a working database.
+  InMemoryFileSystem fresh;
+  ASSERT_TRUE(RestoreReceiptState(&archive_fs, archiver,
+                                  "receipts-0000000000000001", &fresh, "/db")
+                  .ok());
+  auto db = ReceiptDatabase::Open(&fresh, "/db");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->ArrivalCount(), 1u);
+  EXPECT_TRUE((*db)->Delivered("s", 1));
+  // Detach: no more snapshots.
+  rig.server->SetReceiptArchiver(nullptr);
+  rig.server->RunMaintenance();
+  EXPECT_EQ(archiver.receipt_snapshots(), 2u);
+}
+
+TEST(EngineTest, NotifyMethodStillFeedsBatcher) {
+  Rig rig(R"(
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt"; }
+subscriber s { feeds CPU; method notify; trigger batch count 2 exec "go"; }
+)");
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  rig.transport.Register("s", &sink);
+  ASSERT_TRUE(rig.server->Deposit("p", "CPU_POLL1_201009250400.txt", "a").ok());
+  ASSERT_TRUE(rig.server->Deposit("p", "CPU_POLL2_201009250400.txt", "b").ok());
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  EXPECT_EQ(sink.notifications(), 2u);
+  ASSERT_EQ(rig.invoker.invocations().size(), 1u);
+  EXPECT_EQ(rig.invoker.invocations()[0].command, "go");
+  EXPECT_EQ(rig.server->delivery_stats().notifications_sent, 2u);
+}
+
+TEST(SchedulerSlotTest, RebalanceBetweenDequeueAndCompleteKeepsAccounting) {
+  // The slot-owner map must free the slot of the partition the job was
+  // dequeued from, even if the subscriber moved partitions meanwhile.
+  PartitionedScheduler::Options opts;
+  opts.num_partitions = 2;
+  opts.slots_per_partition = 1;
+  PartitionedScheduler sched(opts);
+  sched.SetPartition("sub", 0);
+  TransferJob job;
+  job.file_id = 1;
+  job.subscriber = "sub";
+  sched.Submit(job);
+  auto running = sched.Dequeue();
+  ASSERT_TRUE(running.has_value());
+  EXPECT_EQ(sched.in_flight(), 1u);
+  sched.SetPartition("sub", 1);  // moved while in flight
+  sched.OnComplete(*running, true, 10, 10);
+  EXPECT_EQ(sched.in_flight(), 0u);
+  // Partition 0's slot is free again: a new partition-0 job can run.
+  sched.SetPartition("other", 0);
+  TransferJob other;
+  other.file_id = 2;
+  other.subscriber = "other";
+  sched.Submit(other);
+  EXPECT_TRUE(sched.Dequeue().has_value());
+}
+
+TEST(EngineTest, UnknownFeedGroupSubscriberRejectedAtCreate) {
+  SimClock clock(0);
+  EventLoop loop(&clock);
+  InMemoryFileSystem fs;
+  LoopbackTransport transport(&loop);
+  RecordingInvoker invoker;
+  Logger logger(&clock);
+  auto config = ParseConfig(R"(
+feed CPU { pattern "CPU_%i.txt"; }
+subscriber s { feeds NOPE; }
+)");
+  ASSERT_TRUE(config.ok());
+  auto server = BistroServer::Create(BistroServer::Options(), *config, &fs,
+                                     &transport, &loop, &invoker, &logger);
+  EXPECT_FALSE(server.ok());
+}
+
+}  // namespace
+}  // namespace bistro

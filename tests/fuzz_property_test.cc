@@ -1,0 +1,268 @@
+// Randomized property tests over the language layers:
+//  - generated configurations survive FormatConfig -> ParseConfig intact;
+//  - GeneralizeName always yields a compilable pattern that matches the
+//    input name;
+//  - random corpora rendered from random pattern templates are fully
+//    re-matched by their own discovered patterns;
+//  - WAL/KvStore state survives arbitrary crash points (prefix truncation
+//    never yields corruption errors, only a consistent earlier state).
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "analyzer/infer.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "config/parser.h"
+#include "kv/kvstore.h"
+#include "pattern/pattern.h"
+#include "vfs/memfs.h"
+
+namespace bistro {
+namespace {
+
+// ------------------------------------------------------------ config fuzz
+
+ServerConfig RandomConfig(Rng* rng) {
+  ServerConfig config;
+  int feeds = 1 + static_cast<int>(rng->Uniform(6));
+  for (int f = 0; f < feeds; ++f) {
+    FeedSpec feed;
+    feed.name = "F" + std::to_string(f);
+    if (rng->Bernoulli(0.4)) feed.name = "GRP.SUB" + std::to_string(f);
+    feed.pattern = "feed" + std::to_string(f) + "_%i_%Y%m%d.dat";
+    int alts = static_cast<int>(rng->Uniform(3));
+    for (int a = 0; a < alts; ++a) {
+      feed.alt_patterns.push_back("alt" + std::to_string(f) + "_" +
+                                  std::to_string(a) + "_%s.log");
+    }
+    switch (rng->Uniform(3)) {
+      case 0:
+        feed.normalize.action = CompressionAction::kCompress;
+        feed.normalize.codec =
+            rng->Bernoulli(0.5) ? CodecKind::kLz : CodecKind::kRle;
+        break;
+      case 1:
+        feed.normalize.action = CompressionAction::kDecompress;
+        break;
+      default:
+        break;
+    }
+    if (rng->Bernoulli(0.5)) {
+      feed.normalize.rename_template = "%Y/%m/%d/out%i.dat";
+    }
+    feed.tardiness = static_cast<Duration>(1 + rng->Uniform(600)) * kSecond;
+    config.feeds.push_back(std::move(feed));
+  }
+  int subs = static_cast<int>(rng->Uniform(4));
+  for (int s = 0; s < subs; ++s) {
+    SubscriberSpec sub;
+    sub.name = "sub" + std::to_string(s);
+    if (rng->Bernoulli(0.5)) sub.host = "host-" + rng->AlnumString(6);
+    if (rng->Bernoulli(0.5)) sub.destination = "/data/" + rng->AlnumString(4);
+    sub.feeds.push_back(
+        config.feeds[rng->Uniform(config.feeds.size())].name);
+    sub.method =
+        rng->Bernoulli(0.5) ? DeliveryMethod::kPush : DeliveryMethod::kNotify;
+    switch (rng->Uniform(5)) {
+      case 0:
+        sub.trigger.batch.mode = BatchSpec::Mode::kCount;
+        sub.trigger.batch.count = 1 + static_cast<int>(rng->Uniform(10));
+        break;
+      case 1:
+        sub.trigger.batch.mode = BatchSpec::Mode::kTime;
+        sub.trigger.batch.timeout =
+            static_cast<Duration>(1 + rng->Uniform(600)) * kSecond;
+        break;
+      case 2:
+        sub.trigger.batch.mode = BatchSpec::Mode::kCountOrTime;
+        sub.trigger.batch.count = 1 + static_cast<int>(rng->Uniform(10));
+        sub.trigger.batch.timeout =
+            static_cast<Duration>(1 + rng->Uniform(600)) * kSecond;
+        break;
+      case 3:
+        sub.trigger.batch.mode = BatchSpec::Mode::kPunctuation;
+        break;
+      default:
+        break;
+    }
+    if (rng->Bernoulli(0.6)) {
+      sub.trigger.command = "run_" + rng->AlnumString(5) + " \"arg\\x\"";
+      sub.trigger.remote = rng->Bernoulli(0.3);
+    }
+    if (rng->Bernoulli(0.4)) {
+      sub.window = static_cast<Duration>(1 + rng->Uniform(72)) * kHour;
+    }
+    config.subscribers.push_back(std::move(sub));
+  }
+  return config;
+}
+
+class ConfigFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfigFuzzTest, FormatParseRoundTrip) {
+  Rng rng(GetParam() * 101);
+  for (int iter = 0; iter < 25; ++iter) {
+    ServerConfig config = RandomConfig(&rng);
+    std::string text = FormatConfig(config);
+    auto reparsed = ParseConfig(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+    EXPECT_EQ(*reparsed, config) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzzTest, ::testing::Range(1, 6));
+
+// -------------------------------------------------------- generalization
+
+class GeneralizePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneralizePropertyTest, GeneralizedPatternAlwaysMatchesItsName) {
+  Rng rng(GetParam() * 7 + 1);
+  static const char* kSeps = "_-./";
+  for (int iter = 0; iter < 200; ++iter) {
+    // Random structured name: alternating word/number/separator runs.
+    std::string name;
+    int segments = 1 + static_cast<int>(rng.Uniform(8));
+    for (int s = 0; s < segments; ++s) {
+      if (s > 0) name += kSeps[rng.Uniform(4)];
+      if (rng.Bernoulli(0.5)) {
+        name += rng.AlnumString(1 + rng.Uniform(8));
+      } else {
+        name += std::to_string(rng.Uniform(100000000));
+      }
+    }
+    std::string generalized = GeneralizeName(name);
+    auto pattern = Pattern::Compile(generalized);
+    ASSERT_TRUE(pattern.ok()) << name << " -> " << generalized;
+    EXPECT_TRUE(pattern->Matches(name)) << name << " -> " << generalized;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralizePropertyTest, ::testing::Range(1, 6));
+
+// ------------------------------------------------------- discovery closure
+
+class DiscoveryClosureTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiscoveryClosureTest, DiscoveredPatternsCoverTheirClusters) {
+  Rng rng(GetParam() * 31 + 7);
+  // Corpus: several synthetic conventions with random literals.
+  std::vector<FileObservation> corpus;
+  int conventions = 2 + static_cast<int>(rng.Uniform(4));
+  for (int c = 0; c < conventions; ++c) {
+    std::string stem = ToUpper(rng.AlnumString(3 + rng.Uniform(5)));
+    // Strip digits from the stem so conventions differ by alpha text.
+    for (auto& ch : stem) {
+      if (IsDigit(ch)) ch = 'X';
+    }
+    int files = 4 + static_cast<int>(rng.Uniform(20));
+    for (int i = 0; i < files; ++i) {
+      CivilTime t{2010, 1 + (int)rng.Uniform(12), 1 + (int)rng.Uniform(28),
+                  (int)rng.Uniform(24), (int)rng.Uniform(60), 0};
+      corpus.push_back({StrFormat("%s_%llu_%04d%02d%02d%02d%02d.csv",
+                                  stem.c_str(),
+                                  (unsigned long long)rng.Uniform(5),
+                                  t.year, t.month, t.day, t.hour, t.minute),
+                        0});
+    }
+  }
+  DiscoveryOptions options;
+  options.min_support = 1;
+  auto result = DiscoverFeeds(corpus, options);
+  // Every observation matches at least one discovered pattern, and each
+  // feed's pattern matches exactly file_count observations.
+  std::vector<Pattern> compiled;
+  std::vector<size_t> expected_counts;
+  auto add = [&](const AtomicFeed& feed) {
+    auto p = Pattern::Compile(feed.pattern);
+    ASSERT_TRUE(p.ok()) << feed.pattern;
+    compiled.push_back(std::move(*p));
+    expected_counts.push_back(feed.file_count);
+  };
+  for (const auto& feed : result.feeds) add(feed);
+  for (const auto& feed : result.outliers) add(feed);
+  std::vector<size_t> counts(compiled.size(), 0);
+  for (const auto& obs : corpus) {
+    bool any = false;
+    for (size_t i = 0; i < compiled.size(); ++i) {
+      if (compiled[i].Matches(obs.name)) {
+        counts[i]++;
+        any = true;
+      }
+    }
+    EXPECT_TRUE(any) << obs.name;
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i], expected_counts[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiscoveryClosureTest, ::testing::Range(1, 6));
+
+// ----------------------------------------------------------- crash points
+
+class CrashPointTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashPointTest, AnyWalPrefixRecoversConsistently) {
+  // Build a WAL of known operations, then truncate at every byte
+  // boundary: recovery must always succeed and yield a state equal to
+  // some prefix of the operation sequence.
+  InMemoryFileSystem fs;
+  KvStore::Options opts;
+  opts.checkpoint_wal_bytes = 0;
+  std::vector<std::pair<std::string, std::optional<std::string>>> ops;
+  Rng rng(GetParam() * 13);
+  {
+    auto store = KvStore::Open(&fs, "/db", opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 30; ++i) {
+      std::string key = "k" + std::to_string(rng.Uniform(10));
+      if (rng.Bernoulli(0.7)) {
+        std::string value = rng.AlnumString(1 + rng.Uniform(20));
+        ASSERT_TRUE((*store)->Put(key, value).ok());
+        ops.emplace_back(key, value);
+      } else {
+        ASSERT_TRUE((*store)->Delete(key).ok());
+        ops.emplace_back(key, std::nullopt);
+      }
+    }
+  }
+  std::string wal = *fs.ReadFile("/db/wal.log");
+  // All states reachable by applying op prefixes.
+  std::set<std::string> reachable;
+  {
+    std::map<std::string, std::string> state;
+    auto encode = [&] {
+      std::string s;
+      for (auto& [k, v] : state) s += k + "=" + v + ";";
+      return s;
+    };
+    reachable.insert(encode());
+    for (auto& [k, v] : ops) {
+      if (v.has_value()) {
+        state[k] = *v;
+      } else {
+        state.erase(k);
+      }
+      reachable.insert(encode());
+    }
+  }
+  for (size_t cut = 0; cut <= wal.size(); cut += 1 + rng.Uniform(5)) {
+    InMemoryFileSystem crashed;
+    ASSERT_TRUE(
+        crashed.WriteFile("/db/wal.log", std::string_view(wal).substr(0, cut))
+            .ok());
+    auto store = KvStore::Open(&crashed, "/db", opts);
+    ASSERT_TRUE(store.ok()) << "cut=" << cut << ": " << store.status();
+    std::string s;
+    for (auto& [k, v] : (*store)->ScanPrefix("")) s += k + "=" + v + ";";
+    EXPECT_TRUE(reachable.count(s)) << "cut=" << cut << " state=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashPointTest, ::testing::Range(1, 5));
+
+}  // namespace
+}  // namespace bistro

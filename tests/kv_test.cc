@@ -1,0 +1,367 @@
+// Tests for the durable KV substrate: WAL framing and torn-tail recovery,
+// KvStore batches/checkpoints/crash-recovery, and the receipt database's
+// delivery-queue computation (the paper's §4.2 reliability mechanism).
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "kv/kvstore.h"
+#include "kv/receipts.h"
+#include "kv/wal.h"
+#include "vfs/memfs.h"
+
+namespace bistro {
+namespace {
+
+// ---------------------------------------------------------------- WAL
+
+TEST(WalTest, AppendAndReplay) {
+  InMemoryFileSystem fs;
+  WriteAheadLog wal(&fs, "/db/wal.log");
+  ASSERT_TRUE(wal.Append("one").ok());
+  ASSERT_TRUE(wal.Append("two").ok());
+  ASSERT_TRUE(wal.Append("three").ok());
+  std::vector<std::string> seen;
+  bool torn = false;
+  ASSERT_TRUE(wal.Replay([&](std::string_view r) { seen.emplace_back(r); }, &torn).ok());
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(seen, (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(WalTest, EmptyLogReplaysNothing) {
+  InMemoryFileSystem fs;
+  WriteAheadLog wal(&fs, "/db/wal.log");
+  int count = 0;
+  ASSERT_TRUE(wal.Replay([&](std::string_view) { count++; }).ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST(WalTest, TornTailIsToleratedNotCorruption) {
+  InMemoryFileSystem fs;
+  WriteAheadLog wal(&fs, "/db/wal.log");
+  ASSERT_TRUE(wal.Append("record_one").ok());
+  ASSERT_TRUE(wal.Append("record_two").ok());
+  // Simulate a crash mid-write: truncate the file by a few bytes.
+  std::string data = *fs.ReadFile("/db/wal.log");
+  ASSERT_TRUE(fs.WriteFile("/db/wal.log", std::string_view(data).substr(0, data.size() - 4)).ok());
+  std::vector<std::string> seen;
+  bool torn = false;
+  ASSERT_TRUE(wal.Replay([&](std::string_view r) { seen.emplace_back(r); }, &torn).ok());
+  EXPECT_TRUE(torn);
+  EXPECT_EQ(seen, (std::vector<std::string>{"record_one"}));
+}
+
+TEST(WalTest, MidLogCorruptionIsError) {
+  InMemoryFileSystem fs;
+  WriteAheadLog wal(&fs, "/db/wal.log");
+  ASSERT_TRUE(wal.Append("record_one").ok());
+  ASSERT_TRUE(wal.Append("record_two").ok());
+  std::string data = *fs.ReadFile("/db/wal.log");
+  data[6] ^= 0x5A;  // flip a byte inside the first record's payload
+  ASSERT_TRUE(fs.WriteFile("/db/wal.log", data).ok());
+  Status s = wal.Replay([](std::string_view) {});
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(WalTest, TruncateRemovesLog) {
+  InMemoryFileSystem fs;
+  WriteAheadLog wal(&fs, "/db/wal.log");
+  ASSERT_TRUE(wal.Append("x").ok());
+  EXPECT_GT(wal.SizeBytes(), 0u);
+  ASSERT_TRUE(wal.Truncate().ok());
+  EXPECT_EQ(wal.SizeBytes(), 0u);
+  ASSERT_TRUE(wal.Truncate().ok());  // idempotent
+}
+
+// ---------------------------------------------------------------- KvStore
+
+KvStore::Options NoAutoCheckpoint() {
+  KvStore::Options o;
+  o.checkpoint_wal_bytes = 0;
+  return o;
+}
+
+TEST(KvStoreTest, PutGetDelete) {
+  InMemoryFileSystem fs;
+  auto store = KvStore::Open(&fs, "/db");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k1", "v1").ok());
+  EXPECT_EQ(*(*store)->Get("k1"), "v1");
+  EXPECT_TRUE((*store)->Contains("k1"));
+  ASSERT_TRUE((*store)->Delete("k1").ok());
+  EXPECT_TRUE((*store)->Get("k1").status().IsNotFound());
+  EXPECT_EQ((*store)->Size(), 0u);
+}
+
+TEST(KvStoreTest, SurvivesReopen) {
+  InMemoryFileSystem fs;
+  {
+    auto store = KvStore::Open(&fs, "/db", NoAutoCheckpoint());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("feed", "SNMP.CPU").ok());
+    ASSERT_TRUE((*store)->Put("subscriber", "dallas").ok());
+    ASSERT_TRUE((*store)->Delete("subscriber").ok());
+  }  // "crash": no clean shutdown path exists, recovery is the only path
+  auto store = KvStore::Open(&fs, "/db", NoAutoCheckpoint());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(*(*store)->Get("feed"), "SNMP.CPU");
+  EXPECT_FALSE((*store)->Contains("subscriber"));
+}
+
+TEST(KvStoreTest, BatchIsAtomicAcrossTornTail) {
+  InMemoryFileSystem fs;
+  {
+    auto store = KvStore::Open(&fs, "/db", NoAutoCheckpoint());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("before", "1").ok());
+    ASSERT_TRUE((*store)
+                    ->Apply({KvStore::Write::Put("batch_a", "x"),
+                             KvStore::Write::Put("batch_b", "y")})
+                    .ok());
+  }
+  // Tear the tail of the WAL: the second batch should vanish entirely.
+  std::string wal = *fs.ReadFile("/db/wal.log");
+  ASSERT_TRUE(fs.WriteFile("/db/wal.log",
+                           std::string_view(wal).substr(0, wal.size() - 2)).ok());
+  auto store = KvStore::Open(&fs, "/db", NoAutoCheckpoint());
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->recovered_torn_tail());
+  EXPECT_TRUE((*store)->Contains("before"));
+  EXPECT_FALSE((*store)->Contains("batch_a"));
+  EXPECT_FALSE((*store)->Contains("batch_b"));
+}
+
+TEST(KvStoreTest, CheckpointThenRecover) {
+  InMemoryFileSystem fs;
+  {
+    auto store = KvStore::Open(&fs, "/db", NoAutoCheckpoint());
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*store)->Put("k" + std::to_string(i), std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+    EXPECT_EQ((*store)->WalBytes(), 0u);
+    // Post-checkpoint writes land in a fresh WAL.
+    ASSERT_TRUE((*store)->Put("post", "ckpt").ok());
+  }
+  auto store = KvStore::Open(&fs, "/db", NoAutoCheckpoint());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->Size(), 101u);
+  EXPECT_EQ(*(*store)->Get("k42"), "42");
+  EXPECT_EQ(*(*store)->Get("post"), "ckpt");
+}
+
+TEST(KvStoreTest, AutoCheckpointTriggers) {
+  InMemoryFileSystem fs;
+  KvStore::Options opts;
+  opts.checkpoint_wal_bytes = 512;
+  auto store = KvStore::Open(&fs, "/db", opts);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*store)->Put("key" + std::to_string(i), std::string(32, 'v')).ok());
+  }
+  // WAL must have been truncated at least once.
+  EXPECT_LT((*store)->WalBytes(), 100 * 40u);
+  EXPECT_TRUE(fs.Exists("/db/checkpoint.db"));
+  // And the data survives reopen.
+  auto reopened = KvStore::Open(&fs, "/db", opts);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Size(), 100u);
+}
+
+TEST(KvStoreTest, ScanPrefixOrdered) {
+  InMemoryFileSystem fs;
+  auto store = KvStore::Open(&fs, "/db");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("d/sub1/3", "c").ok());
+  ASSERT_TRUE((*store)->Put("d/sub1/1", "a").ok());
+  ASSERT_TRUE((*store)->Put("d/sub2/2", "b").ok());
+  ASSERT_TRUE((*store)->Put("a/1", "x").ok());
+  auto rows = (*store)->ScanPrefix("d/sub1/");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "d/sub1/1");
+  EXPECT_EQ(rows[1].first, "d/sub1/3");
+}
+
+TEST(KvStoreTest, EmptyKeyAndValue) {
+  InMemoryFileSystem fs;
+  auto store = KvStore::Open(&fs, "/db");
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("", "").ok());
+  EXPECT_EQ(*(*store)->Get(""), "");
+}
+
+// ---------------------------------------------------------------- Receipts
+
+ArrivalReceipt MakeReceipt(FileId id, const std::string& name,
+                           std::vector<FeedName> feeds, TimePoint arrival) {
+  ArrivalReceipt r;
+  r.file_id = id;
+  r.name = name;
+  r.staged_path = "/staging/" + name;
+  r.size = 100;
+  r.arrival_time = arrival;
+  r.data_time = arrival - kMinute;
+  r.feeds = std::move(feeds);
+  return r;
+}
+
+TEST(ReceiptsTest, FileIdsAreDurableAndMonotonic) {
+  InMemoryFileSystem fs;
+  FileId last = 0;
+  {
+    auto db = ReceiptDatabase::Open(&fs, "/receipts");
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 5; ++i) {
+      auto id = (*db)->NextFileId();
+      ASSERT_TRUE(id.ok());
+      EXPECT_GT(*id, last);
+      last = *id;
+    }
+  }
+  auto db = ReceiptDatabase::Open(&fs, "/receipts");
+  ASSERT_TRUE(db.ok());
+  auto id = (*db)->NextFileId();
+  ASSERT_TRUE(id.ok());
+  EXPECT_GT(*id, last);
+}
+
+TEST(ReceiptsTest, ArrivalRoundTrip) {
+  InMemoryFileSystem fs;
+  auto db = ReceiptDatabase::Open(&fs, "/receipts");
+  ASSERT_TRUE(db.ok());
+  auto r = MakeReceipt(7, "CPU_POLL1_201009250502.txt", {"SNMP.CPU"}, 10 * kSecond);
+  ASSERT_TRUE((*db)->RecordArrival(r).ok());
+  auto got = (*db)->GetArrival(7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->name, r.name);
+  EXPECT_EQ(got->staged_path, r.staged_path);
+  EXPECT_EQ(got->arrival_time, r.arrival_time);
+  EXPECT_EQ(got->data_time, r.data_time);
+  EXPECT_EQ(got->feeds, r.feeds);
+  EXPECT_EQ((*db)->FilesInFeed("SNMP.CPU"), std::vector<FileId>{7});
+}
+
+TEST(ReceiptsTest, DeliveryQueueIsArrivalMinusDelivered) {
+  InMemoryFileSystem fs;
+  auto db = ReceiptDatabase::Open(&fs, "/receipts");
+  ASSERT_TRUE(db.ok());
+  for (FileId id = 1; id <= 4; ++id) {
+    ASSERT_TRUE((*db)
+                    ->RecordArrival(MakeReceipt(id, "f" + std::to_string(id),
+                                                {"SNMP.CPU"}, id * kSecond))
+                    .ok());
+  }
+  ASSERT_TRUE((*db)->RecordDelivery("dallas", 1, 10 * kSecond).ok());
+  ASSERT_TRUE((*db)->RecordDelivery("dallas", 3, 10 * kSecond).ok());
+  auto queue = (*db)->ComputeDeliveryQueue("dallas", {"SNMP.CPU"});
+  ASSERT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue[0].file_id, 2u);
+  EXPECT_EQ(queue[1].file_id, 4u);
+  // A different subscriber sees everything.
+  EXPECT_EQ((*db)->ComputeDeliveryQueue("atlanta", {"SNMP.CPU"}).size(), 4u);
+  EXPECT_TRUE((*db)->Delivered("dallas", 1));
+  EXPECT_FALSE((*db)->Delivered("dallas", 2));
+}
+
+TEST(ReceiptsTest, QueueUnionsFeedsWithoutDuplicates) {
+  InMemoryFileSystem fs;
+  auto db = ReceiptDatabase::Open(&fs, "/receipts");
+  ASSERT_TRUE(db.ok());
+  // File 1 belongs to both feeds a subscriber follows.
+  ASSERT_TRUE((*db)->RecordArrival(MakeReceipt(1, "x", {"SNMP.CPU", "SNMP.BPS"}, kSecond)).ok());
+  ASSERT_TRUE((*db)->RecordArrival(MakeReceipt(2, "y", {"SNMP.BPS"}, kSecond)).ok());
+  auto queue = (*db)->ComputeDeliveryQueue("w", {"SNMP.CPU", "SNMP.BPS"});
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(ReceiptsTest, WindowStartFiltersOldFiles) {
+  InMemoryFileSystem fs;
+  auto db = ReceiptDatabase::Open(&fs, "/receipts");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->RecordArrival(MakeReceipt(1, "old", {"F"}, 1 * kHour)).ok());
+  ASSERT_TRUE((*db)->RecordArrival(MakeReceipt(2, "new", {"F"}, 3 * kHour)).ok());
+  auto queue = (*db)->ComputeDeliveryQueue("s", {"F"}, 2 * kHour);
+  ASSERT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue[0].name, "new");
+}
+
+TEST(ReceiptsTest, ExpireBeforeRemovesReceiptsAndReportsPaths) {
+  InMemoryFileSystem fs;
+  auto db = ReceiptDatabase::Open(&fs, "/receipts");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->RecordArrival(MakeReceipt(1, "old", {"F"}, 1 * kHour)).ok());
+  ASSERT_TRUE((*db)->RecordArrival(MakeReceipt(2, "new", {"F"}, 3 * kHour)).ok());
+  auto expunged = (*db)->ExpireBefore(2 * kHour);
+  ASSERT_TRUE(expunged.ok());
+  ASSERT_EQ(expunged->size(), 1u);
+  EXPECT_EQ((*expunged)[0], "/staging/old");
+  EXPECT_EQ((*db)->ArrivalCount(), 1u);
+  EXPECT_EQ((*db)->FilesInFeed("F"), std::vector<FileId>{2});
+  // The queue no longer offers the expired file.
+  EXPECT_EQ((*db)->ComputeDeliveryQueue("s", {"F"}).size(), 1u);
+}
+
+TEST(ReceiptsTest, ReceiptsSurviveCrash) {
+  InMemoryFileSystem fs;
+  {
+    auto db = ReceiptDatabase::Open(&fs, "/receipts");
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->RecordArrival(MakeReceipt(1, "a", {"F"}, kSecond)).ok());
+    ASSERT_TRUE((*db)->RecordDelivery("s", 1, 2 * kSecond).ok());
+    ASSERT_TRUE((*db)->RecordArrival(MakeReceipt(2, "b", {"F"}, kSecond)).ok());
+  }
+  auto db = ReceiptDatabase::Open(&fs, "/receipts");
+  ASSERT_TRUE(db.ok());
+  auto queue = (*db)->ComputeDeliveryQueue("s", {"F"});
+  ASSERT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue[0].file_id, 2u);
+}
+
+// Property test: after any interleaving of arrivals and deliveries, the
+// delivery queue equals exactly (arrived − delivered) within the window.
+class ReceiptsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReceiptsPropertyTest, QueueInvariant) {
+  InMemoryFileSystem fs;
+  auto db = ReceiptDatabase::Open(&fs, "/receipts");
+  ASSERT_TRUE(db.ok());
+  Rng rng(GetParam());
+  std::set<FileId> arrived, delivered;
+  FileId next_id = 1;
+  for (int step = 0; step < 200; ++step) {
+    if (arrived.empty() || rng.Bernoulli(0.6)) {
+      FileId id = next_id++;
+      ASSERT_TRUE((*db)
+                      ->RecordArrival(MakeReceipt(id, "f" + std::to_string(id),
+                                                  {"F"}, kSecond))
+                      .ok());
+      arrived.insert(id);
+    } else {
+      // Deliver a random undelivered file.
+      std::vector<FileId> undelivered;
+      for (FileId id : arrived) {
+        if (delivered.count(id) == 0) undelivered.push_back(id);
+      }
+      if (undelivered.empty()) continue;
+      FileId id = undelivered[rng.Uniform(undelivered.size())];
+      ASSERT_TRUE((*db)->RecordDelivery("s", id, 2 * kSecond).ok());
+      delivered.insert(id);
+    }
+  }
+  auto queue = (*db)->ComputeDeliveryQueue("s", {"F"});
+  std::set<FileId> queued;
+  for (const auto& r : queue) queued.insert(r.file_id);
+  std::set<FileId> expected;
+  for (FileId id : arrived) {
+    if (delivered.count(id) == 0) expected.insert(id);
+  }
+  EXPECT_EQ(queued, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReceiptsPropertyTest, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace bistro

@@ -1,0 +1,187 @@
+// Tests for the protocol encoding and the transports.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "net/transport.h"
+#include "vfs/memfs.h"
+
+namespace bistro {
+namespace {
+
+Message SampleMessage() {
+  Message msg;
+  msg.type = MessageType::kFileData;
+  msg.file_id = 12345;
+  msg.feed = "SNMP.CPU";
+  msg.name = "CPU_POLL1_201009250502.txt";
+  msg.dest_path = "SNMP.CPU/2010/09/25/CPU_POLL1_0502.txt";
+  msg.payload = "some,measurement,rows\n";
+  msg.data_time = FromCivil(CivilTime{2010, 9, 25, 5, 2, 0});
+  msg.batch_time = -42;  // negative must survive (zigzag)
+  msg.batch_count = 3;
+  return msg;
+}
+
+TEST(ProtocolTest, RoundTrip) {
+  Message msg = SampleMessage();
+  auto decoded = DecodeMessage(EncodeMessage(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ProtocolTest, RoundTripAllTypes) {
+  for (auto type : {MessageType::kFileData, MessageType::kFileNotify,
+                    MessageType::kEndOfBatch, MessageType::kSourceNotify,
+                    MessageType::kAck, MessageType::kHeartbeat}) {
+    Message msg;
+    msg.type = type;
+    auto decoded = DecodeMessage(EncodeMessage(msg));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->type, type);
+  }
+}
+
+TEST(ProtocolTest, EmptyFieldsAndLargePayload) {
+  Message msg;
+  msg.type = MessageType::kFileData;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    msg.payload += static_cast<char>(rng.Next() & 0xFF);
+  }
+  auto decoded = DecodeMessage(EncodeMessage(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ProtocolTest, CorruptionDetected) {
+  std::string wire = EncodeMessage(SampleMessage());
+  for (size_t pos : {size_t{2}, wire.size() / 2, wire.size() - 1}) {
+    std::string bad = wire;
+    bad[pos] ^= 0x40;
+    auto decoded = DecodeMessage(bad);
+    // Either CRC catches it, or (if the flipped bit was in the length
+    // prefix) framing fails. Never a silent wrong message.
+    if (decoded.ok()) {
+      EXPECT_EQ(*decoded, SampleMessage()) << "undetected corruption at " << pos;
+      FAIL() << "corruption silently accepted at " << pos;
+    }
+  }
+}
+
+TEST(ProtocolTest, TruncationDetected) {
+  std::string wire = EncodeMessage(SampleMessage());
+  for (size_t len = 0; len < wire.size(); len += 7) {
+    EXPECT_FALSE(DecodeMessage(std::string_view(wire).substr(0, len)).ok());
+  }
+}
+
+// ---------------------------------------------------------------- Loopback
+
+TEST(LoopbackTransportTest, DeliversToEndpoint) {
+  SimClock clock(0);
+  EventLoop loop(&clock);
+  LoopbackTransport transport(&loop);
+  InMemoryFileSystem fs;
+  FileSinkEndpoint sink(&fs, "/dest");
+  transport.Register("sub", &sink);
+
+  Status result = Status::Internal("callback never ran");
+  transport.Send("sub", SampleMessage(), [&](const Status& s) { result = s; });
+  loop.RunUntilIdle();
+  ASSERT_TRUE(result.ok()) << result;
+  EXPECT_EQ(sink.files_received(), 1u);
+  auto data = fs.ReadFile("/dest/SNMP.CPU/2010/09/25/CPU_POLL1_0502.txt");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "some,measurement,rows\n");
+}
+
+TEST(LoopbackTransportTest, UnknownEndpointFails) {
+  SimClock clock(0);
+  EventLoop loop(&clock);
+  LoopbackTransport transport(&loop);
+  Status result;
+  transport.Send("ghost", SampleMessage(), [&](const Status& s) { result = s; });
+  loop.RunUntilIdle();
+  EXPECT_TRUE(result.IsUnavailable());
+}
+
+TEST(LoopbackTransportTest, EndpointErrorPropagates) {
+  SimClock clock(0);
+  EventLoop loop(&clock);
+  LoopbackTransport transport(&loop);
+  InMemoryFileSystem fs;
+  FileSinkEndpoint sink(&fs, "/dest");
+  sink.SetFailing(true);
+  transport.Register("sub", &sink);
+  Status result;
+  transport.Send("sub", SampleMessage(), [&](const Status& s) { result = s; });
+  loop.RunUntilIdle();
+  EXPECT_TRUE(result.IsUnavailable());
+  EXPECT_EQ(sink.files_received(), 0u);
+}
+
+// ---------------------------------------------------------------- SimTransport
+
+TEST(SimTransportTest, DeliveryTakesSimulatedTime) {
+  SimClock clock(0);
+  EventLoop loop(&clock);
+  Rng rng(1);
+  SimNetwork net(&rng);
+  LinkSpec link;
+  link.bandwidth_bytes_per_sec = 1000;
+  link.latency = 0;
+  net.SetLink("sub", link);
+  SimTransport transport(&loop, &net);
+  InMemoryFileSystem fs;
+  FileSinkEndpoint sink(&fs, "/dest");
+  transport.Register("sub", &sink);
+
+  Message msg = SampleMessage();
+  TimePoint done_at = -1;
+  transport.Send("sub", msg, [&](const Status& s) {
+    ASSERT_TRUE(s.ok()) << s;
+    done_at = clock.Now();
+  });
+  loop.RunUntilIdle();
+  // ~ (payload + name + 64) bytes at 1000 B/s.
+  uint64_t bytes = msg.payload.size() + msg.name.size() + 64;
+  EXPECT_EQ(done_at, static_cast<TimePoint>(bytes * kSecond / 1000));
+  EXPECT_EQ(sink.files_received(), 1u);
+}
+
+TEST(SimTransportTest, OfflineSubscriberFailsFast) {
+  SimClock clock(0);
+  EventLoop loop(&clock);
+  Rng rng(1);
+  SimNetwork net(&rng);
+  net.SetLink("sub", LinkSpec::Fast());
+  net.SetOnline("sub", false);
+  SimTransport transport(&loop, &net);
+  InMemoryFileSystem fs;
+  FileSinkEndpoint sink(&fs, "/dest");
+  transport.Register("sub", &sink);
+  Status result;
+  transport.Send("sub", SampleMessage(), [&](const Status& s) { result = s; });
+  loop.RunUntilIdle();
+  EXPECT_TRUE(result.IsUnavailable());
+}
+
+TEST(FileSinkEndpointTest, CountsNotificationsAndBatches) {
+  InMemoryFileSystem fs;
+  FileSinkEndpoint sink(&fs, "/d");
+  Message notify;
+  notify.type = MessageType::kFileNotify;
+  Message eob;
+  eob.type = MessageType::kEndOfBatch;
+  int hooks = 0;
+  sink.SetMessageHook([&](const Message&) { hooks++; });
+  ASSERT_TRUE(sink.HandleMessage(notify).ok());
+  ASSERT_TRUE(sink.HandleMessage(eob).ok());
+  EXPECT_EQ(sink.notifications(), 1u);
+  EXPECT_EQ(sink.batches(), 1u);
+  EXPECT_EQ(hooks, 2);
+}
+
+}  // namespace
+}  // namespace bistro

@@ -1,0 +1,281 @@
+// Tests for the Bistro pattern language: compilation, matching, semantic
+// field extraction, rendering (normalization templates), and the
+// Normalizer pipeline. Examples come straight from the paper (§3.1, §5.1).
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "pattern/normalizer.h"
+#include "pattern/pattern.h"
+
+namespace bistro {
+namespace {
+
+Pattern MustCompile(std::string_view spec) {
+  auto p = Pattern::Compile(spec);
+  EXPECT_TRUE(p.ok()) << spec << ": " << p.status();
+  return std::move(*p);
+}
+
+// ---------------------------------------------------------------- Compile
+
+TEST(PatternCompileTest, PaperExamples) {
+  // From §3.1 and §5.1/§5.2 of the paper.
+  EXPECT_TRUE(Pattern::Compile("MEMORY%s.%Y%m%d.gz").ok());
+  EXPECT_TRUE(Pattern::Compile("MEMORY_poller%i_%Y%m%d.gz").ok());
+  EXPECT_TRUE(Pattern::Compile("CPU_POLL%i_%Y%m%d%H%M.txt").ok());
+  EXPECT_TRUE(Pattern::Compile("TRAP__%Y%m%d_DCTAGN_klpi.txt").ok());
+  EXPECT_TRUE(Pattern::Compile("%Y/%m/%d/poller1_%s.csv.bz2").ok());
+}
+
+TEST(PatternCompileTest, RejectsUnknownSpecifier) {
+  EXPECT_FALSE(Pattern::Compile("file_%q.txt").ok());
+  EXPECT_FALSE(Pattern::Compile("trailing%").ok());
+}
+
+TEST(PatternCompileTest, RejectsAmbiguousAdjacentFields) {
+  EXPECT_FALSE(Pattern::Compile("%s%s.txt").ok());
+  EXPECT_FALSE(Pattern::Compile("%i%i.txt").ok());
+  EXPECT_FALSE(Pattern::Compile("%i%s.txt").ok());
+  // Fixed-width time fields adjacent to each other are fine.
+  EXPECT_TRUE(Pattern::Compile("%Y%m%d%H%M").ok());
+  // And %i adjacent to a time field is fine (time fields have fixed width)
+  EXPECT_TRUE(Pattern::Compile("p%i_%Y%m%d").ok());
+}
+
+TEST(PatternCompileTest, PercentEscape) {
+  Pattern p = MustCompile("load%%_%i.txt");
+  EXPECT_TRUE(p.Matches("load%_5.txt"));
+  EXPECT_FALSE(p.Matches("load_5.txt"));
+}
+
+TEST(PatternCompileTest, LiteralPrefix) {
+  EXPECT_EQ(MustCompile("MEMORY%s.gz").literal_prefix(), "MEMORY");
+  EXPECT_EQ(MustCompile("%s.gz").literal_prefix(), "");
+  EXPECT_EQ(MustCompile("plain.txt").literal_prefix(), "plain.txt");
+}
+
+// ---------------------------------------------------------------- Match
+
+TEST(PatternMatchTest, ExtractsTimestamp) {
+  Pattern p = MustCompile("MEMORY%s.%Y%m%d.gz");
+  auto m = p.Match("MEMORY_poller1.20101230.gz");
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(m->strings.size(), 1u);
+  EXPECT_EQ(m->strings[0], "_poller1");
+  ASSERT_TRUE(m->timestamp.has_value());
+  EXPECT_EQ(*m->timestamp, FromCivil(CivilTime{2010, 12, 30}));
+  EXPECT_EQ(m->civil.year, 2010);
+  EXPECT_EQ(m->civil.month, 12);
+  EXPECT_EQ(m->civil.day, 30);
+}
+
+TEST(PatternMatchTest, ExtractsIntField) {
+  Pattern p = MustCompile("CPU_POLL%i_%Y%m%d%H%M.txt");
+  auto m = p.Match("CPU_POLL2_201009250503.txt");
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(m->ints.size(), 1u);
+  EXPECT_EQ(m->ints[0], 2);
+  EXPECT_EQ(*m->timestamp, FromCivil(CivilTime{2010, 9, 25, 5, 3, 0}));
+}
+
+TEST(PatternMatchTest, RejectsNonMatches) {
+  Pattern p = MustCompile("MEMORY_poller%i_%Y%m%d.gz");
+  EXPECT_TRUE(p.Matches("MEMORY_poller1_20100925.gz"));
+  // Capitalized 'P' — the paper's §5.2 false-negative scenario.
+  EXPECT_FALSE(p.Matches("MEMORY_Poller1_20100926.gz"));
+  EXPECT_FALSE(p.Matches("MEMORY_poller1_20100925.gz.tmp"));
+  EXPECT_FALSE(p.Matches("MEMORY_pollerX_20100925.gz"));
+  EXPECT_FALSE(p.Matches(""));
+}
+
+TEST(PatternMatchTest, ValidatesTimeFieldRanges) {
+  Pattern p = MustCompile("f_%Y%m%d.log");
+  EXPECT_TRUE(p.Matches("f_20101231.log"));
+  EXPECT_FALSE(p.Matches("f_20101301.log"));  // month 13
+  EXPECT_FALSE(p.Matches("f_20101200.log"));  // day 0
+  EXPECT_FALSE(p.Matches("f_20101232.log"));  // day 32
+  Pattern hm = MustCompile("t_%H%M");
+  EXPECT_TRUE(hm.Matches("t_2359"));
+  EXPECT_FALSE(hm.Matches("t_2400"));
+  EXPECT_FALSE(hm.Matches("t_2360"));
+}
+
+TEST(PatternMatchTest, TwoDigitYear) {
+  Pattern p = MustCompile("f_%y%m%d");
+  auto m = p.Match("f_100925");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->civil.year, 2010);
+}
+
+TEST(PatternMatchTest, StringFieldIsLazyButBacktracks) {
+  Pattern p = MustCompile("%s_%Y%m%d.csv");
+  // The %s must absorb "poller_a" even though '_' appears inside it.
+  auto m = p.Match("poller_a_20101230.csv");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->strings[0], "poller_a");
+}
+
+TEST(PatternMatchTest, StringRequiresAtLeastOneChar) {
+  Pattern p = MustCompile("A%sB");
+  EXPECT_FALSE(p.Matches("AB"));
+  EXPECT_TRUE(p.Matches("AxB"));
+}
+
+TEST(PatternMatchTest, IntIsGreedy) {
+  Pattern p = MustCompile("p%i.txt");
+  auto m = p.Match("p12345.txt");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->ints[0], 12345);
+}
+
+TEST(PatternMatchTest, DirectoryHierarchyPatterns) {
+  // Paper §2.1: hierarchical organization YYYY/MM/DD/filename.
+  Pattern p = MustCompile("%Y/%m/%d/poller%i_v%s.csv");
+  auto m = p.Match("2010/12/30/poller7_v2.1.csv");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->ints[0], 7);
+  EXPECT_EQ(m->strings[0], "2.1");
+  EXPECT_EQ(*m->timestamp, FromCivil(CivilTime{2010, 12, 30}));
+}
+
+TEST(PatternMatchTest, NoTimeFieldsMeansNoTimestamp) {
+  Pattern p = MustCompile("static_%s.cfg");
+  auto m = p.Match("static_routerA.cfg");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_FALSE(m->timestamp.has_value());
+  EXPECT_FALSE(m->has_time);
+}
+
+TEST(PatternMatchTest, MultipleStringsAndInts) {
+  Pattern p = MustCompile("%s-%i-%s-%i.dat");
+  auto m = p.Match("alpha-1-beta-2.dat");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->strings, (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(m->ints, (std::vector<int64_t>{1, 2}));
+}
+
+// ---------------------------------------------------------------- Render
+
+TEST(PatternRenderTest, RoundTripsThroughMatch) {
+  Pattern p = MustCompile("MEMORY%s.%Y%m%d.gz");
+  auto m = p.Match("MEMORY_poller1.20101230.gz");
+  ASSERT_TRUE(m.has_value());
+  auto rendered = p.Render(*m);
+  ASSERT_TRUE(rendered.ok());
+  EXPECT_EQ(*rendered, "MEMORY_poller1.20101230.gz");
+}
+
+TEST(PatternRenderTest, NormalizationTemplate) {
+  // Source pattern extracts fields; a different template reorganizes them
+  // into daily directories (paper §3.1 item 2).
+  Pattern source = MustCompile("MEMORY%s.%Y%m%d.gz");
+  Pattern tmpl = MustCompile("%Y/%m/%d/MEMORY%s.dat");
+  auto m = source.Match("MEMORY_poller1.20101230.gz");
+  ASSERT_TRUE(m.has_value());
+  auto rendered = tmpl.Render(*m);
+  ASSERT_TRUE(rendered.ok());
+  EXPECT_EQ(*rendered, "2010/12/30/MEMORY_poller1.dat");
+}
+
+TEST(PatternRenderTest, MissingFieldIsError) {
+  Pattern tmpl = MustCompile("out_%i_%s.dat");
+  MatchResult empty;
+  EXPECT_FALSE(tmpl.Render(empty).ok());
+}
+
+// Property: for patterns without %s ambiguity, Render(Match(x)) == x.
+class PatternRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PatternRoundTripTest, MatchRenderIdentity) {
+  Pattern p = MustCompile(GetParam());
+  Rng rng(Fnv1a64(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    // Build a name by rendering random fields, then verify identity.
+    MatchResult fields;
+    fields.civil = CivilTime{2000 + (int)rng.Uniform(30), 1 + (int)rng.Uniform(12),
+                             1 + (int)rng.Uniform(28), (int)rng.Uniform(24),
+                             (int)rng.Uniform(60), (int)rng.Uniform(60)};
+    fields.has_time = true;
+    fields.strings = {rng.AlnumString(1 + rng.Uniform(10))};
+    fields.ints = {(int64_t)rng.Uniform(1000)};
+    auto name = p.Render(fields);
+    ASSERT_TRUE(name.ok());
+    auto m = p.Match(*name);
+    ASSERT_TRUE(m.has_value()) << *name;
+    auto name2 = p.Render(*m);
+    ASSERT_TRUE(name2.ok());
+    EXPECT_EQ(*name2, *name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Specs, PatternRoundTripTest,
+                         ::testing::Values("MEMORY_%s_%Y%m%d.gz",
+                                           "CPU_POLL%i_%Y%m%d%H%M.txt",
+                                           "%Y/%m/%d/f%i_%s.csv",
+                                           "x%i_%s_%H%M%S.log"));
+
+// ---------------------------------------------------------------- Normalizer
+
+TEST(NormalizerTest, PassthroughKeepsNameAndBytes) {
+  auto n = Normalizer::Create(NormalizeSpec{});
+  ASSERT_TRUE(n.ok());
+  MatchResult m;
+  auto out = n->Apply("file.csv", m, "data");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->relative_path, "file.csv");
+  EXPECT_EQ(out->content, "data");
+}
+
+TEST(NormalizerTest, RenameIntoDailyDirs) {
+  NormalizeSpec spec;
+  spec.rename_template = "%Y/%m/%d/MEMORY%s.dat";
+  auto n = Normalizer::Create(spec);
+  ASSERT_TRUE(n.ok());
+  Pattern source = MustCompile("MEMORY%s.%Y%m%d.gz");
+  auto m = source.Match("MEMORY_p1.20101230.gz");
+  ASSERT_TRUE(m.has_value());
+  auto out = n->Apply("MEMORY_p1.20101230.gz", *m, "data");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->relative_path, "2010/12/30/MEMORY_p1.dat");
+}
+
+TEST(NormalizerTest, CompressAndDecompressRoundTrip) {
+  NormalizeSpec comp;
+  comp.action = CompressionAction::kCompress;
+  comp.codec = CodecKind::kLz;
+  auto nc = Normalizer::Create(comp);
+  ASSERT_TRUE(nc.ok());
+  std::string payload(1000, 'x');
+  auto compressed = nc->Apply("f", MatchResult{}, payload);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_LT(compressed->content.size(), payload.size());
+
+  NormalizeSpec dec;
+  dec.action = CompressionAction::kDecompress;
+  auto nd = Normalizer::Create(dec);
+  ASSERT_TRUE(nd.ok());
+  auto restored = nd->Apply("f", MatchResult{}, compressed->content);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->content, payload);
+}
+
+TEST(NormalizerTest, DecompressPassesPlainData) {
+  NormalizeSpec dec;
+  dec.action = CompressionAction::kDecompress;
+  auto n = Normalizer::Create(dec);
+  ASSERT_TRUE(n.ok());
+  auto out = n->Apply("f", MatchResult{}, "plain bytes");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->content, "plain bytes");
+}
+
+TEST(NormalizerTest, BadTemplateRejectedAtCreate) {
+  NormalizeSpec spec;
+  spec.rename_template = "%q_bad";
+  EXPECT_FALSE(Normalizer::Create(spec).ok());
+}
+
+}  // namespace
+}  // namespace bistro

@@ -1,0 +1,273 @@
+// Tests for scheduling: policies (FIFO/EDF/RR), responsiveness tracking,
+// and the single-policy vs partitioned schedulers — including the §4.3
+// isolation property (a backlogged partition cannot starve another).
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+
+namespace bistro {
+namespace {
+
+TransferJob MakeJob(FileId id, const std::string& sub, TimePoint deadline,
+                    uint64_t size = 100) {
+  TransferJob job;
+  job.file_id = id;
+  job.subscriber = sub;
+  job.feed = "F";
+  job.size = size;
+  job.arrival_time = 0;
+  job.deadline = deadline;
+  return job;
+}
+
+// ---------------------------------------------------------------- Policies
+
+TEST(PolicyTest, NamesRoundTrip) {
+  for (PolicyKind k :
+       {PolicyKind::kFifo, PolicyKind::kEdf, PolicyKind::kRoundRobin}) {
+    auto parsed = PolicyKindFromName(PolicyKindName(k));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(PolicyKindFromName("lifo").ok());
+}
+
+TEST(PolicyTest, FifoOrder) {
+  auto p = MakePolicy(PolicyKind::kFifo);
+  p->Add(MakeJob(1, "a", 300));
+  p->Add(MakeJob(2, "a", 100));
+  p->Add(MakeJob(3, "a", 200));
+  EXPECT_EQ(p->Next()->file_id, 1u);
+  EXPECT_EQ(p->Next()->file_id, 2u);
+  EXPECT_EQ(p->Next()->file_id, 3u);
+  EXPECT_FALSE(p->Next().has_value());
+}
+
+TEST(PolicyTest, EdfOrdersByDeadline) {
+  auto p = MakePolicy(PolicyKind::kEdf);
+  p->Add(MakeJob(1, "a", 300));
+  p->Add(MakeJob(2, "b", 100));
+  p->Add(MakeJob(3, "c", 200));
+  EXPECT_EQ(p->Next()->file_id, 2u);
+  EXPECT_EQ(p->Next()->file_id, 3u);
+  EXPECT_EQ(p->Next()->file_id, 1u);
+}
+
+TEST(PolicyTest, EdfTiesAreFifo) {
+  auto p = MakePolicy(PolicyKind::kEdf);
+  p->Add(MakeJob(1, "a", 100));
+  p->Add(MakeJob(2, "a", 100));
+  EXPECT_EQ(p->Next()->file_id, 1u);
+  EXPECT_EQ(p->Next()->file_id, 2u);
+}
+
+TEST(PolicyTest, RoundRobinAlternatesSubscribers) {
+  auto p = MakePolicy(PolicyKind::kRoundRobin);
+  // Subscriber "a" floods the queue; "b" has one job.
+  for (FileId i = 1; i <= 5; ++i) p->Add(MakeJob(i, "a", 100));
+  p->Add(MakeJob(100, "b", 100));
+  std::vector<SubscriberName> order;
+  while (auto job = p->Next()) order.push_back(job->subscriber);
+  ASSERT_EQ(order.size(), 6u);
+  // "b"'s job must appear within the first two pops, not after all of a's.
+  EXPECT_TRUE(order[0] == "b" || order[1] == "b");
+}
+
+TEST(PolicyTest, NextForFilePullsMatchingJob) {
+  for (PolicyKind kind :
+       {PolicyKind::kFifo, PolicyKind::kEdf, PolicyKind::kRoundRobin}) {
+    auto p = MakePolicy(kind);
+    p->Add(MakeJob(1, "a", 100));
+    p->Add(MakeJob(2, "b", 200));
+    p->Add(MakeJob(2, "c", 300));
+    auto job = p->NextForFile(2);
+    ASSERT_TRUE(job.has_value()) << PolicyKindName(kind);
+    EXPECT_EQ(job->file_id, 2u);
+    EXPECT_EQ(p->Size(), 2u);
+    EXPECT_FALSE(p->NextForFile(99).has_value());
+  }
+}
+
+// ---------------------------------------------------------- Responsiveness
+
+TEST(ResponsivenessTest, TracksThroughputEwma) {
+  ResponsivenessTracker t(0.5);
+  t.RecordTransfer("s", 1000, kSecond);  // 1000 B/s
+  EXPECT_DOUBLE_EQ(t.ThroughputBps("s"), 1000.0);
+  t.RecordTransfer("s", 3000, kSecond);  // 3000 B/s -> EWMA 2000
+  EXPECT_DOUBLE_EQ(t.ThroughputBps("s"), 2000.0);
+  EXPECT_EQ(t.ThroughputBps("unknown"), 0.0);
+}
+
+TEST(ResponsivenessTest, FailuresLowerScoreAndSuccessHeals) {
+  ResponsivenessTracker t;
+  t.RecordTransfer("s", 1000, kSecond);
+  double healthy = t.Score("s");
+  t.RecordFailure("s");
+  t.RecordFailure("s");
+  EXPECT_LT(t.Score("s"), healthy);
+  EXPECT_EQ(t.ConsecutiveFailures("s"), 2);
+  t.RecordTransfer("s", 1000, kSecond);
+  EXPECT_EQ(t.ConsecutiveFailures("s"), 0);
+  EXPECT_GT(t.Score("s"), t.Score("s") / 2);  // sanity: finite positive
+}
+
+TEST(ResponsivenessTest, ResetForgets) {
+  ResponsivenessTracker t;
+  t.RecordFailure("s");
+  t.Reset("s");
+  EXPECT_EQ(t.ConsecutiveFailures("s"), 0);
+  EXPECT_EQ(t.FailureScore("s"), 0.0);
+}
+
+// ---------------------------------------------------------- SinglePolicy
+
+TEST(SinglePolicySchedulerTest, CapacityLimitsInFlight) {
+  SinglePolicyScheduler sched(PolicyKind::kFifo, 2);
+  for (FileId i = 1; i <= 5; ++i) sched.Submit(MakeJob(i, "a", 100));
+  auto j1 = sched.Dequeue();
+  auto j2 = sched.Dequeue();
+  ASSERT_TRUE(j1.has_value());
+  ASSERT_TRUE(j2.has_value());
+  EXPECT_FALSE(sched.Dequeue().has_value());  // capacity exhausted
+  EXPECT_EQ(sched.in_flight(), 2u);
+  sched.OnComplete(*j1, true, /*now=*/50, /*elapsed=*/50);
+  EXPECT_TRUE(sched.Dequeue().has_value());
+}
+
+TEST(SinglePolicySchedulerTest, MetricsTrackTardiness) {
+  SinglePolicyScheduler sched(PolicyKind::kEdf, 1);
+  sched.Submit(MakeJob(1, "a", /*deadline=*/100));
+  auto job = sched.Dequeue();
+  sched.OnComplete(*job, true, /*now=*/250, /*elapsed=*/10);
+  EXPECT_EQ(sched.metrics().completed, 1u);
+  EXPECT_EQ(sched.metrics().late, 1u);
+  EXPECT_EQ(sched.metrics().max_tardiness, 150);
+  sched.Submit(MakeJob(2, "a", /*deadline=*/10000));
+  job = sched.Dequeue();
+  sched.OnComplete(*job, true, /*now=*/300, /*elapsed=*/10);
+  EXPECT_EQ(sched.metrics().late, 1u);  // on time
+  EXPECT_DOUBLE_EQ(sched.metrics().LateFraction(), 0.5);
+}
+
+// ---------------------------------------------------------- Partitioned
+
+TEST(PartitionedSchedulerTest, DefaultsToPartitionZero) {
+  PartitionedScheduler sched;
+  EXPECT_EQ(sched.PartitionOf("anyone"), 0u);
+  sched.SetPartition("slow", 2);
+  EXPECT_EQ(sched.PartitionOf("slow"), 2u);
+  sched.SetPartition("clamped", 99);
+  EXPECT_EQ(sched.PartitionOf("clamped"), 2u);  // clamped to last
+}
+
+TEST(PartitionedSchedulerTest, BackloggedPartitionCannotStarveOthers) {
+  PartitionedScheduler::Options opts;
+  opts.num_partitions = 2;
+  opts.slots_per_partition = 1;
+  PartitionedScheduler sched(opts);
+  sched.SetPartition("slow", 1);
+  sched.SetPartition("fast", 0);
+  // The slow subscriber has a huge backlog with older deadlines.
+  for (FileId i = 1; i <= 100; ++i) sched.Submit(MakeJob(i, "slow", 10));
+  sched.Submit(MakeJob(200, "fast", 100000));
+  // Two dequeues must yield one job from each partition: the fast
+  // subscriber is never starved even though every slow deadline is older.
+  auto a = sched.Dequeue();
+  auto b = sched.Dequeue();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  std::set<SubscriberName> subs{a->subscriber, b->subscriber};
+  EXPECT_TRUE(subs.count("fast") == 1) << "fast subscriber starved";
+  // Third dequeue: both partitions' single slots are busy.
+  EXPECT_FALSE(sched.Dequeue().has_value());
+}
+
+TEST(PartitionedSchedulerTest, GlobalEdfDoesStarveByContrast) {
+  // The contrast case for E3: one global EDF queue lets the backlog
+  // (older deadlines) run first.
+  SinglePolicyScheduler sched(PolicyKind::kEdf, 2);
+  for (FileId i = 1; i <= 100; ++i) sched.Submit(MakeJob(i, "slow", 10));
+  sched.Submit(MakeJob(200, "fast", 100000));
+  auto a = sched.Dequeue();
+  auto b = sched.Dequeue();
+  EXPECT_EQ(a->subscriber, "slow");
+  EXPECT_EQ(b->subscriber, "slow");
+}
+
+TEST(PartitionedSchedulerTest, LocalityPrefersSameFile) {
+  PartitionedScheduler::Options opts;
+  opts.num_partitions = 1;
+  opts.slots_per_partition = 4;
+  opts.locality = true;
+  PartitionedScheduler sched(opts);
+  // File 7 goes to three subscribers; file 8 has an earlier deadline.
+  sched.Submit(MakeJob(7, "a", 500));
+  sched.Submit(MakeJob(8, "a2", 100));
+  sched.Submit(MakeJob(7, "b", 600));
+  sched.Submit(MakeJob(7, "c", 700));
+  auto first = sched.Dequeue();
+  ASSERT_TRUE(first.has_value());
+  // EDF picks file 8 first (earliest deadline); after that the anchor is
+  // 8, no more 8-jobs exist, so EDF order resumes with 7s.
+  EXPECT_EQ(first->file_id, 8u);
+  auto second = sched.Dequeue();
+  EXPECT_EQ(second->file_id, 7u);
+  // Anchor is now 7: remaining 7s are preferred consecutively.
+  EXPECT_EQ(sched.Dequeue()->file_id, 7u);
+  EXPECT_EQ(sched.Dequeue()->file_id, 7u);
+}
+
+TEST(PartitionedSchedulerTest, PendingAndInFlightAccounting) {
+  PartitionedScheduler::Options opts;
+  opts.num_partitions = 2;
+  opts.slots_per_partition = 1;
+  PartitionedScheduler sched(opts);
+  sched.SetPartition("p1", 1);
+  sched.Submit(MakeJob(1, "p0", 100));
+  sched.Submit(MakeJob(2, "p1", 100));
+  sched.Submit(MakeJob(3, "p1", 200));
+  EXPECT_EQ(sched.pending(), 3u);
+  auto a = sched.Dequeue();
+  auto b = sched.Dequeue();
+  EXPECT_EQ(sched.in_flight(), 2u);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.OnComplete(*a, true, 10, 10);
+  sched.OnComplete(*b, false, 10, 10);
+  EXPECT_EQ(sched.in_flight(), 0u);
+  EXPECT_EQ(sched.metrics().completed, 1u);
+  EXPECT_EQ(sched.metrics().failed, 1u);
+}
+
+TEST(PartitionedSchedulerTest, RebalanceMovesSlowSubscriberDown) {
+  PartitionedScheduler::Options opts;
+  opts.num_partitions = 2;
+  opts.slots_per_partition = 4;
+  opts.rebalance_every = 1;
+  PartitionedScheduler sched(opts);
+  sched.SetPartition("fast", 0);
+  sched.SetPartition("slow", 0);
+  // Feed observations: fast moves 1 MB/s, slow 1 KB/s with failures.
+  for (int i = 0; i < 20; ++i) {
+    sched.Submit(MakeJob(100 + i, "fast", 1000));
+    sched.Submit(MakeJob(200 + i, "slow", 1000));
+    auto a = sched.Dequeue();
+    auto b = sched.Dequeue();
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    auto finish = [&](const TransferJob& j) {
+      if (j.subscriber == "fast") {
+        sched.OnComplete(j, true, 10, kMillisecond);
+      } else {
+        sched.OnComplete(j, true, 10, kSecond);
+      }
+    };
+    finish(*a);
+    finish(*b);
+  }
+  EXPECT_EQ(sched.PartitionOf("fast"), 0u);
+  EXPECT_EQ(sched.PartitionOf("slow"), 1u);
+}
+
+}  // namespace
+}  // namespace bistro

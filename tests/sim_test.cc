@@ -1,0 +1,154 @@
+// Tests for the discrete-event loop and the simulated network.
+
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace bistro {
+namespace {
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  SimClock clock(0);
+  EventLoop loop(&clock);
+  std::vector<int> order;
+  loop.PostAt(300, [&] { order.push_back(3); });
+  loop.PostAt(100, [&] { order.push_back(1); });
+  loop.PostAt(200, [&] { order.push_back(2); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.Now(), 300);
+  EXPECT_EQ(loop.executed(), 3u);
+}
+
+TEST(EventLoopTest, TiesBreakByPostingOrder) {
+  SimClock clock(0);
+  EventLoop loop(&clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.PostAt(100, [&order, i] { order.push_back(i); });
+  }
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, EventsCanPostEvents) {
+  SimClock clock(0);
+  EventLoop loop(&clock);
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 10) loop.PostAfter(50, hop);
+  };
+  loop.Post(hop);
+  loop.RunUntilIdle();
+  EXPECT_EQ(hops, 10);
+  EXPECT_EQ(clock.Now(), 9 * 50);
+}
+
+TEST(EventLoopTest, PastEventsClampToNow) {
+  SimClock clock(1000);
+  EventLoop loop(&clock);
+  bool ran = false;
+  loop.PostAt(10, [&] { ran = true; });  // in the past
+  loop.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(clock.Now(), 1000);
+}
+
+TEST(EventLoopTest, RunUntilLeavesLaterEventsQueued) {
+  SimClock clock(0);
+  EventLoop loop(&clock);
+  int ran = 0;
+  loop.PostAt(100, [&] { ran++; });
+  loop.PostAt(200, [&] { ran++; });
+  loop.PostAt(900, [&] { ran++; });
+  loop.RunUntil(500);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(clock.Now(), 500);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(EventLoopTest, StopAbortsProcessing) {
+  SimClock clock(0);
+  EventLoop loop(&clock);
+  int ran = 0;
+  loop.PostAt(1, [&] {
+    ran++;
+    loop.Stop();
+  });
+  loop.PostAt(2, [&] { ran++; });
+  loop.RunUntilIdle();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoopTest, WorksWithRealClock) {
+  RealClock clock;
+  EventLoop loop(&clock);
+  int ran = 0;
+  loop.PostAfter(1 * kMillisecond, [&] { ran++; });
+  loop.Post([&] { ran++; });
+  loop.RunUntilIdle();
+  EXPECT_EQ(ran, 2);
+}
+
+// ---------------------------------------------------------------- Network
+
+TEST(SimNetworkTest, TransferDurationIncludesLatencyAndBandwidth) {
+  Rng rng(1);
+  SimNetwork net(&rng);
+  LinkSpec link;
+  link.bandwidth_bytes_per_sec = 1000;
+  link.latency = 100 * kMillisecond;
+  net.SetLink("sub", link);
+  auto d = net.TransferDuration("sub", 2000);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 100 * kMillisecond + 2 * kSecond);
+  EXPECT_FALSE(net.TransferDuration("nobody", 1).ok());
+}
+
+TEST(SimNetworkTest, SerialLinkQueuesConcurrentTransfers) {
+  Rng rng(1);
+  SimNetwork net(&rng);
+  LinkSpec link;
+  link.bandwidth_bytes_per_sec = 1000;
+  link.latency = 0;
+  net.SetLink("sub", link);
+  auto t1 = net.ScheduleTransfer("sub", 1000, /*now=*/0);  // 1s
+  auto t2 = net.ScheduleTransfer("sub", 1000, /*now=*/0);  // queued behind
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(*t1, kSecond);
+  EXPECT_EQ(*t2, 2 * kSecond);
+  EXPECT_EQ(net.BytesSent("sub"), 2000u);
+}
+
+TEST(SimNetworkTest, OfflineLinkRefusesTransfers) {
+  Rng rng(1);
+  SimNetwork net(&rng);
+  net.SetLink("sub", LinkSpec::Fast());
+  EXPECT_TRUE(net.IsOnline("sub"));
+  net.SetOnline("sub", false);
+  EXPECT_FALSE(net.IsOnline("sub"));
+  auto t = net.ScheduleTransfer("sub", 100, 0);
+  EXPECT_TRUE(t.status().IsUnavailable());
+  net.SetOnline("sub", true);
+  EXPECT_TRUE(net.ScheduleTransfer("sub", 100, 0).ok());
+}
+
+TEST(SimNetworkTest, FlakyLinkFailsSometimes) {
+  Rng rng(42);
+  SimNetwork net(&rng);
+  net.SetLink("sub", LinkSpec::Flaky(0.5));
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!net.ScheduleTransfer("sub", 10, i * kSecond).ok()) ++failures;
+  }
+  EXPECT_GT(failures, 50);
+  EXPECT_LT(failures, 150);
+}
+
+}  // namespace
+}  // namespace bistro

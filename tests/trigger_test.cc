@@ -1,0 +1,162 @@
+// Tests for the batcher (all five batch modes, interval rollover,
+// timeouts) and the trigger invokers.
+
+#include <gtest/gtest.h>
+
+#include "trigger/trigger.h"
+
+namespace bistro {
+namespace {
+
+BatchSpec Spec(BatchSpec::Mode mode, int count = 0, Duration timeout = 0) {
+  BatchSpec s;
+  s.mode = mode;
+  s.count = count;
+  s.timeout = timeout;
+  return s;
+}
+
+TEST(BatcherTest, PerFileClosesEveryFile) {
+  Batcher b("F", "s", Spec(BatchSpec::Mode::kPerFile));
+  auto e1 = b.OnFileDelivered(1, 100, 10);
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->files, std::vector<FileId>{1});
+  EXPECT_EQ(e1->reason, BatchEvent::Reason::kPerFile);
+  auto e2 = b.OnFileDelivered(2, 100, 20);
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->files, std::vector<FileId>{2});
+}
+
+TEST(BatcherTest, CountModeClosesAtN) {
+  Batcher b("F", "s", Spec(BatchSpec::Mode::kCount, 3));
+  EXPECT_FALSE(b.OnFileDelivered(1, 100, 10).has_value());
+  EXPECT_FALSE(b.OnFileDelivered(2, 100, 20).has_value());
+  auto e = b.OnFileDelivered(3, 100, 30);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->files, (std::vector<FileId>{1, 2, 3}));
+  EXPECT_EQ(e->reason, BatchEvent::Reason::kCount);
+  EXPECT_EQ(e->open_time, 10);
+  EXPECT_EQ(e->close_time, 30);
+  EXPECT_EQ(e->batch_time, 100);
+}
+
+TEST(BatcherTest, CountModeRollsOverOnNewInterval) {
+  // Paper §2.3: one poller missed the 100-interval, so only 2 of 3 files
+  // came; the first file of interval 200 must flush the stale batch
+  // instead of polluting it.
+  Batcher b("F", "s", Spec(BatchSpec::Mode::kCount, 3));
+  EXPECT_FALSE(b.OnFileDelivered(1, 100, 10).has_value());
+  EXPECT_FALSE(b.OnFileDelivered(2, 100, 20).has_value());
+  auto rolled = b.OnFileDelivered(3, 200, 30);
+  ASSERT_TRUE(rolled.has_value());
+  EXPECT_EQ(rolled->files, (std::vector<FileId>{1, 2}));
+  EXPECT_EQ(rolled->reason, BatchEvent::Reason::kIntervalRollover);
+  EXPECT_EQ(rolled->batch_time, 100);
+  // Files 3.. now accumulate under interval 200.
+  EXPECT_FALSE(b.OnFileDelivered(4, 200, 40).has_value());
+  auto e = b.OnFileDelivered(5, 200, 50);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->files, (std::vector<FileId>{3, 4, 5}));
+}
+
+TEST(BatcherTest, TimeModeClosesOnTick) {
+  Batcher b("F", "s", Spec(BatchSpec::Mode::kTime, 0, 100));
+  EXPECT_FALSE(b.OnFileDelivered(1, 0, 10).has_value());
+  EXPECT_FALSE(b.OnTick(50).has_value());
+  ASSERT_EQ(b.NextDeadline(), 110);
+  auto e = b.OnTick(110);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->reason, BatchEvent::Reason::kTimeout);
+  EXPECT_FALSE(b.OnTick(300).has_value());  // nothing open
+  EXPECT_FALSE(b.NextDeadline().has_value());
+}
+
+TEST(BatcherTest, CountOrTimeClosesOnWhicheverFirst) {
+  Batcher b("F", "s", Spec(BatchSpec::Mode::kCountOrTime, 3, 100));
+  // Count path:
+  b.OnFileDelivered(1, 0, 10);
+  b.OnFileDelivered(2, 0, 20);
+  auto e = b.OnFileDelivered(3, 0, 30);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->reason, BatchEvent::Reason::kCount);
+  // Timeout path:
+  b.OnFileDelivered(4, 0, 40);
+  auto t = b.OnTick(140);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->reason, BatchEvent::Reason::kTimeout);
+  EXPECT_EQ(t->files, std::vector<FileId>{4});
+}
+
+TEST(BatcherTest, LateDeliveryPastTimeoutClosesInline) {
+  // If the tick cadence is coarse, OnFileDelivered itself notices the
+  // expired timeout.
+  Batcher b("F", "s", Spec(BatchSpec::Mode::kTime, 0, 100));
+  b.OnFileDelivered(1, 0, 10);
+  auto e = b.OnFileDelivered(2, 0, 500);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->files, (std::vector<FileId>{1, 2}));
+}
+
+TEST(BatcherTest, PunctuationModeOnlyClosesOnMarker) {
+  Batcher b("F", "s", Spec(BatchSpec::Mode::kPunctuation));
+  EXPECT_FALSE(b.OnFileDelivered(1, 100, 10).has_value());
+  EXPECT_FALSE(b.OnFileDelivered(2, 200, 20).has_value());  // no rollover
+  EXPECT_FALSE(b.OnTick(100000).has_value());
+  auto e = b.OnPunctuation(50);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->files, (std::vector<FileId>{1, 2}));
+  EXPECT_EQ(e->reason, BatchEvent::Reason::kPunctuation);
+  EXPECT_FALSE(b.OnPunctuation(60).has_value());  // empty
+}
+
+TEST(BatcherTest, FlushClosesOpenBatch) {
+  Batcher b("F", "s", Spec(BatchSpec::Mode::kCount, 10));
+  b.OnFileDelivered(1, 0, 10);
+  auto e = b.Flush(99);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->files, std::vector<FileId>{1});
+  EXPECT_FALSE(b.Flush(100).has_value());
+}
+
+// ---------------------------------------------------------------- Invokers
+
+TEST(CallbackInvokerTest, DispatchesByCommand) {
+  CallbackInvoker invoker;
+  int calls = 0;
+  invoker.Register("load", [&](const BatchEvent& e) {
+    calls++;
+    EXPECT_EQ(e.feed, "F");
+    return Status::OK();
+  });
+  BatchEvent event;
+  event.feed = "F";
+  EXPECT_TRUE(invoker.Invoke("load", event).ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(invoker.Invoke("missing", event).IsNotFound());
+}
+
+TEST(RecordingInvokerTest, RecordsEverything) {
+  RecordingInvoker invoker;
+  BatchEvent event;
+  event.feed = "F";
+  event.files = {1, 2};
+  ASSERT_TRUE(invoker.Invoke("cmd", event).ok());
+  ASSERT_EQ(invoker.invocations().size(), 1u);
+  EXPECT_EQ(invoker.invocations()[0].command, "cmd");
+  EXPECT_EQ(invoker.invocations()[0].batch.files.size(), 2u);
+  invoker.Clear();
+  EXPECT_TRUE(invoker.invocations().empty());
+}
+
+TEST(CommandInvokerTest, RunsShellCommand) {
+  CommandInvoker invoker;
+  BatchEvent event;
+  event.feed = "F";
+  event.subscriber = "s";
+  event.files = {1};
+  EXPECT_TRUE(invoker.Invoke("true", event).ok());
+  EXPECT_FALSE(invoker.Invoke("false", event).ok());
+}
+
+}  // namespace
+}  // namespace bistro

@@ -1,0 +1,235 @@
+// Tests for the filesystem abstraction: path utils, the in-memory
+// filesystem (with cost model), and the local POSIX filesystem.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "vfs/localfs.h"
+#include "vfs/memfs.h"
+
+namespace bistro {
+namespace {
+
+// ---------------------------------------------------------------- Paths
+
+TEST(PathTest, Join) {
+  EXPECT_EQ(path::Join("a", "b"), "a/b");
+  EXPECT_EQ(path::Join("a/", "b"), "a/b");
+  EXPECT_EQ(path::Join("a", "/b"), "a/b");
+  EXPECT_EQ(path::Join("", "b"), "b");
+  EXPECT_EQ(path::Join("a", ""), "a");
+  EXPECT_EQ(path::Join("/root", "x/y"), "/root/x/y");
+}
+
+TEST(PathTest, BasenameDirname) {
+  EXPECT_EQ(path::Basename("a/b/c.txt"), "c.txt");
+  EXPECT_EQ(path::Basename("c.txt"), "c.txt");
+  EXPECT_EQ(path::Dirname("a/b/c.txt"), "a/b");
+  EXPECT_EQ(path::Dirname("c.txt"), "");
+  EXPECT_EQ(path::Dirname("/c.txt"), "/");
+}
+
+TEST(PathTest, Normalize) {
+  EXPECT_EQ(path::Normalize("a//b///c/"), "a/b/c");
+  EXPECT_EQ(path::Normalize("/"), "/");
+  EXPECT_EQ(path::Normalize("//x//"), "/x");
+}
+
+// ---------------------------------------------------------------- MemFs
+
+TEST(MemFsTest, WriteReadRoundTrip) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/landing/a.csv", "hello").ok());
+  auto data = fs.ReadFile("/landing/a.csv");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "hello");
+}
+
+TEST(MemFsTest, ReadMissingIsNotFound) {
+  InMemoryFileSystem fs;
+  EXPECT_TRUE(fs.ReadFile("/nope").status().IsNotFound());
+  EXPECT_TRUE(fs.Stat("/nope").status().IsNotFound());
+  EXPECT_TRUE(fs.Delete("/nope").IsNotFound());
+}
+
+TEST(MemFsTest, AppendAccumulates) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.AppendFile("/log", "a").ok());
+  ASSERT_TRUE(fs.AppendFile("/log", "b").ok());
+  EXPECT_EQ(*fs.ReadFile("/log"), "ab");
+}
+
+TEST(MemFsTest, ParentsCreatedImplicitly) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/a/b/c/d.txt", "x").ok());
+  EXPECT_TRUE(fs.Exists("/a"));
+  EXPECT_TRUE(fs.Exists("/a/b"));
+  EXPECT_TRUE(fs.Exists("/a/b/c"));
+  auto info = fs.Stat("/a/b");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->is_directory);
+}
+
+TEST(MemFsTest, ListDirImmediateChildrenOnly) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/d/one.txt", "1").ok());
+  ASSERT_TRUE(fs.WriteFile("/d/two.txt", "22").ok());
+  ASSERT_TRUE(fs.WriteFile("/d/sub/three.txt", "333").ok());
+  auto listing = fs.ListDir("/d");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 3u);  // one.txt, sub/, two.txt
+  EXPECT_EQ((*listing)[0].path, "/d/one.txt");
+  EXPECT_TRUE((*listing)[1].is_directory);
+  EXPECT_EQ((*listing)[1].path, "/d/sub");
+  EXPECT_EQ((*listing)[2].size, 2u);
+}
+
+TEST(MemFsTest, ListRecursive) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/d/a.txt", "1").ok());
+  ASSERT_TRUE(fs.WriteFile("/d/x/b.txt", "2").ok());
+  ASSERT_TRUE(fs.WriteFile("/d/x/y/c.txt", "3").ok());
+  auto files = fs.ListRecursive("/d");
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 3u);
+}
+
+TEST(MemFsTest, RenameMovesAcrossDirs) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/landing/f.csv", "data").ok());
+  ASSERT_TRUE(fs.Rename("/landing/f.csv", "/staging/feed/f.csv").ok());
+  EXPECT_FALSE(fs.Exists("/landing/f.csv"));
+  EXPECT_EQ(*fs.ReadFile("/staging/feed/f.csv"), "data");
+  EXPECT_TRUE(fs.Rename("/landing/f.csv", "/x").IsNotFound());
+}
+
+TEST(MemFsTest, StatsCountOps) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/d/a", "xy").ok());
+  (void)fs.ReadFile("/d/a");
+  (void)fs.ListDir("/d");
+  (void)fs.Stat("/d/a");
+  ASSERT_TRUE(fs.Rename("/d/a", "/d/b").ok());
+  ASSERT_TRUE(fs.Delete("/d/b").ok());
+  FsOpStats s = fs.stats();
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.lists, 1u);
+  EXPECT_EQ(s.list_entries, 1u);
+  EXPECT_EQ(s.stats, 1u);
+  EXPECT_EQ(s.renames, 1u);
+  EXPECT_EQ(s.deletes, 1u);
+  EXPECT_EQ(s.bytes_written, 2u);
+  EXPECT_EQ(s.bytes_read, 2u);
+  fs.ResetStats();
+  EXPECT_EQ(fs.stats().writes, 0u);
+}
+
+TEST(MemFsTest, CostModelChargesSimClock) {
+  SimClock clock(0);
+  FsCostModel cost;
+  cost.list_base = 1000;
+  cost.list_per_entry = 10;
+  InMemoryFileSystem fs(&clock, cost);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fs.WriteFile("/d/f" + std::to_string(i), "x").ok());
+  }
+  TimePoint before = clock.Now();
+  ASSERT_TRUE(fs.ListDir("/d").ok());
+  EXPECT_EQ(clock.Now() - before, 1000 + 5 * 10);
+}
+
+TEST(MemFsTest, MetadataCostGrowsWithHistory) {
+  // The E1 claim in miniature: listing cost is linear in directory size.
+  SimClock clock(0);
+  InMemoryFileSystem fs(&clock, FsCostModel::RemoteFileServer());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        fs.WriteFile("/hist/f" + std::to_string(i), "x").ok());
+  }
+  TimePoint t0 = clock.Now();
+  ASSERT_TRUE(fs.ListDir("/hist").ok());
+  Duration cost100 = clock.Now() - t0;
+  for (int i = 100; i < 1000; ++i) {
+    ASSERT_TRUE(
+        fs.WriteFile("/hist/f" + std::to_string(i), "x").ok());
+  }
+  t0 = clock.Now();
+  ASSERT_TRUE(fs.ListDir("/hist").ok());
+  Duration cost1000 = clock.Now() - t0;
+  EXPECT_GT(cost1000, 5 * cost100 / 2);
+}
+
+TEST(MemFsTest, TotalsTrackContents) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/a", "12345").ok());
+  ASSERT_TRUE(fs.WriteFile("/b", "678").ok());
+  EXPECT_EQ(fs.TotalBytes(), 8u);
+  EXPECT_EQ(fs.FileCount(), 2u);
+}
+
+TEST(MemFsTest, WriteOverDirectoryFails) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.MkDirs("/d/sub").ok());
+  EXPECT_FALSE(fs.WriteFile("/d/sub", "x").ok());
+  EXPECT_TRUE(fs.MkDirs("/d/sub").ok());  // idempotent
+}
+
+// ---------------------------------------------------------------- LocalFs
+
+class LocalFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/bistro_vfs_test_XXXXXX";
+    root_ = mkdtemp(tmpl);
+    ASSERT_FALSE(root_.empty());
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + root_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  std::string root_;
+  LocalFileSystem fs_;
+};
+
+TEST_F(LocalFsTest, WriteReadRoundTrip) {
+  std::string p = path::Join(root_, "sub/dir/file.txt");
+  ASSERT_TRUE(fs_.WriteFile(p, "payload").ok());
+  auto data = fs_.ReadFile(p);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "payload");
+  auto info = fs_.Stat(p);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 7u);
+  EXPECT_FALSE(info->is_directory);
+}
+
+TEST_F(LocalFsTest, ListAndDelete) {
+  ASSERT_TRUE(fs_.WriteFile(path::Join(root_, "d/a.txt"), "1").ok());
+  ASSERT_TRUE(fs_.WriteFile(path::Join(root_, "d/b.txt"), "2").ok());
+  auto listing = fs_.ListDir(path::Join(root_, "d"));
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 2u);
+  ASSERT_TRUE(fs_.Delete(path::Join(root_, "d/a.txt")).ok());
+  listing = fs_.ListDir(path::Join(root_, "d"));
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 1u);
+}
+
+TEST_F(LocalFsTest, RenameCreatesDestinationDirs) {
+  std::string from = path::Join(root_, "landing/f.csv");
+  std::string to = path::Join(root_, "staging/deep/f.csv");
+  ASSERT_TRUE(fs_.WriteFile(from, "data").ok());
+  ASSERT_TRUE(fs_.Rename(from, to).ok());
+  EXPECT_FALSE(fs_.Exists(from));
+  EXPECT_EQ(*fs_.ReadFile(to), "data");
+}
+
+TEST_F(LocalFsTest, MissingPathsAreNotFound) {
+  EXPECT_TRUE(fs_.ReadFile(path::Join(root_, "missing")).status().IsNotFound());
+  EXPECT_TRUE(fs_.ListDir(path::Join(root_, "missing")).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace bistro

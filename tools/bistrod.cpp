@@ -1,0 +1,185 @@
+// bistrod — a deployable Bistro feed-management daemon.
+//
+// Runs a BistroServer over the local filesystem under the real clock:
+// loads a configuration file, watches the landing zone for files from
+// non-cooperating sources, runs maintenance (window expiry, stall
+// alarms), periodic feed analysis, and prints a status report on a fixed
+// cadence. Subscribers are delivered into local destination directories
+// (the `destination` attribute); trigger commands run via the shell.
+//
+// Usage:
+//   bistrod --config feeds.conf --root /var/bistro \
+//           [--scan-interval 10s] [--status-interval 60s] \
+//           [--window 7d] [--duration 0 (run forever)]
+//
+// Layout under --root: landing/ staging/ db/ plus one directory per
+// subscriber without an absolute `destination`.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "analyzer/daemon.h"
+#include "common/strings.h"
+#include "config/parser.h"
+#include "core/admin.h"
+#include "core/server.h"
+#include "vfs/localfs.h"
+
+using namespace bistro;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+struct Args {
+  std::string config_path;
+  std::string root = "/tmp/bistro";
+  Duration scan_interval = 10 * kSecond;
+  Duration status_interval = 60 * kSecond;
+  Duration window = 0;
+  Duration duration = 0;  // 0 = run until signal
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--config") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->config_path = v;
+    } else if (flag == "--root") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->root = v;
+    } else if (flag == "--scan-interval" || flag == "--status-interval" ||
+               flag == "--window" || flag == "--duration") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto d = ParseDuration(v);
+      if (!d) {
+        std::fprintf(stderr, "bad duration for %s: %s\n",
+                     std::string(flag).c_str(), v);
+        return false;
+      }
+      if (flag == "--scan-interval") args->scan_interval = *d;
+      if (flag == "--status-interval") args->status_interval = *d;
+      if (flag == "--window") args->window = *d;
+      if (flag == "--duration") args->duration = *d;
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", std::string(flag).c_str());
+      return false;
+    }
+  }
+  return !args->config_path.empty();
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: bistrod --config <file> [--root <dir>] "
+               "[--scan-interval 10s]\n"
+               "               [--status-interval 60s] [--window 7d] "
+               "[--duration 0]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  LocalFileSystem fs;
+  RealClock clock;
+  EventLoop loop(&clock);
+  Logger logger(&clock);
+  logger.AddSink(std::make_shared<StderrSink>());
+  LoopbackTransport transport(&loop);
+  CommandInvoker invoker(&logger);
+
+  auto config_text = fs.ReadFile(args.config_path);
+  if (!config_text.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", args.config_path.c_str(),
+                 config_text.status().ToString().c_str());
+    return 1;
+  }
+  auto config = ParseConfig(*config_text);
+  if (!config.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 config.status().ToString().c_str());
+    return 1;
+  }
+
+  // Local subscribers: deliver into their destination directories.
+  std::vector<std::unique_ptr<FileSinkEndpoint>> sinks;
+  for (const SubscriberSpec& sub : config->subscribers) {
+    std::string dest = sub.destination.empty()
+                           ? path::Join(args.root, "subscribers/" + sub.name)
+                           : sub.destination;
+    sinks.push_back(std::make_unique<FileSinkEndpoint>(&fs, dest));
+    transport.Register(sub.host.empty() ? sub.name : sub.host,
+                       sinks.back().get());
+    std::fprintf(stderr, "subscriber %s -> %s\n", sub.name.c_str(),
+                 dest.c_str());
+  }
+
+  BistroServer::Options options;
+  options.landing_root = path::Join(args.root, "landing");
+  options.staging_root = path::Join(args.root, "staging");
+  options.db_dir = path::Join(args.root, "db");
+  options.history_window = args.window;
+  auto server = BistroServer::Create(options, *config, &fs, &transport, &loop,
+                                     &invoker, &logger);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server error: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  (*server)->StartMaintenanceTimer();
+  AnalyzerDaemon analyzer(server->get(), &loop, &logger);
+  analyzer.Start();
+
+  std::fprintf(stderr,
+               "bistrod running: root=%s feeds=%zu subscribers=%zu "
+               "(deposit files under %s/<source>/)\n",
+               args.root.c_str(), config->feeds.size(),
+               config->subscribers.size(), options.landing_root.c_str());
+
+  TimePoint started = clock.Now();
+  TimePoint next_scan = started;
+  TimePoint next_status = started + args.status_interval;
+  while (g_stop == 0) {
+    TimePoint now = clock.Now();
+    if (args.duration > 0 && now - started >= args.duration) break;
+    if (now >= next_scan) {
+      auto n = (*server)->ScanLandingZone();
+      if (n.ok() && *n > 0) {
+        std::fprintf(stderr, "ingested %zu file(s) from the landing zone\n", *n);
+      }
+      next_scan = now + args.scan_interval;
+    }
+    if (now >= next_status) {
+      std::fputs(RenderStatusReport(server->get()).c_str(), stderr);
+      next_status = now + args.status_interval;
+    }
+    // Drain due events, then sleep briefly (signals interrupt promptly).
+    loop.RunUntil(clock.Now());
+    clock.SleepFor(200 * kMillisecond);
+  }
+
+  std::fprintf(stderr, "bistrod shutting down\n");
+  (*server)->delivery()->FlushBatches();
+  loop.RunUntil(clock.Now());
+  std::fputs(RenderStatusReport(server->get()).c_str(), stderr);
+  return 0;
+}
