@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pull_vs_push.dir/bench_pull_vs_push.cpp.o"
+  "CMakeFiles/bench_pull_vs_push.dir/bench_pull_vs_push.cpp.o.d"
+  "bench_pull_vs_push"
+  "bench_pull_vs_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pull_vs_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_receipts.dir/bench_receipts.cpp.o"
+  "CMakeFiles/bench_receipts.dir/bench_receipts.cpp.o.d"
+  "bench_receipts"
+  "bench_receipts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_receipts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rsync_vs_bistro.dir/bench_rsync_vs_bistro.cpp.o"
+  "CMakeFiles/bench_rsync_vs_bistro.dir/bench_rsync_vs_bistro.cpp.o.d"
+  "bench_rsync_vs_bistro"
+  "bench_rsync_vs_bistro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rsync_vs_bistro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

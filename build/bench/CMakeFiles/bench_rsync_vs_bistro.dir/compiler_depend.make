@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_rsync_vs_bistro.
+# This may be replaced when dependencies are built.

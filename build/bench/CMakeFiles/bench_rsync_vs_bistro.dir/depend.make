@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_rsync_vs_bistro.
+# This may be replaced when dependencies are built.

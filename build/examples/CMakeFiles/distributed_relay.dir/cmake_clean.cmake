@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_relay.dir/distributed_relay.cpp.o"
+  "CMakeFiles/distributed_relay.dir/distributed_relay.cpp.o.d"
+  "distributed_relay"
+  "distributed_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

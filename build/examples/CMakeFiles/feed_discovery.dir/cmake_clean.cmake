@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_discovery.dir/feed_discovery.cpp.o"
+  "CMakeFiles/feed_discovery.dir/feed_discovery.cpp.o.d"
+  "feed_discovery"
+  "feed_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

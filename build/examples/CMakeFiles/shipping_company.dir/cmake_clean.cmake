@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shipping_company.dir/shipping_company.cpp.o"
+  "CMakeFiles/shipping_company.dir/shipping_company.cpp.o.d"
+  "shipping_company"
+  "shipping_company.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shipping_company.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

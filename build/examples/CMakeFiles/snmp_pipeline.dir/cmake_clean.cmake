@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmp_pipeline.dir/snmp_pipeline.cpp.o"
+  "CMakeFiles/snmp_pipeline.dir/snmp_pipeline.cpp.o.d"
+  "snmp_pipeline"
+  "snmp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/analyzer.cc" "src/CMakeFiles/bistro.dir/analyzer/analyzer.cc.o" "gcc" "src/CMakeFiles/bistro.dir/analyzer/analyzer.cc.o.d"
+  "/root/repo/src/analyzer/daemon.cc" "src/CMakeFiles/bistro.dir/analyzer/daemon.cc.o" "gcc" "src/CMakeFiles/bistro.dir/analyzer/daemon.cc.o.d"
+  "/root/repo/src/analyzer/grouping.cc" "src/CMakeFiles/bistro.dir/analyzer/grouping.cc.o" "gcc" "src/CMakeFiles/bistro.dir/analyzer/grouping.cc.o.d"
+  "/root/repo/src/analyzer/infer.cc" "src/CMakeFiles/bistro.dir/analyzer/infer.cc.o" "gcc" "src/CMakeFiles/bistro.dir/analyzer/infer.cc.o.d"
+  "/root/repo/src/analyzer/similarity.cc" "src/CMakeFiles/bistro.dir/analyzer/similarity.cc.o" "gcc" "src/CMakeFiles/bistro.dir/analyzer/similarity.cc.o.d"
+  "/root/repo/src/analyzer/tokenizer.cc" "src/CMakeFiles/bistro.dir/analyzer/tokenizer.cc.o" "gcc" "src/CMakeFiles/bistro.dir/analyzer/tokenizer.cc.o.d"
+  "/root/repo/src/baseline/pull_poller.cc" "src/CMakeFiles/bistro.dir/baseline/pull_poller.cc.o" "gcc" "src/CMakeFiles/bistro.dir/baseline/pull_poller.cc.o.d"
+  "/root/repo/src/baseline/rsync_like.cc" "src/CMakeFiles/bistro.dir/baseline/rsync_like.cc.o" "gcc" "src/CMakeFiles/bistro.dir/baseline/rsync_like.cc.o.d"
+  "/root/repo/src/classify/classifier.cc" "src/CMakeFiles/bistro.dir/classify/classifier.cc.o" "gcc" "src/CMakeFiles/bistro.dir/classify/classifier.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/bistro.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/bistro.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/bistro.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/bistro.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/bistro.dir/common/random.cc.o" "gcc" "src/CMakeFiles/bistro.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/bistro.dir/common/status.cc.o" "gcc" "src/CMakeFiles/bistro.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/bistro.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/bistro.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/CMakeFiles/bistro.dir/common/threadpool.cc.o" "gcc" "src/CMakeFiles/bistro.dir/common/threadpool.cc.o.d"
+  "/root/repo/src/common/time.cc" "src/CMakeFiles/bistro.dir/common/time.cc.o" "gcc" "src/CMakeFiles/bistro.dir/common/time.cc.o.d"
+  "/root/repo/src/compress/codec.cc" "src/CMakeFiles/bistro.dir/compress/codec.cc.o" "gcc" "src/CMakeFiles/bistro.dir/compress/codec.cc.o.d"
+  "/root/repo/src/config/parser.cc" "src/CMakeFiles/bistro.dir/config/parser.cc.o" "gcc" "src/CMakeFiles/bistro.dir/config/parser.cc.o.d"
+  "/root/repo/src/config/registry.cc" "src/CMakeFiles/bistro.dir/config/registry.cc.o" "gcc" "src/CMakeFiles/bistro.dir/config/registry.cc.o.d"
+  "/root/repo/src/core/admin.cc" "src/CMakeFiles/bistro.dir/core/admin.cc.o" "gcc" "src/CMakeFiles/bistro.dir/core/admin.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/CMakeFiles/bistro.dir/core/monitor.cc.o" "gcc" "src/CMakeFiles/bistro.dir/core/monitor.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/CMakeFiles/bistro.dir/core/server.cc.o" "gcc" "src/CMakeFiles/bistro.dir/core/server.cc.o.d"
+  "/root/repo/src/delivery/archiver.cc" "src/CMakeFiles/bistro.dir/delivery/archiver.cc.o" "gcc" "src/CMakeFiles/bistro.dir/delivery/archiver.cc.o.d"
+  "/root/repo/src/delivery/engine.cc" "src/CMakeFiles/bistro.dir/delivery/engine.cc.o" "gcc" "src/CMakeFiles/bistro.dir/delivery/engine.cc.o.d"
+  "/root/repo/src/kv/kvstore.cc" "src/CMakeFiles/bistro.dir/kv/kvstore.cc.o" "gcc" "src/CMakeFiles/bistro.dir/kv/kvstore.cc.o.d"
+  "/root/repo/src/kv/receipts.cc" "src/CMakeFiles/bistro.dir/kv/receipts.cc.o" "gcc" "src/CMakeFiles/bistro.dir/kv/receipts.cc.o.d"
+  "/root/repo/src/kv/wal.cc" "src/CMakeFiles/bistro.dir/kv/wal.cc.o" "gcc" "src/CMakeFiles/bistro.dir/kv/wal.cc.o.d"
+  "/root/repo/src/net/protocol.cc" "src/CMakeFiles/bistro.dir/net/protocol.cc.o" "gcc" "src/CMakeFiles/bistro.dir/net/protocol.cc.o.d"
+  "/root/repo/src/net/stream.cc" "src/CMakeFiles/bistro.dir/net/stream.cc.o" "gcc" "src/CMakeFiles/bistro.dir/net/stream.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/CMakeFiles/bistro.dir/net/transport.cc.o" "gcc" "src/CMakeFiles/bistro.dir/net/transport.cc.o.d"
+  "/root/repo/src/pattern/normalizer.cc" "src/CMakeFiles/bistro.dir/pattern/normalizer.cc.o" "gcc" "src/CMakeFiles/bistro.dir/pattern/normalizer.cc.o.d"
+  "/root/repo/src/pattern/pattern.cc" "src/CMakeFiles/bistro.dir/pattern/pattern.cc.o" "gcc" "src/CMakeFiles/bistro.dir/pattern/pattern.cc.o.d"
+  "/root/repo/src/sched/policy.cc" "src/CMakeFiles/bistro.dir/sched/policy.cc.o" "gcc" "src/CMakeFiles/bistro.dir/sched/policy.cc.o.d"
+  "/root/repo/src/sched/responsiveness.cc" "src/CMakeFiles/bistro.dir/sched/responsiveness.cc.o" "gcc" "src/CMakeFiles/bistro.dir/sched/responsiveness.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/bistro.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/bistro.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sim/event_loop.cc" "src/CMakeFiles/bistro.dir/sim/event_loop.cc.o" "gcc" "src/CMakeFiles/bistro.dir/sim/event_loop.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/bistro.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/bistro.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/sources.cc" "src/CMakeFiles/bistro.dir/sim/sources.cc.o" "gcc" "src/CMakeFiles/bistro.dir/sim/sources.cc.o.d"
+  "/root/repo/src/trigger/batcher.cc" "src/CMakeFiles/bistro.dir/trigger/batcher.cc.o" "gcc" "src/CMakeFiles/bistro.dir/trigger/batcher.cc.o.d"
+  "/root/repo/src/trigger/trigger.cc" "src/CMakeFiles/bistro.dir/trigger/trigger.cc.o" "gcc" "src/CMakeFiles/bistro.dir/trigger/trigger.cc.o.d"
+  "/root/repo/src/vfs/filesystem.cc" "src/CMakeFiles/bistro.dir/vfs/filesystem.cc.o" "gcc" "src/CMakeFiles/bistro.dir/vfs/filesystem.cc.o.d"
+  "/root/repo/src/vfs/localfs.cc" "src/CMakeFiles/bistro.dir/vfs/localfs.cc.o" "gcc" "src/CMakeFiles/bistro.dir/vfs/localfs.cc.o.d"
+  "/root/repo/src/vfs/memfs.cc" "src/CMakeFiles/bistro.dir/vfs/memfs.cc.o" "gcc" "src/CMakeFiles/bistro.dir/vfs/memfs.cc.o.d"
+  "/root/repo/src/warehouse/warehouse.cc" "src/CMakeFiles/bistro.dir/warehouse/warehouse.cc.o" "gcc" "src/CMakeFiles/bistro.dir/warehouse/warehouse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

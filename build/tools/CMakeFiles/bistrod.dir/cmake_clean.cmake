@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bistrod.dir/bistrod.cpp.o"
+  "CMakeFiles/bistrod.dir/bistrod.cpp.o.d"
+  "bistrod"
+  "bistrod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bistrod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
