@@ -22,6 +22,7 @@
 #include "common/strings.h"
 #include "config/parser.h"
 #include "core/server.h"
+#include "obs/export.h"
 #include "sim/sources.h"
 #include "vfs/memfs.h"
 
@@ -88,9 +89,11 @@ void RunMode(bool cooperating) {
         if (ok) source_to_app.Add(now - job.arrival_time);
       });
 
-  auto server = BistroServer::Create(BistroServer::Options(), *config, &fs,
-                                     &transport, &loop, &invoker, &logger,
-                                     &scheduler);
+  MetricsRegistry metrics;
+  BistroServer::Options server_options;
+  server_options.metrics = &metrics;
+  auto server = BistroServer::Create(server_options, *config, &fs, &transport,
+                                     &loop, &invoker, &logger, &scheduler);
   if (!server.ok()) {
     std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
     return;
@@ -151,7 +154,20 @@ void RunMode(bool cooperating) {
 
   loop.RunUntil(start + kRun + 5 * kMinute);
 
-  const ServerStats& stats = (*server)->stats();
+  // Persist the full registry as a JSON artifact next to the bench output.
+  std::string snapshot_path = StrFormat(
+      "bench_metrics_%s.json", cooperating ? "cooperating" : "noncooperating");
+  std::string snapshot = ExportJson(&metrics);
+  if (std::FILE* f = std::fopen(snapshot_path.c_str(), "w")) {
+    std::fwrite(snapshot.data(), 1, snapshot.size(), f);
+    std::fclose(f);
+    std::printf("metrics snapshot: %s (%zu metrics)\n", snapshot_path.c_str(),
+                metrics.size());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", snapshot_path.c_str());
+  }
+
+  ServerStats stats = (*server)->stats();
   std::printf("%-16s files %5llu  volume %9s (scaled 1:100 => %7s/day "
               "equivalent)\n",
               cooperating ? "cooperating" : "non-cooperating",

@@ -10,7 +10,17 @@ AnalyzerDaemon::AnalyzerDaemon(BistroServer* server, EventLoop* loop,
       loop_(loop),
       logger_(logger),
       options_(options),
-      analyzer_(server->registry(), logger, options.analyzer) {}
+      analyzer_(server->registry(), logger, options.analyzer) {
+  MetricsRegistry* metrics = server->metrics();
+  passes_counter_ = metrics->GetCounter("bistro_analyzer_passes_total",
+                                        "Analysis passes completed");
+  suggestions_counter_ = metrics->GetCounter(
+      "bistro_analyzer_suggestions_total",
+      "New-feed, false-negative and false-positive reports generated");
+  unmatched_gauge_ = metrics->GetGauge(
+      "bistro_analyzer_unmatched_retained",
+      "Unmatched file observations currently retained");
+}
 
 AnalyzerDaemon::~AnalyzerDaemon() = default;
 
@@ -63,6 +73,10 @@ void AnalyzerDaemon::RunOnce() {
     auto reports = analyzer_.DetectFalsePositives(feed, sample);
     for (auto& r : reports) false_positives_.push_back(std::move(r));
   }
+  passes_counter_->Increment();
+  suggestions_counter_->Increment(new_feeds_.size() + false_negatives_.size() +
+                                  false_positives_.size());
+  unmatched_gauge_->Set(static_cast<int64_t>(unmatched_history_.size()));
   logger_->Info(
       "analyzer",
       StrFormat("analysis pass %zu: %zu new-feed suggestions, %zu FN "

@@ -65,6 +65,10 @@ class AnalyzerDaemon {
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   bool started_ = false;
 
+  Counter* passes_counter_;
+  Counter* suggestions_counter_;
+  Gauge* unmatched_gauge_;
+
   std::vector<FileObservation> unmatched_history_;
   std::map<FeedName, std::vector<FileObservation>> matched_samples_;
   std::vector<NewFeedSuggestion> new_feeds_;

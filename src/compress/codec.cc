@@ -1,6 +1,8 @@
 #include "compress/codec.h"
 
+#include <atomic>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/hash.h"
@@ -99,11 +101,11 @@ class NoneCodec : public Codec {
  public:
   CodecKind kind() const override { return CodecKind::kNone; }
 
-  std::string Compress(std::string_view input) const override {
+  std::string CompressImpl(std::string_view input) const override {
     return Frame(CodecKind::kNone, input, std::string(input));
   }
 
-  Result<std::string> Decompress(std::string_view input) const override {
+  Result<std::string> DecompressImpl(std::string_view input) const override {
     BISTRO_ASSIGN_OR_RETURN(FrameHeader h, ParseFrame(input));
     std::string out(h.payload);
     BISTRO_RETURN_IF_ERROR(VerifyCrc(h, out));
@@ -119,7 +121,7 @@ class RleCodec : public Codec {
  public:
   CodecKind kind() const override { return CodecKind::kRle; }
 
-  std::string Compress(std::string_view input) const override {
+  std::string CompressImpl(std::string_view input) const override {
     std::string payload;
     payload.reserve(input.size() / 2 + 16);
     size_t i = 0;
@@ -134,7 +136,7 @@ class RleCodec : public Codec {
     return Frame(CodecKind::kRle, input, std::move(payload));
   }
 
-  Result<std::string> Decompress(std::string_view input) const override {
+  Result<std::string> DecompressImpl(std::string_view input) const override {
     BISTRO_ASSIGN_OR_RETURN(FrameHeader h, ParseFrame(input));
     std::string out;
     out.reserve(h.orig_size);
@@ -168,7 +170,7 @@ class LzCodec : public Codec {
  public:
   CodecKind kind() const override { return CodecKind::kLz; }
 
-  std::string Compress(std::string_view input) const override {
+  std::string CompressImpl(std::string_view input) const override {
     std::string payload;
     payload.reserve(input.size() / 2 + 16);
     const size_t n = input.size();
@@ -222,7 +224,7 @@ class LzCodec : public Codec {
     return Frame(CodecKind::kLz, input, std::move(payload));
   }
 
-  Result<std::string> Decompress(std::string_view input) const override {
+  Result<std::string> DecompressImpl(std::string_view input) const override {
     BISTRO_ASSIGN_OR_RETURN(FrameHeader h, ParseFrame(input));
     std::string out;
     out.reserve(h.orig_size);
@@ -259,7 +261,80 @@ class LzCodec : public Codec {
   }
 };
 
+// Codecs are stateless process-wide singletons, so their activity totals
+// are process-wide too. AttachCodecMetrics() bridges these raw atomics
+// into a per-registry view by pushing deltas from a collect hook.
+struct CodecTotals {
+  std::atomic<uint64_t> compress_calls{0};
+  std::atomic<uint64_t> compress_bytes_in{0};
+  std::atomic<uint64_t> compress_bytes_out{0};
+  std::atomic<uint64_t> decompress_calls{0};
+  std::atomic<uint64_t> decompress_failures{0};
+};
+
+CodecTotals& Totals() {
+  static CodecTotals totals;
+  return totals;
+}
+
 }  // namespace
+
+std::string Codec::Compress(std::string_view input) const {
+  std::string out = CompressImpl(input);
+  CodecTotals& t = Totals();
+  t.compress_calls.fetch_add(1, std::memory_order_relaxed);
+  t.compress_bytes_in.fetch_add(input.size(), std::memory_order_relaxed);
+  t.compress_bytes_out.fetch_add(out.size(), std::memory_order_relaxed);
+  return out;
+}
+
+Result<std::string> Codec::Decompress(std::string_view input) const {
+  Result<std::string> out = DecompressImpl(input);
+  CodecTotals& t = Totals();
+  t.decompress_calls.fetch_add(1, std::memory_order_relaxed);
+  if (!out.ok()) t.decompress_failures.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+void AttachCodecMetrics(MetricsRegistry* registry) {
+  struct Counters {
+    Counter* compress_calls;
+    Counter* compress_bytes_in;
+    Counter* compress_bytes_out;
+    Counter* decompress_calls;
+    Counter* decompress_failures;
+    CodecTotals last;  // totals already pushed into this registry
+  };
+  auto c = std::make_shared<Counters>();
+  c->compress_calls = registry->GetCounter(
+      "bistro_codec_compress_calls_total", "Blocks compressed (all codecs)");
+  c->compress_bytes_in = registry->GetCounter(
+      "bistro_codec_compress_bytes_in_total", "Raw bytes given to Compress");
+  c->compress_bytes_out = registry->GetCounter(
+      "bistro_codec_compress_bytes_out_total",
+      "Framed bytes produced by Compress");
+  c->decompress_calls = registry->GetCounter(
+      "bistro_codec_decompress_calls_total", "Blocks decompressed");
+  c->decompress_failures = registry->GetCounter(
+      "bistro_codec_decompress_failures_total",
+      "Decompress calls that returned an error");
+  registry->AddCollectHook([c] {
+    CodecTotals& t = Totals();
+    auto push = [](std::atomic<uint64_t>& now, std::atomic<uint64_t>& seen,
+                   Counter* counter) {
+      uint64_t cur = now.load(std::memory_order_relaxed);
+      uint64_t prev = seen.exchange(cur, std::memory_order_relaxed);
+      if (cur > prev) counter->Increment(cur - prev);
+    };
+    push(t.compress_calls, c->last.compress_calls, c->compress_calls);
+    push(t.compress_bytes_in, c->last.compress_bytes_in, c->compress_bytes_in);
+    push(t.compress_bytes_out, c->last.compress_bytes_out,
+         c->compress_bytes_out);
+    push(t.decompress_calls, c->last.decompress_calls, c->decompress_calls);
+    push(t.decompress_failures, c->last.decompress_failures,
+         c->decompress_failures);
+  });
+}
 
 Result<CodecKind> CodecKindFromName(std::string_view name) {
   if (name == "none") return CodecKind::kNone;

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace bistro {
 
@@ -26,11 +27,21 @@ class Codec {
   virtual CodecKind kind() const = 0;
 
   /// Compresses `input` into a framed block.
-  virtual std::string Compress(std::string_view input) const = 0;
+  std::string Compress(std::string_view input) const;
 
   /// Decompresses a framed block; verifies frame CRC.
-  virtual Result<std::string> Decompress(std::string_view input) const = 0;
+  Result<std::string> Decompress(std::string_view input) const;
+
+ protected:
+  virtual std::string CompressImpl(std::string_view input) const = 0;
+  virtual Result<std::string> DecompressImpl(std::string_view input) const = 0;
 };
+
+/// Registers process-wide codec counters (calls, bytes in/out, failures)
+/// in `registry`. Codecs are process-wide singletons, so their raw totals
+/// are process-wide too; each attached registry receives deltas from the
+/// moment of attachment via a collect hook.
+void AttachCodecMetrics(MetricsRegistry* registry);
 
 /// Returns the process-wide codec instance for `kind`.
 const Codec* GetCodec(CodecKind kind);

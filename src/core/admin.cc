@@ -6,7 +6,7 @@ namespace bistro {
 
 std::string RenderStatusReport(BistroServer* server) {
   std::string out;
-  const ServerStats& stats = server->stats();
+  ServerStats stats = server->stats();
   out += "=== Bistro server status ===\n";
   out += StrFormat(
       "pipeline: received %llu (%s), classified %llu, unmatched %llu, "
@@ -18,7 +18,7 @@ std::string RenderStatusReport(BistroServer* server) {
       (unsigned long long)stats.files_expired,
       (unsigned long long)stats.punctuations);
 
-  const DeliveryStats& d = server->delivery_stats();
+  DeliveryStats d = server->delivery_stats();
   out += StrFormat(
       "delivery: %llu pushed, %llu notified, %llu batches, %llu triggers "
       "(%llu failed), %llu retries, %llu backfilled, %llu parked\n",
@@ -63,6 +63,40 @@ std::string RenderStatusReport(BistroServer* server) {
         offline ? "OFFLINE" : "online",
         sub.method == DeliveryMethod::kPush ? "push  " : "notify",
         Join(sub.feeds, ", ").c_str());
+  }
+
+  // Latency histograms with data, from the shared registry.
+  bool wrote_header = false;
+  for (const MetricSnapshot& m : server->metrics()->Collect()) {
+    if (m.type != MetricSnapshot::Type::kHistogram || m.count == 0) continue;
+    if (!wrote_header) {
+      out += "latency histograms:\n";
+      wrote_header = true;
+    }
+    out += StrFormat("  %-44s n=%-7llu p50=%-12s p95=%-12s p99=%-12s max=%s\n",
+                     m.name.c_str(), (unsigned long long)m.count,
+                     FormatDuration(m.p50).c_str(),
+                     FormatDuration(m.p95).c_str(),
+                     FormatDuration(m.p99).c_str(),
+                     FormatDuration(m.max).c_str());
+  }
+
+  // Per-feed pipeline stage rollups from the file tracer.
+  auto feeds_with_traces = server->tracer()->RolledUpFeeds();
+  if (!feeds_with_traces.empty()) {
+    out += "pipeline stage latency by feed (mean/max):\n";
+    for (const FeedName& feed : feeds_with_traces) {
+      auto rollup = server->tracer()->FeedRollup(feed);
+      out += StrFormat("  %-24s", feed.c_str());
+      for (size_t i = 1; i < kNumPipelineStages; ++i) {
+        if (rollup[i].count == 0) continue;
+        out += StrFormat(
+            " %s %s/%s", PipelineStageName(static_cast<PipelineStage>(i)).data(),
+            FormatDuration(rollup[i].Mean()).c_str(),
+            FormatDuration(rollup[i].max).c_str());
+      }
+      out += "\n";
+    }
   }
   return out;
 }

@@ -4,10 +4,27 @@
 
 namespace bistro {
 
+void FeedMonitor::AttachMetrics(MetricsRegistry* registry) {
+  stall_alarms_ = registry->GetCounter("bistro_monitor_stall_alarms_total",
+                                       "Feed stall alarms raised");
+  resumes_ = registry->GetCounter("bistro_monitor_resumes_total",
+                                  "Stalled feeds that resumed arrivals");
+  stalled_feeds_ = registry->GetGauge("bistro_monitor_stalled_feeds",
+                                      "Feeds currently flagged as stalled");
+}
+
 void FeedMonitor::OnArrival(const FeedName& feed, uint64_t bytes,
                             TimePoint now) {
   Entry& e = entries_[feed];
-  if (e.files > 0) {
+  if (e.stalled) {
+    // Resume: the quiet gap is an outage, not a period sample — feeding
+    // it into the estimate would inflate the period and delay (or
+    // entirely mask) the alarm for the feed's NEXT stall episode.
+    e.stalled = false;
+    if (resumes_ != nullptr) resumes_->Increment();
+    if (stalled_feeds_ != nullptr) stalled_feeds_->Add(-1);
+    logger_->Info("monitor", "feed resumed: " + feed);
+  } else if (e.files > 0) {
     Duration gap = now - e.last_arrival;
     // Feeds are batchy: several pollers deposit within seconds, then the
     // feed is quiet for a full period. Gaps much smaller than the current
@@ -21,10 +38,6 @@ void FeedMonitor::OnArrival(const FeedName& feed, uint64_t bytes,
                          : static_cast<Duration>(alpha_ * gap +
                                                  (1.0 - alpha_) * e.est_period);
     }
-  }
-  if (e.stalled) {
-    e.stalled = false;
-    logger_->Info("monitor", "feed resumed: " + feed);
   }
   e.files++;
   e.bytes += bytes;
@@ -42,6 +55,8 @@ std::vector<FeedName> FeedMonitor::CheckStalls(TimePoint now) {
         stall_factor_ * static_cast<double>(e.est_period)) {
       e.stalled = true;
       newly_stalled.push_back(feed);
+      if (stall_alarms_ != nullptr) stall_alarms_->Increment();
+      if (stalled_feeds_ != nullptr) stalled_feeds_->Add(1);
       logger_->Alarm(
           "monitor",
           StrFormat("feed stalled: %s (quiet for %s, expected period %s)",

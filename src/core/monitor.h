@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "core/types.h"
+#include "obs/metrics.h"
 
 namespace bistro {
 
@@ -34,6 +35,10 @@ class FeedMonitor {
                        double alpha = 0.3)
       : logger_(logger), stall_factor_(stall_factor), alpha_(alpha) {}
 
+  /// Registers the monitor's counters/gauges (stall alarms, resumes,
+  /// stalled-feed level) in `registry`. Optional; safe to skip in tests.
+  void AttachMetrics(MetricsRegistry* registry);
+
   /// Records a classified arrival.
   void OnArrival(const FeedName& feed, uint64_t bytes, TimePoint now);
 
@@ -59,6 +64,9 @@ class FeedMonitor {
   double stall_factor_;
   double alpha_;
   std::map<FeedName, Entry> entries_;
+  Counter* stall_alarms_ = nullptr;
+  Counter* resumes_ = nullptr;
+  Gauge* stalled_feeds_ = nullptr;
 };
 
 }  // namespace bistro

@@ -1,6 +1,7 @@
 #include "core/server.h"
 
 #include "common/strings.h"
+#include "compress/codec.h"
 
 namespace bistro {
 
@@ -14,6 +15,39 @@ BistroServer::BistroServer(Options options, FileSystem* fs,
       monitor_(logger) {
   (void)transport;
   (void)invoker;
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  tracer_ = std::make_unique<FileTracer>(metrics_);
+  files_received_ = metrics_->GetCounter("bistro_server_files_received_total",
+                                         "Files entering the pipeline");
+  files_classified_ = metrics_->GetCounter(
+      "bistro_server_files_classified_total", "Files matched to >= 1 feed");
+  files_unmatched_ = metrics_->GetCounter(
+      "bistro_server_files_unmatched_total",
+      "Files matching no feed (quarantined for the analyzer)");
+  files_expired_ = metrics_->GetCounter(
+      "bistro_server_files_expired_total",
+      "Staged files expunged by the history-window cleaner");
+  bytes_received_ = metrics_->GetCounter("bistro_server_bytes_received_total",
+                                         "Bytes entering the pipeline");
+  punctuations_ = metrics_->GetCounter(
+      "bistro_server_punctuations_total", "Source end-of-batch markers");
+  monitor_.AttachMetrics(metrics_);
+}
+
+ServerStats BistroServer::stats() const {
+  ServerStats s;
+  s.files_received = files_received_->value();
+  s.files_classified = files_classified_->value();
+  s.files_unmatched = files_unmatched_->value();
+  s.files_expired = files_expired_->value();
+  s.bytes_received = bytes_received_->value();
+  s.punctuations = punctuations_->value();
+  return s;
 }
 
 Result<std::unique_ptr<BistroServer>> BistroServer::Create(
@@ -28,6 +62,7 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
   BISTRO_ASSIGN_OR_RETURN(
       server->receipts_,
       ReceiptDatabase::Open(fs, server->options_.db_dir));
+  server->receipts_->AttachMetrics(server->metrics_);
   server->classifier_ = std::make_unique<FeedClassifier>(
       server->registry_.get(), FeedClassifier::IndexMode::kPrefixIndex);
   if (scheduler == nullptr) {
@@ -35,9 +70,26 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
         std::make_unique<PartitionedScheduler>(PartitionedScheduler::Options());
     scheduler = server->owned_scheduler_.get();
   }
+  scheduler->AttachMetrics(server->metrics_);
+  transport->AttachMetrics(server->metrics_);
+  AttachCodecMetrics(server->metrics_);
   server->delivery_ = std::make_unique<DeliveryEngine>(
       loop, server->registry_.get(), server->receipts_.get(), fs, transport,
-      scheduler, invoker, logger, server->options_.delivery);
+      scheduler, invoker, logger, server->options_.delivery, server->metrics_,
+      server->tracer_.get());
+  // Level gauges refresh at scrape time; the weak token makes the hook a
+  // no-op once this server is gone (the registry may outlive it).
+  Gauge* receipts_gauge = server->metrics_->GetGauge(
+      "bistro_server_arrival_receipts", "Arrival receipts currently retained");
+  Gauge* traces_gauge = server->metrics_->GetGauge(
+      "bistro_trace_retained_files", "File traces held in the ring buffer");
+  server->metrics_->AddCollectHook(
+      [weak = std::weak_ptr<char>(server->alive_), srv = server.get(),
+       receipts_gauge, traces_gauge] {
+        if (!weak.lock()) return;
+        receipts_gauge->Set(static_cast<int64_t>(srv->receipts_->ArrivalCount()));
+        traces_gauge->Set(static_cast<int64_t>(srv->tracer_->retained()));
+      });
   // Receipts may already hold undelivered history (crash recovery):
   // recompute every subscriber's queue at startup.
   for (const auto& sub : server->registry_->subscribers()) {
@@ -85,18 +137,18 @@ Result<size_t> BistroServer::ScanLandingZone() {
 }
 
 Status BistroServer::Ingest(const IncomingFile& file) {
-  stats_.files_received++;
-  stats_.bytes_received += file.size;
+  files_received_->Increment();
+  bytes_received_->Increment(file.size);
   Classification c = classifier_->Classify(file.name);
   if (!c.matched()) {
-    stats_.files_unmatched++;
+    files_unmatched_->Increment();
     unmatched_.emplace_back(file.name, file.arrival_time);
     logger_->Debug("classifier", "unmatched file: " + file.name);
     // Unmatched files stay out of staging; they remain in the landing
     // zone's quarantine area for the analyzer to study.
     return Status::OK();
   }
-  stats_.files_classified++;
+  files_classified_->Increment();
 
   // Read the raw bytes, normalize under the primary feed's policy, write
   // into staging, and remove from the landing zone (keeping landing
@@ -131,6 +183,16 @@ Status BistroServer::Ingest(const IncomingFile& file) {
   receipt.feeds = c.feeds;
   BISTRO_RETURN_IF_ERROR(receipts_->RecordArrival(receipt));
 
+  // The ingest-side stages all complete within this call (same loop
+  // tick), so their marks share one timestamp; the landing -> classify
+  // span carries any landing-zone dwell (e.g. scan-based pickup).
+  TimePoint ingested_at = loop_->Now();
+  tracer_->Begin(id, file.name, c.feeds.front(), file.arrival_time);
+  tracer_->Mark(id, PipelineStage::kClassify, ingested_at);
+  tracer_->Mark(id, PipelineStage::kReceipt, ingested_at);
+  tracer_->Mark(id, PipelineStage::kNormalize, ingested_at);
+  tracer_->Mark(id, PipelineStage::kStage, ingested_at);
+
   for (const auto& feed : c.feeds) {
     monitor_.OnArrival(feed, receipt.size, file.arrival_time);
   }
@@ -150,7 +212,7 @@ Status BistroServer::Ingest(const IncomingFile& file) {
 
 void BistroServer::SourceEndOfBatch(const FeedName& feed,
                                     TimePoint batch_time) {
-  stats_.punctuations++;
+  punctuations_->Increment();
   delivery_->OnSourcePunctuation(feed, batch_time);
 }
 
@@ -188,7 +250,7 @@ void BistroServer::RunMaintenance() {
             logger_->Error("cleaner", "failed to expunge " + staged);
           }
         }
-        stats_.files_expired += expired->size();
+        files_expired_->Increment(expired->size());
       } else {
         logger_->Error("cleaner", "expire failed: " + expired.status().ToString());
       }

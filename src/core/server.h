@@ -14,6 +14,8 @@
 #include "delivery/engine.h"
 #include "kv/receipts.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "sim/event_loop.h"
 #include "trigger/trigger.h"
@@ -21,7 +23,9 @@
 
 namespace bistro {
 
-/// Aggregate server counters.
+/// Snapshot of the server's ingest counters. The registry's
+/// `bistro_server_*` counters are the source of truth; `stats()` assembles
+/// this by-value view from them.
 struct ServerStats {
   uint64_t files_received = 0;
   uint64_t files_classified = 0;
@@ -56,6 +60,10 @@ class BistroServer : public Endpoint {
     /// Cadence of the window cleaner and stall checker.
     Duration maintenance_interval = kMinute;
     DeliveryEngine::Options delivery;
+    /// Metrics registry shared with the embedding process (bench, daemon).
+    /// When null the server owns a private registry; either way every
+    /// subsystem's counters land in `metrics()`.
+    MetricsRegistry* metrics = nullptr;
   };
 
   /// Wires a server. All dependencies are borrowed (caller owns them);
@@ -118,11 +126,15 @@ class BistroServer : public Endpoint {
 
   // ------------------------------------------------------------ Introspection
 
-  const ServerStats& stats() const { return stats_; }
-  const DeliveryStats& delivery_stats() const { return delivery_->stats(); }
+  ServerStats stats() const;
+  DeliveryStats delivery_stats() const { return delivery_->stats(); }
   const SchedulerMetrics& scheduler_metrics() const {
     return delivery_->scheduler_metrics();
   }
+  /// The registry holding every subsystem's metrics (owned or injected).
+  MetricsRegistry* metrics() const { return metrics_; }
+  /// Per-file pipeline lifecycle tracer.
+  FileTracer* tracer() const { return tracer_.get(); }
   FeedRegistry* registry() { return registry_.get(); }
   ReceiptDatabase* receipts() { return receipts_.get(); }
   FeedMonitor* monitor() { return &monitor_; }
@@ -154,6 +166,11 @@ class BistroServer : public Endpoint {
   /// server's timers become no-ops.
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 
+  /// Backing registry when Options.metrics is null.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<FileTracer> tracer_;
+
   std::unique_ptr<FeedRegistry> registry_;
   std::unique_ptr<ReceiptDatabase> receipts_;
   std::unique_ptr<FeedClassifier> classifier_;
@@ -162,7 +179,12 @@ class BistroServer : public Endpoint {
   FeedMonitor monitor_;
   ArchiverEndpoint* receipt_archiver_ = nullptr;
   uint64_t receipt_snapshot_seq_ = 0;
-  ServerStats stats_;
+  Counter* files_received_;
+  Counter* files_classified_;
+  Counter* files_unmatched_;
+  Counter* files_expired_;
+  Counter* bytes_received_;
+  Counter* punctuations_;
   std::vector<std::pair<std::string, TimePoint>> unmatched_;
   bool maintenance_running_ = false;
 };

@@ -11,7 +11,8 @@ DeliveryEngine::DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
                                FileSystem* staging_fs, Transport* transport,
                                DeliveryScheduler* scheduler,
                                TriggerInvoker* invoker, Logger* logger,
-                               Options options)
+                               Options options, MetricsRegistry* metrics,
+                               FileTracer* tracer)
     : loop_(loop),
       registry_(registry),
       receipts_(receipts),
@@ -20,7 +21,63 @@ DeliveryEngine::DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
       scheduler_(scheduler),
       invoker_(invoker),
       logger_(logger),
-      options_(options) {}
+      options_(options),
+      tracer_(tracer) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  jobs_submitted_ = metrics->GetCounter("bistro_delivery_jobs_submitted_total",
+                                        "Transfer jobs handed to the scheduler");
+  files_delivered_ = metrics->GetCounter(
+      "bistro_delivery_files_delivered_total",
+      "Successful push deliveries (file, subscriber pairs)");
+  notifications_sent_ = metrics->GetCounter(
+      "bistro_delivery_notifications_sent_total",
+      "Successful notify-mode deliveries");
+  send_failures_ = metrics->GetCounter("bistro_delivery_send_failures_total",
+                                       "Failed delivery attempts");
+  retries_ = metrics->GetCounter("bistro_delivery_retries_total",
+                                 "Jobs requeued after a transient failure");
+  parked_ = metrics->GetCounter(
+      "bistro_delivery_parked_total",
+      "Jobs dropped because the subscriber is offline (backfill recovers them)");
+  backfilled_ = metrics->GetCounter(
+      "bistro_delivery_backfilled_total",
+      "Jobs submitted by receipt-driven queue recomputation");
+  staging_reads_ = metrics->GetCounter("bistro_delivery_staging_reads_total",
+                                       "Staged files read from the filesystem");
+  staging_cache_hits_ = metrics->GetCounter(
+      "bistro_delivery_staging_cache_hits_total",
+      "Staged reads served from the hot-file cache");
+  batches_closed_ = metrics->GetCounter("bistro_delivery_batches_closed_total",
+                                        "Batches closed across all batchers");
+  triggers_invoked_ = metrics->GetCounter(
+      "bistro_delivery_triggers_invoked_total", "Trigger invocations");
+  trigger_failures_ = metrics->GetCounter(
+      "bistro_delivery_trigger_failures_total", "Failed trigger invocations");
+  offline_transitions_ = metrics->GetCounter(
+      "bistro_delivery_offline_transitions_total",
+      "Subscribers flagged offline");
+}
+
+DeliveryStats DeliveryEngine::stats() const {
+  DeliveryStats s;
+  s.jobs_submitted = jobs_submitted_->value();
+  s.files_delivered = files_delivered_->value();
+  s.notifications_sent = notifications_sent_->value();
+  s.send_failures = send_failures_->value();
+  s.retries = retries_->value();
+  s.parked = parked_->value();
+  s.backfilled = backfilled_->value();
+  s.staging_reads = staging_reads_->value();
+  s.staging_cache_hits = staging_cache_hits_->value();
+  s.batches_closed = batches_closed_->value();
+  s.triggers_invoked = triggers_invoked_->value();
+  s.trigger_failures = trigger_failures_->value();
+  s.offline_transitions = offline_transitions_->value();
+  return s;
+}
 
 namespace {
 std::string EndpointOf(const SubscriberSpec& sub) {
@@ -35,6 +92,9 @@ std::function<void()> DeliveryEngine::Guard(std::function<void()> fn) {
 }
 
 void DeliveryEngine::SubmitStagedFile(const StagedFile& file) {
+  if (tracer_ != nullptr) {
+    tracer_->Mark(file.id, PipelineStage::kSchedule, loop_->Now());
+  }
   for (const FeedName& feed : file.feeds) {
     const RegisteredFeed* rf = registry_->FindFeed(feed);
     Duration tardiness = rf != nullptr ? rf->spec.tardiness : kDefaultTardiness;
@@ -44,7 +104,7 @@ void DeliveryEngine::SubmitStagedFile(const StagedFile& file) {
       if (offline_.count(sub->name) != 0) {
         // Receipts remember the file; the probe-triggered backfill will
         // pick it up when the subscriber returns.
-        stats_.parked++;
+        parked_->Increment();
         continue;
       }
       TransferJob job;
@@ -59,7 +119,7 @@ void DeliveryEngine::SubmitStagedFile(const StagedFile& file) {
       job.data_time = file.data_time;
       job.deadline = file.arrival_time + tardiness;
       pending_.insert(key);
-      stats_.jobs_submitted++;
+      jobs_submitted_->Increment();
       scheduler_->Submit(std::move(job));
     }
   }
@@ -78,7 +138,7 @@ void DeliveryEngine::StartJob(TransferJob job) {
   if (sub == nullptr || offline_.count(job.subscriber) != 0) {
     // Subscriber vanished or went offline while the job was queued.
     pending_.erase({job.file_id, job.subscriber});
-    stats_.parked++;
+    parked_->Increment();
     scheduler_->OnComplete(job, /*success=*/false, started, 0);
     return;
   }
@@ -90,7 +150,7 @@ void DeliveryEngine::StartJob(TransferJob job) {
   msg.data_time = job.data_time;
   if (sub->method == DeliveryMethod::kPush) {
     if (job.staged_path == cached_staged_path_) {
-      stats_.staging_cache_hits++;
+      staging_cache_hits_->Increment();
       msg.payload = cached_staged_content_;
     } else {
       auto content = staging_fs_->ReadFile(job.staged_path);
@@ -103,7 +163,7 @@ void DeliveryEngine::StartJob(TransferJob job) {
         scheduler_->OnComplete(job, /*success=*/false, started, 0);
         return;
       }
-      stats_.staging_reads++;
+      staging_reads_->Increment();
       cached_staged_path_ = job.staged_path;
       cached_staged_content_ = *content;
       msg.payload = std::move(*content);
@@ -111,6 +171,9 @@ void DeliveryEngine::StartJob(TransferJob job) {
     msg.type = MessageType::kFileData;
   } else {
     msg.type = MessageType::kFileNotify;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Mark(job.file_id, PipelineStage::kSend, loop_->Now());
   }
   std::string endpoint = EndpointOf(*sub);
   transport_->Send(
@@ -133,11 +196,14 @@ void DeliveryEngine::OnJobDone(TransferJob job, TimePoint started,
       logger_->Error("delivery",
                      "failed to record delivery receipt: " + rec.ToString());
     }
+    if (tracer_ != nullptr) {
+      tracer_->Mark(job.file_id, PipelineStage::kDeliveryReceipt, now);
+    }
     const SubscriberSpec* sub = registry_->FindSubscriber(job.subscriber);
     if (sub != nullptr && sub->method == DeliveryMethod::kPush) {
-      stats_.files_delivered++;
+      files_delivered_->Increment();
     } else {
-      stats_.notifications_sent++;
+      notifications_sent_->Increment();
     }
     if (sub != nullptr) {
       FeedBatcher(*sub, job.feed, job.file_id, job.data_time);
@@ -149,13 +215,13 @@ void DeliveryEngine::OnJobDone(TransferJob job, TimePoint started,
 }
 
 void DeliveryEngine::HandleFailure(TransferJob job) {
-  stats_.send_failures++;
+  send_failures_->Increment();
   const SubscriberName sub = job.subscriber;
   if (scheduler_->tracker()->ConsecutiveFailures(sub) >=
           options_.offline_after_failures &&
       offline_.count(sub) == 0) {
     offline_.insert(sub);
-    stats_.offline_transitions++;
+    offline_transitions_->Increment();
     logger_->Warning("delivery",
                      "subscriber flagged offline after repeated failures: " + sub);
     pending_.erase({job.file_id, sub});
@@ -165,7 +231,7 @@ void DeliveryEngine::HandleFailure(TransferJob job) {
   }
   if (offline_.count(sub) != 0) {
     pending_.erase({job.file_id, sub});
-    stats_.parked++;
+    parked_->Increment();
     return;
   }
   job.attempts++;
@@ -177,7 +243,7 @@ void DeliveryEngine::HandleFailure(TransferJob job) {
     pending_.erase({job.file_id, sub});
     return;
   }
-  stats_.retries++;
+  retries_->Increment();
   loop_->PostAfter(options_.retry_backoff,
                    Guard([this, job = std::move(job)]() mutable {
                      scheduler_->Submit(job);
@@ -242,8 +308,8 @@ void DeliveryEngine::SubmitJobsFor(const SubscriberSpec& sub,
     job.deadline = receipt.arrival_time + tardiness;
     job.backfill = backfill;
     pending_.insert(key);
-    stats_.jobs_submitted++;
-    if (backfill) stats_.backfilled++;
+    jobs_submitted_->Increment();
+    if (backfill) backfilled_->Increment();
     scheduler_->Submit(std::move(job));
   }
   Pump();
@@ -274,7 +340,7 @@ void DeliveryEngine::SetOffline(const SubscriberName& subscriber,
                                 bool offline) {
   if (offline) {
     if (offline_.insert(subscriber).second) {
-      stats_.offline_transitions++;
+      offline_transitions_->Increment();
       loop_->PostAfter(options_.probe_interval,
                        Guard([this, subscriber] { ProbeOffline(subscriber); }));
     }
@@ -324,7 +390,12 @@ void DeliveryEngine::ScheduleBatchTick(const SubscriberName& sub_name,
 }
 
 void DeliveryEngine::EmitBatch(const SubscriberSpec& sub, BatchEvent event) {
-  stats_.batches_closed++;
+  batches_closed_->Increment();
+  if (tracer_ != nullptr) {
+    for (FileId file : event.files) {
+      tracer_->Mark(file, PipelineStage::kTrigger, loop_->Now());
+    }
+  }
   const TriggerSpec& trigger = sub.trigger;
   if (trigger.remote) {
     // Invoke on the subscriber's site: ship an end-of-batch message; the
@@ -336,9 +407,9 @@ void DeliveryEngine::EmitBatch(const SubscriberSpec& sub, BatchEvent event) {
     msg.batch_count = event.files.size();
     transport_->Send(EndpointOf(sub), msg, [this](const Status& s) {
       if (s.ok()) {
-        stats_.triggers_invoked++;
+        triggers_invoked_->Increment();
       } else {
-        stats_.trigger_failures++;
+        trigger_failures_->Increment();
       }
     });
     return;
@@ -346,9 +417,9 @@ void DeliveryEngine::EmitBatch(const SubscriberSpec& sub, BatchEvent event) {
   if (trigger.command.empty()) return;
   Status s = invoker_->Invoke(trigger.command, event);
   if (s.ok()) {
-    stats_.triggers_invoked++;
+    triggers_invoked_->Increment();
   } else {
-    stats_.trigger_failures++;
+    trigger_failures_->Increment();
     logger_->Error("trigger", "trigger failed for " + sub.name + ": " +
                                   s.ToString());
   }

@@ -11,6 +11,8 @@
 #include "core/types.h"
 #include "kv/receipts.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "sim/event_loop.h"
 #include "trigger/trigger.h"
@@ -18,7 +20,9 @@
 
 namespace bistro {
 
-/// Counters for the delivery subsystem.
+/// Snapshot of the delivery subsystem's counters. The registry's
+/// `bistro_delivery_*` counters are the source of truth; this struct is
+/// the by-value view `stats()` assembles from them.
 struct DeliveryStats {
   uint64_t jobs_submitted = 0;
   uint64_t files_delivered = 0;   // successful (file, subscriber) sends
@@ -58,11 +62,16 @@ class DeliveryEngine {
     int max_attempts = 10;
   };
 
+  /// `metrics` may be null (the engine then owns a private registry so
+  /// counters always exist); `tracer` may be null (lifecycle marks are
+  /// skipped).
   DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
                  ReceiptDatabase* receipts, FileSystem* staging_fs,
                  Transport* transport, DeliveryScheduler* scheduler,
                  TriggerInvoker* invoker, Logger* logger,
-                 Options options = Options());
+                 Options options = Options(),
+                 MetricsRegistry* metrics = nullptr,
+                 FileTracer* tracer = nullptr);
 
   /// Fans a freshly staged file out to every subscriber of its feeds.
   void SubmitStagedFile(const StagedFile& file);
@@ -83,7 +92,7 @@ class DeliveryEngine {
   /// Force an offline/online transition (tests, admin).
   void SetOffline(const SubscriberName& subscriber, bool offline);
 
-  const DeliveryStats& stats() const { return stats_; }
+  DeliveryStats stats() const;
   const SchedulerMetrics& scheduler_metrics() const {
     return scheduler_->metrics();
   }
@@ -123,7 +132,22 @@ class DeliveryEngine {
   /// Lifetime token observed by Guard().
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 
-  DeliveryStats stats_;
+  /// Backing registry when none is injected through the constructor.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  FileTracer* tracer_ = nullptr;
+  Counter* jobs_submitted_;
+  Counter* files_delivered_;
+  Counter* notifications_sent_;
+  Counter* send_failures_;
+  Counter* retries_;
+  Counter* parked_;
+  Counter* backfilled_;
+  Counter* staging_reads_;
+  Counter* staging_cache_hits_;
+  Counter* batches_closed_;
+  Counter* triggers_invoked_;
+  Counter* trigger_failures_;
+  Counter* offline_transitions_;
   std::set<SubscriberName> offline_;
   /// (file, subscriber) pairs queued or in flight, to dedupe backfill
   /// against real-time submission.

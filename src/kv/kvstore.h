@@ -68,6 +68,9 @@ class KvStore {
   /// True if recovery found a torn record at the WAL tail.
   bool recovered_torn_tail() const { return torn_tail_; }
 
+  /// The store's write-ahead log (e.g. to attach metrics).
+  WriteAheadLog* wal() { return &wal_; }
+
  private:
   KvStore(FileSystem* fs, std::string dir, Options options);
 

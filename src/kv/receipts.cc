@@ -93,6 +93,17 @@ Result<FileId> ReceiptDatabase::NextFileId() {
   return next;
 }
 
+void ReceiptDatabase::AttachMetrics(MetricsRegistry* registry) {
+  arrivals_recorded_ = registry->GetCounter(
+      "bistro_receipts_arrivals_total", "Arrival receipts recorded");
+  deliveries_recorded_ = registry->GetCounter(
+      "bistro_receipts_deliveries_total", "Delivery receipts recorded");
+  files_expired_ = registry->GetCounter(
+      "bistro_receipts_expired_total",
+      "Receipts expunged by the history-window cleaner");
+  kv_->wal()->AttachMetrics(registry);
+}
+
 Status ReceiptDatabase::RecordArrival(const ArrivalReceipt& receipt) {
   std::vector<KvStore::Write> batch;
   std::string idkey = FileIdKey(receipt.file_id);
@@ -100,13 +111,17 @@ Status ReceiptDatabase::RecordArrival(const ArrivalReceipt& receipt) {
   for (const auto& feed : receipt.feeds) {
     batch.push_back(KvStore::Write::Put("f/" + feed + "/" + idkey, ""));
   }
-  return kv_->Apply(batch);
+  BISTRO_RETURN_IF_ERROR(kv_->Apply(batch));
+  if (arrivals_recorded_ != nullptr) arrivals_recorded_->Increment();
+  return Status::OK();
 }
 
 Status ReceiptDatabase::RecordDelivery(const SubscriberName& subscriber,
                                        FileId file_id, TimePoint when) {
-  return kv_->Put("d/" + subscriber + "/" + FileIdKey(file_id),
-                  std::to_string(when));
+  BISTRO_RETURN_IF_ERROR(kv_->Put("d/" + subscriber + "/" + FileIdKey(file_id),
+                                  std::to_string(when)));
+  if (deliveries_recorded_ != nullptr) deliveries_recorded_->Increment();
+  return Status::OK();
 }
 
 bool ReceiptDatabase::Delivered(const SubscriberName& subscriber,
@@ -167,6 +182,9 @@ Result<std::vector<std::string>> ReceiptDatabase::ExpireBefore(TimePoint cutoff)
     }
   }
   if (!batch.empty()) BISTRO_RETURN_IF_ERROR(kv_->Apply(batch));
+  if (files_expired_ != nullptr) {
+    files_expired_->Increment(expunged_paths.size());
+  }
   return expunged_paths;
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/types.h"
 #include "kv/kvstore.h"
+#include "obs/metrics.h"
 
 namespace bistro {
 
@@ -38,6 +39,10 @@ class ReceiptDatabase {
   static Result<std::unique_ptr<ReceiptDatabase>> Open(
       FileSystem* fs, std::string dir,
       KvStore::Options options = KvStore::Options());
+
+  /// Registers receipt counters (arrivals, deliveries, expiries) and the
+  /// underlying WAL's counters in `registry`. Optional.
+  void AttachMetrics(MetricsRegistry* registry);
 
   /// Assigns the next FileId (durable: survives restart without reuse).
   Result<FileId> NextFileId();
@@ -81,6 +86,9 @@ class ReceiptDatabase {
 
   std::unique_ptr<KvStore> kv_;
   std::mutex seq_mu_;
+  Counter* arrivals_recorded_ = nullptr;
+  Counter* deliveries_recorded_ = nullptr;
+  Counter* files_expired_ = nullptr;
 };
 
 }  // namespace bistro

@@ -32,6 +32,17 @@ bool GetVarint(std::string_view* in, uint64_t* v) {
 WriteAheadLog::WriteAheadLog(FileSystem* fs, std::string path)
     : fs_(fs), path_(std::move(path)) {}
 
+void WriteAheadLog::AttachMetrics(MetricsRegistry* registry) {
+  appends_ = registry->GetCounter("bistro_wal_appends_total",
+                                  "Records appended across all WALs");
+  append_bytes_ = registry->GetCounter("bistro_wal_append_bytes_total",
+                                       "Framed bytes appended across all WALs");
+  replayed_records_ = registry->GetCounter("bistro_wal_replayed_records_total",
+                                           "Records replayed at recovery");
+  truncations_ = registry->GetCounter("bistro_wal_truncations_total",
+                                      "WAL truncations after checkpoints");
+}
+
 Status WriteAheadLog::Append(std::string_view record) {
   std::string framed;
   framed.reserve(record.size() + 10);
@@ -41,6 +52,10 @@ Status WriteAheadLog::Append(std::string_view record) {
   framed.append(crc_buf, 4);
   PutVarint(&framed, record.size());
   framed.append(record.data(), record.size());
+  if (appends_ != nullptr) {
+    appends_->Increment();
+    append_bytes_->Increment(framed.size());
+  }
   return fs_->AppendFile(path_, framed);
 }
 
@@ -79,12 +94,14 @@ Status WriteAheadLog::Replay(
       return Status::Corruption("wal record crc mismatch: " + path_);
     }
     apply(record);
+    if (replayed_records_ != nullptr) replayed_records_->Increment();
     in = rest.substr(len);
   }
   return Status::OK();
 }
 
 Status WriteAheadLog::Truncate() {
+  if (truncations_ != nullptr) truncations_->Increment();
   Status s = fs_->Delete(path_);
   if (s.IsNotFound()) return Status::OK();
   return s;

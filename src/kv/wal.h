@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "vfs/filesystem.h"
 
 namespace bistro {
@@ -17,6 +18,10 @@ namespace bistro {
 class WriteAheadLog {
  public:
   WriteAheadLog(FileSystem* fs, std::string path);
+
+  /// Registers append/replay counters in `registry`. Several logs may
+  /// share one registry; their counts aggregate. Optional.
+  void AttachMetrics(MetricsRegistry* registry);
 
   /// Appends one record (buffered in the underlying FS append).
   Status Append(std::string_view record);
@@ -37,6 +42,10 @@ class WriteAheadLog {
  private:
   FileSystem* fs_;
   std::string path_;
+  Counter* appends_ = nullptr;
+  Counter* append_bytes_ = nullptr;
+  Counter* replayed_records_ = nullptr;
+  Counter* truncations_ = nullptr;
 };
 
 }  // namespace bistro

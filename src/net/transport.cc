@@ -2,6 +2,25 @@
 
 namespace bistro {
 
+void Transport::AttachMetrics(MetricsRegistry* registry) {
+  sends_ = registry->GetCounter("bistro_net_sends_total",
+                                "Messages handed to the transport");
+  send_failures_ = registry->GetCounter("bistro_net_send_failures_total",
+                                        "Sends completing with an error");
+  bytes_sent_ = registry->GetCounter("bistro_net_payload_bytes_total",
+                                     "Payload bytes handed to the transport");
+}
+
+void Transport::CountSend(uint64_t payload_bytes) {
+  if (sends_ == nullptr) return;
+  sends_->Increment();
+  bytes_sent_->Increment(payload_bytes);
+}
+
+void Transport::CountOutcome(const Status& status) {
+  if (send_failures_ != nullptr && !status.ok()) send_failures_->Increment();
+}
+
 void LoopbackTransport::Register(const std::string& name, Endpoint* endpoint) {
   endpoints_[name] = endpoint;
 }
@@ -12,10 +31,13 @@ void LoopbackTransport::Unregister(const std::string& name) {
 
 void LoopbackTransport::Send(const std::string& endpoint, const Message& msg,
                              SendCallback done) {
+  CountSend(msg.payload.size());
   auto it = endpoints_.find(endpoint);
   if (it == endpoints_.end()) {
-    loop_->Post([done, endpoint] {
-      done(Status::Unavailable("no endpoint: " + endpoint));
+    loop_->Post([this, done, endpoint] {
+      Status s = Status::Unavailable("no endpoint: " + endpoint);
+      CountOutcome(s);
+      done(s);
     });
     return;
   }
@@ -23,13 +45,16 @@ void LoopbackTransport::Send(const std::string& endpoint, const Message& msg,
   // Round-trip through the wire encoding so the protocol layer is
   // exercised even in-process.
   std::string wire = EncodeMessage(msg);
-  loop_->Post([ep, wire = std::move(wire), done] {
+  loop_->Post([this, ep, wire = std::move(wire), done] {
     auto decoded = DecodeMessage(wire);
     if (!decoded.ok()) {
+      CountOutcome(decoded.status());
       done(decoded.status());
       return;
     }
-    done(ep->HandleMessage(*decoded));
+    Status s = ep->HandleMessage(*decoded);
+    CountOutcome(s);
+    done(s);
   });
 }
 
@@ -39,28 +64,38 @@ void SimTransport::Register(const std::string& name, Endpoint* endpoint) {
 
 void SimTransport::Send(const std::string& endpoint, const Message& msg,
                         SendCallback done) {
+  CountSend(msg.payload.size());
   uint64_t bytes = msg.payload.size() + msg.name.size() + 64;
   auto completion = network_->ScheduleTransfer(endpoint, bytes, loop_->Now());
   if (!completion.ok()) {
     // Failure surfaces after the link latency it burned (if the link is
     // known) or immediately (unknown/offline).
-    loop_->Post([done, status = completion.status()] { done(status); });
+    loop_->Post([this, done, status = completion.status()] {
+      CountOutcome(status);
+      done(status);
+    });
     return;
   }
   auto it = endpoints_.find(endpoint);
   Endpoint* ep = it == endpoints_.end() ? nullptr : it->second;
   std::string wire = EncodeMessage(msg);
-  loop_->PostAt(*completion, [ep, endpoint, wire = std::move(wire), done] {
+  loop_->PostAt(*completion,
+                [this, ep, endpoint, wire = std::move(wire), done] {
     if (ep == nullptr) {
-      done(Status::Unavailable("no endpoint: " + endpoint));
+      Status s = Status::Unavailable("no endpoint: " + endpoint);
+      CountOutcome(s);
+      done(s);
       return;
     }
     auto decoded = DecodeMessage(wire);
     if (!decoded.ok()) {
+      CountOutcome(decoded.status());
       done(decoded.status());
       return;
     }
-    done(ep->HandleMessage(*decoded));
+    Status s = ep->HandleMessage(*decoded);
+    CountOutcome(s);
+    done(s);
   });
 }
 

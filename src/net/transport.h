@@ -7,6 +7,7 @@
 #include <string>
 
 #include "net/protocol.h"
+#include "obs/metrics.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
 #include "vfs/filesystem.h"
@@ -43,6 +44,19 @@ class Transport {
   /// heuristics; 0 when unknown.
   virtual Duration EstimateCost(const std::string& endpoint,
                                 uint64_t bytes) const = 0;
+
+  /// Registers send/failure/byte counters in `registry`. Optional.
+  void AttachMetrics(MetricsRegistry* registry);
+
+ protected:
+  /// Implementations call these around each Send.
+  void CountSend(uint64_t payload_bytes);
+  void CountOutcome(const Status& status);
+
+ private:
+  Counter* sends_ = nullptr;
+  Counter* send_failures_ = nullptr;
+  Counter* bytes_sent_ = nullptr;
 };
 
 /// In-process transport: messages are encoded, decoded and handed to the

@@ -1,0 +1,50 @@
+#ifndef BISTRO_OBS_EXPORT_H_
+#define BISTRO_OBS_EXPORT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "sim/event_loop.h"
+
+namespace bistro {
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format (counters, gauges, and histograms with cumulative `le` buckets,
+/// `_sum` and `_count` series).
+std::string ExportPrometheus(MetricsRegistry* registry);
+
+/// Renders every registered metric as a JSON snapshot:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+/// max, p50, p95, p99, buckets: [{le, count}...]}}}.
+std::string ExportJson(MetricsRegistry* registry);
+
+/// Parses Prometheus exposition text back into sample -> value, keyed by
+/// the full sample name including labels (e.g. `m_bucket{le="8"}`).
+/// Exists so exporter output can be verified mechanically (tests,
+/// operator tooling); tolerates comments and blank lines.
+Result<std::map<std::string, double>> ParsePrometheusText(
+    std::string_view text);
+
+/// Parses a JSON document into dotted-path -> value for every numeric
+/// leaf (e.g. `histograms.bistro_x.count`; array elements use their
+/// index). Strings and booleans are skipped. Minimal parser sufficient
+/// for round-tripping ExportJson output.
+Result<std::map<std::string, double>> ParseJsonNumbers(std::string_view text);
+
+/// Cancellation token for a periodic scrape; dropping it stops future
+/// scrapes (already-queued events become no-ops).
+using ScrapeHandle = std::shared_ptr<void>;
+
+/// Schedules a repeating scrape on the event loop: every `interval` the
+/// registry is collected, rendered as Prometheus text, and handed to
+/// `consume` (write to a file, serve over HTTP, append to a log...).
+ScrapeHandle StartMetricsScrape(EventLoop* loop, MetricsRegistry* registry,
+                                Duration interval,
+                                std::function<void(const std::string&)> consume);
+
+}  // namespace bistro
+
+#endif  // BISTRO_OBS_EXPORT_H_

@@ -4,11 +4,27 @@
 
 namespace bistro {
 
+void DeliveryScheduler::AttachMetrics(MetricsRegistry* registry) {
+  completed_counter_ = registry->GetCounter("bistro_sched_completed_total",
+                                            "Transfer jobs completed");
+  failed_counter_ = registry->GetCounter("bistro_sched_failed_total",
+                                         "Transfer jobs that failed");
+  late_counter_ = registry->GetCounter(
+      "bistro_sched_late_total", "Jobs completed after their tardiness deadline");
+  tardiness_hist_ = registry->GetHistogram(
+      "bistro_sched_tardiness_us", "Lateness past the deadline (late jobs)");
+  wait_hist_ = registry->GetHistogram(
+      "bistro_sched_job_wait_us", "Arrival-to-completion wait per job");
+  transfer_hist_ = registry->GetHistogram(
+      "bistro_sched_transfer_elapsed_us", "Transport transfer duration");
+}
+
 void DeliveryScheduler::RecordOutcome(const TransferJob& job, bool success,
                                       TimePoint now, Duration elapsed) {
   if (hook_) hook_(job, success, now, elapsed);
   if (!success) {
     metrics_.failed++;
+    if (failed_counter_ != nullptr) failed_counter_->Increment();
     tracker_.RecordFailure(job.subscriber);
     return;
   }
@@ -16,11 +32,20 @@ void DeliveryScheduler::RecordOutcome(const TransferJob& job, bool success,
   tracker_.RecordTransfer(job.subscriber, job.size, elapsed);
   Duration wait = now - job.arrival_time;
   metrics_.max_wait = std::max(metrics_.max_wait, wait);
+  if (completed_counter_ != nullptr) {
+    completed_counter_->Increment();
+    wait_hist_->Record(wait);
+    transfer_hist_->Record(elapsed);
+  }
   if (now > job.deadline) {
     Duration tardiness = now - job.deadline;
     metrics_.late++;
     metrics_.total_tardiness += tardiness;
     metrics_.max_tardiness = std::max(metrics_.max_tardiness, tardiness);
+    if (late_counter_ != nullptr) {
+      late_counter_->Increment();
+      tardiness_hist_->Record(tardiness);
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sched/policy.h"
 #include "sched/responsiveness.h"
 
@@ -57,6 +58,11 @@ class DeliveryScheduler {
   const SchedulerMetrics& metrics() const { return metrics_; }
   ResponsivenessTracker* tracker() { return &tracker_; }
 
+  /// Mirrors every outcome into registry metrics (completion counters,
+  /// tardiness/wait/transfer-time histograms) alongside the in-struct
+  /// aggregates above, which remain the source of truth for callers.
+  void AttachMetrics(MetricsRegistry* registry);
+
   /// Observer invoked on every completion report (job, success,
   /// completion time, elapsed). Used by experiments and monitoring to
   /// break metrics down per subscriber.
@@ -71,6 +77,12 @@ class DeliveryScheduler {
   SchedulerMetrics metrics_;
   ResponsivenessTracker tracker_;
   CompletionHook hook_;
+  Counter* completed_counter_ = nullptr;
+  Counter* failed_counter_ = nullptr;
+  Counter* late_counter_ = nullptr;
+  Histogram* tardiness_hist_ = nullptr;
+  Histogram* wait_hist_ = nullptr;
+  Histogram* transfer_hist_ = nullptr;
 };
 
 /// Baseline: one global policy (FIFO / EDF / RR) and one global slot pool.

@@ -4,6 +4,19 @@
 
 namespace bistro {
 
+void SimNetwork::AttachMetrics(MetricsRegistry* registry) {
+  transfers_ = registry->GetCounter("bistro_simnet_transfers_total",
+                                    "Transfers scheduled on simulated links");
+  failures_ = registry->GetCounter(
+      "bistro_simnet_failures_total",
+      "Transfers rejected (offline/unknown link) or failed in flight");
+  bytes_counter_ = registry->GetCounter("bistro_simnet_bytes_total",
+                                        "Bytes scheduled on simulated links");
+  duration_hist_ = registry->GetHistogram(
+      "bistro_simnet_transfer_duration_us",
+      "Per-transfer wire time including link queueing");
+}
+
 void SimNetwork::SetLink(const std::string& subscriber, LinkSpec spec) {
   links_[subscriber].spec = spec;
 }
@@ -39,21 +52,29 @@ Result<TimePoint> SimNetwork::ScheduleTransfer(const std::string& subscriber,
                                                uint64_t bytes, TimePoint now) {
   auto it = links_.find(subscriber);
   if (it == links_.end()) {
+    if (failures_ != nullptr) failures_->Increment();
     return Status::Unavailable("no link to subscriber: " + subscriber);
   }
   Link& link = it->second;
   if (!link.online) {
+    if (failures_ != nullptr) failures_->Increment();
     return Status::Unavailable("subscriber offline: " + subscriber);
   }
   TimePoint start = std::max(now, link.busy_until);
   if (rng_->Bernoulli(link.spec.failure_prob)) {
     // A failed attempt still burns the setup latency on the link.
     link.busy_until = start + link.spec.latency;
+    if (failures_ != nullptr) failures_->Increment();
     return Status::IoError("transfer failed to: " + subscriber);
   }
   BISTRO_ASSIGN_OR_RETURN(Duration d, TransferDuration(subscriber, bytes));
   link.busy_until = start + d;
   link.bytes_sent += bytes;
+  if (transfers_ != nullptr) {
+    transfers_->Increment();
+    bytes_counter_->Increment(bytes);
+    duration_hist_->Record(link.busy_until - now);
+  }
   return link.busy_until;
 }
 

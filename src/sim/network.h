@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 
 namespace bistro {
 
@@ -37,6 +38,10 @@ struct LinkSpec {
 class SimNetwork {
  public:
   explicit SimNetwork(Rng* rng) : rng_(rng) {}
+
+  /// Registers WAN-level counters (transfers, failures, bytes) and a
+  /// per-transfer duration histogram in `registry`. Optional.
+  void AttachMetrics(MetricsRegistry* registry);
 
   void SetLink(const std::string& subscriber, LinkSpec spec);
   /// True if the subscriber has a configured link (online or not).
@@ -69,6 +74,10 @@ class SimNetwork {
 
   Rng* rng_;
   std::map<std::string, Link> links_;
+  Counter* transfers_ = nullptr;
+  Counter* failures_ = nullptr;
+  Counter* bytes_counter_ = nullptr;
+  Histogram* duration_hist_ = nullptr;
 };
 
 }  // namespace bistro

@@ -10,7 +10,8 @@
 // Usage:
 //   bistrod --config feeds.conf --root /var/bistro \
 //           [--scan-interval 10s] [--status-interval 60s] \
-//           [--window 7d] [--duration 0 (run forever)]
+//           [--window 7d] [--duration 0 (run forever)] \
+//           [--metrics-json <path> (dump a metrics snapshot on shutdown)]
 //
 // Layout under --root: landing/ staging/ db/ plus one directory per
 // subscriber without an absolute `destination`.
@@ -24,6 +25,7 @@
 #include "config/parser.h"
 #include "core/admin.h"
 #include "core/server.h"
+#include "obs/export.h"
 #include "vfs/localfs.h"
 
 using namespace bistro;
@@ -40,6 +42,7 @@ struct Args {
   Duration status_interval = 60 * kSecond;
   Duration window = 0;
   Duration duration = 0;  // 0 = run until signal
+  std::string metrics_json_path;  // empty = no snapshot
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -56,6 +59,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->root = v;
+    } else if (flag == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->metrics_json_path = v;
     } else if (flag == "--scan-interval" || flag == "--status-interval" ||
                flag == "--window" || flag == "--duration") {
       const char* v = next();
@@ -85,7 +92,8 @@ void Usage() {
                "usage: bistrod --config <file> [--root <dir>] "
                "[--scan-interval 10s]\n"
                "               [--status-interval 60s] [--window 7d] "
-               "[--duration 0]\n");
+               "[--duration 0]\n"
+               "               [--metrics-json <path>]\n");
 }
 
 }  // namespace
@@ -181,5 +189,16 @@ int main(int argc, char** argv) {
   (*server)->delivery()->FlushBatches();
   loop.RunUntil(clock.Now());
   std::fputs(RenderStatusReport(server->get()).c_str(), stderr);
+  if (!args.metrics_json_path.empty()) {
+    Status s = fs.WriteFile(args.metrics_json_path,
+                            ExportJson((*server)->metrics()));
+    if (!s.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n",
+                   args.metrics_json_path.c_str(), s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics snapshot written to %s\n",
+                 args.metrics_json_path.c_str());
+  }
   return 0;
 }
