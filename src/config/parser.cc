@@ -122,8 +122,10 @@ class Parser {
         BISTRO_RETURN_IF_ERROR(ParseFeed("", &config));
       } else if (t.kind == TokKind::kIdent && t.text == "subscriber") {
         BISTRO_RETURN_IF_ERROR(ParseSubscriber(&config));
+      } else if (t.kind == TokKind::kIdent && t.text == "delivery") {
+        BISTRO_RETURN_IF_ERROR(ParseDelivery(&config));
       } else {
-        return Err("expected 'group', 'feed' or 'subscriber'");
+        return Err("expected 'group', 'feed', 'subscriber' or 'delivery'");
       }
     }
     return config;
@@ -173,6 +175,22 @@ class Parser {
     if (!v) return Err("bad integer");
     ++pos_;
     return *v;
+  }
+
+  Result<double> ExpectDouble() {
+    if (Peek().kind != TokKind::kNumberUnit) return Err("expected number");
+    auto v = ParseDouble(Peek().text);
+    if (!v) return Err("bad number");
+    ++pos_;
+    return *v;
+  }
+
+  Result<bool> ExpectOnOff() {
+    if (Peek().kind != TokKind::kIdent) return Err("expected 'on' or 'off'");
+    const std::string& v = Peek().text;
+    if (v != "on" && v != "off") return Err("expected 'on' or 'off'");
+    ++pos_;
+    return v == "on";
   }
 
   Status ParseGroup(const std::string& prefix, ServerConfig* config) {
@@ -282,6 +300,48 @@ class Parser {
         trigger->remote = true;
       }
     }
+    return Status::OK();
+  }
+
+  Status ParseDelivery(ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "delivery", "'delivery'"));
+    DeliveryTuningSpec* d = &config->delivery;
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated delivery block");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      if (attr == "retry_backoff" || attr == "retry_backoff_min") {
+        // "retry_backoff" predates the exponential schedule; it sets the
+        // same floor the new name does.
+        BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
+        d->retry_backoff_min = v;
+      } else if (attr == "retry_backoff_max") {
+        BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
+        d->retry_backoff_max = v;
+      } else if (attr == "retry_multiplier") {
+        BISTRO_ASSIGN_OR_RETURN(double v, ExpectDouble());
+        if (v < 1.0) return Err("retry_multiplier must be >= 1");
+        d->retry_multiplier = v;
+      } else if (attr == "retry_jitter") {
+        BISTRO_ASSIGN_OR_RETURN(bool v, ExpectOnOff());
+        d->retry_jitter = v;
+      } else if (attr == "max_attempts") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v <= 0) return Err("max_attempts must be positive");
+        d->max_attempts = static_cast<int>(v);
+      } else if (attr == "offline_after") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v <= 0) return Err("offline_after must be positive");
+        d->offline_after = static_cast<int>(v);
+      } else if (attr == "probe_interval") {
+        BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
+        d->probe_interval = v;
+      } else {
+        return Err("unknown delivery attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
+    }
+    ++pos_;  // consume '}'
     return Status::OK();
   }
 
@@ -431,6 +491,35 @@ std::string FormatConfig(const ServerConfig& config) {
       if (!t.command.empty()) out += " exec " + Quote(t.command);
       if (t.remote) out += " remote";
       out += ";\n";
+    }
+    out += "}\n";
+  }
+  const DeliveryTuningSpec& d = config.delivery;
+  if (!d.empty()) {
+    out += "delivery {\n";
+    if (d.retry_backoff_min) {
+      out += "  retry_backoff_min " + DurationLiteral(*d.retry_backoff_min) +
+             ";\n";
+    }
+    if (d.retry_backoff_max) {
+      out += "  retry_backoff_max " + DurationLiteral(*d.retry_backoff_max) +
+             ";\n";
+    }
+    if (d.retry_multiplier) {
+      out += StrFormat("  retry_multiplier %g;\n", *d.retry_multiplier);
+    }
+    if (d.retry_jitter) {
+      out += std::string("  retry_jitter ") + (*d.retry_jitter ? "on" : "off") +
+             ";\n";
+    }
+    if (d.max_attempts) {
+      out += StrFormat("  max_attempts %d;\n", *d.max_attempts);
+    }
+    if (d.offline_after) {
+      out += StrFormat("  offline_after %d;\n", *d.offline_after);
+    }
+    if (d.probe_interval) {
+      out += "  probe_interval " + DurationLiteral(*d.probe_interval) + ";\n";
     }
     out += "}\n";
   }

@@ -1,6 +1,7 @@
 #ifndef BISTRO_CONFIG_SPEC_H_
 #define BISTRO_CONFIG_SPEC_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,10 +79,32 @@ struct SubscriberSpec {
   bool operator==(const SubscriberSpec&) const = default;
 };
 
+/// Server-wide delivery/retry tuning (the config's `delivery { ... }`
+/// block). Every field is optional: unset fields keep the engine's
+/// compiled-in defaults, so configs written before a knob existed keep
+/// their exact behavior.
+struct DeliveryTuningSpec {
+  std::optional<Duration> retry_backoff_min;  // key: retry_backoff[_min]
+  std::optional<Duration> retry_backoff_max;
+  std::optional<double> retry_multiplier;
+  std::optional<bool> retry_jitter;           // on/off
+  std::optional<int> max_attempts;
+  std::optional<int> offline_after;
+  std::optional<Duration> probe_interval;
+
+  bool empty() const {
+    return !retry_backoff_min && !retry_backoff_max && !retry_multiplier &&
+           !retry_jitter && !max_attempts && !offline_after && !probe_interval;
+  }
+
+  bool operator==(const DeliveryTuningSpec&) const = default;
+};
+
 /// A parsed Bistro configuration.
 struct ServerConfig {
   std::vector<FeedSpec> feeds;
   std::vector<SubscriberSpec> subscribers;
+  DeliveryTuningSpec delivery;
 
   bool operator==(const ServerConfig&) const = default;
 };

@@ -1,5 +1,6 @@
 #include "core/server.h"
 
+#include "common/hash.h"
 #include "common/strings.h"
 #include "compress/codec.h"
 
@@ -57,11 +58,26 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
   std::unique_ptr<BistroServer> server(
       new BistroServer(std::move(options), fs, transport, loop, invoker, logger));
   BISTRO_ASSIGN_OR_RETURN(server->registry_, FeedRegistry::Create(config));
+  // Config-file delivery tuning overrides the compiled-in defaults (but
+  // not the other way around: unset keys leave Options untouched).
+  {
+    const DeliveryTuningSpec& tune = config.delivery;
+    DeliveryEngine::Options* d = &server->options_.delivery;
+    if (tune.retry_backoff_min) d->retry_backoff = *tune.retry_backoff_min;
+    if (tune.retry_backoff_max) d->retry_backoff_max = *tune.retry_backoff_max;
+    if (tune.retry_multiplier) {
+      d->retry_backoff_multiplier = *tune.retry_multiplier;
+    }
+    if (tune.retry_jitter) d->retry_jitter = *tune.retry_jitter;
+    if (tune.max_attempts) d->max_attempts = *tune.max_attempts;
+    if (tune.offline_after) d->offline_after_failures = *tune.offline_after;
+    if (tune.probe_interval) d->probe_interval = *tune.probe_interval;
+  }
   BISTRO_RETURN_IF_ERROR(fs->MkDirs(server->options_.landing_root));
   BISTRO_RETURN_IF_ERROR(fs->MkDirs(server->options_.staging_root));
   BISTRO_ASSIGN_OR_RETURN(
       server->receipts_,
-      ReceiptDatabase::Open(fs, server->options_.db_dir));
+      ReceiptDatabase::Open(fs, server->options_.db_dir, server->options_.kv));
   server->receipts_->AttachMetrics(server->metrics_);
   server->classifier_ = std::make_unique<FeedClassifier>(
       server->registry_.get(), FeedClassifier::IndexMode::kPrefixIndex);
@@ -169,6 +185,9 @@ Status BistroServer::Ingest(const IncomingFile& file) {
   std::string staged_path = path::Join(options_.staging_root, rel_path);
 
   BISTRO_RETURN_IF_ERROR(fs_->WriteFile(staged_path, normalized.content));
+  if (options_.sync_staging) {
+    BISTRO_RETURN_IF_ERROR(fs_->Sync(staged_path));
+  }
   Status removed = fs_->Delete(file.landing_path);
   if (!removed.ok() && !removed.IsNotFound()) return removed;
 
@@ -292,7 +311,11 @@ Status BistroServer::HandleMessage(const Message& msg) {
   switch (msg.type) {
     case MessageType::kFileData:
       // An upstream Bistro server (or source agent) pushed a file: it
-      // enters our pipeline exactly like a locally deposited file.
+      // enters our pipeline exactly like a locally deposited file. A
+      // checksum mismatch NACKs the delivery so the upstream retries.
+      if (msg.payload_crc != 0 && Crc32(msg.payload) != msg.payload_crc) {
+        return Status::Corruption("payload crc mismatch: " + msg.name);
+      }
       return Deposit("upstream", msg.name, msg.payload);
     case MessageType::kEndOfBatch:
       SourceEndOfBatch(msg.feed, msg.batch_time);

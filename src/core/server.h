@@ -60,6 +60,12 @@ class BistroServer : public Endpoint {
     /// Cadence of the window cleaner and stall checker.
     Duration maintenance_interval = kMinute;
     DeliveryEngine::Options delivery;
+    /// Receipt-database tuning (e.g. sync_wal for crash consistency).
+    KvStore::Options kv;
+    /// fsync each staged file before recording its arrival receipt, so a
+    /// receipt never points at bytes a crash can take away. Off by
+    /// default; chaos/crash tests and durable deployments enable it.
+    bool sync_staging = false;
     /// Metrics registry shared with the embedding process (bench, daemon).
     /// When null the server owns a private registry; either way every
     /// subsystem's counters land in `metrics()`.

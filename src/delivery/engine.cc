@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/strings.h"
 
 namespace bistro {
@@ -22,6 +23,7 @@ DeliveryEngine::DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
       invoker_(invoker),
       logger_(logger),
       options_(options),
+      backoff_rng_(options.backoff_seed),
       tracer_(tracer) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
@@ -42,6 +44,9 @@ DeliveryEngine::DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
   parked_ = metrics->GetCounter(
       "bistro_delivery_parked_total",
       "Jobs dropped because the subscriber is offline (backfill recovers them)");
+  dead_lettered_ = metrics->GetCounter(
+      "bistro_delivery_dead_letter_total",
+      "Jobs parked in the dead-letter queue after exhausting retries");
   backfilled_ = metrics->GetCounter(
       "bistro_delivery_backfilled_total",
       "Jobs submitted by receipt-driven queue recomputation");
@@ -69,6 +74,7 @@ DeliveryStats DeliveryEngine::stats() const {
   s.send_failures = send_failures_->value();
   s.retries = retries_->value();
   s.parked = parked_->value();
+  s.dead_lettered = dead_lettered_->value();
   s.backfilled = backfilled_->value();
   s.staging_reads = staging_reads_->value();
   s.staging_cache_hits = staging_cache_hits_->value();
@@ -168,6 +174,9 @@ void DeliveryEngine::StartJob(TransferJob job) {
       cached_staged_content_ = *content;
       msg.payload = std::move(*content);
     }
+    // End-to-end checksum of the staged bytes; the endpoint verifies it
+    // and NACKs (Corruption) if the payload was damaged in flight.
+    msg.payload_crc = Crc32(msg.payload);
     msg.type = MessageType::kFileData;
   } else {
     msg.type = MessageType::kFileNotify;
@@ -195,6 +204,12 @@ void DeliveryEngine::OnJobDone(TransferJob job, TimePoint started,
     if (!rec.ok()) {
       logger_->Error("delivery",
                      "failed to record delivery receipt: " + rec.ToString());
+      // The file reached the subscriber but the receipt did not commit
+      // (e.g. a transient WAL write error). Without the receipt the file
+      // stays in the recomputed delivery queue and would be redelivered
+      // after every restart, so keep retrying the receipt write; the
+      // endpoint's dedupe absorbs any redelivery that races with it.
+      RetryDeliveryReceipt(job.subscriber, job.file_id, now);
     }
     if (tracer_ != nullptr) {
       tracer_->Mark(job.file_id, PipelineStage::kDeliveryReceipt, now);
@@ -212,6 +227,15 @@ void DeliveryEngine::OnJobDone(TransferJob job, TimePoint started,
     HandleFailure(std::move(job));
   }
   Pump();
+}
+
+void DeliveryEngine::RetryDeliveryReceipt(const SubscriberName& sub,
+                                          FileId file_id, TimePoint when) {
+  loop_->PostAfter(options_.retry_backoff,
+                   Guard([this, sub, file_id, when] {
+                     Status rec = receipts_->RecordDelivery(sub, file_id, when);
+                     if (!rec.ok()) RetryDeliveryReceipt(sub, file_id, when);
+                   }));
 }
 
 void DeliveryEngine::HandleFailure(TransferJob job) {
@@ -236,19 +260,61 @@ void DeliveryEngine::HandleFailure(TransferJob job) {
   }
   job.attempts++;
   if (job.attempts >= options_.max_attempts) {
-    logger_->Error("delivery",
-                   StrFormat("giving up on file %llu to %s after %d attempts",
-                             (unsigned long long)job.file_id, sub.c_str(),
-                             job.attempts));
+    logger_->Error(
+        "delivery",
+        StrFormat("dead-lettering file %llu to %s after %d attempts",
+                  (unsigned long long)job.file_id, sub.c_str(), job.attempts));
     pending_.erase({job.file_id, sub});
+    dead_lettered_->Increment();
+    dead_letter_.push_back(std::move(job));
     return;
   }
   retries_->Increment();
-  loop_->PostAfter(options_.retry_backoff,
-                   Guard([this, job = std::move(job)]() mutable {
+  Duration backoff = NextBackoff(&job);
+  loop_->PostAfter(backoff, Guard([this, job = std::move(job)]() mutable {
                      scheduler_->Submit(job);
                      Pump();
                    }));
+}
+
+Duration DeliveryEngine::NextBackoff(TransferJob* job) {
+  const Duration base = std::max<Duration>(options_.retry_backoff, 1);
+  const Duration cap = std::max<Duration>(options_.retry_backoff_max, base);
+  Duration next;
+  if (job->last_backoff <= 0) {
+    next = base;  // first retry always waits exactly the base
+  } else {
+    double grown = static_cast<double>(job->last_backoff) *
+                   std::max(options_.retry_backoff_multiplier, 1.0);
+    next = grown >= static_cast<double>(cap) ? cap
+                                             : static_cast<Duration>(grown);
+  }
+  if (options_.retry_jitter && next > base) {
+    // Decorrelated jitter (next grows from the previous *draw*, not the
+    // deterministic envelope): uniform in [base, next].
+    next = base + static_cast<Duration>(backoff_rng_.Uniform(
+                      static_cast<uint64_t>(next - base) + 1));
+  }
+  job->last_backoff = next;
+  return next;
+}
+
+void DeliveryEngine::RedriveDeadLetters() {
+  std::vector<TransferJob> jobs = std::move(dead_letter_);
+  dead_letter_.clear();
+  for (TransferJob& job : jobs) {
+    auto key = std::make_pair(job.file_id, job.subscriber);
+    // A backfill may have requeued (or already delivered) the file while
+    // it sat in the dead-letter queue; receipts + endpoint dedupe make a
+    // duplicate submit harmless, but skip the obvious case.
+    if (pending_.count(key) != 0) continue;
+    job.attempts = 0;
+    job.last_backoff = 0;
+    pending_.insert(key);
+    jobs_submitted_->Increment();
+    scheduler_->Submit(std::move(job));
+  }
+  Pump();
 }
 
 void DeliveryEngine::ProbeOffline(const SubscriberName& sub_name) {

@@ -5,8 +5,10 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/random.h"
 #include "config/registry.h"
 #include "core/types.h"
 #include "kv/receipts.h"
@@ -30,6 +32,7 @@ struct DeliveryStats {
   uint64_t send_failures = 0;
   uint64_t retries = 0;
   uint64_t parked = 0;            // jobs dropped because subscriber offline
+  uint64_t dead_lettered = 0;     // jobs parked after exhausting retries
   uint64_t backfilled = 0;        // jobs submitted by queue recomputation
   uint64_t staging_reads = 0;       // staged files read from the filesystem
   uint64_t staging_cache_hits = 0;  // served from the hot-file cache
@@ -53,12 +56,25 @@ class DeliveryEngine {
     Options() {}
     /// Consecutive failures after which a subscriber is flagged offline.
     int offline_after_failures = 3;
-    /// Delay before retrying a failed (but not yet offline) delivery.
+    /// Base (minimum) retry backoff. This used to be a fixed delay; it is
+    /// now the floor of the exponential schedule, and the first retry
+    /// always waits exactly this long.
     Duration retry_backoff = 5 * kSecond;
+    /// Ceiling of the exponential retry schedule.
+    Duration retry_backoff_max = 2 * kMinute;
+    /// Per-retry growth factor of the schedule.
+    double retry_backoff_multiplier = 3.0;
+    /// Apply decorrelated jitter: each retry sleeps a uniform draw from
+    /// [base, min(cap, last_sleep * multiplier)] instead of the
+    /// deterministic envelope, de-synchronizing retry storms across jobs.
+    bool retry_jitter = true;
+    /// Seed for the jitter Rng (determinism under simulation).
+    uint64_t backoff_seed = 0x42;
     /// Cadence of probes to offline subscribers (§4.2 "transmissions are
     /// periodically retried").
     Duration probe_interval = 30 * kSecond;
-    /// Max delivery attempts per job per online episode.
+    /// Max delivery attempts per job per online episode; a job that
+    /// exhausts them moves to the dead-letter queue.
     int max_attempts = 10;
   };
 
@@ -99,10 +115,25 @@ class DeliveryEngine {
   /// Closes all open batches (shutdown).
   void FlushBatches();
 
+  /// Jobs that exhausted max_attempts, parked for operator inspection.
+  /// They stay out of the retry path until redriven; receipts still list
+  /// the files as undelivered, so a backfill can also recover them.
+  const std::vector<TransferJob>& dead_letters() const { return dead_letter_; }
+  /// Resubmits every dead-lettered job with a fresh attempt budget.
+  void RedriveDeadLetters();
+
  private:
   void Pump();
+  /// Next sleep for a failed job (exponential, capped, optionally
+  /// jittered); records the draw in job->last_backoff.
+  Duration NextBackoff(TransferJob* job);
   void StartJob(TransferJob job);
   void OnJobDone(TransferJob job, TimePoint started, const Status& status);
+  /// Keeps retrying a delivery-receipt write that failed after a
+  /// successful send (a lost receipt would cause redelivery after every
+  /// restart).
+  void RetryDeliveryReceipt(const SubscriberName& sub, FileId file_id,
+                            TimePoint when);
   void HandleFailure(TransferJob job);
   void ProbeOffline(const SubscriberName& subscriber);
   void FeedBatcher(const SubscriberSpec& sub, const FeedName& feed,
@@ -141,6 +172,7 @@ class DeliveryEngine {
   Counter* send_failures_;
   Counter* retries_;
   Counter* parked_;
+  Counter* dead_lettered_;
   Counter* backfilled_;
   Counter* staging_reads_;
   Counter* staging_cache_hits_;
@@ -148,6 +180,9 @@ class DeliveryEngine {
   Counter* triggers_invoked_;
   Counter* trigger_failures_;
   Counter* offline_transitions_;
+  /// Jitter source for retry backoff (seeded; see Options::backoff_seed).
+  Rng backoff_rng_;
+  std::vector<TransferJob> dead_letter_;
   std::set<SubscriberName> offline_;
   /// (file, subscriber) pairs queued or in flight, to dedupe backfill
   /// against real-time submission.

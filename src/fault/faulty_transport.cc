@@ -1,0 +1,30 @@
+#include "fault/faulty_transport.h"
+
+namespace bistro {
+
+void FaultyTransport::Send(const std::string& endpoint, const Message& msg,
+                           SendCallback done) {
+  if (injector_->InjectSendFailure(endpoint)) {
+    loop_->Post([done] {
+      done(Status::IoError("injected send failure"));
+    });
+    return;
+  }
+  if (msg.type == MessageType::kFileData &&
+      injector_->InjectCorruption(endpoint)) {
+    Message corrupted = msg;
+    injector_->CorruptPayload(&corrupted.payload);
+    base_->Send(endpoint, corrupted, std::move(done));
+    return;
+  }
+  if (injector_->InjectAckLoss(endpoint)) {
+    // Deliver for real, then lie to the sender about the outcome.
+    base_->Send(endpoint, msg, [done](const Status&) {
+      done(Status::IoError("injected ack loss"));
+    });
+    return;
+  }
+  base_->Send(endpoint, msg, std::move(done));
+}
+
+}  // namespace bistro

@@ -1,0 +1,45 @@
+#ifndef BISTRO_FAULT_FAULTY_TRANSPORT_H_
+#define BISTRO_FAULT_FAULTY_TRANSPORT_H_
+
+#include <string>
+
+#include "fault/injector.h"
+#include "net/transport.h"
+#include "sim/event_loop.h"
+
+namespace bistro {
+
+/// Transport decorator injecting per-send faults from the injector's plan:
+///
+///  - send failure: the message never reaches the wire; the callback
+///    fires with IoError (transient — retry should succeed eventually);
+///  - payload corruption (kFileData only): one payload byte flips before
+///    encoding, so the frame CRC still passes and only the end-to-end
+///    payload CRC at the endpoint catches it (delivery NACKs Corruption);
+///  - ack loss: the message is delivered and handled, but the sender's
+///    callback reports IoError — the sender will redeliver, which the
+///    endpoint's FileId dedupe must absorb for exactly-once semantics.
+///
+/// Link flaps/degradations are not injected here: they live in SimNetwork
+/// (armed by FaultInjector::Arm), so they also affect probe traffic.
+class FaultyTransport : public Transport {
+ public:
+  FaultyTransport(Transport* base, EventLoop* loop, FaultInjector* injector)
+      : base_(base), loop_(loop), injector_(injector) {}
+
+  void Send(const std::string& endpoint, const Message& msg,
+            SendCallback done) override;
+  Duration EstimateCost(const std::string& endpoint,
+                        uint64_t bytes) const override {
+    return base_->EstimateCost(endpoint, bytes);
+  }
+
+ private:
+  Transport* base_;
+  EventLoop* loop_;
+  FaultInjector* injector_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_FAULT_FAULTY_TRANSPORT_H_

@@ -1,0 +1,306 @@
+#include "fault/plan.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace bistro {
+
+namespace {
+
+// Token stream sharing the config language's lexical shape: identifiers,
+// quoted strings, numbers with optional unit suffix, and {};, with '#'
+// comments. Kept separate from config/parser.cc because fault plans are a
+// test/ops artifact, not part of the server configuration.
+enum class TokKind { kIdent, kString, kNumber, kPunct, kEof };
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  int line = 0;
+};
+
+Result<std::vector<Token>> Lex(std::string_view src) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  int line = 1;
+  auto alpha = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0;
+  };
+  auto digit = [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+  };
+  while (pos < src.size()) {
+    char c = src[pos];
+    if (c == '\n') {
+      ++line;
+      ++pos;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+    } else if (c == '#') {
+      while (pos < src.size() && src[pos] != '\n') ++pos;
+    } else if (c == '"') {
+      ++pos;
+      std::string text;
+      while (pos < src.size() && src[pos] != '"' && src[pos] != '\n') {
+        text += src[pos++];
+      }
+      if (pos >= src.size() || src[pos] != '"') {
+        return Status::InvalidArgument(
+            StrFormat("fault plan line %d: unterminated string", line));
+      }
+      ++pos;
+      out.push_back(Token{TokKind::kString, std::move(text), line});
+    } else if (alpha(c) || c == '_') {
+      size_t start = pos;
+      while (pos < src.size() &&
+             (alpha(src[pos]) || digit(src[pos]) || src[pos] == '_')) {
+        ++pos;
+      }
+      out.push_back(
+          Token{TokKind::kIdent, std::string(src.substr(start, pos - start)),
+                line});
+    } else if (digit(c) || c == '.' || c == '-') {
+      size_t start = pos;
+      if (src[pos] == '-') ++pos;
+      while (pos < src.size() && (digit(src[pos]) || src[pos] == '.')) ++pos;
+      while (pos < src.size() && alpha(src[pos])) ++pos;  // unit suffix
+      out.push_back(
+          Token{TokKind::kNumber, std::string(src.substr(start, pos - start)),
+                line});
+    } else if (c == '{' || c == '}' || c == ';') {
+      out.push_back(Token{TokKind::kPunct, std::string(1, c), line});
+      ++pos;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("fault plan line %d: unexpected character '%c'", line, c));
+    }
+  }
+  out.push_back(Token{TokKind::kEof, "", line});
+  return out;
+}
+
+class PlanParser {
+ public:
+  explicit PlanParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<FaultPlan> Run() {
+    FaultPlan plan;
+    BISTRO_RETURN_IF_ERROR(ExpectIdent("fault_plan"));
+    BISTRO_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!IsPunct("}")) {
+      if (AtEof()) return Err("unterminated fault_plan");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, TakeIdent());
+      if (attr == "seed") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, TakeInt());
+        plan.seed = static_cast<uint64_t>(v);
+        BISTRO_RETURN_IF_ERROR(ExpectPunct(";"));
+      } else if (attr == "vfs") {
+        BISTRO_RETURN_IF_ERROR(ParseVfs(&plan.vfs));
+      } else if (attr == "net") {
+        BISTRO_RETURN_IF_ERROR(ParseNet(&plan.net));
+      } else {
+        return Err("unknown fault_plan attribute '" + attr + "'");
+      }
+    }
+    ++pos_;  // consume '}'
+    if (!AtEof()) return Err("trailing input after fault_plan");
+    return plan;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEof() const { return Peek().kind == TokKind::kEof; }
+  bool IsPunct(std::string_view p) const {
+    return Peek().kind == TokKind::kPunct && Peek().text == p;
+  }
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("fault plan line %d: %s (got '%s')", Peek().line,
+                  what.c_str(), Peek().text.c_str()));
+  }
+
+  Status ExpectIdent(std::string_view word) {
+    if (Peek().kind != TokKind::kIdent || Peek().text != word) {
+      return Err("expected '" + std::string(word) + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ExpectPunct(std::string_view p) {
+    if (!IsPunct(p)) return Err("expected '" + std::string(p) + "'");
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> TakeIdent() {
+    if (Peek().kind != TokKind::kIdent) return Err("expected identifier");
+    return tokens_[pos_++].text;
+  }
+
+  Result<std::string> TakeString() {
+    if (Peek().kind != TokKind::kString) return Err("expected quoted string");
+    return tokens_[pos_++].text;
+  }
+
+  Result<int64_t> TakeInt() {
+    if (Peek().kind != TokKind::kNumber) return Err("expected integer");
+    auto v = ParseInt(Peek().text);
+    if (!v) return Err("bad integer");
+    ++pos_;
+    return *v;
+  }
+
+  Result<double> TakeProb() {
+    if (Peek().kind != TokKind::kNumber) return Err("expected probability");
+    auto v = ParseDouble(Peek().text);
+    if (!v || *v < 0.0 || *v > 1.0) return Err("probability must be in [0,1]");
+    ++pos_;
+    return *v;
+  }
+
+  Result<double> TakeDouble() {
+    if (Peek().kind != TokKind::kNumber) return Err("expected number");
+    auto v = ParseDouble(Peek().text);
+    if (!v) return Err("bad number");
+    ++pos_;
+    return *v;
+  }
+
+  Result<Duration> TakeDuration() {
+    if (Peek().kind != TokKind::kNumber) return Err("expected duration");
+    auto v = ParseDuration(Peek().text);
+    if (!v) return Err("bad duration");
+    ++pos_;
+    return *v;
+  }
+
+  Status ParseVfs(VfsFaultSpec* vfs) {
+    BISTRO_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!IsPunct("}")) {
+      if (AtEof()) return Err("unterminated vfs block");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, TakeIdent());
+      if (attr == "write_error") {
+        BISTRO_ASSIGN_OR_RETURN(vfs->write_error_prob, TakeProb());
+      } else if (attr == "torn_write") {
+        BISTRO_ASSIGN_OR_RETURN(vfs->torn_write_prob, TakeProb());
+      } else if (attr == "sync_error") {
+        BISTRO_ASSIGN_OR_RETURN(vfs->sync_error_prob, TakeProb());
+      } else if (attr == "scope") {
+        BISTRO_ASSIGN_OR_RETURN(vfs->scope, TakeString());
+      } else {
+        return Err("unknown vfs attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(ExpectPunct(";"));
+    }
+    ++pos_;  // consume '}'
+    return Status::OK();
+  }
+
+  Status ParseNet(NetFaultSpec* net) {
+    BISTRO_RETURN_IF_ERROR(ExpectPunct("{"));
+    while (!IsPunct("}")) {
+      if (AtEof()) return Err("unterminated net block");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, TakeIdent());
+      if (attr == "send_failure") {
+        BISTRO_ASSIGN_OR_RETURN(net->send_failure_prob, TakeProb());
+      } else if (attr == "corrupt") {
+        BISTRO_ASSIGN_OR_RETURN(net->corrupt_prob, TakeProb());
+      } else if (attr == "ack_loss") {
+        BISTRO_ASSIGN_OR_RETURN(net->ack_loss_prob, TakeProb());
+      } else if (attr == "flap") {
+        LinkFlap flap;
+        BISTRO_ASSIGN_OR_RETURN(flap.endpoint, TakeString());
+        BISTRO_RETURN_IF_ERROR(ExpectIdent("down"));
+        BISTRO_ASSIGN_OR_RETURN(flap.down_at, TakeDuration());
+        BISTRO_RETURN_IF_ERROR(ExpectIdent("up"));
+        BISTRO_ASSIGN_OR_RETURN(flap.up_at, TakeDuration());
+        if (flap.up_at <= flap.down_at) return Err("flap must heal after it fails");
+        net->flaps.push_back(std::move(flap));
+      } else if (attr == "degrade") {
+        LinkDegrade deg;
+        BISTRO_ASSIGN_OR_RETURN(deg.endpoint, TakeString());
+        BISTRO_ASSIGN_OR_RETURN(deg.factor, TakeDouble());
+        if (deg.factor < 1.0) return Err("degrade factor must be >= 1");
+        net->degrades.push_back(std::move(deg));
+      } else {
+        return Err("unknown net attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(ExpectPunct(";"));
+    }
+    ++pos_;  // consume '}'
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+std::string DurationLiteral(Duration d) {
+  if (d % kHour == 0 && d != 0) return StrFormat("%lldh", (long long)(d / kHour));
+  if (d % kMinute == 0 && d != 0) {
+    return StrFormat("%lldm", (long long)(d / kMinute));
+  }
+  if (d % kSecond == 0) return StrFormat("%llds", (long long)(d / kSecond));
+  if (d % kMillisecond == 0) {
+    return StrFormat("%lldms", (long long)(d / kMillisecond));
+  }
+  return StrFormat("%lldus", (long long)d);
+}
+
+}  // namespace
+
+Result<FaultPlan> ParseFaultPlan(std::string_view text) {
+  BISTRO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  PlanParser parser(std::move(tokens));
+  return parser.Run();
+}
+
+std::string FormatFaultPlan(const FaultPlan& plan) {
+  std::string out = "fault_plan {\n";
+  out += StrFormat("  seed %llu;\n", (unsigned long long)plan.seed);
+  const VfsFaultSpec& v = plan.vfs;
+  if (v != VfsFaultSpec{}) {
+    out += "  vfs {\n";
+    if (v.write_error_prob > 0) {
+      out += StrFormat("    write_error %g;\n", v.write_error_prob);
+    }
+    if (v.torn_write_prob > 0) {
+      out += StrFormat("    torn_write %g;\n", v.torn_write_prob);
+    }
+    if (v.sync_error_prob > 0) {
+      out += StrFormat("    sync_error %g;\n", v.sync_error_prob);
+    }
+    if (!v.scope.empty()) out += "    scope \"" + v.scope + "\";\n";
+    out += "  }\n";
+  }
+  const NetFaultSpec& n = plan.net;
+  if (n != NetFaultSpec{}) {
+    out += "  net {\n";
+    if (n.send_failure_prob > 0) {
+      out += StrFormat("    send_failure %g;\n", n.send_failure_prob);
+    }
+    if (n.corrupt_prob > 0) {
+      out += StrFormat("    corrupt %g;\n", n.corrupt_prob);
+    }
+    if (n.ack_loss_prob > 0) {
+      out += StrFormat("    ack_loss %g;\n", n.ack_loss_prob);
+    }
+    for (const LinkFlap& f : n.flaps) {
+      out += "    flap \"" + f.endpoint + "\" down " +
+             DurationLiteral(f.down_at) + " up " + DurationLiteral(f.up_at) +
+             ";\n";
+    }
+    for (const LinkDegrade& d : n.degrades) {
+      out += "    degrade \"" + d.endpoint + "\" " +
+             StrFormat("%g", d.factor) + ";\n";
+    }
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace bistro

@@ -59,7 +59,9 @@ KvStore::KvStore(FileSystem* fs, std::string dir, Options options)
     : fs_(fs),
       dir_(std::move(dir)),
       options_(options),
-      wal_(fs, path::Join(dir_, kWalFile)) {}
+      wal_(fs, path::Join(dir_, kWalFile)) {
+  wal_.set_sync_on_append(options_.sync_wal);
+}
 
 Status KvStore::Recover() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -98,7 +100,11 @@ Status KvStore::Recover() {
         }
       },
       &torn_tail_);
-  return replay;
+  if (!replay.ok()) return replay;
+  // Appending behind a torn tail would read back as mid-log corruption on
+  // the next recovery; rewrite the log to its intact prefix first.
+  if (torn_tail_) BISTRO_RETURN_IF_ERROR(wal_.RepairTail());
+  return Status::OK();
 }
 
 std::string KvStore::EncodeBatch(const std::vector<Write>& batch) {

@@ -26,6 +26,11 @@ class KvStore {
     Options() {}
     /// Checkpoint when the WAL exceeds this many bytes (0 = never auto).
     uint64_t checkpoint_wal_bytes = 4 * 1024 * 1024;
+    /// fsync the WAL after every append: a committed batch then survives
+    /// a crash (not just a clean shutdown). Off by default to preserve
+    /// the historical buffered behavior; the server enables it for
+    /// crash-consistent receipt databases.
+    bool sync_wal = false;
   };
 
   /// Opens (and recovers) a store rooted at `dir` on `fs`.

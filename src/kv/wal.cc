@@ -41,9 +41,26 @@ void WriteAheadLog::AttachMetrics(MetricsRegistry* registry) {
                                            "Records replayed at recovery");
   truncations_ = registry->GetCounter("bistro_wal_truncations_total",
                                       "WAL truncations after checkpoints");
+  syncs_ = registry->GetCounter("bistro_wal_syncs_total",
+                                "fsyncs issued after appends");
+  tail_repairs_ = registry->GetCounter(
+      "bistro_wal_tail_repairs_total",
+      "Torn/corrupt tails dropped by RepairTail");
 }
 
 Status WriteAheadLog::Append(std::string_view record) {
+  if (!committed_len_.has_value()) {
+    // First append through this instance: establish the committed length
+    // by scanning for the longest intact record prefix (and dropping any
+    // torn tail a crash left), so we never append behind garbage.
+    BISTRO_RETURN_IF_ERROR(RepairTail());
+  }
+  if (SizeBytes() != *committed_len_) {
+    // A previous failed append could not be rolled back (its cleanup
+    // write failed too). Retry the rollback before appending anything
+    // new, so an uncommitted record never becomes durable.
+    BISTRO_RETURN_IF_ERROR(TruncateTo(*committed_len_));
+  }
   std::string framed;
   framed.reserve(record.size() + 10);
   uint32_t crc = Crc32(record);
@@ -56,7 +73,81 @@ Status WriteAheadLog::Append(std::string_view record) {
     appends_->Increment();
     append_bytes_->Increment(framed.size());
   }
-  return fs_->AppendFile(path_, framed);
+  Status s = fs_->AppendFile(path_, framed);
+  if (!s.ok()) {
+    // The append may have landed partially (torn write). Roll back to
+    // the committed prefix; the caller sees the failure and must not
+    // consider the record committed.
+    (void)TruncateTo(*committed_len_);
+    return s;
+  }
+  if (sync_on_append_) {
+    if (syncs_ != nullptr) syncs_->Increment();
+    Status synced = fs_->Sync(path_);
+    if (!synced.ok()) {
+      // The record is in the file but not durable, and the caller will
+      // treat it as failed. Remove it: if it stayed, a later successful
+      // sync would make it durable and recovery would replay a record
+      // the caller believes was never committed.
+      (void)TruncateTo(*committed_len_);
+      return synced;
+    }
+  }
+  *committed_len_ += framed.size();
+  return Status::OK();
+}
+
+Status WriteAheadLog::TruncateTo(uint64_t len) {
+  auto data = fs_->ReadFile(path_);
+  if (!data.ok()) {
+    if (data.status().IsNotFound() && len == 0) return Status::OK();
+    return data.status();
+  }
+  if (data->size() < len) {
+    return Status::Corruption("wal shrank below committed length: " + path_);
+  }
+  if (data->size() == len) return Status::OK();
+  if (tail_repairs_ != nullptr) tail_repairs_->Increment();
+  BISTRO_RETURN_IF_ERROR(
+      fs_->WriteFile(path_, std::string_view(*data).substr(0, len)));
+  if (sync_on_append_) return fs_->Sync(path_);
+  return Status::OK();
+}
+
+Status WriteAheadLog::RepairTail() {
+  auto data = fs_->ReadFile(path_);
+  if (!data.ok()) {
+    if (data.status().IsNotFound()) {
+      committed_len_ = 0;
+      return Status::OK();  // nothing to repair
+    }
+    return data.status();
+  }
+  // Walk intact records; `good` is the byte length of the valid prefix.
+  std::string_view in(*data);
+  size_t good = 0;
+  while (!in.empty()) {
+    if (in.size() < 4) break;
+    uint32_t crc;
+    std::memcpy(&crc, in.data(), 4);
+    std::string_view rest = in.substr(4);
+    uint64_t len;
+    if (!GetVarint(&rest, &len) || rest.size() < len) break;
+    if (Crc32(rest.substr(0, len)) != crc) break;
+    rest.remove_prefix(len);
+    good = data->size() - rest.size();
+    in = rest;
+  }
+  if (good == data->size()) {
+    committed_len_ = good;
+    return Status::OK();  // already clean
+  }
+  if (tail_repairs_ != nullptr) tail_repairs_->Increment();
+  BISTRO_RETURN_IF_ERROR(
+      fs_->WriteFile(path_, std::string_view(*data).substr(0, good)));
+  committed_len_ = good;
+  if (sync_on_append_) return fs_->Sync(path_);
+  return Status::OK();
 }
 
 Status WriteAheadLog::Replay(
@@ -102,6 +193,7 @@ Status WriteAheadLog::Replay(
 
 Status WriteAheadLog::Truncate() {
   if (truncations_ != nullptr) truncations_->Increment();
+  committed_len_ = 0;
   Status s = fs_->Delete(path_);
   if (s.IsNotFound()) return Status::OK();
   return s;

@@ -2,6 +2,7 @@
 #define BISTRO_KV_WAL_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "common/status.h"
@@ -23,8 +24,24 @@ class WriteAheadLog {
   /// share one registry; their counts aggregate. Optional.
   void AttachMetrics(MetricsRegistry* registry);
 
-  /// Appends one record (buffered in the underlying FS append).
+  /// When enabled, every Append is followed by FileSystem::Sync so a
+  /// committed record survives a crash (at the cost of one fsync per
+  /// append).
+  void set_sync_on_append(bool sync) { sync_on_append_ = sync; }
+  bool sync_on_append() const { return sync_on_append_; }
+
+  /// Appends one record (buffered in the underlying FS append unless
+  /// sync_on_append is set). On any failure — torn append or failed
+  /// sync — the log is rolled back to the last committed length, so a
+  /// record the caller saw fail can never resurface at recovery (and a
+  /// torn tail cannot turn into mid-log corruption for later appends).
   Status Append(std::string_view record);
+
+  /// Rewrites the log to its longest intact prefix of records, dropping a
+  /// torn or corrupt tail. Called after a failed append and after a
+  /// recovery that found a torn tail, so subsequent appends never land
+  /// behind garbage (which replay would report as mid-log corruption).
+  Status RepairTail();
 
   /// Replays every intact record in order. If the log ends with a torn
   /// record, replay succeeds and `truncated_tail` (if non-null) is set.
@@ -40,12 +57,23 @@ class WriteAheadLog {
   const std::string& log_path() const { return path_; }
 
  private:
+  /// Rewrites the log to its first `len` bytes (used to undo a failed
+  /// append). Requires len <= current size.
+  Status TruncateTo(uint64_t len);
+
   FileSystem* fs_;
   std::string path_;
+  bool sync_on_append_ = false;
+  /// Length of the committed record prefix; lazily initialised from the
+  /// file size on first Append, maintained thereafter so failed appends
+  /// can be rolled back precisely.
+  std::optional<uint64_t> committed_len_;
   Counter* appends_ = nullptr;
   Counter* append_bytes_ = nullptr;
   Counter* replayed_records_ = nullptr;
   Counter* truncations_ = nullptr;
+  Counter* syncs_ = nullptr;
+  Counter* tail_repairs_ = nullptr;
 };
 
 }  // namespace bistro

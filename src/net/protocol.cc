@@ -58,6 +58,7 @@ std::string EncodeMessage(const Message& msg) {
   PutString(&body, msg.name);
   PutString(&body, msg.dest_path);
   PutString(&body, msg.payload);
+  PutVarint(&body, msg.payload_crc);
   PutVarint(&body, ZigZag(msg.data_time));
   PutVarint(&body, ZigZag(msg.batch_time));
   PutVarint(&body, msg.batch_count);
@@ -94,6 +95,8 @@ Result<Message> DecodeMessage(std::string_view data) {
       !GetString(&body, &msg.dest_path) || !GetString(&body, &msg.payload)) {
     return Status::Corruption("message: strings");
   }
+  if (!GetVarint(&body, &u)) return Status::Corruption("message: payload_crc");
+  msg.payload_crc = static_cast<uint32_t>(u);
   if (!GetVarint(&body, &u)) return Status::Corruption("message: data_time");
   msg.data_time = UnZigZag(u);
   if (!GetVarint(&body, &u)) return Status::Corruption("message: batch_time");

@@ -32,6 +32,12 @@ struct Message {
   std::string name;       // original filename
   std::string dest_path;  // destination path (kFileData/kFileNotify)
   std::string payload;    // file contents (kFileData)
+  /// End-to-end payload checksum, computed by the sender from the staged
+  /// bytes (not the wire bytes). The frame CRC below only covers the hop;
+  /// this one travels with the message so the receiving Endpoint can
+  /// detect corruption introduced anywhere between the staging read and
+  /// the final write (bad buffers, proxies, re-encodes). 0 = not set.
+  uint32_t payload_crc = 0;
   TimePoint data_time = 0;   // timestamp extracted from the filename
   TimePoint batch_time = 0;  // batch interval marker (kEndOfBatch)
   uint64_t batch_count = 0;  // files in the closed batch (kEndOfBatch)

@@ -1,5 +1,7 @@
 #include "net/transport.h"
 
+#include "common/hash.h"
+
 namespace bistro {
 
 void Transport::AttachMetrics(MetricsRegistry* registry) {
@@ -109,6 +111,14 @@ Status FileSinkEndpoint::HandleMessage(const Message& msg) {
   if (failing_) return Status::Unavailable("subscriber failing");
   switch (msg.type) {
     case MessageType::kFileData: {
+      if (msg.payload_crc != 0 && Crc32(msg.payload) != msg.payload_crc) {
+        ++corrupt_rejected_;
+        return Status::Corruption("payload crc mismatch: " + msg.name);
+      }
+      if (msg.file_id != 0 && !delivered_ids_.insert(msg.file_id).second) {
+        ++duplicates_;
+        break;  // already landed; ack without writing again
+      }
       std::string dest = path::Join(dest_root_, msg.dest_path.empty()
                                                     ? msg.name
                                                     : msg.dest_path);

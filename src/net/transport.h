@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "net/protocol.h"
@@ -124,6 +125,10 @@ class FileSinkEndpoint : public Endpoint {
   uint64_t files_received() const { return files_received_; }
   uint64_t notifications() const { return notifications_; }
   uint64_t batches() const { return batches_; }
+  /// Redeliveries absorbed by the dedupe set (counted, not re-landed).
+  uint64_t duplicates() const { return duplicates_; }
+  /// Payload pushes rejected because the end-to-end CRC did not match.
+  uint64_t corrupt_rejected() const { return corrupt_rejected_; }
 
  private:
   FileSystem* fs_;
@@ -133,6 +138,12 @@ class FileSinkEndpoint : public Endpoint {
   uint64_t files_received_ = 0;
   uint64_t notifications_ = 0;
   uint64_t batches_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t corrupt_rejected_ = 0;
+  // FileIds already landed: redelivery (lost ack, crash between delivery
+  // and receipt) is acknowledged without writing or counting again, so
+  // at-least-once retries read as exactly-once to the subscriber.
+  std::set<FileId> delivered_ids_;
 };
 
 }  // namespace bistro

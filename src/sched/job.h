@@ -26,6 +26,9 @@ struct TransferJob {
   bool backfill = false;
   /// Delivery attempts so far (for retry/backoff bookkeeping).
   int attempts = 0;
+  /// The last backoff slept before requeueing this job; drives the
+  /// decorrelated-jitter exponential growth in the delivery engine.
+  Duration last_backoff = 0;
 };
 
 }  // namespace bistro

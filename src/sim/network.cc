@@ -30,6 +30,15 @@ void SimNetwork::SetOnline(const std::string& subscriber, bool online) {
   if (it != links_.end()) it->second.online = online;
 }
 
+void SimNetwork::DegradeLink(const std::string& subscriber, double factor) {
+  auto it = links_.find(subscriber);
+  if (it == links_.end() || factor <= 0) return;
+  LinkSpec& spec = it->second.spec;
+  spec.bandwidth_bytes_per_sec = std::max<uint64_t>(
+      1, static_cast<uint64_t>(spec.bandwidth_bytes_per_sec / factor));
+  spec.latency = static_cast<Duration>(spec.latency * factor);
+}
+
 bool SimNetwork::IsOnline(const std::string& subscriber) const {
   auto it = links_.find(subscriber);
   return it != links_.end() && it->second.online;

@@ -50,6 +50,11 @@ class SimNetwork {
   void SetOnline(const std::string& subscriber, bool online);
   bool IsOnline(const std::string& subscriber) const;
 
+  /// Degrades a link by `factor` (>1): bandwidth is divided and latency
+  /// multiplied by it. Models brownouts / congested paths in fault plans;
+  /// factor <= 1 restores nothing special, it just applies the math.
+  void DegradeLink(const std::string& subscriber, double factor);
+
   /// Reserves the link for a transfer of `bytes` starting no earlier than
   /// `now`; returns the completion time. Errors: Unavailable if the link
   /// is offline or unknown; IoError (with probability failure_prob) for a

@@ -13,6 +13,21 @@ PollerFleet::PollerFleet(EventLoop* loop, Rng* rng, Options options,
       punctuation_(std::move(punctuation)),
       current_pollers_(options_.num_pollers) {}
 
+void PollerFleet::AttachMetrics(MetricsRegistry* registry) {
+  generated_counter_ = registry->GetCounter(
+      "bistro_source_files_generated_total",
+      "Files the simulated source fleet scheduled for deposit");
+  dropped_counter_ =
+      registry->GetCounter("bistro_source_files_dropped_total",
+                           "Poller intervals that produced nothing (dropout)");
+  late_counter_ = registry->GetCounter(
+      "bistro_source_files_late_total",
+      "Files delayed past their interval (out-of-order deposits)");
+  pollers_gauge_ = registry->GetGauge("bistro_source_pollers",
+                                      "Current simulated poller fleet size");
+  pollers_gauge_->Set(static_cast<int64_t>(current_pollers_));
+}
+
 std::string PollerFleet::FileName(int poller, TimePoint interval) const {
   CivilTime c = ToCivil(interval);
   return StrFormat("%s_POLL%d_%04d%02d%02d%02d%02d.%s",
@@ -40,12 +55,16 @@ void PollerFleet::ScheduleInterval(TimePoint start, TimePoint end) {
     if (options_.growth_every > 0 && interval_index > 0 &&
         interval_index % options_.growth_every == 0) {
       ++current_pollers_;
+      if (pollers_gauge_ != nullptr) {
+        pollers_gauge_->Set(static_cast<int64_t>(current_pollers_));
+      }
     }
     int pollers = current_pollers_;
     TimePoint latest_on_time = t;
     for (int p = 1; p <= pollers; ++p) {
       if (rng_->Bernoulli(options_.dropout_prob)) {
         ++files_dropped_;
+        if (dropped_counter_ != nullptr) dropped_counter_->Increment();
         continue;
       }
       Duration delay =
@@ -57,6 +76,7 @@ void PollerFleet::ScheduleInterval(TimePoint start, TimePoint end) {
       if (late) {
         delay += options_.period * static_cast<Duration>(1 + rng_->Uniform(3));
         ++files_late_;
+        if (late_counter_ != nullptr) late_counter_->Increment();
       }
       TimePoint deposit_at = t + delay;
       if (!late && deposit_at > latest_on_time) latest_on_time = deposit_at;
@@ -65,6 +85,7 @@ void PollerFleet::ScheduleInterval(TimePoint start, TimePoint end) {
         deposit_(options_.source, name, MakePayload(p, t));
       });
       ++files_generated_;
+      if (generated_counter_ != nullptr) generated_counter_->Increment();
     }
     if (options_.punctuate && punctuation_) {
       loop_->PostAt(latest_on_time + kMillisecond,

@@ -8,6 +8,7 @@
 #include "analyzer/infer.h"
 #include "common/random.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 #include "sim/event_loop.h"
 
 namespace bistro {
@@ -53,6 +54,11 @@ class PollerFleet {
   PollerFleet(EventLoop* loop, Rng* rng, Options options, DepositFn deposit,
               PunctuationFn punctuation = nullptr);
 
+  /// Exports the generated/dropped/late counters and a fleet-size gauge
+  /// through `registry` so source-side loss shows up next to delivery
+  /// metrics in the same scrape. Optional; call before ScheduleInterval.
+  void AttachMetrics(MetricsRegistry* registry);
+
   /// Schedules file generation for all intervals in [start, end).
   void ScheduleInterval(TimePoint start, TimePoint end);
 
@@ -77,6 +83,10 @@ class PollerFleet {
   uint64_t files_dropped_ = 0;
   uint64_t files_late_ = 0;
   int current_pollers_ = 0;
+  Counter* generated_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  Counter* late_counter_ = nullptr;
+  Gauge* pollers_gauge_ = nullptr;
 };
 
 /// Ground-truth labelled filename corpora for analyzer experiments (E7):

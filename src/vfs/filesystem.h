@@ -29,6 +29,7 @@ struct FsOpStats {
   uint64_t writes = 0;
   uint64_t renames = 0;
   uint64_t deletes = 0;
+  uint64_t syncs = 0;          // Sync() calls
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
 
@@ -67,6 +68,15 @@ class FileSystem {
 
   /// Deletes a file (not a directory).
   virtual Status Delete(const std::string& path) = 0;
+
+  /// Flushes a file's contents to durable storage (fsync). Data written
+  /// but not yet synced may be lost on a crash; the WAL's fsync option and
+  /// the fault injector's crash model build on this. The default is a
+  /// no-op (an in-memory filesystem is trivially "durable").
+  virtual Status Sync(const std::string& path) {
+    (void)path;
+    return Status::OK();
+  }
 
   /// Creates a directory (and parents).
   virtual Status MkDirs(const std::string& path) = 0;

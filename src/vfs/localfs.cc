@@ -1,6 +1,7 @@
 #include "vfs/localfs.h"
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -151,6 +152,19 @@ Status LocalFileSystem::Delete(const std::string& p) {
     stats_.deletes++;
   }
   if (::unlink(p.c_str()) != 0) return Errno("unlink", p);
+  return Status::OK();
+}
+
+Status LocalFileSystem::Sync(const std::string& p) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.syncs++;
+  }
+  int fd = ::open(p.c_str(), O_WRONLY);
+  if (fd < 0) return Errno("open", p);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync", p);
   return Status::OK();
 }
 

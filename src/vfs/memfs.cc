@@ -187,6 +187,14 @@ Status InMemoryFileSystem::Delete(const std::string& raw) {
   return Status::OK();
 }
 
+Status InMemoryFileSystem::Sync(const std::string& raw) {
+  std::string p = path::Normalize(raw);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.count(p) == 0) return Status::NotFound("no such file: " + p);
+  stats_.syncs++;
+  return Status::OK();
+}
+
 Status InMemoryFileSystem::MkDirs(const std::string& raw) {
   std::string p = path::Normalize(raw);
   std::lock_guard<std::mutex> lock(mu_);

@@ -48,6 +48,7 @@ class InMemoryFileSystem : public FileSystem {
   Result<std::vector<FileInfo>> ListDir(const std::string& path) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Delete(const std::string& path) override;
+  Status Sync(const std::string& path) override;
   Status MkDirs(const std::string& path) override;
   bool Exists(const std::string& path) override;
 

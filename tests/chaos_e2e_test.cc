@@ -1,0 +1,233 @@
+// Chaos end-to-end property test: the full simulated pipeline runs under
+// a randomized, seeded fault plan — injected write errors, torn writes,
+// fsync failures, transient send failures, payload corruption, lost acks,
+// a scheduled link flap, a degraded link, AND a mid-run crash/restart of
+// the server — and must still converge to the Bistro delivery guarantee:
+//
+//   every deposited file that matches a feed reaches every subscriber of
+//   that feed exactly once (no loss, no double-landing), the recomputed
+//   delivery queues drain empty, and the injected-fault / dead-letter
+//   counters are visible in the Prometheus export.
+//
+// Sources retry failed deposits (a cooperating source re-notifies when
+// the server errors) and stash deposits attempted while the server is
+// down, mirroring how real feeds behave across a feed-manager outage.
+//
+// The CI chaos job shifts the seed window via BISTRO_CHAOS_SEED_BASE so
+// different matrix legs explore different fault plans.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "config/parser.h"
+#include "core/server.h"
+#include "fault/faulty_transport.h"
+#include "fault/faulty_vfs.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "obs/export.h"
+#include "vfs/memfs.h"
+
+namespace bistro {
+namespace {
+
+int SeedBase() {
+  const char* env = std::getenv("BISTRO_CHAOS_SEED_BASE");
+  return env == nullptr ? 0 : std::atoi(env);
+}
+
+class ChaosE2ETest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosE2ETest, ExactlyOnceDeliveryUnderFaultsAndCrash) {
+  const int seed = SeedBase() + GetParam();
+  Rng scenario_rng(static_cast<uint64_t>(seed) * 31337 + 7);
+
+  // ---- Fault plan: moderate, seed-scaled probabilities everywhere.
+  FaultPlan plan;
+  plan.seed = static_cast<uint64_t>(seed) * 97 + 5;
+  plan.vfs.write_error_prob = scenario_rng.NextDouble() * 0.03;
+  plan.vfs.torn_write_prob = scenario_rng.NextDouble() * 0.03;
+  plan.vfs.sync_error_prob = scenario_rng.NextDouble() * 0.02;
+  plan.vfs.scope = "";  // everything: landing, staging, receipt DB
+  plan.net.send_failure_prob = scenario_rng.NextDouble() * 0.15;
+  plan.net.corrupt_prob = scenario_rng.NextDouble() * 0.08;
+  plan.net.ack_loss_prob = scenario_rng.NextDouble() * 0.05;
+
+  const TimePoint start = FromCivil(CivilTime{2010, 9, 25});
+  LinkFlap flap;
+  flap.endpoint = "sub0";
+  flap.down_at = start + 10 * kMinute;
+  flap.up_at = start + 25 * kMinute;
+  plan.net.flaps.push_back(flap);
+  LinkDegrade degrade;
+  degrade.endpoint = "sub1";
+  degrade.factor = 2.0;
+  plan.net.degrades.push_back(degrade);
+
+  // ---- World: sim clock/loop, faulty FS over memfs, faulty transport
+  // over a simulated WAN.
+  SimClock clock(start);
+  EventLoop loop(&clock);
+  MetricsRegistry registry;
+  InMemoryFileSystem base_fs;
+  FaultInjector injector(plan, &registry);
+  FaultyFileSystem fs(&base_fs, &injector);
+  Rng net_rng(static_cast<uint64_t>(seed) * 101 + 3);
+  SimNetwork network(&net_rng);
+  SimTransport sim_transport(&loop, &network);
+  FaultyTransport transport(&sim_transport, &loop, &injector);
+  CallbackInvoker invoker;
+  Logger logger(&clock);
+  logger.SetMinLevel(LogLevel::kAlarm);
+
+  constexpr int kNumFeeds = 2;
+  constexpr int kNumSubs = 3;
+  auto config = ParseConfig(R"(
+feed FEEDA { pattern "feeda_%i_%Y%m%d%H%M.dat"; tardiness 2m; }
+feed FEEDB { pattern "feedb_%i_%Y%m%d%H%M.dat"; tardiness 2m; }
+subscriber sub0 { feeds FEEDA, FEEDB; method push; }
+subscriber sub1 { feeds FEEDA; method push; }
+subscriber sub2 { feeds FEEDB; method push; }
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  const std::vector<std::vector<int>> subscriptions = {{0, 1}, {0}, {1}};
+
+  std::vector<std::unique_ptr<InMemoryFileSystem>> sub_fs;
+  std::vector<std::unique_ptr<FileSinkEndpoint>> sinks;
+  for (int s = 0; s < kNumSubs; ++s) {
+    network.SetLink(StrFormat("sub%d", s), LinkSpec::Fast());
+    sub_fs.push_back(std::make_unique<InMemoryFileSystem>());
+    sinks.push_back(
+        std::make_unique<FileSinkEndpoint>(sub_fs.back().get(), "/recv"));
+    sim_transport.Register(StrFormat("sub%d", s), sinks.back().get());
+  }
+  injector.Arm(&loop, &network);  // schedule the flap, apply the degrade
+
+  // ---- Server options: crash-consistent durability + patient retries.
+  BistroServer::Options opts;
+  opts.kv.sync_wal = true;
+  opts.sync_staging = true;
+  opts.metrics = &registry;
+  opts.delivery.retry_backoff = 2 * kSecond;
+  opts.delivery.retry_backoff_max = 30 * kSecond;
+  opts.delivery.probe_interval = 20 * kSecond;
+  opts.delivery.max_attempts = 100000;  // chaos must not drop files
+  opts.delivery.backoff_seed = static_cast<uint64_t>(seed) + 1;
+
+  std::unique_ptr<BistroServer> server;
+  auto boot = [&]() {
+    auto created = BistroServer::Create(opts, *config, &fs, &transport, &loop,
+                                        &invoker, &logger);
+    ASSERT_TRUE(created.ok()) << created.status();
+    server = std::move(*created);
+  };
+  boot();
+  ASSERT_NE(server, nullptr);
+
+  // ---- Cooperating sources: retry on error, stash while the server is
+  // down, re-deposit after restart. A failed Deposit leaves no arrival
+  // receipt, so re-depositing cannot double-deliver.
+  std::vector<std::pair<std::string, std::string>> stashed;
+  std::function<void(std::string, std::string)> deposit =
+      [&](std::string name, std::string content) {
+        if (server == nullptr) {
+          stashed.emplace_back(std::move(name), std::move(content));
+          return;
+        }
+        Status s = server->Deposit("src", name, content);
+        if (!s.ok()) {
+          loop.PostAfter(10 * kSecond, [&deposit, name, content] {
+            deposit(name, content);
+          });
+        }
+      };
+
+  // ---- Traffic: ~80 matching files over one simulated hour.
+  const int num_files = 60 + static_cast<int>(scenario_rng.Uniform(40));
+  std::map<std::string, std::pair<int, std::string>> expected;
+  for (int i = 0; i < num_files; ++i) {
+    TimePoint t = start + static_cast<Duration>(scenario_rng.Uniform(kHour));
+    int f = static_cast<int>(scenario_rng.Uniform(kNumFeeds));
+    CivilTime c = ToCivil(t);
+    std::string name = StrFormat("feed%c_%d_%04d%02d%02d%02d%02d.dat", 'a' + f,
+                                 i, c.year, c.month, c.day, c.hour, c.minute);
+    std::string content =
+        scenario_rng.AlnumString(20 + scenario_rng.Uniform(400));
+    expected[name] = {f, content};
+    loop.PostAt(t, [&deposit, name, content] { deposit(name, content); });
+  }
+
+  // ---- Mid-run crash: the server dies, unsynced bytes evaporate, and a
+  // fresh server recovers from the (crash-consistent) receipt database.
+  loop.PostAt(start + 30 * kMinute, [&] {
+    server.reset();
+    ASSERT_TRUE(fs.SimulateCrash().ok());
+  });
+  loop.PostAt(start + 32 * kMinute, [&] {
+    boot();
+    std::vector<std::pair<std::string, std::string>> pending;
+    pending.swap(stashed);
+    for (auto& [name, content] : pending) {
+      deposit(std::move(name), std::move(content));
+    }
+  });
+
+  // Run far past the traffic so retries, probes and backfills settle.
+  loop.RunUntil(start + 6 * kHour);
+
+  // ---- Invariants ----
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(stashed.empty());
+  EXPECT_GT(injector.injected(), 0u) << "fault plan injected nothing (seed "
+                                     << seed << ")";
+
+  for (int s = 0; s < kNumSubs; ++s) {
+    size_t want = 0;
+    for (const auto& [name, info] : expected) {
+      bool subscribed = false;
+      for (int f : subscriptions[s]) subscribed |= (f == info.first);
+      if (!subscribed) continue;
+      ++want;
+      std::string dest =
+          StrFormat("/recv/FEED%c/%s", 'A' + info.first, name.c_str());
+      auto got = sub_fs[s]->ReadFile(dest);
+      ASSERT_TRUE(got.ok()) << "sub" << s << " lost " << dest << " (seed "
+                            << seed << ")";
+      EXPECT_EQ(*got, info.second) << dest << " (seed " << seed << ")";
+    }
+    // No file lost, none double-landed: redeliveries (lost acks, the
+    // crash window) must be absorbed by receipts + endpoint dedupe.
+    EXPECT_EQ(sinks[s]->files_received(), want)
+        << "sub" << s << " delivery count off (seed " << seed << ")";
+  }
+
+  // Receipt-side convergence: nothing left undelivered anywhere.
+  for (int s = 0; s < kNumSubs; ++s) {
+    const SubscriberSpec* spec =
+        server->registry()->FindSubscriber(StrFormat("sub%d", s));
+    ASSERT_NE(spec, nullptr);
+    auto queue = server->receipts()->ComputeDeliveryQueue(
+        spec->name, server->registry()->SubscribedFeeds(*spec));
+    EXPECT_TRUE(queue.empty()) << "sub" << s << " still has " << queue.size()
+                               << " undelivered files (seed " << seed << ")";
+  }
+  EXPECT_TRUE(server->delivery()->dead_letters().empty())
+      << "chaos run dead-lettered a file (seed " << seed << ")";
+
+  // Observability: the injected faults and the dead-letter counter are in
+  // the same scrape as the delivery metrics.
+  std::string scrape = ExportPrometheus(&registry);
+  EXPECT_NE(scrape.find("bistro_fault_"), std::string::npos);
+  EXPECT_NE(scrape.find("bistro_delivery_dead_letter_total"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosE2ETest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace bistro

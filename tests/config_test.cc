@@ -141,6 +141,56 @@ TEST(ConfigParseTest, CommentsAndWhitespaceIgnored)
   EXPECT_EQ(config->feeds.size(), 1u);
 }
 
+TEST(ConfigParseTest, DeliveryTuningBlock) {
+  auto config = ParseConfig(R"(
+feed F { pattern "f_%i"; }
+delivery {
+  retry_backoff_min 2s;
+  retry_backoff_max 1m;
+  retry_multiplier 2.5;
+  retry_jitter off;
+  max_attempts 7;
+  offline_after 5;
+  probe_interval 45s;
+}
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  const DeliveryTuningSpec& d = config->delivery;
+  EXPECT_EQ(d.retry_backoff_min, 2 * kSecond);
+  EXPECT_EQ(d.retry_backoff_max, kMinute);
+  EXPECT_EQ(d.retry_multiplier, 2.5);
+  EXPECT_EQ(d.retry_jitter, false);
+  EXPECT_EQ(d.max_attempts, 7);
+  EXPECT_EQ(d.offline_after, 5);
+  EXPECT_EQ(d.probe_interval, 45 * kSecond);
+}
+
+TEST(ConfigParseTest, DeliveryRetryBackoffLegacyKeyIsAlias) {
+  // The pre-exponential-backoff key keeps working and sets the floor.
+  auto config = ParseConfig("delivery { retry_backoff 9s; }");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->delivery.retry_backoff_min, 9 * kSecond);
+}
+
+TEST(ConfigParseTest, DeliveryBlockRejectsBadValues) {
+  EXPECT_FALSE(ParseConfig("delivery { retry_multiplier 0.5; }").ok());
+  EXPECT_FALSE(ParseConfig("delivery { max_attempts 0; }").ok());
+  EXPECT_FALSE(ParseConfig("delivery { retry_jitter maybe; }").ok());
+  EXPECT_FALSE(ParseConfig("delivery { frobnicate 1; }").ok());
+}
+
+TEST(ConfigFormatTest, DeliveryBlockRoundTrips) {
+  auto config = ParseConfig(R"(
+feed F { pattern "f_%i"; }
+delivery { retry_backoff_min 3s; retry_multiplier 4; retry_jitter on; }
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  std::string formatted = FormatConfig(*config);
+  auto reparsed = ParseConfig(formatted);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << formatted;
+  EXPECT_EQ(*reparsed, *config) << formatted;
+}
+
 TEST(ConfigFormatTest, RoundTripsThroughParse) {
   auto config = ParseConfig(kSnmpConfig);
   ASSERT_TRUE(config.ok());
