@@ -1,0 +1,272 @@
+// Ingest pipeline throughput: staged parallel ingest vs the synchronous
+// per-file path (paper §4.1: normalization/compression plus staging
+// durability dominate the per-file ingest cost; the pipeline shards the
+// CPU work across a worker pool, overlaps the staging fsyncs, and
+// group-commits arrival receipts so one WAL fsync covers a whole batch).
+//
+// Storage model: the in-memory substrate completes fsync in nanoseconds,
+// which would hide exactly the latency the pipeline is built to absorb.
+// LatencyFileSystem injects real (slept) per-op latencies — 500 us per
+// fsync, 25 us per write/append — the shape of a local disk with a
+// battery-backed cache. Against that substrate the measured wall-clock
+// speedup comes from the two architectural effects that survive any
+// host: workers overlap their staging fsyncs, and the receipt thread
+// amortizes its WAL fsync over `batch` files. On multi-core hosts the
+// sharded compression adds a third, purely parallel win on top.
+//
+// Sweep: workers x receipt-batch. workers == 0 is the synchronous inline
+// baseline (the exact code path the pre-pipeline server ran); each
+// threaded row reports its speedup against that baseline. The acceptance
+// bar for the pipeline is >= 2x at 4 workers.
+//
+// Env:
+//   BISTRO_BENCH_QUICK  non-empty -> smaller corpus (CI smoke mode)
+//   BISTRO_BENCH_OUT    JSON output path (default BENCH_ingest.json)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "config/parser.h"
+#include "config/registry.h"
+#include "ingest/pipeline.h"
+#include "kv/receipts.h"
+#include "sim/event_loop.h"
+#include "vfs/memfs.h"
+
+using namespace bistro;
+
+namespace {
+
+constexpr int kNumFeeds = 16;
+constexpr auto kSyncLatency = std::chrono::microseconds(500);
+constexpr auto kWriteLatency = std::chrono::microseconds(25);
+
+/// Delegates to an InMemoryFileSystem but sleeps a fixed latency on every
+/// mutating op, so fsync cost is real wall-clock time the pipeline can
+/// (or cannot) overlap. Thread-safe: the sleeps happen outside the
+/// delegate's lock.
+class LatencyFileSystem : public FileSystem {
+ public:
+  explicit LatencyFileSystem(FileSystem* base) : base_(base) {}
+
+  Status WriteFile(const std::string& path, std::string_view data) override {
+    std::this_thread::sleep_for(kWriteLatency);
+    return base_->WriteFile(path, data);
+  }
+  Status AppendFile(const std::string& path, std::string_view data) override {
+    std::this_thread::sleep_for(kWriteLatency);
+    return base_->AppendFile(path, data);
+  }
+  Status Sync(const std::string& path) override {
+    std::this_thread::sleep_for(kSyncLatency);
+    return base_->Sync(path);
+  }
+  Result<std::string> ReadFile(const std::string& path) override {
+    return base_->ReadFile(path);
+  }
+  Result<FileInfo> Stat(const std::string& path) override {
+    return base_->Stat(path);
+  }
+  Result<std::vector<FileInfo>> ListDir(const std::string& path) override {
+    return base_->ListDir(path);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return base_->Rename(from, to);
+  }
+  Status Delete(const std::string& path) override { return base_->Delete(path); }
+  Status MkDirs(const std::string& path) override {
+    return base_->MkDirs(path);
+  }
+  bool Exists(const std::string& path) override { return base_->Exists(path); }
+  FsOpStats stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+ private:
+  FileSystem* base_;
+};
+
+std::string FeedConfig() {
+  std::string text;
+  for (int f = 0; f < kNumFeeds; ++f) {
+    text += StrFormat(
+        "feed F%02d { pattern \"f%02d_%%i_%%Y%%m%%d%%H%%M.dat\"; "
+        "compress lz; tardiness 60s; }\n",
+        f, f);
+  }
+  return text;
+}
+
+/// Poller-style CSV: repetitive structure with varying values, so the lz
+/// codec has real work to do and real wins to find (~64 KB/file).
+std::string MakePayload(Rng* rng, size_t target_bytes) {
+  std::string payload = "timestamp,device,metric,value,status\n";
+  payload.reserve(target_bytes + 64);
+  while (payload.size() < target_bytes) {
+    payload += StrFormat("1285387200,router%02llu,ifInOctets,%llu,OK\n",
+                         (unsigned long long)rng->Uniform(32),
+                         (unsigned long long)rng->Uniform(1000000000));
+  }
+  return payload;
+}
+
+struct RunResult {
+  int workers = 0;
+  size_t batch = 0;
+  int files = 0;
+  double seconds = 0;
+  double files_per_sec = 0;
+  double mb_per_sec = 0;
+  double speedup = 1.0;  // vs the workers==0 baseline at the same batch
+};
+
+RunResult RunOne(int workers, size_t batch, int num_files,
+                 const std::vector<std::string>& payloads) {
+  SimClock clock(FromCivil(CivilTime{2010, 9, 25}));
+  EventLoop loop(&clock);
+  InMemoryFileSystem memfs;
+  LatencyFileSystem fs(&memfs);
+  Logger logger(&clock);
+  logger.SetMinLevel(LogLevel::kAlarm);
+
+  auto config = ParseConfig(FeedConfig());
+  if (!config.ok()) std::abort();
+  auto registry = FeedRegistry::Create(*config);
+  if (!registry.ok()) std::abort();
+  FeedClassifier classifier(registry->get());
+  KvStore::Options kv_opts;
+  kv_opts.sync_wal = true;  // receipts are durable; group commit amortizes
+  auto receipts = ReceiptDatabase::Open(&fs, "/bistro/db", kv_opts);
+  if (!receipts.ok()) std::abort();
+
+  IngestPipeline::Options opts;
+  opts.workers = workers;
+  opts.batch = batch;
+  opts.queue_depth = 512;
+  opts.sync_staging = true;  // staged files are durable before the receipt
+  IngestPipeline pipeline(opts, &fs, &classifier, registry->get(),
+                          receipts->get(), &loop, &logger, nullptr);
+  pipeline.SetCallbacks(nullptr, nullptr, nullptr, nullptr);
+
+  // Land the whole corpus first (on the raw memfs: the benchmark measures
+  // the pipeline, not the landing-zone writes).
+  std::vector<IncomingFile> files;
+  files.reserve(num_files);
+  uint64_t total_bytes = 0;
+  for (int i = 0; i < num_files; ++i) {
+    const std::string& payload = payloads[i % payloads.size()];
+    IncomingFile f;
+    f.name = StrFormat("f%02d_%d_201009250400.dat", i % kNumFeeds, i);
+    f.landing_path = "/bistro/landing/src/" + f.name;
+    f.size = payload.size();
+    f.arrival_time = clock.Now();
+    f.source = "src";
+    total_bytes += payload.size();
+    if (!memfs.WriteFile(f.landing_path, payload).ok()) std::abort();
+    files.push_back(std::move(f));
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  pipeline.Start();
+  for (const IncomingFile& f : files) {
+    if (!pipeline.Submit(f).ok()) std::abort();
+  }
+  pipeline.WaitIdle();
+  auto t1 = std::chrono::steady_clock::now();
+  loop.RunUntilIdle();  // drain completion callbacks (not timed)
+
+  IngestStats stats = pipeline.stats();
+  if (stats.committed != static_cast<uint64_t>(num_files)) {
+    std::fprintf(stderr, "lost files: committed %llu of %d\n",
+                 (unsigned long long)stats.committed, num_files);
+    std::abort();
+  }
+
+  RunResult r;
+  r.workers = workers;
+  r.batch = batch;
+  r.files = num_files;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.files_per_sec = num_files / r.seconds;
+  r.mb_per_sec = static_cast<double>(total_bytes) / 1e6 / r.seconds;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("BISTRO_BENCH_QUICK") != nullptr;
+  const char* out_env = std::getenv("BISTRO_BENCH_OUT");
+  const std::string out_path = out_env != nullptr ? out_env : "BENCH_ingest.json";
+  const int num_files = quick ? 300 : 1200;
+  const size_t payload_bytes = 64 * 1000;
+
+  // A pool of distinct payloads, reused round-robin: per-file variety
+  // without regenerating the whole corpus.
+  Rng rng(42);
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 32; ++i) {
+    payloads.push_back(MakePayload(&rng, payload_bytes));
+  }
+
+  std::printf("=== Ingest pipeline: workers x batch sweep "
+              "(%d files x %zu KB, fsync %lld us%s) ===\n\n",
+              num_files, payload_bytes / 1000,
+              (long long)kSyncLatency.count(), quick ? ", quick" : "");
+  std::printf("%-8s %-6s %10s %12s %10s %9s\n", "workers", "batch", "sec",
+              "files/sec", "MB/s", "speedup");
+
+  const std::vector<int> worker_sweep = {0, 1, 2, 4, 8};
+  const std::vector<size_t> batch_sweep = {1, 8, 32};
+  std::vector<RunResult> results;
+  for (size_t batch : batch_sweep) {
+    double baseline = 0;
+    for (int workers : worker_sweep) {
+      RunResult r = RunOne(workers, batch, num_files, payloads);
+      if (workers == 0) baseline = r.files_per_sec;
+      r.speedup = r.files_per_sec / baseline;
+      results.push_back(r);
+      std::printf("%-8d %-6zu %10.3f %12.0f %10.1f %8.2fx\n", r.workers,
+                  r.batch, r.seconds, r.files_per_sec, r.mb_per_sec,
+                  r.speedup);
+    }
+    std::printf("\n");
+  }
+
+  std::string json = StrFormat(
+      "{\n  \"bench\": \"ingest\",\n  \"quick\": %s,\n  \"files\": %d,\n"
+      "  \"payload_bytes\": %zu,\n  \"fsync_latency_us\": %lld,\n"
+      "  \"results\": [\n",
+      quick ? "true" : "false", num_files, payload_bytes,
+      (long long)kSyncLatency.count());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    json += StrFormat(
+        "    {\"workers\": %d, \"batch\": %zu, \"seconds\": %.4f, "
+        "\"files_per_sec\": %.1f, \"mb_per_sec\": %.2f, "
+        "\"speedup_vs_sync\": %.3f}%s\n",
+        r.workers, r.batch, r.seconds, r.files_per_sec, r.mb_per_sec,
+        r.speedup, i + 1 < results.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  std::printf("\nExpected shape: workers overlap their staging fsyncs and "
+              "(on multi-core\nhosts) the compression itself; larger receipt "
+              "batches amortize the group\ncommit's WAL fsync. The combined "
+              "effect should clear 2x at 4 workers.\n");
+  return 0;
+}

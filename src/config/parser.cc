@@ -124,8 +124,11 @@ class Parser {
         BISTRO_RETURN_IF_ERROR(ParseSubscriber(&config));
       } else if (t.kind == TokKind::kIdent && t.text == "delivery") {
         BISTRO_RETURN_IF_ERROR(ParseDelivery(&config));
+      } else if (t.kind == TokKind::kIdent && t.text == "ingest") {
+        BISTRO_RETURN_IF_ERROR(ParseIngest(&config));
       } else {
-        return Err("expected 'group', 'feed', 'subscriber' or 'delivery'");
+        return Err(
+            "expected 'group', 'feed', 'subscriber', 'delivery' or 'ingest'");
       }
     }
     return config;
@@ -345,6 +348,40 @@ class Parser {
     return Status::OK();
   }
 
+  Status ParseIngest(ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "ingest", "'ingest'"));
+    IngestTuningSpec* g = &config->ingest;
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated ingest block");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      if (attr == "workers") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v < 0) return Err("workers must be >= 0");
+        g->workers = static_cast<int>(v);
+      } else if (attr == "queue_depth") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v <= 0) return Err("queue_depth must be positive");
+        g->queue_depth = static_cast<int>(v);
+      } else if (attr == "batch") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v <= 0) return Err("batch must be positive");
+        g->batch = static_cast<int>(v);
+      } else if (attr == "overload_policy") {
+        BISTRO_ASSIGN_OR_RETURN(std::string v, ExpectIdent());
+        if (v != "block" && v != "shed_oldest" && v != "spill") {
+          return Err("overload_policy must be block, shed_oldest or spill");
+        }
+        g->overload_policy = std::move(v);
+      } else {
+        return Err("unknown ingest attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
+    }
+    ++pos_;  // consume '}'
+    return Status::OK();
+  }
+
   Status ParseSubscriber(ServerConfig* config) {
     BISTRO_RETURN_IF_ERROR(
         Expect(TokKind::kIdent, "subscriber", "'subscriber'"));
@@ -520,6 +557,17 @@ std::string FormatConfig(const ServerConfig& config) {
     }
     if (d.probe_interval) {
       out += "  probe_interval " + DurationLiteral(*d.probe_interval) + ";\n";
+    }
+    out += "}\n";
+  }
+  const IngestTuningSpec& g = config.ingest;
+  if (!g.empty()) {
+    out += "ingest {\n";
+    if (g.workers) out += StrFormat("  workers %d;\n", *g.workers);
+    if (g.queue_depth) out += StrFormat("  queue_depth %d;\n", *g.queue_depth);
+    if (g.batch) out += StrFormat("  batch %d;\n", *g.batch);
+    if (g.overload_policy) {
+      out += "  overload_policy " + *g.overload_policy + ";\n";
     }
     out += "}\n";
   }

@@ -100,11 +100,34 @@ struct DeliveryTuningSpec {
   bool operator==(const DeliveryTuningSpec&) const = default;
 };
 
+/// Ingest-pipeline tuning (the config's `ingest { ... }` block). Every
+/// field is optional, mirroring DeliveryTuningSpec: unset keys keep the
+/// pipeline's compiled-in defaults.
+struct IngestTuningSpec {
+  /// Normalize/compress worker threads. 0 = synchronous inline ingest
+  /// (the deterministic default used under simulation).
+  std::optional<int> workers;
+  /// Bound on files queued inside the pipeline before the overload
+  /// policy engages.
+  std::optional<int> queue_depth;
+  /// Max arrival receipts committed per group (one fsync per group).
+  std::optional<int> batch;
+  /// "block", "shed_oldest" or "spill" (validated at parse time).
+  std::optional<std::string> overload_policy;
+
+  bool empty() const {
+    return !workers && !queue_depth && !batch && !overload_policy;
+  }
+
+  bool operator==(const IngestTuningSpec&) const = default;
+};
+
 /// A parsed Bistro configuration.
 struct ServerConfig {
   std::vector<FeedSpec> feeds;
   std::vector<SubscriberSpec> subscribers;
   DeliveryTuningSpec delivery;
+  IngestTuningSpec ingest;
 
   bool operator==(const ServerConfig&) const = default;
 };

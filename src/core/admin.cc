@@ -101,4 +101,33 @@ std::string RenderStatusReport(BistroServer* server) {
   return out;
 }
 
+std::string RenderDeadLetters(BistroServer* server) {
+  const std::vector<TransferJob>& dead = server->delivery()->dead_letters();
+  if (dead.empty()) return "dead-letter queue empty\n";
+  std::string out = StrFormat("=== Dead letters (%zu) ===\n", dead.size());
+  for (const TransferJob& job : dead) {
+    out += StrFormat("  file %-8llu %-32s -> %-20s feed %-16s %s, %d attempts\n",
+                     (unsigned long long)job.file_id, job.name.c_str(),
+                     job.subscriber.c_str(), job.feed.c_str(),
+                     HumanBytes(job.size).c_str(), job.attempts);
+  }
+  return out;
+}
+
+std::string ExecuteAdminCommand(BistroServer* server,
+                                const std::string& command) {
+  std::string cmd(Trim(command));
+  if (cmd == "status") return RenderStatusReport(server);
+  if (cmd == "deadletters") return RenderDeadLetters(server);
+  if (cmd == "redrive") {
+    size_t n = server->delivery()->dead_letters().size();
+    server->delivery()->RedriveDeadLetters();
+    return StrFormat("redriven %zu dead-letter job(s)\n", n);
+  }
+  if (cmd == "help") {
+    return "commands: status | deadletters | redrive | help\n";
+  }
+  return StrFormat("unknown admin command: '%s' (try 'help')\n", cmd.c_str());
+}
+
 }  // namespace bistro

@@ -15,6 +15,22 @@ namespace bistro {
 /// what an operator reads when an alarm fires.
 std::string RenderStatusReport(BistroServer* server);
 
+/// Renders the delivery dead-letter queue: one line per job that
+/// exhausted its retry budget, with the file, subscriber and attempt
+/// count an operator needs to decide whether to redrive.
+std::string RenderDeadLetters(BistroServer* server);
+
+/// Executes one operator console command against a running server and
+/// returns the rendered result. Commands:
+///   status       — full status report (RenderStatusReport)
+///   deadletters  — list parked dead-letter jobs (RenderDeadLetters)
+///   redrive      — resubmit every dead-letter job with a fresh budget
+///   help         — list available commands
+/// Unknown commands return an error string (never crash): this is the
+/// dispatch surface behind `bistrod --admin-file`.
+std::string ExecuteAdminCommand(BistroServer* server,
+                                const std::string& command);
+
 }  // namespace bistro
 
 #endif  // BISTRO_CORE_ADMIN_H_

@@ -40,6 +40,10 @@ BistroServer::BistroServer(Options options, FileSystem* fs,
   monitor_.AttachMetrics(metrics_);
 }
 
+BistroServer::~BistroServer() {
+  if (pipeline_ != nullptr) pipeline_->Shutdown();
+}
+
 ServerStats BistroServer::stats() const {
   ServerStats s;
   s.files_received = files_received_->value();
@@ -93,6 +97,54 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
       loop, server->registry_.get(), server->receipts_.get(), fs, transport,
       scheduler, invoker, logger, server->options_.delivery, server->metrics_,
       server->tracer_.get());
+  // Config-file ingest tuning overrides the compiled-in defaults, same
+  // contract as the delivery block above.
+  {
+    const IngestTuningSpec& tune = config.ingest;
+    IngestPipeline::Options* g = &server->options_.ingest;
+    if (tune.workers) g->workers = *tune.workers;
+    if (tune.queue_depth) g->queue_depth = static_cast<size_t>(*tune.queue_depth);
+    if (tune.batch) g->batch = static_cast<size_t>(*tune.batch);
+    if (tune.overload_policy) {
+      BISTRO_ASSIGN_OR_RETURN(g->overload_policy,
+                              OverloadPolicyFromName(*tune.overload_policy));
+    }
+    g->staging_root = server->options_.staging_root;
+    g->sync_staging = server->options_.sync_staging;
+    g->spill_path = path::Join(server->options_.db_dir, "ingest.spill");
+  }
+  server->pipeline_ = std::make_unique<IngestPipeline>(
+      server->options_.ingest, fs, server->classifier_.get(),
+      server->registry_.get(), server->receipts_.get(), loop, logger,
+      server->metrics_);
+  // In threaded mode the committed/error callbacks arrive via loop posts
+  // that can outlive this server; the weak token turns them into no-ops.
+  {
+    auto weak = std::weak_ptr<char>(server->alive_);
+    BistroServer* srv = server.get();
+    server->pipeline_->SetCallbacks(
+        [weak, srv](const IncomingFile&) {
+          if (!weak.lock()) return;
+          srv->files_classified_->Increment();
+        },
+        [weak, srv](const IncomingFile& file) {
+          if (!weak.lock()) return;
+          srv->files_unmatched_->Increment();
+          srv->unmatched_.emplace_back(file.name, file.arrival_time);
+          srv->logger_->Debug("classifier", "unmatched file: " + file.name);
+        },
+        [weak, srv](const IngestPipeline::Committed& done) {
+          if (!weak.lock()) return;
+          srv->OnIngestCommitted(done);
+        },
+        [weak, srv](const IncomingFile& file, const Status& status) {
+          if (!weak.lock()) return;
+          srv->logger_->Error("ingest", "failed to ingest " +
+                                            file.landing_path + ": " +
+                                            status.ToString());
+        });
+  }
+  server->pipeline_->Start();
   // Level gauges refresh at scrape time; the weak token makes the hook a
   // no-op once this server is gone (the registry may outlive it).
   Gauge* receipts_gauge = server->metrics_->GetGauge(
@@ -120,6 +172,12 @@ Status BistroServer::Deposit(const std::string& source,
   std::string landing_dir = path::Join(options_.landing_root, source);
   std::string landing_path = path::Join(landing_dir, filename);
   BISTRO_RETURN_IF_ERROR(fs_->WriteFile(landing_path, content));
+  // Threaded ingest acks the deposit at admission, before the receipt is
+  // durable, so the landing copy must survive a crash on its own — it is
+  // what the restart rescan re-admits.
+  if (pipeline_->threaded()) {
+    BISTRO_RETURN_IF_ERROR(fs_->Sync(landing_path));
+  }
   IncomingFile file;
   file.name = filename;
   file.landing_path = landing_path;
@@ -134,6 +192,8 @@ Result<size_t> BistroServer::ScanLandingZone() {
                           fs_->ListRecursive(options_.landing_root));
   size_t ingested = 0;
   for (const FileInfo& info : entries) {
+    // Already admitted (threaded mode): the pipeline owns this file.
+    if (pipeline_->InFlight(info.path)) continue;
     IncomingFile file;
     file.name = std::string(path::Basename(info.path));
     file.landing_path = info.path;
@@ -141,6 +201,19 @@ Result<size_t> BistroServer::ScanLandingZone() {
     file.arrival_time = loop_->Now();
     std::string_view dir = path::Dirname(info.path);
     file.source = std::string(path::Basename(dir));
+    // A crash between a file's receipt commit and its landing-file
+    // removal leaves this leftover behind; its receipt (found via the
+    // name index) proves it was ingested, so finish the removal instead
+    // of double-ingesting. (File names are assumed unique per file — the
+    // paper's patterns embed timestamps, §3.1.)
+    if (receipts_->FindIdByName(file.name).ok()) {
+      Status removed = fs_->Delete(info.path);
+      if (!removed.ok() && !removed.IsNotFound()) {
+        logger_->Error("ingest",
+                       "failed to remove leftover landing file " + info.path);
+      }
+      continue;
+    }
     Status s = Ingest(file);
     if (!s.ok()) {
       logger_->Error("ingest",
@@ -155,78 +228,26 @@ Result<size_t> BistroServer::ScanLandingZone() {
 Status BistroServer::Ingest(const IncomingFile& file) {
   files_received_->Increment();
   bytes_received_->Increment(file.size);
-  Classification c = classifier_->Classify(file.name);
-  if (!c.matched()) {
-    files_unmatched_->Increment();
-    unmatched_.emplace_back(file.name, file.arrival_time);
-    logger_->Debug("classifier", "unmatched file: " + file.name);
-    // Unmatched files stay out of staging; they remain in the landing
-    // zone's quarantine area for the analyzer to study.
-    return Status::OK();
+  // The pipeline runs classify -> normalize/compress -> stage -> receipt
+  // group commit; unmatched files stay in the landing zone's quarantine
+  // area for the analyzer to study. In sync mode (workers == 0) all of it
+  // happens inside this call; in threaded mode this call only classifies
+  // and admits, and OnIngestCommitted fires later on the event loop.
+  return pipeline_->Submit(file);
+}
+
+void BistroServer::OnIngestCommitted(const IngestPipeline::Committed& done) {
+  const StagedFile& staged = done.staged;
+  tracer_->Begin(staged.id, staged.name, staged.feeds.front(),
+                 staged.arrival_time);
+  tracer_->Mark(staged.id, PipelineStage::kClassify, done.classify_at);
+  tracer_->Mark(staged.id, PipelineStage::kNormalize, done.normalize_at);
+  tracer_->Mark(staged.id, PipelineStage::kStage, done.stage_at);
+  tracer_->Mark(staged.id, PipelineStage::kReceipt, done.receipt_at);
+  for (const auto& feed : staged.feeds) {
+    monitor_.OnArrival(feed, staged.size, staged.arrival_time);
   }
-  files_classified_->Increment();
-
-  // Read the raw bytes, normalize under the primary feed's policy, write
-  // into staging, and remove from the landing zone (keeping landing
-  // directories small is what makes the landing-zone approach fast, §4.1).
-  BISTRO_ASSIGN_OR_RETURN(std::string content,
-                          fs_->ReadFile(file.landing_path));
-  const RegisteredFeed* primary = registry_->FindFeed(c.feeds.front());
-  if (primary == nullptr) {
-    return Status::Internal("classified into unknown feed: " + c.feeds.front());
-  }
-  BISTRO_ASSIGN_OR_RETURN(
-      NormalizedFile normalized,
-      primary->normalizer.Apply(file.name, c.primary_match, std::move(content)));
-
-  BISTRO_ASSIGN_OR_RETURN(FileId id, receipts_->NextFileId());
-  std::string rel_path =
-      path::Join(primary->spec.name, normalized.relative_path);
-  std::string staged_path = path::Join(options_.staging_root, rel_path);
-
-  BISTRO_RETURN_IF_ERROR(fs_->WriteFile(staged_path, normalized.content));
-  if (options_.sync_staging) {
-    BISTRO_RETURN_IF_ERROR(fs_->Sync(staged_path));
-  }
-  Status removed = fs_->Delete(file.landing_path);
-  if (!removed.ok() && !removed.IsNotFound()) return removed;
-
-  ArrivalReceipt receipt;
-  receipt.file_id = id;
-  receipt.name = file.name;
-  receipt.staged_path = staged_path;
-  receipt.rel_path = rel_path;
-  receipt.size = normalized.content.size();
-  receipt.arrival_time = file.arrival_time;
-  receipt.data_time = c.primary_match.timestamp.value_or(0);
-  receipt.feeds = c.feeds;
-  BISTRO_RETURN_IF_ERROR(receipts_->RecordArrival(receipt));
-
-  // The ingest-side stages all complete within this call (same loop
-  // tick), so their marks share one timestamp; the landing -> classify
-  // span carries any landing-zone dwell (e.g. scan-based pickup).
-  TimePoint ingested_at = loop_->Now();
-  tracer_->Begin(id, file.name, c.feeds.front(), file.arrival_time);
-  tracer_->Mark(id, PipelineStage::kClassify, ingested_at);
-  tracer_->Mark(id, PipelineStage::kReceipt, ingested_at);
-  tracer_->Mark(id, PipelineStage::kNormalize, ingested_at);
-  tracer_->Mark(id, PipelineStage::kStage, ingested_at);
-
-  for (const auto& feed : c.feeds) {
-    monitor_.OnArrival(feed, receipt.size, file.arrival_time);
-  }
-
-  StagedFile staged;
-  staged.id = id;
-  staged.name = file.name;
-  staged.staged_path = staged_path;
-  staged.rel_path = rel_path;
-  staged.size = receipt.size;
-  staged.arrival_time = file.arrival_time;
-  staged.data_time = receipt.data_time;
-  staged.feeds = c.feeds;
   delivery_->SubmitStagedFile(staged);
-  return Status::OK();
 }
 
 void BistroServer::SourceEndOfBatch(const FeedName& feed,
@@ -244,7 +265,7 @@ Status BistroServer::AddSubscriber(const SubscriberSpec& spec) {
 
 Status BistroServer::ReviseFeed(const FeedSpec& spec) {
   BISTRO_RETURN_IF_ERROR(registry_->UpdateFeed(spec));
-  classifier_->Rebuild();
+  pipeline_->RebuildClassifier();
   logger_->Info("admin", "feed definition revised: " + spec.name);
   delivery_->BackfillFeed(spec.name);
   return Status::OK();

@@ -12,6 +12,7 @@
 #include "core/types.h"
 #include "delivery/archiver.h"
 #include "delivery/engine.h"
+#include "ingest/pipeline.h"
 #include "kv/receipts.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -60,6 +61,11 @@ class BistroServer : public Endpoint {
     /// Cadence of the window cleaner and stall checker.
     Duration maintenance_interval = kMinute;
     DeliveryEngine::Options delivery;
+    /// Ingest-pipeline tuning (workers, queue bound, group-commit batch,
+    /// overload policy). workers == 0 keeps ingest synchronous inline.
+    /// staging_root/sync_staging/spill_path are overwritten from this
+    /// struct's own fields at Create time.
+    IngestPipeline::Options ingest;
     /// Receipt-database tuning (e.g. sync_wal for crash consistency).
     KvStore::Options kv;
     /// fsync each staged file before recording its arrival receipt, so a
@@ -79,7 +85,8 @@ class BistroServer : public Endpoint {
       Transport* transport, EventLoop* loop, TriggerInvoker* invoker,
       Logger* logger, DeliveryScheduler* scheduler = nullptr);
 
-  ~BistroServer() override = default;
+  /// Stops the ingest pipeline's threads (if any) before members die.
+  ~BistroServer() override;
 
   // ------------------------------------------------------------ Sources
 
@@ -146,6 +153,7 @@ class BistroServer : public Endpoint {
   FeedMonitor* monitor() { return &monitor_; }
   FeedClassifier* classifier() { return classifier_.get(); }
   DeliveryEngine* delivery() { return delivery_.get(); }
+  IngestPipeline* ingest() { return pipeline_.get(); }
 
   /// Names of files that matched no feed, for the analyzer (§5.1).
   /// Drains the buffer.
@@ -160,8 +168,13 @@ class BistroServer : public Endpoint {
   BistroServer(Options options, FileSystem* fs, Transport* transport,
                EventLoop* loop, TriggerInvoker* invoker, Logger* logger);
 
-  /// Classify + receipt + normalize + stage + schedule one landed file.
+  /// Counts the file and submits it to the ingest pipeline (which runs
+  /// classify + normalize + stage + receipt inline or on workers).
   Status Ingest(const IncomingFile& file);
+
+  /// Pipeline completion: trace the stages, feed the monitor, hand the
+  /// staged file to delivery. Runs on the event loop in both modes.
+  void OnIngestCommitted(const IngestPipeline::Committed& done);
 
   Options options_;
   FileSystem* fs_;
@@ -193,6 +206,10 @@ class BistroServer : public Endpoint {
   Counter* punctuations_;
   std::vector<std::pair<std::string, TimePoint>> unmatched_;
   bool maintenance_running_ = false;
+
+  /// Declared last: its worker threads call into the members above, so it
+  /// must be destroyed (and its threads joined) before any of them.
+  std::unique_ptr<IngestPipeline> pipeline_;
 };
 
 }  // namespace bistro

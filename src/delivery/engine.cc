@@ -64,6 +64,42 @@ DeliveryEngine::DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
   offline_transitions_ = metrics->GetCounter(
       "bistro_delivery_offline_transitions_total",
       "Subscribers flagged offline");
+  pending_evicted_ = metrics->GetCounter(
+      "bistro_delivery_pending_evicted_total",
+      "Pending-dedupe pairs evicted by the size cap");
+  pending_pairs_ = metrics->GetGauge(
+      "bistro_delivery_pending_pairs",
+      "(file, subscriber) pairs currently queued or in flight");
+}
+
+void DeliveryEngine::InsertPending(
+    const std::pair<FileId, SubscriberName>& key) {
+  pending_.insert(key);
+  pending_order_.push_back(key);
+  // Over the cap: forget the oldest tracked pair. Its job (if any) still
+  // runs; only the dedupe memory is lost, so the worst case is one wasted
+  // duplicate submit that the receipt check absorbs.
+  while (pending_.size() > options_.max_pending_pairs &&
+         !pending_order_.empty()) {
+    auto oldest = pending_order_.front();
+    pending_order_.pop_front();
+    if (oldest != key && pending_.erase(oldest) > 0) {
+      pending_evicted_->Increment();
+    }
+  }
+  pending_pairs_->Set(static_cast<int64_t>(pending_.size()));
+}
+
+void DeliveryEngine::ErasePending(
+    const std::pair<FileId, SubscriberName>& key) {
+  pending_.erase(key);
+  // Lazy compaction: drop dead entries from the front so the order queue
+  // tracks the live set instead of all-time insertions.
+  while (!pending_order_.empty() &&
+         pending_.count(pending_order_.front()) == 0) {
+    pending_order_.pop_front();
+  }
+  pending_pairs_->Set(static_cast<int64_t>(pending_.size()));
 }
 
 DeliveryStats DeliveryEngine::stats() const {
@@ -124,7 +160,7 @@ void DeliveryEngine::SubmitStagedFile(const StagedFile& file) {
       job.arrival_time = file.arrival_time;
       job.data_time = file.data_time;
       job.deadline = file.arrival_time + tardiness;
-      pending_.insert(key);
+      InsertPending(key);
       jobs_submitted_->Increment();
       scheduler_->Submit(std::move(job));
     }
@@ -143,7 +179,7 @@ void DeliveryEngine::StartJob(TransferJob job) {
   TimePoint started = loop_->Now();
   if (sub == nullptr || offline_.count(job.subscriber) != 0) {
     // Subscriber vanished or went offline while the job was queued.
-    pending_.erase({job.file_id, job.subscriber});
+    ErasePending({job.file_id, job.subscriber});
     parked_->Increment();
     scheduler_->OnComplete(job, /*success=*/false, started, 0);
     return;
@@ -165,7 +201,7 @@ void DeliveryEngine::StartJob(TransferJob job) {
         logger_->Error("delivery",
                        "staged file unreadable: " + job.staged_path + " (" +
                            content.status().ToString() + ")");
-        pending_.erase({job.file_id, job.subscriber});
+        ErasePending({job.file_id, job.subscriber});
         scheduler_->OnComplete(job, /*success=*/false, started, 0);
         return;
       }
@@ -199,7 +235,7 @@ void DeliveryEngine::OnJobDone(TransferJob job, TimePoint started,
   TimePoint now = loop_->Now();
   scheduler_->OnComplete(job, status.ok(), now, now - started);
   if (status.ok()) {
-    pending_.erase({job.file_id, job.subscriber});
+    ErasePending({job.file_id, job.subscriber});
     Status rec = receipts_->RecordDelivery(job.subscriber, job.file_id, now);
     if (!rec.ok()) {
       logger_->Error("delivery",
@@ -248,13 +284,13 @@ void DeliveryEngine::HandleFailure(TransferJob job) {
     offline_transitions_->Increment();
     logger_->Warning("delivery",
                      "subscriber flagged offline after repeated failures: " + sub);
-    pending_.erase({job.file_id, sub});
+    ErasePending({job.file_id, sub});
     loop_->PostAfter(options_.probe_interval,
                      Guard([this, sub] { ProbeOffline(sub); }));
     return;
   }
   if (offline_.count(sub) != 0) {
-    pending_.erase({job.file_id, sub});
+    ErasePending({job.file_id, sub});
     parked_->Increment();
     return;
   }
@@ -264,7 +300,7 @@ void DeliveryEngine::HandleFailure(TransferJob job) {
         "delivery",
         StrFormat("dead-lettering file %llu to %s after %d attempts",
                   (unsigned long long)job.file_id, sub.c_str(), job.attempts));
-    pending_.erase({job.file_id, sub});
+    ErasePending({job.file_id, sub});
     dead_lettered_->Increment();
     dead_letter_.push_back(std::move(job));
     return;
@@ -310,7 +346,7 @@ void DeliveryEngine::RedriveDeadLetters() {
     if (pending_.count(key) != 0) continue;
     job.attempts = 0;
     job.last_backoff = 0;
-    pending_.insert(key);
+    InsertPending(key);
     jobs_submitted_->Increment();
     scheduler_->Submit(std::move(job));
   }
@@ -373,7 +409,7 @@ void DeliveryEngine::SubmitJobsFor(const SubscriberSpec& sub,
     job.data_time = receipt.data_time;
     job.deadline = receipt.arrival_time + tardiness;
     job.backfill = backfill;
-    pending_.insert(key);
+    InsertPending(key);
     jobs_submitted_->Increment();
     if (backfill) backfilled_->Increment();
     scheduler_->Submit(std::move(job));

@@ -1,6 +1,7 @@
 #ifndef BISTRO_DELIVERY_ENGINE_H_
 #define BISTRO_DELIVERY_ENGINE_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -76,6 +77,12 @@ class DeliveryEngine {
     /// Max delivery attempts per job per online episode; a job that
     /// exhausts them moves to the dead-letter queue.
     int max_attempts = 10;
+    /// Bound on the (file, subscriber) pending-dedupe set. Above it, the
+    /// oldest tracked pair is forgotten: a later backfill may then
+    /// resubmit that delivery, which the delivery receipt check and the
+    /// endpoint's dedupe absorb — memory stays bounded, exactly-once is
+    /// preserved, only a wasted duplicate submit is possible.
+    size_t max_pending_pairs = 1 << 20;
   };
 
   /// `metrics` may be null (the engine then owns a private registry so
@@ -144,6 +151,10 @@ class DeliveryEngine {
   void SubmitJobsFor(const SubscriberSpec& sub,
                      const std::vector<ArrivalReceipt>& receipts,
                      bool backfill);
+  /// pending_ bookkeeping: inserts/erases keep the size-capped order
+  /// queue and the depth gauge in step with the set.
+  void InsertPending(const std::pair<FileId, SubscriberName>& key);
+  void ErasePending(const std::pair<FileId, SubscriberName>& key);
 
   EventLoop* loop_;
   FeedRegistry* registry_;
@@ -185,8 +196,14 @@ class DeliveryEngine {
   std::vector<TransferJob> dead_letter_;
   std::set<SubscriberName> offline_;
   /// (file, subscriber) pairs queued or in flight, to dedupe backfill
-  /// against real-time submission.
+  /// against real-time submission. Bounded to max_pending_pairs; see
+  /// InsertPending for the eviction contract.
   std::set<std::pair<FileId, SubscriberName>> pending_;
+  /// Insertion order of pending_ entries (lazily compacted), so the cap
+  /// evicts oldest-first.
+  std::deque<std::pair<FileId, SubscriberName>> pending_order_;
+  Counter* pending_evicted_;
+  Gauge* pending_pairs_;
   std::map<std::pair<SubscriberName, FeedName>, std::unique_ptr<Batcher>>
       batchers_;
   /// Single-entry cache of the most recently read staged file. Staged

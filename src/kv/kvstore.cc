@@ -147,6 +147,23 @@ Status KvStore::Apply(const std::vector<Write>& batch) {
 
 Status KvStore::ApplyLocked(const std::vector<Write>& batch) {
   BISTRO_RETURN_IF_ERROR(wal_.Append(EncodeBatch(batch)));
+  ApplyToTableLocked(batch);
+  MaybeAutoCheckpointLocked();
+  return Status::OK();
+}
+
+Status KvStore::ApplyMulti(const std::vector<std::vector<Write>>& batches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> records;
+  records.reserve(batches.size());
+  for (const auto& batch : batches) records.push_back(EncodeBatch(batch));
+  BISTRO_RETURN_IF_ERROR(wal_.AppendBatch(records));
+  for (const auto& batch : batches) ApplyToTableLocked(batch);
+  MaybeAutoCheckpointLocked();
+  return Status::OK();
+}
+
+void KvStore::ApplyToTableLocked(const std::vector<Write>& batch) {
   for (const auto& w : batch) {
     if (w.value.has_value()) {
       table_[w.key] = *w.value;
@@ -154,25 +171,28 @@ Status KvStore::ApplyLocked(const std::vector<Write>& batch) {
       table_.erase(w.key);
     }
   }
-  if (options_.checkpoint_wal_bytes > 0 &&
-      wal_.SizeBytes() > options_.checkpoint_wal_bytes) {
-    // Best-effort background-style checkpoint; failure leaves WAL intact.
-    std::string body;
-    for (const auto& [k, v] : table_) {
-      PutLengthPrefixed(&body, k);
-      PutLengthPrefixed(&body, v);
-    }
-    uint32_t crc = Crc32(body);
-    char crc_buf[4];
-    std::memcpy(crc_buf, &crc, 4);
-    body.append(crc_buf, 4);
-    std::string tmp = path::Join(dir_, kCheckpointTmp);
-    Status s = fs_->WriteFile(tmp, body);
-    if (s.ok()) s = fs_->Rename(tmp, path::Join(dir_, kCheckpointFile));
-    if (s.ok()) s = wal_.Truncate();
-    // Swallow checkpoint failures: durability is unaffected.
+}
+
+void KvStore::MaybeAutoCheckpointLocked() {
+  if (options_.checkpoint_wal_bytes == 0 ||
+      wal_.SizeBytes() <= options_.checkpoint_wal_bytes) {
+    return;
   }
-  return Status::OK();
+  // Best-effort background-style checkpoint; failure leaves WAL intact.
+  std::string body;
+  for (const auto& [k, v] : table_) {
+    PutLengthPrefixed(&body, k);
+    PutLengthPrefixed(&body, v);
+  }
+  uint32_t crc = Crc32(body);
+  char crc_buf[4];
+  std::memcpy(crc_buf, &crc, 4);
+  body.append(crc_buf, 4);
+  std::string tmp = path::Join(dir_, kCheckpointTmp);
+  Status s = fs_->WriteFile(tmp, body);
+  if (s.ok()) s = fs_->Rename(tmp, path::Join(dir_, kCheckpointFile));
+  if (s.ok()) s = wal_.Truncate();
+  // Swallow checkpoint failures: durability is unaffected.
 }
 
 Status KvStore::Put(std::string key, std::string value) {

@@ -51,6 +51,14 @@ class KvStore {
   /// Applies a batch atomically and durably.
   Status Apply(const std::vector<Write>& batch);
 
+  /// Group commit: applies several batches in one WAL append + one fsync
+  /// (when sync_wal is set), amortizing the durability cost over the
+  /// group. Each batch keeps its individual atomicity (one WAL record per
+  /// batch); on failure the whole group is rolled back and none of the
+  /// batches is applied. A crash can still make a *prefix* of the group
+  /// durable — callers must order batches so any prefix is consistent.
+  Status ApplyMulti(const std::vector<std::vector<Write>>& batches);
+
   Status Put(std::string key, std::string value);
   Status Delete(std::string key);
 
@@ -81,6 +89,8 @@ class KvStore {
 
   Status Recover();
   Status ApplyLocked(const std::vector<Write>& batch);
+  void ApplyToTableLocked(const std::vector<Write>& batch);
+  void MaybeAutoCheckpointLocked();
   static std::string EncodeBatch(const std::vector<Write>& batch);
   static Status DecodeBatch(std::string_view record, std::vector<Write>* batch);
 

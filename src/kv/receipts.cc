@@ -96,6 +96,12 @@ Result<FileId> ReceiptDatabase::NextFileId() {
 void ReceiptDatabase::AttachMetrics(MetricsRegistry* registry) {
   arrivals_recorded_ = registry->GetCounter(
       "bistro_receipts_arrivals_total", "Arrival receipts recorded");
+  group_commits_ = registry->GetCounter(
+      "bistro_receipts_group_commits_total",
+      "Arrival receipt groups committed (one fsync each)");
+  group_commit_files_ = registry->GetCounter(
+      "bistro_receipts_group_commit_files_total",
+      "Arrival receipts committed through groups");
   deliveries_recorded_ = registry->GetCounter(
       "bistro_receipts_deliveries_total", "Delivery receipts recorded");
   files_expired_ = registry->GetCounter(
@@ -104,16 +110,63 @@ void ReceiptDatabase::AttachMetrics(MetricsRegistry* registry) {
   kv_->wal()->AttachMetrics(registry);
 }
 
-Status ReceiptDatabase::RecordArrival(const ArrivalReceipt& receipt) {
+namespace {
+std::vector<KvStore::Write> ArrivalBatch(const ArrivalReceipt& receipt) {
   std::vector<KvStore::Write> batch;
   std::string idkey = FileIdKey(receipt.file_id);
   batch.push_back(KvStore::Write::Put("a/" + idkey, EncodeArrival(receipt)));
+  batch.push_back(KvStore::Write::Put("n/" + receipt.name, idkey));
   for (const auto& feed : receipt.feeds) {
     batch.push_back(KvStore::Write::Put("f/" + feed + "/" + idkey, ""));
   }
-  BISTRO_RETURN_IF_ERROR(kv_->Apply(batch));
+  return batch;
+}
+}  // namespace
+
+Status ReceiptDatabase::RecordArrival(const ArrivalReceipt& receipt) {
+  BISTRO_RETURN_IF_ERROR(kv_->Apply(ArrivalBatch(receipt)));
   if (arrivals_recorded_ != nullptr) arrivals_recorded_->Increment();
   return Status::OK();
+}
+
+Status ReceiptDatabase::RecordArrivalGroup(
+    std::vector<ArrivalReceipt>* receipts) {
+  if (receipts->empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(seq_mu_);
+  FileId seq = 0;
+  auto cur = kv_->Get("seq");
+  if (cur.ok()) {
+    auto parsed = ParseInt(*cur);
+    if (!parsed) return Status::Corruption("bad seq value");
+    seq = static_cast<FileId>(*parsed);
+  } else if (!cur.status().IsNotFound()) {
+    return cur.status();
+  }
+  std::vector<std::vector<KvStore::Write>> batches;
+  batches.reserve(receipts->size() + 1);
+  // The sequence bump is the group's first record: a torn group keeps a
+  // record prefix, so the bump outlives any surviving receipt and the
+  // burned ids are never reassigned after recovery.
+  batches.push_back({KvStore::Write::Put(
+      "seq", std::to_string(seq + receipts->size()))});
+  for (ArrivalReceipt& r : *receipts) {
+    r.file_id = ++seq;
+    batches.push_back(ArrivalBatch(r));
+  }
+  BISTRO_RETURN_IF_ERROR(kv_->ApplyMulti(batches));
+  if (arrivals_recorded_ != nullptr) {
+    arrivals_recorded_->Increment(receipts->size());
+  }
+  if (group_commits_ != nullptr) {
+    group_commits_->Increment();
+    group_commit_files_->Increment(receipts->size());
+  }
+  return Status::OK();
+}
+
+Result<FileId> ReceiptDatabase::FindIdByName(const std::string& name) const {
+  BISTRO_ASSIGN_OR_RETURN(std::string idkey, kv_->Get("n/" + name));
+  return ParseFileIdKey(idkey);
 }
 
 Status ReceiptDatabase::RecordDelivery(const SubscriberName& subscriber,
@@ -179,6 +232,12 @@ Result<std::vector<std::string>> ReceiptDatabase::ExpireBefore(TimePoint cutoff)
     std::string idkey = FileIdKey(*id);
     for (const auto& feed : receipt->feeds) {
       batch.push_back(KvStore::Write::Del("f/" + feed + "/" + idkey));
+    }
+    // Drop the name-index entry only if it still points at this id; a
+    // newer same-name arrival owns the key now and must keep it.
+    auto named = kv_->Get("n/" + receipt->name);
+    if (named.ok() && *named == idkey) {
+      batch.push_back(KvStore::Write::Del("n/" + receipt->name));
     }
   }
   if (!batch.empty()) BISTRO_RETURN_IF_ERROR(kv_->Apply(batch));

@@ -32,6 +32,10 @@ struct ArrivalReceipt {
 /// Key space:
 ///   a/<file_id16x>            -> encoded ArrivalReceipt
 ///   f/<feed>/<file_id16x>     -> ""            (per-feed index)
+///   n/<name>                  -> file_id16x    (latest arrival by name;
+///                                lets the landing-zone scan skip files a
+///                                crash left behind after their receipt
+///                                committed)
 ///   d/<subscriber>/<file_id16x> -> delivery time (decimal)
 ///   seq                       -> last assigned file id
 class ReceiptDatabase {
@@ -48,8 +52,22 @@ class ReceiptDatabase {
   Result<FileId> NextFileId();
 
   /// Records an arrival receipt (and its per-feed index entries)
-  /// atomically.
+  /// atomically. `receipt.file_id` must already be assigned.
   Status RecordArrival(const ArrivalReceipt& receipt);
+
+  /// Group commit (the ingest pipeline's receipt stage): assigns each
+  /// receipt the next FileId and records the whole group with a single
+  /// WAL append + fsync, amortizing the durability cost over the group.
+  /// The sequence bump is the group's first record, so a torn group (a
+  /// crash mid-commit preserves a record *prefix*) can only burn ids —
+  /// it can never reassign an id a surviving receipt already uses.
+  /// On success every receipt's file_id is filled in, ascending in input
+  /// order; on failure none of the group is committed.
+  Status RecordArrivalGroup(std::vector<ArrivalReceipt>* receipts);
+
+  /// The latest arrival recorded under `name`, via the n/<name> index.
+  /// NotFound when the name was never recorded (or predates the index).
+  Result<FileId> FindIdByName(const std::string& name) const;
 
   /// Records that `file_id` was delivered to `subscriber` at `when`.
   Status RecordDelivery(const SubscriberName& subscriber, FileId file_id,
@@ -89,6 +107,8 @@ class ReceiptDatabase {
   Counter* arrivals_recorded_ = nullptr;
   Counter* deliveries_recorded_ = nullptr;
   Counter* files_expired_ = nullptr;
+  Counter* group_commits_ = nullptr;
+  Counter* group_commit_files_ = nullptr;
 };
 
 }  // namespace bistro

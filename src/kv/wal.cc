@@ -48,6 +48,17 @@ void WriteAheadLog::AttachMetrics(MetricsRegistry* registry) {
       "Torn/corrupt tails dropped by RepairTail");
 }
 
+namespace {
+void FrameRecord(std::string* out, std::string_view record) {
+  uint32_t crc = Crc32(record);
+  char crc_buf[4];
+  std::memcpy(crc_buf, &crc, 4);
+  out->append(crc_buf, 4);
+  PutVarint(out, record.size());
+  out->append(record.data(), record.size());
+}
+}  // namespace
+
 Status WriteAheadLog::Append(std::string_view record) {
   if (!committed_len_.has_value()) {
     // First append through this instance: establish the committed length
@@ -63,12 +74,7 @@ Status WriteAheadLog::Append(std::string_view record) {
   }
   std::string framed;
   framed.reserve(record.size() + 10);
-  uint32_t crc = Crc32(record);
-  char crc_buf[4];
-  std::memcpy(crc_buf, &crc, 4);
-  framed.append(crc_buf, 4);
-  PutVarint(&framed, record.size());
-  framed.append(record.data(), record.size());
+  FrameRecord(&framed, record);
   if (appends_ != nullptr) {
     appends_->Increment();
     append_bytes_->Increment(framed.size());
@@ -89,6 +95,42 @@ Status WriteAheadLog::Append(std::string_view record) {
       // treat it as failed. Remove it: if it stayed, a later successful
       // sync would make it durable and recovery would replay a record
       // the caller believes was never committed.
+      (void)TruncateTo(*committed_len_);
+      return synced;
+    }
+  }
+  *committed_len_ += framed.size();
+  return Status::OK();
+}
+
+Status WriteAheadLog::AppendBatch(const std::vector<std::string>& records) {
+  if (records.empty()) return Status::OK();
+  if (!committed_len_.has_value()) {
+    BISTRO_RETURN_IF_ERROR(RepairTail());
+  }
+  if (SizeBytes() != *committed_len_) {
+    BISTRO_RETURN_IF_ERROR(TruncateTo(*committed_len_));
+  }
+  std::string framed;
+  size_t total = 0;
+  for (const std::string& r : records) total += r.size() + 10;
+  framed.reserve(total);
+  for (const std::string& r : records) FrameRecord(&framed, r);
+  if (appends_ != nullptr) {
+    appends_->Increment(records.size());
+    append_bytes_->Increment(framed.size());
+  }
+  Status s = fs_->AppendFile(path_, framed);
+  if (!s.ok()) {
+    // The group may have landed partially; roll the whole group back so
+    // the caller's "the group failed" view matches recovery.
+    (void)TruncateTo(*committed_len_);
+    return s;
+  }
+  if (sync_on_append_) {
+    if (syncs_ != nullptr) syncs_->Increment();
+    Status synced = fs_->Sync(path_);
+    if (!synced.ok()) {
       (void)TruncateTo(*committed_len_);
       return synced;
     }

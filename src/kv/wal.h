@@ -4,6 +4,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -36,6 +37,18 @@ class WriteAheadLog {
   /// record the caller saw fail can never resurface at recovery (and a
   /// torn tail cannot turn into mid-log corruption for later appends).
   Status Append(std::string_view record);
+
+  /// Appends several records as one group: every record is framed into a
+  /// single buffer, written with one FileSystem::AppendFile and (when
+  /// sync_on_append is set) made durable with one Sync — the fsync cost
+  /// is amortized over the whole group. On failure the log rolls back to
+  /// the committed prefix, so either the group's bytes are entirely
+  /// rolled back or they are all in the file. A crash mid-append can
+  /// still tear the group; because records are framed individually,
+  /// recovery then keeps a clean *prefix* of the group's records (callers
+  /// order records so a surviving prefix is always consistent — e.g. the
+  /// receipt database commits its sequence bump first).
+  Status AppendBatch(const std::vector<std::string>& records);
 
   /// Rewrites the log to its longest intact prefix of records, dropping a
   /// torn or corrupt tail. Called after a failed append and after a

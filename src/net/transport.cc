@@ -115,9 +115,17 @@ Status FileSinkEndpoint::HandleMessage(const Message& msg) {
         ++corrupt_rejected_;
         return Status::Corruption("payload crc mismatch: " + msg.name);
       }
-      if (msg.file_id != 0 && !delivered_ids_.insert(msg.file_id).second) {
-        ++duplicates_;
-        break;  // already landed; ack without writing again
+      if (msg.file_id != 0) {
+        if (!delivered_ids_.insert(msg.file_id).second) {
+          ++duplicates_;
+          break;  // already landed; ack without writing again
+        }
+        delivered_order_.push_back(msg.file_id);
+        while (delivered_order_.size() > dedupe_capacity_) {
+          delivered_ids_.erase(delivered_order_.front());
+          delivered_order_.pop_front();
+          ++dedupe_evictions_;
+        }
       }
       std::string dest = path::Join(dest_root_, msg.dest_path.empty()
                                                     ? msg.name

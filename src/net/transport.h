@@ -1,6 +1,7 @@
 #ifndef BISTRO_NET_TRANSPORT_H_
 #define BISTRO_NET_TRANSPORT_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -109,8 +110,18 @@ class SimTransport : public Transport {
 /// subscriber-side contract used by examples and tests.
 class FileSinkEndpoint : public Endpoint {
  public:
-  FileSinkEndpoint(FileSystem* fs, std::string dest_root)
-      : fs_(fs), dest_root_(std::move(dest_root)) {}
+  /// `dedupe_capacity` bounds the redelivery-dedupe set (long-lived
+  /// subscribers would otherwise grow it by one FileId per file ever
+  /// received). Oldest-first eviction: an evicted id can in principle be
+  /// re-landed if the server redelivers it much later, which overwrites
+  /// the same destination file — safe, just no longer counted as a
+  /// duplicate. Size the capacity above the server's redelivery horizon
+  /// (its in-flight + retry window), not its full history.
+  explicit FileSinkEndpoint(FileSystem* fs, std::string dest_root,
+                            size_t dedupe_capacity = 65536)
+      : fs_(fs),
+        dest_root_(std::move(dest_root)),
+        dedupe_capacity_(dedupe_capacity == 0 ? 1 : dedupe_capacity) {}
 
   /// Optional hook invoked after each successfully handled message.
   void SetMessageHook(std::function<void(const Message&)> hook) {
@@ -129,10 +140,14 @@ class FileSinkEndpoint : public Endpoint {
   uint64_t duplicates() const { return duplicates_; }
   /// Payload pushes rejected because the end-to-end CRC did not match.
   uint64_t corrupt_rejected() const { return corrupt_rejected_; }
+  /// FileIds aged out of the bounded dedupe set.
+  uint64_t dedupe_evictions() const { return dedupe_evictions_; }
+  size_t dedupe_size() const { return delivered_ids_.size(); }
 
  private:
   FileSystem* fs_;
   std::string dest_root_;
+  size_t dedupe_capacity_;
   std::function<void(const Message&)> hook_;
   bool failing_ = false;
   uint64_t files_received_ = 0;
@@ -140,10 +155,14 @@ class FileSinkEndpoint : public Endpoint {
   uint64_t batches_ = 0;
   uint64_t duplicates_ = 0;
   uint64_t corrupt_rejected_ = 0;
+  uint64_t dedupe_evictions_ = 0;
   // FileIds already landed: redelivery (lost ack, crash between delivery
   // and receipt) is acknowledged without writing or counting again, so
   // at-least-once retries read as exactly-once to the subscriber.
+  // Bounded to dedupe_capacity_ ids, oldest evicted first (the deque
+  // remembers landing order).
   std::set<FileId> delivered_ids_;
+  std::deque<FileId> delivered_order_;
 };
 
 }  // namespace bistro

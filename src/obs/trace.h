@@ -15,12 +15,16 @@
 namespace bistro {
 
 /// The pipeline stages a file passes through (paper §3 Fig. 2), in order.
+/// The ingest pipeline stages its bytes *before* committing the arrival
+/// receipt (stage write -> group commit -> scheduler handoff), so kReceipt
+/// sits after kStage: a receipt must never point at bytes that do not
+/// exist yet.
 enum class PipelineStage {
   kLanding = 0,          // written into the landing zone
   kClassify,             // matched to its feeds
-  kReceipt,              // arrival receipt persisted
   kNormalize,            // renamed / compressed
   kStage,                // written into the staging area
+  kReceipt,              // arrival receipt persisted (group commit)
   kSchedule,             // delivery jobs submitted to the scheduler
   kSend,                 // transport send started (per subscriber)
   kDeliveryReceipt,      // delivery receipt persisted (per subscriber)

@@ -227,6 +227,208 @@ subscriber sub2 { feeds FEEDB; method push; }
   EXPECT_NE(scrape.find("bistro_delivery_dead_letter_total"), std::string::npos);
 }
 
+// Same world, same fault plan, same crash — but the ingest pipeline runs
+// with real worker threads and group-committed receipts. The exactly-once
+// guarantee must hold unchanged. Two differences in the harness follow
+// from the threaded ack contract (Deposit acks at admission):
+//
+//  - recovery of files that fail *after* admission (a stage write error,
+//    a failed group commit, a queue dropped by the crash) is the
+//    landing-zone rescan's job, so the harness scans periodically the way
+//    bistrod does — the source is never re-notified;
+//  - a cooperating source deposits atomically: when Deposit itself
+//    errors, it removes the torn/unsynced landing leftover before
+//    retrying, so a rescan can never ingest a partial deposit.
+TEST_P(ChaosE2ETest, ThreadedPipelineExactlyOnceUnderFaultsAndCrash) {
+  const int seed = SeedBase() + GetParam();
+  Rng scenario_rng(static_cast<uint64_t>(seed) * 52711 + 11);
+
+  FaultPlan plan;
+  plan.seed = static_cast<uint64_t>(seed) * 89 + 13;
+  plan.vfs.write_error_prob = scenario_rng.NextDouble() * 0.03;
+  plan.vfs.torn_write_prob = scenario_rng.NextDouble() * 0.03;
+  plan.vfs.sync_error_prob = scenario_rng.NextDouble() * 0.02;
+  plan.vfs.scope = "";
+  plan.net.send_failure_prob = scenario_rng.NextDouble() * 0.15;
+  plan.net.corrupt_prob = scenario_rng.NextDouble() * 0.08;
+  plan.net.ack_loss_prob = scenario_rng.NextDouble() * 0.05;
+
+  const TimePoint start = FromCivil(CivilTime{2010, 9, 25});
+  LinkFlap flap;
+  flap.endpoint = "sub0";
+  flap.down_at = start + 10 * kMinute;
+  flap.up_at = start + 25 * kMinute;
+  plan.net.flaps.push_back(flap);
+
+  SimClock clock(start);
+  EventLoop loop(&clock);
+  MetricsRegistry registry;
+  InMemoryFileSystem base_fs;
+  FaultInjector injector(plan, &registry);
+  FaultyFileSystem fs(&base_fs, &injector);
+  Rng net_rng(static_cast<uint64_t>(seed) * 103 + 9);
+  SimNetwork network(&net_rng);
+  SimTransport sim_transport(&loop, &network);
+  FaultyTransport transport(&sim_transport, &loop, &injector);
+  CallbackInvoker invoker;
+  Logger logger(&clock);
+  logger.SetMinLevel(LogLevel::kAlarm);
+
+  constexpr int kNumFeeds = 2;
+  constexpr int kNumSubs = 3;
+  auto config = ParseConfig(R"(
+feed FEEDA { pattern "feeda_%i_%Y%m%d%H%M.dat"; tardiness 2m; }
+feed FEEDB { pattern "feedb_%i_%Y%m%d%H%M.dat"; tardiness 2m; }
+subscriber sub0 { feeds FEEDA, FEEDB; method push; }
+subscriber sub1 { feeds FEEDA; method push; }
+subscriber sub2 { feeds FEEDB; method push; }
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  const std::vector<std::vector<int>> subscriptions = {{0, 1}, {0}, {1}};
+
+  std::vector<std::unique_ptr<InMemoryFileSystem>> sub_fs;
+  std::vector<std::unique_ptr<FileSinkEndpoint>> sinks;
+  for (int s = 0; s < kNumSubs; ++s) {
+    network.SetLink(StrFormat("sub%d", s), LinkSpec::Fast());
+    sub_fs.push_back(std::make_unique<InMemoryFileSystem>());
+    sinks.push_back(
+        std::make_unique<FileSinkEndpoint>(sub_fs.back().get(), "/recv"));
+    sim_transport.Register(StrFormat("sub%d", s), sinks.back().get());
+  }
+  injector.Arm(&loop, &network);
+
+  BistroServer::Options opts;
+  opts.kv.sync_wal = true;
+  opts.sync_staging = true;
+  opts.metrics = &registry;
+  opts.delivery.retry_backoff = 2 * kSecond;
+  opts.delivery.retry_backoff_max = 30 * kSecond;
+  opts.delivery.probe_interval = 20 * kSecond;
+  opts.delivery.max_attempts = 100000;
+  opts.delivery.backoff_seed = static_cast<uint64_t>(seed) + 1;
+  opts.ingest.workers = 3;
+  opts.ingest.queue_depth = 64;
+  opts.ingest.batch = 8;
+  opts.ingest.overload_policy = OverloadPolicy::kBlock;
+
+  std::unique_ptr<BistroServer> server;
+  auto boot = [&]() {
+    auto created = BistroServer::Create(opts, *config, &fs, &transport, &loop,
+                                        &invoker, &logger);
+    ASSERT_TRUE(created.ok()) << created.status();
+    server = std::move(*created);
+  };
+  boot();
+  ASSERT_NE(server, nullptr);
+
+  std::vector<std::pair<std::string, std::string>> stashed;
+  std::function<void(std::string, std::string)> deposit =
+      [&](std::string name, std::string content) {
+        if (server == nullptr) {
+          stashed.emplace_back(std::move(name), std::move(content));
+          return;
+        }
+        Status s = server->Deposit("src", name, content);
+        if (!s.ok()) {
+          (void)fs.Delete("/bistro/landing/src/" + name);
+          loop.PostAfter(10 * kSecond, [&deposit, name, content] {
+            deposit(name, content);
+          });
+        }
+      };
+
+  // Periodic landing-zone rescan (bistrod's --scan-interval): the only
+  // recovery path for post-admission failures in threaded mode.
+  std::function<void()> periodic_scan = [&] {
+    if (server != nullptr) (void)server->ScanLandingZone();
+    if (loop.Now() < start + 5 * kHour) {
+      loop.PostAfter(97 * kSecond, periodic_scan);
+    }
+  };
+  loop.PostAfter(97 * kSecond, periodic_scan);
+
+  const int num_files = 60 + static_cast<int>(scenario_rng.Uniform(40));
+  std::map<std::string, std::pair<int, std::string>> expected;
+  for (int i = 0; i < num_files; ++i) {
+    TimePoint t = start + static_cast<Duration>(scenario_rng.Uniform(kHour));
+    int f = static_cast<int>(scenario_rng.Uniform(kNumFeeds));
+    CivilTime c = ToCivil(t);
+    std::string name = StrFormat("feed%c_%d_%04d%02d%02d%02d%02d.dat", 'a' + f,
+                                 i, c.year, c.month, c.day, c.hour, c.minute);
+    std::string content =
+        scenario_rng.AlnumString(20 + scenario_rng.Uniform(400));
+    expected[name] = {f, content};
+    loop.PostAt(t, [&deposit, name, content] { deposit(name, content); });
+  }
+
+  // Mid-run crash: worker queues evaporate with the process; admitted but
+  // uncommitted files persist only as their (fsynced) landing copies.
+  loop.PostAt(start + 30 * kMinute, [&] {
+    server.reset();
+    ASSERT_TRUE(fs.SimulateCrash().ok());
+  });
+  loop.PostAt(start + 32 * kMinute, [&] {
+    boot();
+    std::vector<std::pair<std::string, std::string>> pending;
+    pending.swap(stashed);
+    for (auto& [name, content] : pending) {
+      deposit(std::move(name), std::move(content));
+    }
+  });
+
+  loop.RunUntil(start + 6 * kHour);
+
+  // Settle: drain the worker threads, rescan for anything a fault pushed
+  // back to the landing zone, and let retries/backfills play out.
+  for (int round = 0; round < 60; ++round) {
+    ASSERT_NE(server, nullptr);
+    server->ingest()->WaitIdle();
+    (void)server->ScanLandingZone();
+    server->ingest()->WaitIdle();
+    loop.RunUntil(loop.Now() + kMinute);
+  }
+
+  ASSERT_TRUE(stashed.empty());
+  EXPECT_GT(injector.injected(), 0u) << "fault plan injected nothing (seed "
+                                     << seed << ")";
+  EXPECT_EQ(server->ingest()->stats().in_flight, 0u);
+
+  for (int s = 0; s < kNumSubs; ++s) {
+    size_t want = 0;
+    for (const auto& [name, info] : expected) {
+      bool subscribed = false;
+      for (int f : subscriptions[s]) subscribed |= (f == info.first);
+      if (!subscribed) continue;
+      ++want;
+      std::string dest =
+          StrFormat("/recv/FEED%c/%s", 'A' + info.first, name.c_str());
+      auto got = sub_fs[s]->ReadFile(dest);
+      ASSERT_TRUE(got.ok()) << "sub" << s << " lost " << dest << " (seed "
+                            << seed << ")";
+      EXPECT_EQ(*got, info.second) << dest << " (seed " << seed << ")";
+    }
+    EXPECT_EQ(sinks[s]->files_received(), want)
+        << "sub" << s << " delivery count off (seed " << seed << ")";
+  }
+
+  for (int s = 0; s < kNumSubs; ++s) {
+    const SubscriberSpec* spec =
+        server->registry()->FindSubscriber(StrFormat("sub%d", s));
+    ASSERT_NE(spec, nullptr);
+    auto queue = server->receipts()->ComputeDeliveryQueue(
+        spec->name, server->registry()->SubscribedFeeds(*spec));
+    EXPECT_TRUE(queue.empty()) << "sub" << s << " still has " << queue.size()
+                               << " undelivered files (seed " << seed << ")";
+  }
+  EXPECT_TRUE(server->delivery()->dead_letters().empty())
+      << "chaos run dead-lettered a file (seed " << seed << ")";
+
+  // The pipeline's counters ride the same scrape as everything else.
+  std::string scrape = ExportPrometheus(&registry);
+  EXPECT_NE(scrape.find("bistro_ingest_admitted_total"), std::string::npos);
+  EXPECT_NE(scrape.find("bistro_ingest_committed_total"), std::string::npos);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosE2ETest, ::testing::Range(0, 5));
 
 }  // namespace

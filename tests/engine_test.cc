@@ -8,7 +8,10 @@
 
 #include "common/strings.h"
 #include "config/parser.h"
+#include "core/admin.h"
 #include "core/server.h"
+#include "fault/faulty_transport.h"
+#include "fault/injector.h"
 #include "vfs/memfs.h"
 
 namespace bistro {
@@ -229,6 +232,180 @@ TEST(SchedulerSlotTest, RebalanceBetweenDequeueAndCompleteKeepsAccounting) {
   other.subscriber = "other";
   sched.Submit(other);
   EXPECT_TRUE(sched.Dequeue().has_value());
+}
+
+// ---------------------------------------------------------- Heartbeats
+
+TEST(HeartbeatTest, ProbeRestoresOfflineSubscriberAndBackfills) {
+  BistroServer::Options opts;
+  opts.delivery.offline_after_failures = 2;
+  opts.delivery.retry_backoff = kSecond;
+  opts.delivery.retry_jitter = false;
+  opts.delivery.probe_interval = 10 * kSecond;
+  Rig rig(kOneFeedOneSub, opts);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  int heartbeats = 0;
+  sink.SetMessageHook([&](const Message& m) {
+    if (m.type == MessageType::kHeartbeat) ++heartbeats;
+  });
+  sink.SetFailing(true);
+  rig.transport.Register("s", &sink);
+  ASSERT_TRUE(
+      rig.server->Deposit("p", "CPU_POLL1_201009250400.txt", "x").ok());
+  rig.loop.RunUntil(rig.clock.Now() + 5 * kSecond);
+  EXPECT_TRUE(rig.server->delivery()->IsOffline("s"));
+  EXPECT_EQ(sink.files_received(), 0u);
+  // Probes fire on the probe_interval cadence but fail against the still
+  // failing subscriber: it must stay flagged offline.
+  rig.loop.RunUntil(rig.clock.Now() + 25 * kSecond);
+  EXPECT_TRUE(rig.server->delivery()->IsOffline("s"));
+  EXPECT_EQ(heartbeats, 0);  // failing endpoint never handled one
+  // Heal the subscriber: the next kHeartbeat probe succeeds, the engine
+  // flips it online and backfills the missed file from receipts.
+  sink.SetFailing(false);
+  rig.loop.RunUntil(rig.clock.Now() + 15 * kSecond);
+  EXPECT_FALSE(rig.server->delivery()->IsOffline("s"));
+  EXPECT_GE(heartbeats, 1);
+  EXPECT_EQ(sink.files_received(), 1u);
+}
+
+/// Routes sends through whichever transport `active` points at; lets a
+/// test drop the wire (via FaultyTransport) and later heal it without
+/// rebuilding the server.
+struct SwitchableTransport : public Transport {
+  Transport* active = nullptr;
+  void Send(const std::string& endpoint, const Message& msg,
+            SendCallback done) override {
+    active->Send(endpoint, msg, std::move(done));
+  }
+  Duration EstimateCost(const std::string& endpoint,
+                        uint64_t bytes) const override {
+    return active->EstimateCost(endpoint, bytes);
+  }
+};
+
+TEST(HeartbeatTest, DroppedProbesKeepSubscriberOfflineUntilWireHeals) {
+  SimClock clock{FromCivil(CivilTime{2010, 9, 25})};
+  EventLoop loop{&clock};
+  InMemoryFileSystem fs;
+  Logger logger{&clock};
+  logger.SetMinLevel(LogLevel::kAlarm);
+  RecordingInvoker invoker;
+  LoopbackTransport wire{&loop};
+  FaultPlan plan;
+  plan.net.send_failure_prob = 1.0;  // every send (data or probe) dropped
+  FaultInjector injector(plan);
+  FaultyTransport dropping(&wire, &loop, &injector);
+  SwitchableTransport transport;
+  transport.active = &dropping;
+
+  auto config = ParseConfig(kOneFeedOneSub);
+  ASSERT_TRUE(config.ok()) << config.status();
+  BistroServer::Options opts;
+  opts.delivery.offline_after_failures = 2;
+  opts.delivery.retry_backoff = kSecond;
+  opts.delivery.retry_jitter = false;
+  opts.delivery.probe_interval = 10 * kSecond;
+  auto server = BistroServer::Create(opts, *config, &fs, &transport, &loop,
+                                     &invoker, &logger);
+  ASSERT_TRUE(server.ok()) << server.status();
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  int heartbeats = 0;
+  sink.SetMessageHook([&](const Message& m) {
+    if (m.type == MessageType::kHeartbeat) ++heartbeats;
+  });
+  wire.Register("s", &sink);
+
+  ASSERT_TRUE(
+      (*server)->Deposit("p", "CPU_POLL1_201009250400.txt", "x").ok());
+  loop.RunUntil(clock.Now() + 5 * kSecond);
+  EXPECT_TRUE((*server)->delivery()->IsOffline("s"));
+  // Several probe intervals pass; every heartbeat is dropped before the
+  // wire, so none reach the sink and the subscriber stays offline.
+  loop.RunUntil(clock.Now() + 35 * kSecond);
+  EXPECT_TRUE((*server)->delivery()->IsOffline("s"));
+  EXPECT_EQ(heartbeats, 0);
+  EXPECT_EQ(sink.files_received(), 0u);
+  // Heal the wire: the next probe gets through and delivery resumes.
+  transport.active = &wire;
+  loop.RunUntil(clock.Now() + 15 * kSecond);
+  EXPECT_FALSE((*server)->delivery()->IsOffline("s"));
+  EXPECT_GE(heartbeats, 1);
+  EXPECT_EQ(sink.files_received(), 1u);
+  EXPECT_TRUE((*server)->receipts()->Delivered("s", 1));
+}
+
+// ------------------------------------------------------- Admin console
+
+TEST(AdminTest, DeadLetterListingAndRedrive) {
+  BistroServer::Options opts;
+  opts.delivery.max_attempts = 2;
+  opts.delivery.retry_backoff = kSecond;
+  opts.delivery.retry_jitter = false;
+  opts.delivery.offline_after_failures = 100;  // exhaust retries instead
+  Rig rig(kOneFeedOneSub, opts);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  sink.SetFailing(true);
+  rig.transport.Register("s", &sink);
+  ASSERT_TRUE(
+      rig.server->Deposit("p", "CPU_POLL1_201009250400.txt", "x").ok());
+  rig.loop.RunUntil(rig.clock.Now() + kMinute);
+  ASSERT_EQ(rig.server->delivery()->dead_letters().size(), 1u);
+
+  std::string listing = ExecuteAdminCommand(rig.server.get(), "deadletters");
+  EXPECT_NE(listing.find("CPU_POLL1_201009250400.txt"), std::string::npos);
+  EXPECT_NE(listing.find("Dead letters (1)"), std::string::npos);
+  EXPECT_NE(ExecuteAdminCommand(rig.server.get(), "bogus").find("unknown"),
+            std::string::npos);
+  EXPECT_NE(ExecuteAdminCommand(rig.server.get(), "help").find("redrive"),
+            std::string::npos);
+  EXPECT_NE(ExecuteAdminCommand(rig.server.get(), "  status  ")
+                .find("Bistro server status"),
+            std::string::npos);
+
+  sink.SetFailing(false);
+  std::string redriven = ExecuteAdminCommand(rig.server.get(), "redrive");
+  EXPECT_NE(redriven.find("redriven 1"), std::string::npos);
+  rig.loop.RunUntil(rig.clock.Now() + kMinute);
+  EXPECT_EQ(sink.files_received(), 1u);
+  EXPECT_TRUE(rig.server->delivery()->dead_letters().empty());
+  EXPECT_EQ(ExecuteAdminCommand(rig.server.get(), "deadletters"),
+            "dead-letter queue empty\n");
+}
+
+// ----------------------------------------------- Bounded pending_ pairs
+
+TEST(EngineTest, PendingPairCapEvictsOldestWithoutLosingDeliveries) {
+  BistroServer::Options opts;
+  opts.delivery.max_pending_pairs = 2;
+  opts.delivery.retry_backoff = kSecond;
+  opts.delivery.retry_jitter = false;
+  Rig rig(kOneFeedOneSub, opts);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  rig.transport.Register("s", &sink);
+  // Deposit a burst wider than the cap before the loop runs: the pending
+  // set must evict oldest pairs rather than grow, and every file must
+  // still be delivered exactly once.
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(rig.server
+                    ->Deposit("p",
+                              StrFormat("CPU_POLL%d_201009250400.txt", i), "x")
+                    .ok());
+  }
+  rig.loop.RunUntil(rig.clock.Now() + kMinute);
+  EXPECT_EQ(sink.files_received(), 5u);
+  EXPECT_EQ(sink.duplicates(), 0u);
+  Counter* evicted = rig.server->metrics()->GetCounter(
+      "bistro_delivery_pending_evicted_total",
+      "Pending pairs evicted by the size cap");
+  EXPECT_GE(evicted->value(), 3u);
+  Gauge* pairs = rig.server->metrics()->GetGauge(
+      "bistro_delivery_pending_pairs", "Tracked (file, subscriber) pairs");
+  EXPECT_EQ(pairs->value(), 0);
 }
 
 TEST(EngineTest, UnknownFeedGroupSubscriberRejectedAtCreate) {

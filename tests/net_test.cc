@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "common/strings.h"
 #include "net/transport.h"
 #include "vfs/memfs.h"
 
@@ -165,6 +166,36 @@ TEST(SimTransportTest, OfflineSubscriberFailsFast) {
   transport.Send("sub", SampleMessage(), [&](const Status& s) { result = s; });
   loop.RunUntilIdle();
   EXPECT_TRUE(result.IsUnavailable());
+}
+
+TEST(FileSinkEndpointTest, DedupeSetBoundedByCapacity) {
+  InMemoryFileSystem fs;
+  FileSinkEndpoint sink(&fs, "/d", /*dedupe_capacity=*/4);
+  auto file = [](FileId id) {
+    Message m;
+    m.type = MessageType::kFileData;
+    m.file_id = id;
+    m.name = StrFormat("f%llu.txt", (unsigned long long)id);
+    m.payload = "x";
+    return m;
+  };
+  for (FileId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(sink.HandleMessage(file(id)).ok());
+  }
+  // Only the 4 newest ids are remembered; the 6 oldest were evicted.
+  EXPECT_EQ(sink.files_received(), 10u);
+  EXPECT_EQ(sink.dedupe_size(), 4u);
+  EXPECT_EQ(sink.dedupe_evictions(), 6u);
+  // A recent id redelivered is still absorbed as a duplicate...
+  ASSERT_TRUE(sink.HandleMessage(file(10)).ok());
+  EXPECT_EQ(sink.duplicates(), 1u);
+  EXPECT_EQ(sink.files_received(), 10u);
+  // ...while an evicted id re-lands (rewrites the same destination file,
+  // which is safe) instead of growing the set without bound.
+  ASSERT_TRUE(sink.HandleMessage(file(1)).ok());
+  EXPECT_EQ(sink.duplicates(), 1u);
+  EXPECT_EQ(sink.files_received(), 11u);
+  EXPECT_EQ(sink.dedupe_size(), 4u);
 }
 
 TEST(FileSinkEndpointTest, CountsNotificationsAndBatches) {

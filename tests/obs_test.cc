@@ -208,9 +208,9 @@ TEST(FileTracerTest, SpansOrderedAndRolledUpUnderSimClock) {
   const TimePoint t0 = 1000 * kSecond;
   tracer.Begin(7, "CPU_1.txt", "SNMP.CPU", t0);
   tracer.Mark(7, PipelineStage::kClassify, t0 + 2 * kMillisecond);
-  tracer.Mark(7, PipelineStage::kReceipt, t0 + 3 * kMillisecond);
-  tracer.Mark(7, PipelineStage::kNormalize, t0 + 5 * kMillisecond);
-  tracer.Mark(7, PipelineStage::kStage, t0 + 6 * kMillisecond);
+  tracer.Mark(7, PipelineStage::kNormalize, t0 + 3 * kMillisecond);
+  tracer.Mark(7, PipelineStage::kStage, t0 + 5 * kMillisecond);
+  tracer.Mark(7, PipelineStage::kReceipt, t0 + 6 * kMillisecond);
   tracer.Mark(7, PipelineStage::kSchedule, t0 + 7 * kMillisecond);
   tracer.Mark(7, PipelineStage::kSend, t0 + 10 * kMillisecond);
   tracer.Mark(7, PipelineStage::kDeliveryReceipt, t0 + 30 * kMillisecond);

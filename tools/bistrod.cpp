@@ -11,7 +11,9 @@
 //   bistrod --config feeds.conf --root /var/bistro \
 //           [--scan-interval 10s] [--status-interval 60s] \
 //           [--window 7d] [--duration 0 (run forever)] \
-//           [--metrics-json <path> (dump a metrics snapshot on shutdown)]
+//           [--metrics-json <path> (dump a metrics snapshot on shutdown)] \
+//           [--admin-file <path> (poll for operator commands: status,
+//            deadletters, redrive — one per line; file is consumed)]
 //
 // Layout under --root: landing/ staging/ db/ plus one directory per
 // subscriber without an absolute `destination`.
@@ -43,6 +45,7 @@ struct Args {
   Duration window = 0;
   Duration duration = 0;  // 0 = run until signal
   std::string metrics_json_path;  // empty = no snapshot
+  std::string admin_file;         // empty = no admin console
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -63,6 +66,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->metrics_json_path = v;
+    } else if (flag == "--admin-file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->admin_file = v;
     } else if (flag == "--scan-interval" || flag == "--status-interval" ||
                flag == "--window" || flag == "--duration") {
       const char* v = next();
@@ -93,7 +100,7 @@ void Usage() {
                "[--scan-interval 10s]\n"
                "               [--status-interval 60s] [--window 7d] "
                "[--duration 0]\n"
-               "               [--metrics-json <path>]\n");
+               "               [--metrics-json <path>] [--admin-file <path>]\n");
 }
 
 }  // namespace
@@ -179,6 +186,19 @@ int main(int argc, char** argv) {
     if (now >= next_status) {
       std::fputs(RenderStatusReport(server->get()).c_str(), stderr);
       next_status = now + args.status_interval;
+    }
+    // Operator console: another process drops commands (one per line)
+    // into --admin-file; we execute them, print the results, and remove
+    // the file so the next drop starts fresh.
+    if (!args.admin_file.empty() && fs.Exists(args.admin_file)) {
+      auto commands = fs.ReadFile(args.admin_file);
+      (void)fs.Delete(args.admin_file);
+      if (commands.ok()) {
+        for (const std::string& line : Split(*commands, '\n')) {
+          if (Trim(line).empty()) continue;
+          std::fputs(ExecuteAdminCommand(server->get(), line).c_str(), stderr);
+        }
+      }
     }
     // Drain due events, then sleep briefly (signals interrupt promptly).
     loop.RunUntil(clock.Now());
