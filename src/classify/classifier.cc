@@ -43,9 +43,9 @@ void FeedClassifier::CollectCandidates(const std::string& name,
   }
 }
 
-Classification FeedClassifier::Classify(const std::string& name) {
+Classification FeedClassifier::Classify(const std::string& name) const {
   Classification result;
-  stats_.files++;
+  files_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Candidate> candidates;
   if (mode_ == IndexMode::kPrefixIndex) {
     CollectCandidates(name, &candidates);
@@ -55,23 +55,29 @@ Classification FeedClassifier::Classify(const std::string& name) {
       for (const Pattern& alt : feed->alts) candidates.emplace_back(feed, &alt);
     }
   }
+  // A feed may contribute several patterns; it belongs to the result at
+  // most once (first matching pattern wins for field extraction). The
+  // registry hands out stable RegisteredFeed pointers, so a flat set of
+  // pointers dedupes in O(matched) per candidate instead of comparing
+  // dotted names against the whole result list.
+  std::vector<const RegisteredFeed*> matched_feeds;
+  matched_feeds.reserve(4);
   for (const auto& [feed, pattern] : candidates) {
-    // A feed may contribute several patterns; it belongs to the result
-    // at most once (first matching pattern wins for field extraction).
-    if (std::find(result.feeds.begin(), result.feeds.end(), feed->spec.name) !=
-        result.feeds.end()) {
+    if (std::find(matched_feeds.begin(), matched_feeds.end(), feed) !=
+        matched_feeds.end()) {
       continue;
     }
-    stats_.candidate_checks++;
+    candidate_checks_.fetch_add(1, std::memory_order_relaxed);
     auto match = pattern->Match(name);
     if (!match.has_value()) continue;
     if (result.feeds.empty()) result.primary_match = std::move(*match);
+    matched_feeds.push_back(feed);
     result.feeds.push_back(feed->spec.name);
   }
   if (result.matched()) {
-    stats_.matched++;
+    matched_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    stats_.unmatched++;
+    unmatched_.fetch_add(1, std::memory_order_relaxed);
   }
   return result;
 }

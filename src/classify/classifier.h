@@ -1,6 +1,7 @@
 #ifndef BISTRO_CLASSIFY_CLASSIFIER_H_
 #define BISTRO_CLASSIFY_CLASSIFIER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,14 +43,31 @@ class FeedClassifier {
   explicit FeedClassifier(const FeedRegistry* registry,
                           IndexMode mode = IndexMode::kPrefixIndex);
 
-  /// Classifies `name` against all registered feeds.
-  Classification Classify(const std::string& name);
+  /// Classifies `name` against all registered feeds. Const and thread
+  /// safe against concurrent Classify calls (stats are atomic), so the
+  /// ingest pipeline's workers can classify under a shared lock; only
+  /// Rebuild still needs exclusion.
+  Classification Classify(const std::string& name) const;
 
-  /// Rebuilds the index after feed definitions change.
+  /// Rebuilds the index after feed definitions change. NOT safe against
+  /// concurrent Classify; callers serialize (IngestPipeline holds its
+  /// defs_mu_ exclusively here).
   void Rebuild();
 
-  ClassifierStats stats() const { return stats_; }
-  void ResetStats() { stats_ = ClassifierStats{}; }
+  ClassifierStats stats() const {
+    ClassifierStats s;
+    s.files = files_.load(std::memory_order_relaxed);
+    s.matched = matched_.load(std::memory_order_relaxed);
+    s.unmatched = unmatched_.load(std::memory_order_relaxed);
+    s.candidate_checks = candidate_checks_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    files_.store(0, std::memory_order_relaxed);
+    matched_.store(0, std::memory_order_relaxed);
+    unmatched_.store(0, std::memory_order_relaxed);
+    candidate_checks_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   /// One candidate to try: a feed and one of its compiled patterns
@@ -69,7 +87,12 @@ class FeedClassifier {
   const FeedRegistry* registry_;
   IndexMode mode_;
   std::unique_ptr<TrieNode> root_;
-  ClassifierStats stats_;
+  /// Relaxed atomics: Classify is logically const (a read of the index);
+  /// the counters are monitoring side-band, not synchronization.
+  mutable std::atomic<uint64_t> files_{0};
+  mutable std::atomic<uint64_t> matched_{0};
+  mutable std::atomic<uint64_t> unmatched_{0};
+  mutable std::atomic<uint64_t> candidate_checks_{0};
 };
 
 }  // namespace bistro

@@ -339,6 +339,25 @@ class Parser {
       } else if (attr == "probe_interval") {
         BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
         d->probe_interval = v;
+      } else if (attr == "window") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v < 0) return Err("window must be >= 0");
+        d->window = static_cast<int>(v);
+      } else if (attr == "coalesce_bytes") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v < 0) return Err("coalesce_bytes must be >= 0");
+        d->coalesce_bytes = v;
+      } else if (attr == "cache_bytes") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v < 0) return Err("cache_bytes must be >= 0");
+        d->cache_bytes = v;
+      } else if (attr == "receipt_group") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v <= 0) return Err("receipt_group must be positive");
+        d->receipt_group = static_cast<int>(v);
+      } else if (attr == "receipt_flush_interval") {
+        BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
+        d->receipt_flush_interval = v;
       } else {
         return Err("unknown delivery attribute '" + attr + "'");
       }
@@ -557,6 +576,21 @@ std::string FormatConfig(const ServerConfig& config) {
     }
     if (d.probe_interval) {
       out += "  probe_interval " + DurationLiteral(*d.probe_interval) + ";\n";
+    }
+    if (d.window) out += StrFormat("  window %d;\n", *d.window);
+    if (d.coalesce_bytes) {
+      out += StrFormat("  coalesce_bytes %lld;\n",
+                       (long long)*d.coalesce_bytes);
+    }
+    if (d.cache_bytes) {
+      out += StrFormat("  cache_bytes %lld;\n", (long long)*d.cache_bytes);
+    }
+    if (d.receipt_group) {
+      out += StrFormat("  receipt_group %d;\n", *d.receipt_group);
+    }
+    if (d.receipt_flush_interval) {
+      out += "  receipt_flush_interval " +
+             DurationLiteral(*d.receipt_flush_interval) + ";\n";
     }
     out += "}\n";
   }

@@ -91,10 +91,23 @@ struct DeliveryTuningSpec {
   std::optional<int> max_attempts;
   std::optional<int> offline_after;
   std::optional<Duration> probe_interval;
+  /// Pipelined per-subscriber send window (0 = unlimited, 1 = lockstep).
+  std::optional<int> window;
+  /// Coalesce small same-subscriber push files into one frame up to this
+  /// many payload bytes (0 = off).
+  std::optional<int64_t> coalesce_bytes;
+  /// Staged-payload LRU cache byte budget (0 = no retention).
+  std::optional<int64_t> cache_bytes;
+  /// Delivery receipts per group commit (1 = immediate per-ack writes).
+  std::optional<int> receipt_group;
+  /// Max time a buffered delivery receipt waits for its group to fill.
+  std::optional<Duration> receipt_flush_interval;
 
   bool empty() const {
     return !retry_backoff_min && !retry_backoff_max && !retry_multiplier &&
-           !retry_jitter && !max_attempts && !offline_after && !probe_interval;
+           !retry_jitter && !max_attempts && !offline_after &&
+           !probe_interval && !window && !coalesce_bytes && !cache_bytes &&
+           !receipt_group && !receipt_flush_interval;
   }
 
   bool operator==(const DeliveryTuningSpec&) const = default;

@@ -76,6 +76,17 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
     if (tune.max_attempts) d->max_attempts = *tune.max_attempts;
     if (tune.offline_after) d->offline_after_failures = *tune.offline_after;
     if (tune.probe_interval) d->probe_interval = *tune.probe_interval;
+    if (tune.window) d->window = static_cast<size_t>(*tune.window);
+    if (tune.coalesce_bytes) {
+      d->coalesce_bytes = static_cast<size_t>(*tune.coalesce_bytes);
+    }
+    if (tune.cache_bytes) d->cache_bytes = static_cast<size_t>(*tune.cache_bytes);
+    if (tune.receipt_group) {
+      d->receipt_group = static_cast<size_t>(*tune.receipt_group);
+    }
+    if (tune.receipt_flush_interval) {
+      d->receipt_flush_interval = *tune.receipt_flush_interval;
+    }
   }
   BISTRO_RETURN_IF_ERROR(fs->MkDirs(server->options_.landing_root));
   BISTRO_RETURN_IF_ERROR(fs->MkDirs(server->options_.staging_root));
@@ -86,8 +97,17 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
   server->classifier_ = std::make_unique<FeedClassifier>(
       server->registry_.get(), FeedClassifier::IndexMode::kPrefixIndex);
   if (scheduler == nullptr) {
+    PartitionedScheduler::Options sched_opts;
+    // With a pipelined window, each subscriber may legitimately hold
+    // `window` transfers in flight; the default two slots per partition
+    // would starve the window before the link does. Scale the partition
+    // slot pool so windows, not slots, are the binding concurrency limit.
+    size_t window = server->options_.delivery.window;
+    if (window > sched_opts.slots_per_partition) {
+      sched_opts.slots_per_partition = window * 2;
+    }
     server->owned_scheduler_ =
-        std::make_unique<PartitionedScheduler>(PartitionedScheduler::Options());
+        std::make_unique<PartitionedScheduler>(sched_opts);
     scheduler = server->owned_scheduler_.get();
   }
   scheduler->AttachMetrics(server->metrics_);
@@ -337,7 +357,7 @@ Status BistroServer::HandleMessage(const Message& msg) {
       if (msg.payload_crc != 0 && Crc32(msg.payload) != msg.payload_crc) {
         return Status::Corruption("payload crc mismatch: " + msg.name);
       }
-      return Deposit("upstream", msg.name, msg.payload);
+      return Deposit("upstream", msg.name, msg.payload.str());
     case MessageType::kEndOfBatch:
       SourceEndOfBatch(msg.feed, msg.batch_time);
       return Status::OK();

@@ -24,11 +24,14 @@ DeliveryEngine::DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
       logger_(logger),
       options_(options),
       backoff_rng_(options.backoff_seed),
-      tracer_(tracer) {
+      tracer_(tracer),
+      payload_cache_(staging_fs, options.cache_bytes) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();
   }
+  scheduler_->SetSubscriberWindow(options_.window);
+  payload_cache_.AttachMetrics(metrics);
   jobs_submitted_ = metrics->GetCounter("bistro_delivery_jobs_submitted_total",
                                         "Transfer jobs handed to the scheduler");
   files_delivered_ = metrics->GetCounter(
@@ -54,7 +57,22 @@ DeliveryEngine::DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
                                        "Staged files read from the filesystem");
   staging_cache_hits_ = metrics->GetCounter(
       "bistro_delivery_staging_cache_hits_total",
-      "Staged reads served from the hot-file cache");
+      "Staged reads served from the payload cache");
+  coalesced_files_ = metrics->GetCounter(
+      "bistro_delivery_coalesced_files_total",
+      "Files sent inside multi-file coalesced frames");
+  coalesced_frames_ = metrics->GetCounter(
+      "bistro_delivery_coalesced_frames_total",
+      "Multi-file coalesced frames sent");
+  receipt_group_flushes_ = metrics->GetCounter(
+      "bistro_delivery_receipt_group_flushes_total",
+      "Delivery-receipt group commits flushed by the engine");
+  inflight_gauge_ = metrics->GetGauge(
+      "bistro_delivery_inflight",
+      "Transfer jobs currently in flight (window-limited sends)");
+  receipt_buffer_gauge_ = metrics->GetGauge(
+      "bistro_delivery_receipt_buffer",
+      "Delivery receipts buffered for the next group commit");
   batches_closed_ = metrics->GetCounter("bistro_delivery_batches_closed_total",
                                         "Batches closed across all batchers");
   triggers_invoked_ = metrics->GetCounter(
@@ -114,6 +132,10 @@ DeliveryStats DeliveryEngine::stats() const {
   s.backfilled = backfilled_->value();
   s.staging_reads = staging_reads_->value();
   s.staging_cache_hits = staging_cache_hits_->value();
+  s.cache_evictions = payload_cache_.evictions();
+  s.coalesced_files = coalesced_files_->value();
+  s.coalesced_frames = coalesced_frames_->value();
+  s.receipt_group_flushes = receipt_group_flushes_->value();
   s.batches_closed = batches_closed_->value();
   s.triggers_invoked = triggers_invoked_->value();
   s.trigger_failures = trigger_failures_->value();
@@ -169,12 +191,22 @@ void DeliveryEngine::SubmitStagedFile(const StagedFile& file) {
 }
 
 void DeliveryEngine::Pump() {
-  while (auto job = scheduler_->Dequeue()) {
-    StartJob(std::move(*job));
+  // Drain every runnable slot (and, with windows, every open window) in
+  // rounds: a round's fast-failures (offline subscriber, lost staged
+  // file) complete synchronously and can free slots for the next round.
+  for (;;) {
+    std::vector<TransferJob> round;
+    while (auto job = scheduler_->Dequeue()) {
+      round.push_back(std::move(*job));
+    }
+    if (round.empty()) break;
+    DispatchRound(std::move(round));
   }
+  inflight_gauge_->Set(static_cast<int64_t>(scheduler_->in_flight()));
 }
 
-void DeliveryEngine::StartJob(TransferJob job) {
+std::optional<DeliveryEngine::PreparedJob> DeliveryEngine::PrepareJob(
+    TransferJob job) {
   const SubscriberSpec* sub = registry_->FindSubscriber(job.subscriber);
   TimePoint started = loop_->Now();
   if (sub == nullptr || offline_.count(job.subscriber) != 0) {
@@ -182,52 +214,120 @@ void DeliveryEngine::StartJob(TransferJob job) {
     ErasePending({job.file_id, job.subscriber});
     parked_->Increment();
     scheduler_->OnComplete(job, /*success=*/false, started, 0);
-    return;
+    return std::nullopt;
   }
-  Message msg;
-  msg.file_id = job.file_id;
-  msg.feed = job.feed;
-  msg.name = job.name;
-  msg.dest_path = job.dest_path;
-  msg.data_time = job.data_time;
+  PreparedJob p;
+  p.msg.file_id = job.file_id;
+  p.msg.feed = job.feed;
+  p.msg.name = job.name;
+  p.msg.dest_path = job.dest_path;
+  p.msg.data_time = job.data_time;
   if (sub->method == DeliveryMethod::kPush) {
-    if (job.staged_path == cached_staged_path_) {
-      staging_cache_hits_->Increment();
-      msg.payload = cached_staged_content_;
-    } else {
-      auto content = staging_fs_->ReadFile(job.staged_path);
-      if (!content.ok()) {
-        // Staged file expired or lost: give up on this job.
-        logger_->Error("delivery",
-                       "staged file unreadable: " + job.staged_path + " (" +
-                           content.status().ToString() + ")");
-        ErasePending({job.file_id, job.subscriber});
-        scheduler_->OnComplete(job, /*success=*/false, started, 0);
-        return;
-      }
-      staging_reads_->Increment();
-      cached_staged_path_ = job.staged_path;
-      cached_staged_content_ = *content;
-      msg.payload = std::move(*content);
+    uint64_t hits_before = payload_cache_.hits();
+    auto entry = payload_cache_.Get(job.staged_path);
+    if (!entry.ok()) {
+      // Staged file expired or lost: give up on this job.
+      logger_->Error("delivery",
+                     "staged file unreadable: " + job.staged_path + " (" +
+                         entry.status().ToString() + ")");
+      ErasePending({job.file_id, job.subscriber});
+      scheduler_->OnComplete(job, /*success=*/false, started, 0);
+      return std::nullopt;
     }
-    // End-to-end checksum of the staged bytes; the endpoint verifies it
-    // and NACKs (Corruption) if the payload was damaged in flight.
-    msg.payload_crc = Crc32(msg.payload);
-    msg.type = MessageType::kFileData;
+    if (payload_cache_.hits() > hits_before) {
+      staging_cache_hits_->Increment();
+    } else {
+      staging_reads_->Increment();
+    }
+    // The whole fan-out aliases one immutable buffer, and the end-to-end
+    // checksum was computed once at cache insert; the endpoint verifies
+    // it and NACKs (Corruption) if the payload was damaged in flight.
+    p.msg.payload = SharedPayload(entry->payload);
+    p.msg.payload_crc = entry->crc;
+    p.msg.type = MessageType::kFileData;
   } else {
-    msg.type = MessageType::kFileNotify;
+    p.msg.type = MessageType::kFileNotify;
   }
   if (tracer_ != nullptr) {
     tracer_->Mark(job.file_id, PipelineStage::kSend, loop_->Now());
   }
-  std::string endpoint = EndpointOf(*sub);
-  transport_->Send(
-      endpoint, msg,
-      [weak = std::weak_ptr<char>(alive_), this, job = std::move(job),
-       started](const Status& s) mutable {
-        if (!weak.lock()) return;
-        OnJobDone(std::move(job), started, s);
-      });
+  p.endpoint = EndpointOf(*sub);
+  p.job = std::move(job);
+  return p;
+}
+
+SendCallback DeliveryEngine::DoneCallback(TransferJob job, TimePoint started) {
+  return [weak = std::weak_ptr<char>(alive_), this, job = std::move(job),
+          started](const Status& s) mutable {
+    if (!weak.lock()) return;
+    OnJobDone(std::move(job), started, s);
+  };
+}
+
+void DeliveryEngine::DispatchRound(std::vector<TransferJob> round) {
+  TimePoint started = loop_->Now();
+  if (options_.coalesce_bytes == 0) {
+    for (TransferJob& job : round) StartJob(std::move(job));
+    return;
+  }
+  // Group the round's sendable jobs by endpoint (dispatch order is
+  // preserved within an endpoint; endpoints interleave anyway on
+  // independent links).
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<PreparedJob>> by_endpoint;
+  for (TransferJob& job : round) {
+    auto p = PrepareJob(std::move(job));
+    if (!p.has_value()) continue;
+    auto [it, inserted] = by_endpoint.try_emplace(p->endpoint);
+    if (inserted) order.push_back(p->endpoint);
+    it->second.push_back(std::move(*p));
+  }
+  for (const std::string& endpoint : order) {
+    std::vector<PreparedJob>& group = by_endpoint[endpoint];
+    size_t i = 0;
+    while (i < group.size()) {
+      // Greedy frame: take file-data messages while the payload total
+      // stays under coalesce_bytes. A file larger than the budget (or a
+      // notify/first message) always ships; it just ships alone.
+      size_t j = i;
+      uint64_t frame_bytes = 0;
+      while (j < group.size() &&
+             group[j].msg.type == MessageType::kFileData &&
+             (j == i ||
+              frame_bytes + group[j].msg.payload.size() <=
+                  options_.coalesce_bytes)) {
+        frame_bytes += group[j].msg.payload.size();
+        ++j;
+        if (frame_bytes >= options_.coalesce_bytes) break;
+      }
+      if (j == i) j = i + 1;  // non-coalescible message ships alone
+      if (j - i > 1) {
+        std::vector<BundleItem> items;
+        items.reserve(j - i);
+        for (size_t k = i; k < j; ++k) {
+          BundleItem item;
+          item.msg = std::move(group[k].msg);
+          item.done = DoneCallback(std::move(group[k].job), started);
+          items.push_back(std::move(item));
+        }
+        coalesced_frames_->Increment();
+        coalesced_files_->Increment(j - i);
+        transport_->SendBundle(endpoint, std::move(items));
+      } else {
+        transport_->Send(endpoint, group[i].msg,
+                         DoneCallback(std::move(group[i].job), started));
+      }
+      i = j;
+    }
+  }
+}
+
+void DeliveryEngine::StartJob(TransferJob job) {
+  TimePoint started = loop_->Now();
+  auto p = PrepareJob(std::move(job));
+  if (!p.has_value()) return;
+  transport_->Send(p->endpoint, p->msg,
+                   DoneCallback(std::move(p->job), started));
 }
 
 void DeliveryEngine::OnJobDone(TransferJob job, TimePoint started,
@@ -236,17 +336,7 @@ void DeliveryEngine::OnJobDone(TransferJob job, TimePoint started,
   scheduler_->OnComplete(job, status.ok(), now, now - started);
   if (status.ok()) {
     ErasePending({job.file_id, job.subscriber});
-    Status rec = receipts_->RecordDelivery(job.subscriber, job.file_id, now);
-    if (!rec.ok()) {
-      logger_->Error("delivery",
-                     "failed to record delivery receipt: " + rec.ToString());
-      // The file reached the subscriber but the receipt did not commit
-      // (e.g. a transient WAL write error). Without the receipt the file
-      // stays in the recomputed delivery queue and would be redelivered
-      // after every restart, so keep retrying the receipt write; the
-      // endpoint's dedupe absorbs any redelivery that races with it.
-      RetryDeliveryReceipt(job.subscriber, job.file_id, now);
-    }
+    RecordDeliveryReceipt(job, now);
     if (tracer_ != nullptr) {
       tracer_->Mark(job.file_id, PipelineStage::kDeliveryReceipt, now);
     }
@@ -263,6 +353,63 @@ void DeliveryEngine::OnJobDone(TransferJob job, TimePoint started,
     HandleFailure(std::move(job));
   }
   Pump();
+}
+
+void DeliveryEngine::RecordDeliveryReceipt(const TransferJob& job,
+                                           TimePoint now) {
+  if (options_.receipt_group <= 1) {
+    // Legacy mode: one durable receipt write per ack.
+    Status rec = receipts_->RecordDelivery(job.subscriber, job.file_id, now);
+    if (!rec.ok()) {
+      logger_->Error("delivery",
+                     "failed to record delivery receipt: " + rec.ToString());
+      // The file reached the subscriber but the receipt did not commit
+      // (e.g. a transient WAL write error). Without the receipt the file
+      // stays in the recomputed delivery queue and would be redelivered
+      // after every restart, so keep retrying the receipt write; the
+      // endpoint's dedupe absorbs any redelivery that races with it.
+      RetryDeliveryReceipt(job.subscriber, job.file_id, now);
+    }
+    return;
+  }
+  // Group commit: buffer until the group fills, the engine goes
+  // ack-quiescent (this ack was the last in flight, so no later ack will
+  // piggyback the fsync), or the flush timer fires. A crash loses at most
+  // the buffered tail — those files get re-delivered after recovery and
+  // the subscriber's FileId dedupe absorbs the repeats.
+  receipt_buffer_.push_back({job.subscriber, job.file_id, now});
+  receipt_buffer_gauge_->Set(static_cast<int64_t>(receipt_buffer_.size()));
+  if (receipt_buffer_.size() >= options_.receipt_group ||
+      scheduler_->in_flight() == 0) {
+    FlushDeliveryReceipts();
+  } else if (!receipt_flush_timer_armed_) {
+    receipt_flush_timer_armed_ = true;
+    loop_->PostAfter(options_.receipt_flush_interval, Guard([this] {
+                       receipt_flush_timer_armed_ = false;
+                       FlushDeliveryReceipts();
+                     }));
+  }
+}
+
+void DeliveryEngine::FlushDeliveryReceipts() {
+  if (receipt_buffer_.empty()) return;
+  std::vector<ReceiptDatabase::DeliveryRecord> records =
+      std::move(receipt_buffer_);
+  receipt_buffer_.clear();
+  receipt_buffer_gauge_->Set(0);
+  Status s = receipts_->RecordDeliveryGroup(records);
+  if (s.ok()) {
+    receipt_group_flushes_->Increment();
+    return;
+  }
+  logger_->Error("delivery",
+                 "failed to group-commit delivery receipts: " + s.ToString());
+  // Same rationale as the legacy path: without receipts these files would
+  // be redelivered after every restart, so retry each one (individually —
+  // a persistent fault in one record must not wedge the whole group).
+  for (const auto& r : records) {
+    RetryDeliveryReceipt(r.subscriber, r.file_id, r.when);
+  }
 }
 
 void DeliveryEngine::RetryDeliveryReceipt(const SubscriberName& sub,
@@ -420,6 +567,9 @@ void DeliveryEngine::SubmitJobsFor(const SubscriberSpec& sub,
 void DeliveryEngine::Backfill(const SubscriberName& sub_name) {
   const SubscriberSpec* sub = registry_->FindSubscriber(sub_name);
   if (sub == nullptr || offline_.count(sub_name) != 0) return;
+  // Buffered receipts are deliveries that already happened; commit them
+  // first so the recomputed queue does not resubmit those files.
+  FlushDeliveryReceipts();
   auto feeds = registry_->SubscribedFeeds(*sub);
   TimePoint window_start =
       sub->window > 0 ? loop_->Now() - sub->window : 0;
@@ -539,6 +689,7 @@ void DeliveryEngine::OnSourcePunctuation(const FeedName& feed,
 }
 
 void DeliveryEngine::FlushBatches() {
+  FlushDeliveryReceipts();
   for (auto& [key, batcher] : batchers_) {
     auto event = batcher->Flush(loop_->Now());
     if (!event.has_value()) continue;

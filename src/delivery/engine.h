@@ -12,6 +12,7 @@
 #include "common/random.h"
 #include "config/registry.h"
 #include "core/types.h"
+#include "delivery/payload_cache.h"
 #include "kv/receipts.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -36,7 +37,11 @@ struct DeliveryStats {
   uint64_t dead_lettered = 0;     // jobs parked after exhausting retries
   uint64_t backfilled = 0;        // jobs submitted by queue recomputation
   uint64_t staging_reads = 0;       // staged files read from the filesystem
-  uint64_t staging_cache_hits = 0;  // served from the hot-file cache
+  uint64_t staging_cache_hits = 0;  // served from the payload cache
+  uint64_t cache_evictions = 0;     // payloads evicted by the byte budget
+  uint64_t coalesced_files = 0;     // files sent inside multi-file frames
+  uint64_t coalesced_frames = 0;    // multi-file frames sent
+  uint64_t receipt_group_flushes = 0;  // delivery-receipt group commits
   uint64_t batches_closed = 0;
   uint64_t triggers_invoked = 0;
   uint64_t trigger_failures = 0;
@@ -83,6 +88,29 @@ class DeliveryEngine {
     /// endpoint's dedupe absorb — memory stays bounded, exactly-once is
     /// preserved, only a wasted duplicate submit is possible.
     size_t max_pending_pairs = 1 << 20;
+    /// Pipelined send window: at most this many of one subscriber's jobs
+    /// in flight at once, acks completing out of the event loop instead
+    /// of send→await-ack→next. 0 = unlimited (bounded only by scheduler
+    /// slots, the legacy behavior); 1 = strict lockstep.
+    size_t window = 0;
+    /// Coalesce small queued push files to the same subscriber into one
+    /// multi-file wire frame while the frame's payload total stays under
+    /// this many bytes. 0 = off (one frame per file, legacy).
+    size_t coalesce_bytes = 0;
+    /// Byte budget of the staged-payload LRU cache. Payloads are shared
+    /// (zero copies, CRC computed once) across a fan-out regardless;
+    /// the budget controls retention *across* files. 0 disables
+    /// retention — every file is read and CRC'd once per dispatch round
+    /// (the bench_delivery lockstep-baseline ablation).
+    size_t cache_bytes = 64u << 20;
+    /// Delivery receipts per group commit: completed deliveries buffer
+    /// until the group fills, the engine goes ack-quiescent, or
+    /// receipt_flush_interval elapses — one WAL append + one fsync per
+    /// group. 1 = legacy immediate per-ack receipt writes.
+    size_t receipt_group = 1;
+    /// Time bound on how long a buffered delivery receipt may wait for
+    /// its group to fill.
+    Duration receipt_flush_interval = 100 * kMillisecond;
   };
 
   /// `metrics` may be null (the engine then owns a private registry so
@@ -115,6 +143,13 @@ class DeliveryEngine {
   /// Force an offline/online transition (tests, admin).
   void SetOffline(const SubscriberName& subscriber, bool offline);
 
+  /// Commits any buffered delivery receipts now (one group commit).
+  /// Called internally on quiescence/size/time triggers; public for
+  /// shutdown paths and tests.
+  void FlushDeliveryReceipts();
+  /// Delivery receipts buffered and not yet group-committed.
+  size_t buffered_receipts() const { return receipt_buffer_.size(); }
+
   DeliveryStats stats() const;
   const SchedulerMetrics& scheduler_metrics() const {
     return scheduler_->metrics();
@@ -130,12 +165,31 @@ class DeliveryEngine {
   void RedriveDeadLetters();
 
  private:
+  /// A job resolved and ready to hand to the transport.
+  struct PreparedJob {
+    TransferJob job;
+    Message msg;
+    std::string endpoint;
+  };
+
   void Pump();
+  /// Sends one round of dequeued jobs, coalescing same-endpoint runs of
+  /// small push files into multi-file frames when enabled.
+  void DispatchRound(std::vector<TransferJob> round);
+  /// Resolves subscriber/payload for a dequeued job. Returns nullopt when
+  /// the job failed fast (subscriber gone/offline, staged file lost); the
+  /// scheduler has then already been told.
+  std::optional<PreparedJob> PrepareJob(TransferJob job);
+  /// Completion callback shared by single sends and bundle items.
+  SendCallback DoneCallback(TransferJob job, TimePoint started);
   /// Next sleep for a failed job (exponential, capped, optionally
   /// jittered); records the draw in job->last_backoff.
   Duration NextBackoff(TransferJob* job);
   void StartJob(TransferJob job);
   void OnJobDone(TransferJob job, TimePoint started, const Status& status);
+  /// Buffers (or, in legacy mode, immediately writes) the delivery
+  /// receipt for a successful send.
+  void RecordDeliveryReceipt(const TransferJob& job, TimePoint now);
   /// Keeps retrying a delivery-receipt write that failed after a
   /// successful send (a lost receipt would cause redelivery after every
   /// restart).
@@ -187,6 +241,11 @@ class DeliveryEngine {
   Counter* backfilled_;
   Counter* staging_reads_;
   Counter* staging_cache_hits_;
+  Counter* coalesced_files_;
+  Counter* coalesced_frames_;
+  Counter* receipt_group_flushes_;
+  Gauge* inflight_gauge_;
+  Gauge* receipt_buffer_gauge_;
   Counter* batches_closed_;
   Counter* triggers_invoked_;
   Counter* trigger_failures_;
@@ -206,12 +265,13 @@ class DeliveryEngine {
   Gauge* pending_pairs_;
   std::map<std::pair<SubscriberName, FeedName>, std::unique_ptr<Batcher>>
       batchers_;
-  /// Single-entry cache of the most recently read staged file. Staged
-  /// files are immutable until expiry, and the scheduler's locality
-  /// heuristic delivers one file to co-partition subscribers
-  /// back-to-back, so this one slot absorbs most fan-out rereads.
-  std::string cached_staged_path_;
-  std::string cached_staged_content_;
+  /// LRU byte-budget cache of staged payloads: staged files are immutable
+  /// until expiry, so one read + one CRC serves the whole fan-out (and,
+  /// within the budget, later backfills of the same file).
+  StagedPayloadCache payload_cache_;
+  /// Delivery receipts awaiting their group commit (receipt_group > 1).
+  std::vector<ReceiptDatabase::DeliveryRecord> receipt_buffer_;
+  bool receipt_flush_timer_armed_ = false;
 };
 
 }  // namespace bistro

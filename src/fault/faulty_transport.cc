@@ -13,7 +13,9 @@ void FaultyTransport::Send(const std::string& endpoint, const Message& msg,
   if (msg.type == MessageType::kFileData &&
       injector_->InjectCorruption(endpoint)) {
     Message corrupted = msg;
-    injector_->CorruptPayload(&corrupted.payload);
+    // mutable_str() detaches from the shared buffer first, so the flip
+    // never leaks into other messages aliasing the same payload.
+    injector_->CorruptPayload(&corrupted.payload.mutable_str());
     base_->Send(endpoint, corrupted, std::move(done));
     return;
   }
@@ -25,6 +27,32 @@ void FaultyTransport::Send(const std::string& endpoint, const Message& msg,
     return;
   }
   base_->Send(endpoint, msg, std::move(done));
+}
+
+void FaultyTransport::SendBundle(const std::string& endpoint,
+                                 std::vector<BundleItem> items) {
+  std::vector<BundleItem> survivors;
+  survivors.reserve(items.size());
+  for (BundleItem& item : items) {
+    if (injector_->InjectSendFailure(endpoint)) {
+      loop_->Post([done = std::move(item.done)] {
+        done(Status::IoError("injected send failure"));
+      });
+      continue;
+    }
+    if (item.msg.type == MessageType::kFileData &&
+        injector_->InjectCorruption(endpoint)) {
+      injector_->CorruptPayload(&item.msg.payload.mutable_str());
+    }
+    if (injector_->InjectAckLoss(endpoint)) {
+      item.done = [done = std::move(item.done)](const Status&) {
+        done(Status::IoError("injected ack loss"));
+      };
+    }
+    survivors.push_back(std::move(item));
+  }
+  if (survivors.empty()) return;
+  base_->SendBundle(endpoint, std::move(survivors));
 }
 
 }  // namespace bistro

@@ -29,6 +29,11 @@ class FaultyTransport : public Transport {
 
   void Send(const std::string& endpoint, const Message& msg,
             SendCallback done) override;
+  /// Coalesced frames draw faults per item: dropped items NACK alone,
+  /// corrupted/ack-lost items keep riding the frame, and the survivors
+  /// are forwarded as one (smaller) bundle.
+  void SendBundle(const std::string& endpoint,
+                  std::vector<BundleItem> items) override;
   Duration EstimateCost(const std::string& endpoint,
                         uint64_t bytes) const override {
     return base_->EstimateCost(endpoint, bytes);

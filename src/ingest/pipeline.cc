@@ -127,9 +127,10 @@ void IngestPipeline::Start() {
 }
 
 Classification IngestPipeline::ClassifyLocked(const std::string& name) {
-  // Classify mutates the classifier's stats, so even "reads" need the
-  // exclusive side of the definitions lock.
-  std::unique_lock<std::shared_mutex> lock(defs_mu_);
+  // Classify is const and its stats counters are atomic, so concurrent
+  // classifications only need the shared side of the definitions lock;
+  // RebuildClassifier still takes it exclusively.
+  std::shared_lock<std::shared_mutex> lock(defs_mu_);
   return classifier_->Classify(name);
 }
 

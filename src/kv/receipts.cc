@@ -104,6 +104,12 @@ void ReceiptDatabase::AttachMetrics(MetricsRegistry* registry) {
       "Arrival receipts committed through groups");
   deliveries_recorded_ = registry->GetCounter(
       "bistro_receipts_deliveries_total", "Delivery receipts recorded");
+  delivery_group_commits_ = registry->GetCounter(
+      "bistro_receipts_delivery_group_commits_total",
+      "Delivery receipt groups committed (one fsync each)");
+  delivery_group_files_ = registry->GetCounter(
+      "bistro_receipts_delivery_group_files_total",
+      "Delivery receipts committed through groups");
   files_expired_ = registry->GetCounter(
       "bistro_receipts_expired_total",
       "Receipts expunged by the history-window cleaner");
@@ -174,6 +180,29 @@ Status ReceiptDatabase::RecordDelivery(const SubscriberName& subscriber,
   BISTRO_RETURN_IF_ERROR(kv_->Put("d/" + subscriber + "/" + FileIdKey(file_id),
                                   std::to_string(when)));
   if (deliveries_recorded_ != nullptr) deliveries_recorded_->Increment();
+  return Status::OK();
+}
+
+Status ReceiptDatabase::RecordDeliveryGroup(
+    const std::vector<DeliveryRecord>& records) {
+  if (records.empty()) return Status::OK();
+  // One batch per receipt: a torn group (crash mid-commit keeps a batch
+  // prefix) loses only a suffix of receipts, never corrupts one.
+  std::vector<std::vector<KvStore::Write>> batches;
+  batches.reserve(records.size());
+  for (const DeliveryRecord& r : records) {
+    batches.push_back({KvStore::Write::Put(
+        "d/" + r.subscriber + "/" + FileIdKey(r.file_id),
+        std::to_string(r.when))});
+  }
+  BISTRO_RETURN_IF_ERROR(kv_->ApplyMulti(batches));
+  if (deliveries_recorded_ != nullptr) {
+    deliveries_recorded_->Increment(records.size());
+  }
+  if (delivery_group_commits_ != nullptr) {
+    delivery_group_commits_->Increment();
+    delivery_group_files_->Increment(records.size());
+  }
   return Status::OK();
 }
 

@@ -73,6 +73,21 @@ class ReceiptDatabase {
   Status RecordDelivery(const SubscriberName& subscriber, FileId file_id,
                         TimePoint when);
 
+  /// One delivery receipt of a group commit.
+  struct DeliveryRecord {
+    SubscriberName subscriber;
+    FileId file_id = 0;
+    TimePoint when = 0;
+  };
+
+  /// Group commit for delivery receipts (mirror of RecordArrivalGroup):
+  /// the whole group rides one WAL append + one fsync. Unlike arrivals
+  /// there is no sequence to bump — a torn group simply loses a suffix of
+  /// receipts, which at worst causes those files to be re-delivered after
+  /// recovery; subscriber-side FileId dedupe absorbs the repeats, so
+  /// grouping never weakens exactly-once.
+  Status RecordDeliveryGroup(const std::vector<DeliveryRecord>& records);
+
   /// Whether the file has been delivered to the subscriber.
   bool Delivered(const SubscriberName& subscriber, FileId file_id) const;
 
@@ -109,6 +124,8 @@ class ReceiptDatabase {
   Counter* files_expired_ = nullptr;
   Counter* group_commits_ = nullptr;
   Counter* group_commit_files_ = nullptr;
+  Counter* delivery_group_commits_ = nullptr;
+  Counter* delivery_group_files_ = nullptr;
 };
 
 }  // namespace bistro

@@ -91,10 +91,12 @@ Result<Message> DecodeMessage(std::string_view data) {
   uint64_t u;
   if (!GetVarint(&body, &u)) return Status::Corruption("message: file_id");
   msg.file_id = u;
+  std::string payload;
   if (!GetString(&body, &msg.feed) || !GetString(&body, &msg.name) ||
-      !GetString(&body, &msg.dest_path) || !GetString(&body, &msg.payload)) {
+      !GetString(&body, &msg.dest_path) || !GetString(&body, &payload)) {
     return Status::Corruption("message: strings");
   }
+  msg.payload = std::move(payload);
   if (!GetVarint(&body, &u)) return Status::Corruption("message: payload_crc");
   msg.payload_crc = static_cast<uint32_t>(u);
   if (!GetVarint(&body, &u)) return Status::Corruption("message: data_time");
@@ -104,6 +106,36 @@ Result<Message> DecodeMessage(std::string_view data) {
   if (!GetVarint(&body, &u)) return Status::Corruption("message: batch_count");
   msg.batch_count = u;
   return msg;
+}
+
+std::string EncodeBundle(const std::vector<Message>& msgs) {
+  std::string out;
+  PutVarint(&out, msgs.size());
+  for (const Message& msg : msgs) out += EncodeMessage(msg);
+  return out;
+}
+
+Result<std::vector<Message>> DecodeBundle(std::string_view data) {
+  uint64_t count;
+  if (!GetVarint(&data, &count)) return Status::Corruption("bundle: bad count");
+  // Each inner blob is self-delimiting (varint body length + 4-byte frame
+  // CRC + body), so peel off one exact extent per message.
+  std::vector<Message> msgs;
+  msgs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view probe = data;
+    uint64_t body_len;
+    if (!GetVarint(&probe, &body_len) || probe.size() < 4 + body_len) {
+      return Status::Corruption("bundle: truncated");
+    }
+    size_t blob_len = (data.size() - probe.size()) + 4 + body_len;
+    BISTRO_ASSIGN_OR_RETURN(Message msg,
+                            DecodeMessage(data.substr(0, blob_len)));
+    msgs.push_back(std::move(msg));
+    data.remove_prefix(blob_len);
+  }
+  if (!data.empty()) return Status::Corruption("bundle: trailing bytes");
+  return msgs;
 }
 
 }  // namespace bistro

@@ -1,12 +1,67 @@
 #ifndef BISTRO_NET_PROTOCOL_H_
 #define BISTRO_NET_PROTOCOL_H_
 
+#include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "core/types.h"
 
 namespace bistro {
+
+/// Immutable, cheaply shareable payload bytes.
+///
+/// A staged file fanning out to N subscribers used to be copied into N
+/// Messages; a SharedPayload is a refcounted handle to one immutable
+/// buffer, so every copy of the Message aliases the same bytes (the
+/// delivery engine's staged-payload cache hands the same handle to every
+/// fan-out job). Converts implicitly to std::string_view, so read-side
+/// call sites (CRC, file writes, codecs) are unchanged.
+class SharedPayload {
+ public:
+  SharedPayload() = default;
+  SharedPayload(std::string s)  // NOLINT: implicit by design
+      : data_(std::make_shared<const std::string>(std::move(s))) {}
+  SharedPayload(const char* s) : SharedPayload(std::string(s)) {}
+  explicit SharedPayload(std::shared_ptr<const std::string> s)
+      : data_(std::move(s)) {}
+
+  operator std::string_view() const { return view(); }  // NOLINT
+  std::string_view view() const {
+    return data_ ? std::string_view(*data_) : std::string_view();
+  }
+  const std::string& str() const {
+    static const std::string kEmpty;
+    return data_ ? *data_ : kEmpty;
+  }
+  size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  /// Copy-on-write escape hatch for callers that mutate payload bytes
+  /// (fault injection, tests). Detaches from any shared buffer first so
+  /// the mutation never leaks into other aliasing Messages.
+  std::string& mutable_str() {
+    if (owned_ == nullptr || data_.get() != owned_ || data_.use_count() > 1) {
+      auto fresh = std::make_shared<std::string>(str());
+      owned_ = fresh.get();
+      data_ = std::move(fresh);
+    }
+    return *owned_;
+  }
+
+  char operator[](size_t i) const { return (*data_)[i]; }
+
+  /// Content equality (not handle identity).
+  bool operator==(const SharedPayload& o) const { return view() == o.view(); }
+
+ private:
+  std::shared_ptr<const std::string> data_;
+  // When the buffer was created by mutable_str() it is uniquely ours and
+  // writable; points into data_ (or null when data_ is shared/immutable).
+  std::string* owned_ = nullptr;
+};
 
 /// Wire messages of the Bistro communication interface (paper §4.1).
 ///
@@ -31,7 +86,7 @@ struct Message {
   FeedName feed;          // feed the file/batch belongs to
   std::string name;       // original filename
   std::string dest_path;  // destination path (kFileData/kFileNotify)
-  std::string payload;    // file contents (kFileData)
+  SharedPayload payload;  // file contents (kFileData); aliased on fan-out
   /// End-to-end payload checksum, computed by the sender from the staged
   /// bytes (not the wire bytes). The frame CRC below only covers the hop;
   /// this one travels with the message so the receiving Endpoint can
@@ -50,6 +105,18 @@ std::string EncodeMessage(const Message& msg);
 
 /// Parses a blob produced by EncodeMessage; verifies the CRC.
 Result<Message> DecodeMessage(std::string_view data);
+
+/// Serializes several messages into one multi-message wire frame
+/// (varint count + concatenated EncodeMessage blobs). Used by the
+/// delivery coalescing path: many small files to one subscriber ride a
+/// single frame — one link round trip — while each inner message keeps
+/// its own CRC and ack bookkeeping.
+std::string EncodeBundle(const std::vector<Message>& msgs);
+
+/// Parses a frame produced by EncodeBundle. Callers must know a frame is
+/// a bundle (the transports keep bundle and single sends on separate
+/// paths); the format is not self-describing against EncodeMessage.
+Result<std::vector<Message>> DecodeBundle(std::string_view data);
 
 }  // namespace bistro
 

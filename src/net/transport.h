@@ -30,6 +30,14 @@ class Endpoint {
 /// Completion callback for an asynchronous send.
 using SendCallback = std::function<void(const Status&)>;
 
+/// One message of a coalesced multi-file frame, with its own completion
+/// callback — per-file acks survive coalescing, so exactly-once
+/// bookkeeping never depends on frame boundaries.
+struct BundleItem {
+  Message msg;
+  SendCallback done;
+};
+
 /// Abstract message transport from the server to named endpoints.
 ///
 /// Send is asynchronous: the callback fires when the transfer completes
@@ -41,6 +49,15 @@ class Transport {
 
   virtual void Send(const std::string& endpoint, const Message& msg,
                     SendCallback done) = 0;
+
+  /// Sends several messages to one endpoint as a single wire frame when
+  /// the transport supports it (one link round trip covers the group).
+  /// The base implementation degrades to per-message Send, so transports
+  /// and decorators that never see bundles keep working. Each item's
+  /// callback fires individually: one rejected file NACKs alone without
+  /// poisoning its frame-mates.
+  virtual void SendBundle(const std::string& endpoint,
+                          std::vector<BundleItem> items);
 
   /// Rough transfer cost estimate used by the scheduler's locality
   /// heuristics; 0 when unknown.
@@ -74,6 +91,8 @@ class LoopbackTransport : public Transport {
 
   void Send(const std::string& endpoint, const Message& msg,
             SendCallback done) override;
+  void SendBundle(const std::string& endpoint,
+                  std::vector<BundleItem> items) override;
   Duration EstimateCost(const std::string&, uint64_t) const override {
     return 0;
   }
@@ -95,6 +114,8 @@ class SimTransport : public Transport {
 
   void Send(const std::string& endpoint, const Message& msg,
             SendCallback done) override;
+  void SendBundle(const std::string& endpoint,
+                  std::vector<BundleItem> items) override;
   Duration EstimateCost(const std::string& endpoint,
                         uint64_t bytes) const override;
 

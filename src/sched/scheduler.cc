@@ -49,6 +49,21 @@ void DeliveryScheduler::RecordOutcome(const TransferJob& job, bool success,
   }
 }
 
+std::optional<TransferJob> DeliveryScheduler::TakeParked(
+    const std::function<bool(const TransferJob&)>& admit) {
+  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+    std::deque<TransferJob>& queue = it->second;
+    if (!WindowPermits(it->first)) continue;
+    if (!admit(queue.front())) continue;
+    TransferJob job = std::move(queue.front());
+    queue.pop_front();
+    --parked_count_;
+    if (queue.empty()) parked_.erase(it);
+    return job;
+  }
+  return std::nullopt;
+}
+
 SinglePolicyScheduler::SinglePolicyScheduler(PolicyKind kind, size_t capacity)
     : policy_(MakePolicy(kind)), capacity_(capacity == 0 ? 1 : capacity) {}
 
@@ -58,14 +73,26 @@ void SinglePolicyScheduler::Submit(TransferJob job) {
 
 std::optional<TransferJob> SinglePolicyScheduler::Dequeue() {
   if (in_flight_ >= capacity_) return std::nullopt;
-  auto job = policy_->Next();
-  if (job.has_value()) ++in_flight_;
+  // A parked job whose window reopened goes first — it already won a
+  // policy pop before its subscriber's window filled.
+  auto job = TakeParked([](const TransferJob&) { return true; });
+  while (!job.has_value()) {
+    job = policy_->Next();
+    if (!job.has_value()) return std::nullopt;
+    if (!WindowPermits(job->subscriber)) {
+      Park(std::move(*job));
+      job.reset();
+    }
+  }
+  ++in_flight_;
+  NoteDispatched(job->subscriber);
   return job;
 }
 
 void SinglePolicyScheduler::OnComplete(const TransferJob& job, bool success,
                                        TimePoint now, Duration elapsed) {
   if (in_flight_ > 0) --in_flight_;
+  NoteDone(job.subscriber);
   RecordOutcome(job, success, now, elapsed);
 }
 
@@ -92,6 +119,21 @@ void PartitionedScheduler::Submit(TransferJob job) {
 }
 
 std::optional<TransferJob> PartitionedScheduler::Dequeue() {
+  // A parked job whose subscriber window reopened goes first, charged to
+  // its (current) partition's slots.
+  auto admit = [this](const TransferJob& j) {
+    return partitions_[PartitionOf(j.subscriber)].in_flight <
+           options_.slots_per_partition;
+  };
+  if (auto job = TakeParked(admit)) {
+    size_t idx = PartitionOf(job->subscriber);
+    Partition& p = partitions_[idx];
+    p.in_flight++;
+    p.last_file = job->file_id;
+    slot_owner_[{job->file_id, job->subscriber}] = idx;
+    NoteDispatched(job->subscriber);
+    return job;
+  }
   // Visit partitions round-robin so each level gets slot-refill turns;
   // capacity is per-partition, so a backlogged level never consumes
   // another level's slots.
@@ -100,15 +142,24 @@ std::optional<TransferJob> PartitionedScheduler::Dequeue() {
     Partition& p = partitions_[idx];
     if (p.in_flight >= options_.slots_per_partition) continue;
     std::optional<TransferJob> job;
-    if (options_.locality && p.last_file != 0) {
-      job = p.policy->NextForFile(p.last_file);
+    for (;;) {
+      job.reset();
+      if (options_.locality && p.last_file != 0) {
+        job = p.policy->NextForFile(p.last_file);
+      }
+      if (!job.has_value()) job = p.policy->Next();
+      if (!job.has_value()) break;
+      if (WindowPermits(job->subscriber)) break;
+      // Full window: park the pop and keep draining this partition —
+      // each job parks at most once, so this stays O(1) amortized.
+      Park(std::move(*job));
     }
-    if (!job.has_value()) job = p.policy->Next();
     if (!job.has_value()) continue;
     p.in_flight++;
     p.last_file = job->file_id;
     slot_owner_[{job->file_id, job->subscriber}] = idx;
     rr_cursor_ = (idx + 1) % partitions_.size();
+    NoteDispatched(job->subscriber);
     return job;
   }
   return std::nullopt;
@@ -124,6 +175,7 @@ void PartitionedScheduler::OnComplete(const TransferJob& job, bool success,
   }
   Partition& p = partitions_[idx];
   if (p.in_flight > 0) --p.in_flight;
+  NoteDone(job.subscriber);
   RecordOutcome(job, success, now, elapsed);
   ++completions_;
   if (options_.rebalance_every > 0 &&
@@ -151,7 +203,7 @@ void PartitionedScheduler::MaybeRebalance(const SubscriberName& sub) {
 }
 
 size_t PartitionedScheduler::pending() const {
-  size_t total = 0;
+  size_t total = parked_count_;
   for (const auto& p : partitions_) total += p.policy->Size();
   return total;
 }

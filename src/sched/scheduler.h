@@ -1,6 +1,7 @@
 #ifndef BISTRO_SCHED_SCHEDULER_H_
 #define BISTRO_SCHED_SCHEDULER_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -55,6 +56,23 @@ class DeliveryScheduler {
   virtual size_t pending() const = 0;
   virtual size_t in_flight() const = 0;
 
+  /// Caps how many of one subscriber's jobs may be in flight at once —
+  /// the pipelined send window. 0 (default) = unlimited, i.e. only the
+  /// scheduler's slot capacity limits concurrency; the delivery engine
+  /// sets this from config `delivery { window; }`. Jobs popped while
+  /// their subscriber is at the cap park in a per-subscriber side queue
+  /// (they already won their policy pop) and are dispatched first once a
+  /// window slot frees — O(1) per dequeue, no policy re-scans.
+  void SetSubscriberWindow(size_t window) { window_ = window; }
+  size_t subscriber_window() const { return window_; }
+  /// Jobs currently parked behind a full subscriber window.
+  size_t parked() const { return parked_count_; }
+  /// In-flight jobs for one subscriber (window accounting).
+  size_t InFlightFor(const SubscriberName& sub) const {
+    auto it = window_inflight_.find(sub);
+    return it == window_inflight_.end() ? 0 : it->second;
+  }
+
   const SchedulerMetrics& metrics() const { return metrics_; }
   ResponsivenessTracker* tracker() { return &tracker_; }
 
@@ -74,9 +92,33 @@ class DeliveryScheduler {
   void RecordOutcome(const TransferJob& job, bool success, TimePoint now,
                      Duration elapsed);
 
+  // ----- Window accounting helpers for subclass Dequeue/OnComplete -----
+  bool WindowPermits(const SubscriberName& sub) const {
+    return window_ == 0 || InFlightFor(sub) < window_;
+  }
+  void NoteDispatched(const SubscriberName& sub) { window_inflight_[sub]++; }
+  void NoteDone(const SubscriberName& sub) {
+    auto it = window_inflight_.find(sub);
+    if (it == window_inflight_.end()) return;
+    if (--it->second == 0) window_inflight_.erase(it);
+  }
+  /// Parks a job popped while its subscriber's window was full.
+  void Park(TransferJob job) {
+    parked_[job.subscriber].push_back(std::move(job));
+    ++parked_count_;
+  }
+  /// First parked job whose subscriber window has reopened and that the
+  /// subclass's own capacity check (`admit`) accepts. FIFO per subscriber.
+  std::optional<TransferJob> TakeParked(
+      const std::function<bool(const TransferJob&)>& admit);
+
   SchedulerMetrics metrics_;
   ResponsivenessTracker tracker_;
   CompletionHook hook_;
+  size_t window_ = 0;
+  size_t parked_count_ = 0;
+  std::map<SubscriberName, size_t> window_inflight_;
+  std::map<SubscriberName, std::deque<TransferJob>> parked_;
   Counter* completed_counter_ = nullptr;
   Counter* failed_counter_ = nullptr;
   Counter* late_counter_ = nullptr;
@@ -97,7 +139,7 @@ class SinglePolicyScheduler : public DeliveryScheduler {
   std::optional<TransferJob> Dequeue() override;
   void OnComplete(const TransferJob& job, bool success, TimePoint now,
                   Duration elapsed) override;
-  size_t pending() const override { return policy_->Size(); }
+  size_t pending() const override { return policy_->Size() + parked_count_; }
   size_t in_flight() const override { return in_flight_; }
 
  private:

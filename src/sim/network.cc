@@ -77,14 +77,25 @@ Result<TimePoint> SimNetwork::ScheduleTransfer(const std::string& subscriber,
     return Status::IoError("transfer failed to: " + subscriber);
   }
   BISTRO_ASSIGN_OR_RETURN(Duration d, TransferDuration(subscriber, bytes));
-  link.busy_until = start + d;
+  TimePoint completion;
+  if (pipelined_acks_) {
+    // Link is held for serialization only; the ack returns one propagation
+    // latency after the last byte leaves. Successive windowed sends thus
+    // overlap their latencies instead of queueing behind them.
+    Duration serialization = d - link.spec.latency;
+    link.busy_until = start + serialization;
+    completion = link.busy_until + link.spec.latency;
+  } else {
+    link.busy_until = start + d;
+    completion = link.busy_until;
+  }
   link.bytes_sent += bytes;
   if (transfers_ != nullptr) {
     transfers_->Increment();
     bytes_counter_->Increment(bytes);
-    duration_hist_->Record(link.busy_until - now);
+    duration_hist_->Record(completion - now);
   }
-  return link.busy_until;
+  return completion;
 }
 
 uint64_t SimNetwork::BytesSent(const std::string& subscriber) const {

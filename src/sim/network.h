@@ -39,6 +39,17 @@ class SimNetwork {
  public:
   explicit SimNetwork(Rng* rng) : rng_(rng) {}
 
+  /// Pipelined-ack link model (off by default, preserving the legacy
+  /// lockstep timing). When on, a transfer occupies the link only for its
+  /// serialization time — the sender can push the next frame as soon as
+  /// the last byte of the previous one leaves — while the completion
+  /// (ack) still arrives a full propagation latency later. This is what
+  /// lets a windowed sender overlap latency: with the legacy model the
+  /// link is held for latency + serialization, so back-to-back sends
+  /// serialize on latency no matter the window.
+  void SetPipelinedAcks(bool on) { pipelined_acks_ = on; }
+  bool pipelined_acks() const { return pipelined_acks_; }
+
   /// Registers WAN-level counters (transfers, failures, bytes) and a
   /// per-transfer duration histogram in `registry`. Optional.
   void AttachMetrics(MetricsRegistry* registry);
@@ -78,6 +89,7 @@ class SimNetwork {
   };
 
   Rng* rng_;
+  bool pipelined_acks_ = false;
   std::map<std::string, Link> links_;
   Counter* transfers_ = nullptr;
   Counter* failures_ = nullptr;

@@ -429,6 +429,194 @@ subscriber sub2 { feeds FEEDB; method push; }
   EXPECT_NE(scrape.find("bistro_ingest_committed_total"), std::string::npos);
 }
 
+// Same world, same crash — with the fan-out fast path fully enabled:
+// pipelined send windows (> 1 in flight per subscriber, pipelined acks on
+// the simulated links), small-file frame coalescing, and group-committed
+// delivery receipts. None of it may weaken exactly-once: a crash can only
+// lose a *suffix* of a buffered receipt group, and the resulting
+// redeliveries must be absorbed by the subscriber-side FileId dedupe.
+TEST_P(ChaosE2ETest, FastPathExactlyOnceUnderFaultsAndCrash) {
+  const int seed = SeedBase() + GetParam();
+  Rng scenario_rng(static_cast<uint64_t>(seed) * 40087 + 19);
+
+  FaultPlan plan;
+  plan.seed = static_cast<uint64_t>(seed) * 83 + 29;
+  plan.vfs.write_error_prob = scenario_rng.NextDouble() * 0.03;
+  plan.vfs.torn_write_prob = scenario_rng.NextDouble() * 0.03;
+  plan.vfs.sync_error_prob = scenario_rng.NextDouble() * 0.02;
+  plan.vfs.scope = "";
+  plan.net.send_failure_prob = scenario_rng.NextDouble() * 0.15;
+  plan.net.corrupt_prob = scenario_rng.NextDouble() * 0.08;
+  plan.net.ack_loss_prob = scenario_rng.NextDouble() * 0.05;
+
+  const TimePoint start = FromCivil(CivilTime{2010, 9, 25});
+  LinkFlap flap;
+  flap.endpoint = "sub0";
+  flap.down_at = start + 10 * kMinute;
+  flap.up_at = start + 25 * kMinute;
+  plan.net.flaps.push_back(flap);
+  LinkDegrade degrade;
+  degrade.endpoint = "sub1";
+  degrade.factor = 2.0;
+  plan.net.degrades.push_back(degrade);
+
+  SimClock clock(start);
+  EventLoop loop(&clock);
+  MetricsRegistry registry;
+  InMemoryFileSystem base_fs;
+  FaultInjector injector(plan, &registry);
+  FaultyFileSystem fs(&base_fs, &injector);
+  Rng net_rng(static_cast<uint64_t>(seed) * 107 + 17);
+  SimNetwork network(&net_rng);
+  network.SetPipelinedAcks(true);  // windows > 1 overlap ack latency
+  SimTransport sim_transport(&loop, &network);
+  FaultyTransport transport(&sim_transport, &loop, &injector);
+  CallbackInvoker invoker;
+  Logger logger(&clock);
+  logger.SetMinLevel(LogLevel::kAlarm);
+
+  constexpr int kNumFeeds = 2;
+  constexpr int kNumSubs = 3;
+  auto config = ParseConfig(R"(
+feed FEEDA { pattern "feeda_%i_%Y%m%d%H%M.dat"; tardiness 2m; }
+feed FEEDB { pattern "feedb_%i_%Y%m%d%H%M.dat"; tardiness 2m; }
+subscriber sub0 { feeds FEEDA, FEEDB; method push; }
+subscriber sub1 { feeds FEEDA; method push; }
+subscriber sub2 { feeds FEEDB; method push; }
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  const std::vector<std::vector<int>> subscriptions = {{0, 1}, {0}, {1}};
+
+  std::vector<std::unique_ptr<InMemoryFileSystem>> sub_fs;
+  std::vector<std::unique_ptr<FileSinkEndpoint>> sinks;
+  for (int s = 0; s < kNumSubs; ++s) {
+    network.SetLink(StrFormat("sub%d", s), LinkSpec::Fast());
+    sub_fs.push_back(std::make_unique<InMemoryFileSystem>());
+    sinks.push_back(
+        std::make_unique<FileSinkEndpoint>(sub_fs.back().get(), "/recv"));
+    sim_transport.Register(StrFormat("sub%d", s), sinks.back().get());
+  }
+  injector.Arm(&loop, &network);
+
+  BistroServer::Options opts;
+  opts.kv.sync_wal = true;
+  opts.sync_staging = true;
+  opts.metrics = &registry;
+  opts.delivery.retry_backoff = 2 * kSecond;
+  opts.delivery.retry_backoff_max = 30 * kSecond;
+  opts.delivery.probe_interval = 20 * kSecond;
+  opts.delivery.max_attempts = 100000;
+  opts.delivery.backoff_seed = static_cast<uint64_t>(seed) + 1;
+  // The fan-out fast path under test:
+  opts.delivery.window = 4;
+  opts.delivery.coalesce_bytes = 4096;
+  opts.delivery.receipt_group = 8;
+  opts.delivery.receipt_flush_interval = 200 * kMillisecond;
+
+  std::unique_ptr<BistroServer> server;
+  auto boot = [&]() {
+    auto created = BistroServer::Create(opts, *config, &fs, &transport, &loop,
+                                        &invoker, &logger);
+    ASSERT_TRUE(created.ok()) << created.status();
+    server = std::move(*created);
+  };
+  boot();
+  ASSERT_NE(server, nullptr);
+
+  std::vector<std::pair<std::string, std::string>> stashed;
+  std::function<void(std::string, std::string)> deposit =
+      [&](std::string name, std::string content) {
+        if (server == nullptr) {
+          stashed.emplace_back(std::move(name), std::move(content));
+          return;
+        }
+        Status s = server->Deposit("src", name, content);
+        if (!s.ok()) {
+          loop.PostAfter(10 * kSecond, [&deposit, name, content] {
+            deposit(name, content);
+          });
+        }
+      };
+
+  const int num_files = 60 + static_cast<int>(scenario_rng.Uniform(40));
+  std::map<std::string, std::pair<int, std::string>> expected;
+  for (int i = 0; i < num_files; ++i) {
+    TimePoint t = start + static_cast<Duration>(scenario_rng.Uniform(kHour));
+    int f = static_cast<int>(scenario_rng.Uniform(kNumFeeds));
+    CivilTime c = ToCivil(t);
+    std::string name = StrFormat("feed%c_%d_%04d%02d%02d%02d%02d.dat", 'a' + f,
+                                 i, c.year, c.month, c.day, c.hour, c.minute);
+    std::string content =
+        scenario_rng.AlnumString(20 + scenario_rng.Uniform(400));
+    expected[name] = {f, content};
+    loop.PostAt(t, [&deposit, name, content] { deposit(name, content); });
+  }
+
+  // Mid-run crash: buffered delivery-receipt groups die with the process;
+  // recovery must re-offer (and the sinks dedupe) at most that suffix.
+  loop.PostAt(start + 30 * kMinute, [&] {
+    server.reset();
+    ASSERT_TRUE(fs.SimulateCrash().ok());
+  });
+  loop.PostAt(start + 32 * kMinute, [&] {
+    boot();
+    std::vector<std::pair<std::string, std::string>> pending;
+    pending.swap(stashed);
+    for (auto& [name, content] : pending) {
+      deposit(std::move(name), std::move(content));
+    }
+  });
+
+  loop.RunUntil(start + 6 * kHour);
+
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(stashed.empty());
+  EXPECT_GT(injector.injected(), 0u) << "fault plan injected nothing (seed "
+                                     << seed << ")";
+
+  for (int s = 0; s < kNumSubs; ++s) {
+    size_t want = 0;
+    for (const auto& [name, info] : expected) {
+      bool subscribed = false;
+      for (int f : subscriptions[s]) subscribed |= (f == info.first);
+      if (!subscribed) continue;
+      ++want;
+      std::string dest =
+          StrFormat("/recv/FEED%c/%s", 'A' + info.first, name.c_str());
+      auto got = sub_fs[s]->ReadFile(dest);
+      ASSERT_TRUE(got.ok()) << "sub" << s << " lost " << dest << " (seed "
+                            << seed << ")";
+      EXPECT_EQ(*got, info.second) << dest << " (seed " << seed << ")";
+    }
+    EXPECT_EQ(sinks[s]->files_received(), want)
+        << "sub" << s << " delivery count off (seed " << seed << ")";
+  }
+
+  for (int s = 0; s < kNumSubs; ++s) {
+    const SubscriberSpec* spec =
+        server->registry()->FindSubscriber(StrFormat("sub%d", s));
+    ASSERT_NE(spec, nullptr);
+    auto queue = server->receipts()->ComputeDeliveryQueue(
+        spec->name, server->registry()->SubscribedFeeds(*spec));
+    EXPECT_TRUE(queue.empty()) << "sub" << s << " still has " << queue.size()
+                               << " undelivered files (seed " << seed << ")";
+  }
+  EXPECT_TRUE(server->delivery()->dead_letters().empty())
+      << "chaos run dead-lettered a file (seed " << seed << ")";
+  // No receipt may linger in the buffer once the run quiesces.
+  EXPECT_EQ(server->delivery()->buffered_receipts(), 0u);
+  // The grouped-receipt path actually ran.
+  EXPECT_GT(server->delivery_stats().receipt_group_flushes, 0u);
+
+  std::string scrape = ExportPrometheus(&registry);
+  EXPECT_NE(scrape.find("bistro_delivery_coalesced_files_total"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("bistro_delivery_receipt_group_flushes_total"),
+            std::string::npos);
+  EXPECT_NE(scrape.find("bistro_delivery_cache_hits_total"),
+            std::string::npos);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosE2ETest, ::testing::Range(0, 5));
 
 }  // namespace

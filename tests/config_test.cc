@@ -152,6 +152,11 @@ delivery {
   max_attempts 7;
   offline_after 5;
   probe_interval 45s;
+  window 8;
+  coalesce_bytes 65536;
+  cache_bytes 1048576;
+  receipt_group 32;
+  receipt_flush_interval 250ms;
 }
 )");
   ASSERT_TRUE(config.ok()) << config.status();
@@ -163,6 +168,11 @@ delivery {
   EXPECT_EQ(d.max_attempts, 7);
   EXPECT_EQ(d.offline_after, 5);
   EXPECT_EQ(d.probe_interval, 45 * kSecond);
+  EXPECT_EQ(d.window, 8);
+  EXPECT_EQ(d.coalesce_bytes, 65536);
+  EXPECT_EQ(d.cache_bytes, 1048576);
+  EXPECT_EQ(d.receipt_group, 32);
+  EXPECT_EQ(d.receipt_flush_interval, 250 * kMillisecond);
 }
 
 TEST(ConfigParseTest, DeliveryRetryBackoffLegacyKeyIsAlias) {
@@ -177,12 +187,20 @@ TEST(ConfigParseTest, DeliveryBlockRejectsBadValues) {
   EXPECT_FALSE(ParseConfig("delivery { max_attempts 0; }").ok());
   EXPECT_FALSE(ParseConfig("delivery { retry_jitter maybe; }").ok());
   EXPECT_FALSE(ParseConfig("delivery { frobnicate 1; }").ok());
+  EXPECT_FALSE(ParseConfig("delivery { window -1; }").ok());
+  EXPECT_FALSE(ParseConfig("delivery { coalesce_bytes -1; }").ok());
+  EXPECT_FALSE(ParseConfig("delivery { cache_bytes -4; }").ok());
+  EXPECT_FALSE(ParseConfig("delivery { receipt_group 0; }").ok());
 }
 
 TEST(ConfigFormatTest, DeliveryBlockRoundTrips) {
   auto config = ParseConfig(R"(
 feed F { pattern "f_%i"; }
-delivery { retry_backoff_min 3s; retry_multiplier 4; retry_jitter on; }
+delivery {
+  retry_backoff_min 3s; retry_multiplier 4; retry_jitter on;
+  window 4; coalesce_bytes 32768; cache_bytes 0; receipt_group 8;
+  receipt_flush_interval 75ms;
+}
 )");
   ASSERT_TRUE(config.ok()) << config.status();
   std::string formatted = FormatConfig(*config);

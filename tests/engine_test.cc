@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include "common/hash.h"
 #include "common/strings.h"
 #include "config/parser.h"
 #include "core/admin.h"
 #include "core/server.h"
+#include "delivery/payload_cache.h"
 #include "fault/faulty_transport.h"
 #include "fault/injector.h"
 #include "vfs/memfs.h"
@@ -160,6 +162,249 @@ subscriber s3 { feeds CPU; method push; }
   EXPECT_EQ(d.files_delivered, 3u);
   EXPECT_EQ(d.staging_reads, 1u);
   EXPECT_EQ(d.staging_cache_hits, 2u);
+}
+
+TEST(EngineTest, CacheAblationRereadsPerDispatch) {
+  // cache_bytes 0 is the lockstep-baseline ablation: payloads are still
+  // shared within one Get, but nothing is retained, so a fan-out of 3
+  // dispatched as 3 jobs costs 3 staging reads.
+  BistroServer::Options opts;
+  opts.delivery.cache_bytes = 0;
+  Rig rig(R"(
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt"; }
+subscriber s1 { feeds CPU; method push; }
+subscriber s2 { feeds CPU; method push; }
+subscriber s3 { feeds CPU; method push; }
+)",
+          opts);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint a(&sub_fs, "/a"), b(&sub_fs, "/b"), c(&sub_fs, "/c");
+  rig.transport.Register("s1", &a);
+  rig.transport.Register("s2", &b);
+  rig.transport.Register("s3", &c);
+  ASSERT_TRUE(rig.server->Deposit("p", "CPU_POLL1_201009250400.txt", "x").ok());
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  const DeliveryStats& d = rig.server->delivery_stats();
+  EXPECT_EQ(d.files_delivered, 3u);
+  EXPECT_EQ(d.staging_reads, 3u);
+  EXPECT_EQ(d.staging_cache_hits, 0u);
+}
+
+// --------------------------------------------------- Staged payload cache
+
+TEST(PayloadCacheTest, LruEvictsToByteBudget) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/a", "aaaa").ok());
+  ASSERT_TRUE(fs.WriteFile("/b", "bbbb").ok());
+  ASSERT_TRUE(fs.WriteFile("/c", "cccc").ok());
+  StagedPayloadCache cache(&fs, 8);  // two 4-byte files fit
+  auto a1 = cache.Get("/a");
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(*a1->payload, "aaaa");
+  EXPECT_EQ(a1->crc, Crc32("aaaa"));
+  auto a2 = cache.Get("/a");
+  ASSERT_TRUE(a2.ok());
+  // The hit hands back the same shared buffer, not a copy.
+  EXPECT_EQ(a1->payload.get(), a2->payload.get());
+  ASSERT_TRUE(cache.Get("/b").ok());
+  EXPECT_EQ(cache.bytes(), 8u);
+  EXPECT_EQ(cache.entries(), 2u);
+  // /c displaces the least-recently-used entry (/a).
+  ASSERT_TRUE(cache.Get("/c").ok());
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Get("/b").ok());  // still cached
+  EXPECT_EQ(cache.hits(), 2u);        // /a re-read, /b hit
+  auto a3 = cache.Get("/a");          // miss again after eviction
+  ASSERT_TRUE(a3.ok());
+  EXPECT_EQ(cache.misses(), 4u);  // a, b, c, a
+  // Eviction never frees an aliased payload: the original handle from
+  // before the eviction still reads the bytes.
+  EXPECT_EQ(*a1->payload, "aaaa");
+}
+
+TEST(PayloadCacheTest, ZeroBudgetServesWithoutRetention) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/a", "aaaa").ok());
+  StagedPayloadCache cache(&fs, 0);
+  ASSERT_TRUE(cache.Get("/a").ok());
+  ASSERT_TRUE(cache.Get("/a").ok());
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(PayloadCacheTest, OversizedEntryStaysUntilDisplacedAndInvalidateDrops) {
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/big", "0123456789").ok());
+  ASSERT_TRUE(fs.WriteFile("/tiny", "tt").ok());
+  StagedPayloadCache cache(&fs, 4);
+  // A single entry is never evicted on its own insert, even over budget:
+  // the immediate fan-out it serves is the whole point of the cache.
+  ASSERT_TRUE(cache.Get("/big").ok());
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_TRUE(cache.Get("/big").ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  // The next insert pushes bytes over budget and evicts the LRU giant.
+  ASSERT_TRUE(cache.Get("/tiny").ok());
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // Invalidate drops a (rewritten) path so the next Get re-reads.
+  ASSERT_TRUE(fs.WriteFile("/tiny", "TT").ok());
+  cache.Invalidate("/tiny");
+  auto fresh = cache.Get("/tiny");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh->payload, "TT");
+  EXPECT_EQ(fresh->crc, Crc32("TT"));
+}
+
+// ------------------------------------------------ Windows and coalescing
+
+TEST(EngineTest, SendWindowDeliversEverythingExactlyOnce) {
+  BistroServer::Options opts;
+  opts.delivery.window = 2;
+  Rig rig(kOneFeedOneSub, opts);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  rig.transport.Register("s", &sink);
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(rig.server
+                    ->Deposit("p",
+                              StrFormat("CPU_POLL%d_201009250400.txt", i), "x")
+                    .ok());
+  }
+  rig.loop.RunUntil(rig.clock.Now() + kMinute);
+  EXPECT_EQ(sink.files_received(), 6u);
+  EXPECT_EQ(sink.duplicates(), 0u);
+  EXPECT_EQ(rig.server->delivery_stats().files_delivered, 6u);
+  // Quiesced: the in-flight gauge reads zero after the run.
+  EXPECT_EQ(
+      rig.server->metrics()->GetGauge("bistro_delivery_inflight", "")->value(),
+      0);
+  for (FileId id = 1; id <= 6; ++id) {
+    EXPECT_TRUE(rig.server->receipts()->Delivered("s", id)) << id;
+  }
+}
+
+TEST(EngineTest, CoalescesSmallSameSubscriberFilesIntoOneFrame) {
+  BistroServer::Options opts;
+  opts.delivery.coalesce_bytes = 1024;
+  // A window wide enough that the backfill's whole batch dequeues in one
+  // round (the server scales scheduler slots to fit the window).
+  opts.delivery.window = 8;
+  Rig rig(kOneFeedOneSub, opts);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  rig.transport.Register("s", &sink);
+  // Park three small files behind a manual offline flag so the backfill
+  // dispatches them in one round — the coalescible shape.
+  rig.server->delivery()->SetOffline("s", true);
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(rig.server
+                    ->Deposit("p",
+                              StrFormat("CPU_POLL%d_201009250400.txt", i), "x")
+                    .ok());
+  }
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  rig.server->delivery()->SetOffline("s", false);
+  rig.loop.RunUntil(rig.clock.Now() + kMinute);
+  const DeliveryStats& d = rig.server->delivery_stats();
+  EXPECT_EQ(d.coalesced_frames, 1u);
+  EXPECT_EQ(d.coalesced_files, 3u);
+  EXPECT_EQ(d.files_delivered, 3u);
+  // Per-file delivery semantics survive the shared frame: each file
+  // landed once and has its own durable receipt.
+  EXPECT_EQ(sink.files_received(), 3u);
+  EXPECT_EQ(sink.duplicates(), 0u);
+  for (FileId id = 1; id <= 3; ++id) {
+    EXPECT_TRUE(rig.server->receipts()->Delivered("s", id)) << id;
+  }
+  EXPECT_TRUE(sub_fs.Exists("/r/CPU/CPU_POLL2_201009250400.txt"));
+}
+
+TEST(EngineTest, CoalesceBudgetSplitsLargeRunsIntoMultipleFrames) {
+  BistroServer::Options opts;
+  opts.delivery.coalesce_bytes = 8;  // two 4-byte payloads per frame
+  opts.delivery.window = 8;
+  Rig rig(kOneFeedOneSub, opts);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  rig.transport.Register("s", &sink);
+  rig.server->delivery()->SetOffline("s", true);
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(
+        rig.server
+            ->Deposit("p", StrFormat("CPU_POLL%d_201009250400.txt", i), "wxyz")
+            .ok());
+  }
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  rig.server->delivery()->SetOffline("s", false);
+  rig.loop.RunUntil(rig.clock.Now() + kMinute);
+  const DeliveryStats& d = rig.server->delivery_stats();
+  EXPECT_EQ(d.coalesced_frames, 2u);
+  EXPECT_EQ(d.coalesced_files, 4u);
+  EXPECT_EQ(sink.files_received(), 4u);
+  EXPECT_EQ(sink.duplicates(), 0u);
+}
+
+// ------------------------------------------- Group-committed receipts
+
+TEST(EngineTest, ReceiptGroupCommitsOnAckQuiescence) {
+  BistroServer::Options opts;
+  opts.delivery.receipt_group = 16;  // far above the traffic: quiescence
+                                     // (not size) must trigger the flush
+  opts.delivery.window = 8;  // all three sends in flight together
+  Rig rig(kOneFeedOneSub, opts);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  rig.transport.Register("s", &sink);
+  rig.server->delivery()->SetOffline("s", true);
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(rig.server
+                    ->Deposit("p",
+                              StrFormat("CPU_POLL%d_201009250400.txt", i), "x")
+                    .ok());
+  }
+  rig.loop.RunUntil(rig.clock.Now() + kSecond);
+  rig.server->delivery()->SetOffline("s", false);
+  rig.loop.RunUntil(rig.clock.Now() + kMinute);
+  // All three acks buffered, then one group commit at quiescence.
+  EXPECT_EQ(rig.server->delivery_stats().receipt_group_flushes, 1u);
+  EXPECT_EQ(rig.server->delivery()->buffered_receipts(), 0u);
+  for (FileId id = 1; id <= 3; ++id) {
+    EXPECT_TRUE(rig.server->receipts()->Delivered("s", id)) << id;
+  }
+  EXPECT_EQ(sink.files_received(), 3u);
+}
+
+TEST(EngineTest, BufferedReceiptsFlushWithinTheIntervalDespiteInFlightJobs) {
+  // A failing second subscriber keeps the engine from going quiescent the
+  // moment the first ack lands; the flush-interval timer (or the eventual
+  // quiescence) must still commit the buffered receipt promptly.
+  BistroServer::Options opts;
+  opts.delivery.receipt_group = 16;
+  opts.delivery.receipt_flush_interval = 100 * kMillisecond;
+  opts.delivery.retry_backoff = kMinute;
+  opts.delivery.retry_jitter = false;
+  opts.delivery.offline_after_failures = 100;
+  Rig rig(R"(
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt"; }
+subscriber good { feeds CPU; method push; }
+subscriber bad { feeds CPU; method push; }
+)",
+          opts);
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint good(&sub_fs, "/g"), bad(&sub_fs, "/b");
+  bad.SetFailing(true);
+  rig.transport.Register("good", &good);
+  rig.transport.Register("bad", &bad);
+  ASSERT_TRUE(rig.server->Deposit("p", "CPU_POLL1_201009250400.txt", "x").ok());
+  rig.loop.RunUntil(rig.clock.Now() + 10 * kSecond);
+  EXPECT_TRUE(rig.server->receipts()->Delivered("good", 1));
+  EXPECT_EQ(rig.server->delivery()->buffered_receipts(), 0u);
+  EXPECT_EQ(rig.server->delivery_stats().receipt_group_flushes, 1u);
 }
 
 TEST(EngineTest, MaintenanceShipsReceiptSnapshotsToArchiver) {

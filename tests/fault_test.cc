@@ -397,7 +397,7 @@ TEST(FileSinkEndpointTest, RejectsPayloadCrcMismatch) {
   InMemoryFileSystem fs;
   FileSinkEndpoint sink(&fs, "/r");
   Message msg = FileDataMessage(1, "payload");
-  msg.payload[0] ^= 0x5A;  // corrupt after the CRC was computed
+  msg.payload.mutable_str()[0] ^= 0x5A;  // corrupt after the CRC was computed
   Status s = sink.HandleMessage(msg);
   EXPECT_TRUE(s.IsCorruption()) << s;
   EXPECT_EQ(sink.corrupt_rejected(), 1u);
@@ -583,6 +583,65 @@ TEST(DeadLetterTest, RedriveResubmitsWithFreshBudget) {
   EXPECT_TRUE(rig.server->receipts()->Delivered("s", 1));
 }
 
+// --------------------------------------- Torn delivery-receipt groups
+
+TEST(ReceiptFaultTest, TornDeliveryGroupVanishesWholeAndRecomputesQueue) {
+  InMemoryFileSystem base;
+  KvStore::Options kv_opts;
+  kv_opts.sync_wal = true;
+  // Durable history, no injection: three arrivals, file 1 delivered.
+  {
+    auto db = ReceiptDatabase::Open(&base, "/db", kv_opts);
+    ASSERT_TRUE(db.ok());
+    std::vector<ArrivalReceipt> group;
+    for (int i = 1; i <= 3; ++i) {
+      ArrivalReceipt r;
+      r.name = StrFormat("f%d.csv", i);
+      r.staged_path = "/staging/F/" + r.name;
+      r.rel_path = "F/" + r.name;
+      r.size = 3;
+      r.arrival_time = 10 + i;
+      r.feeds = {"F"};
+      group.push_back(std::move(r));
+    }
+    ASSERT_TRUE((*db)->RecordArrivalGroup(&group).ok());
+    ASSERT_TRUE((*db)->RecordDelivery("s", 1, 20).ok());
+  }
+  // A delivery group commit tears mid-append, then the machine dies.
+  {
+    FaultInjector inj(PlanFromText(
+        "fault_plan { vfs { torn_write 1.0; scope \"/db\"; } }"));
+    FaultyFileSystem fs(&base, &inj);
+    auto db = ReceiptDatabase::Open(&fs, "/db", kv_opts);
+    ASSERT_TRUE(db.ok());
+    std::vector<ReceiptDatabase::DeliveryRecord> deliveries = {{"s", 2, 30},
+                                                               {"s", 3, 31}};
+    EXPECT_FALSE((*db)->RecordDeliveryGroup(deliveries).ok());
+    // The failed group must not be visible even before the crash: the
+    // in-memory table only applies after the WAL append succeeds.
+    EXPECT_FALSE((*db)->Delivered("s", 2));
+    ASSERT_TRUE(fs.SimulateCrash().ok());
+  }
+  // Recovery: the committed history is intact, the torn group is wholly
+  // absent (no mid-log corruption), and queue recomputation re-offers
+  // exactly the receipts the group lost — the redelivery that the
+  // subscriber-side FileId dedupe then absorbs.
+  auto db = ReceiptDatabase::Open(&base, "/db", kv_opts);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db)->ArrivalCount(), 3u);
+  EXPECT_TRUE((*db)->Delivered("s", 1));
+  EXPECT_FALSE((*db)->Delivered("s", 2));
+  EXPECT_FALSE((*db)->Delivered("s", 3));
+  auto queue = (*db)->ComputeDeliveryQueue("s", {"F"});
+  ASSERT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue[0].file_id, 2u);
+  EXPECT_EQ(queue[1].file_id, 3u);
+  // The database still accepts group commits after recovery.
+  ASSERT_TRUE(
+      (*db)->RecordDeliveryGroup({{"s", 2, 40}, {"s", 3, 41}}).ok());
+  EXPECT_TRUE((*db)->ComputeDeliveryQueue("s", {"F"}).empty());
+}
+
 // A transport that corrupts the first kFileData payload, then behaves:
 // proves the full NACK -> retry -> success path through the engine.
 class CorruptOnceTransport : public Transport {
@@ -595,7 +654,8 @@ class CorruptOnceTransport : public Transport {
         !msg.payload.empty()) {
       corrupted_ = true;
       Message mangled = msg;
-      mangled.payload[0] = static_cast<char>(mangled.payload[0] ^ 0x5A);
+      mangled.payload.mutable_str()[0] =
+          static_cast<char>(mangled.payload[0] ^ 0x5A);
       base_->Send(endpoint, mangled, std::move(done));
       return;
     }
@@ -680,6 +740,54 @@ delivery {
   const DeliveryStats d = (*server)->delivery_stats();
   EXPECT_EQ(d.send_failures, 2u);
   EXPECT_EQ(d.dead_lettered, 1u);
+}
+
+TEST(ConfigWiringTest, DeliveryFastPathKeysTuneTheEngine) {
+  // window / coalesce_bytes / cache_bytes / receipt_group from the config
+  // file must reach the engine: with all of them set, a 3-file backfill
+  // round coalesces into one frame, receipts ride one group commit, and
+  // the zero cache budget forces a fresh staging read per dispatch.
+  SimClock clock(FromCivil(CivilTime{2010, 9, 25}));
+  EventLoop loop(&clock);
+  InMemoryFileSystem fs;
+  LoopbackTransport transport(&loop);
+  RecordingInvoker invoker;
+  Logger logger(&clock);
+  logger.SetMinLevel(LogLevel::kAlarm);
+  auto config = ParseConfig(R"(
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt"; }
+subscriber s { feeds CPU; method push; }
+delivery {
+  window 8; coalesce_bytes 4096; cache_bytes 0;
+  receipt_group 16; receipt_flush_interval 50ms;
+}
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  auto server = BistroServer::Create(BistroServer::Options(), *config, &fs,
+                                     &transport, &loop, &invoker, &logger);
+  ASSERT_TRUE(server.ok()) << server.status();
+  InMemoryFileSystem sub_fs;
+  FileSinkEndpoint sink(&sub_fs, "/r");
+  transport.Register("s", &sink);
+  (*server)->delivery()->SetOffline("s", true);
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE((*server)
+                    ->Deposit("p",
+                              StrFormat("CPU_POLL%d_201009250400.txt", i), "x")
+                    .ok());
+  }
+  loop.RunUntil(clock.Now() + kSecond);
+  (*server)->delivery()->SetOffline("s", false);
+  loop.RunUntil(clock.Now() + kMinute);
+  const DeliveryStats d = (*server)->delivery_stats();
+  EXPECT_EQ(d.files_delivered, 3u);
+  EXPECT_EQ(d.coalesced_frames, 1u);
+  EXPECT_EQ(d.coalesced_files, 3u);
+  EXPECT_EQ(d.receipt_group_flushes, 1u);
+  EXPECT_EQ(d.staging_cache_hits, 0u);  // cache_bytes 0: no retention
+  EXPECT_EQ(d.staging_reads, 3u);
+  EXPECT_EQ(sink.files_received(), 3u);
+  EXPECT_EQ(sink.duplicates(), 0u);
 }
 
 // ------------------------------------------------ source-side metrics

@@ -127,6 +127,53 @@ TEST(ReceiptGroupTest, GroupCommitAssignsAscendingIdsAndIndexes) {
   EXPECT_EQ(arrival->feeds, (std::vector<FeedName>{"G"}));
 }
 
+TEST(ReceiptGroupTest, DeliveryGroupCommitIsDurableAndCounted) {
+  InMemoryFileSystem fs;
+  MetricsRegistry registry;
+  {
+    auto db = ReceiptDatabase::Open(&fs, "/db");
+    ASSERT_TRUE(db.ok());
+    (*db)->AttachMetrics(&registry);
+    std::vector<ArrivalReceipt> group = {SampleReceipt("f1.csv", "F", 10),
+                                         SampleReceipt("f2.csv", "F", 11),
+                                         SampleReceipt("f3.csv", "F", 12)};
+    ASSERT_TRUE((*db)->RecordArrivalGroup(&group).ok());
+    std::vector<ReceiptDatabase::DeliveryRecord> deliveries = {
+        {"s", 1, 20}, {"s", 2, 21}, {"t", 1, 22}};
+    ASSERT_TRUE((*db)->RecordDeliveryGroup(deliveries).ok());
+    EXPECT_TRUE((*db)->Delivered("s", 1));
+    EXPECT_TRUE((*db)->Delivered("s", 2));
+    EXPECT_TRUE((*db)->Delivered("t", 1));
+    EXPECT_FALSE((*db)->Delivered("t", 2));
+    EXPECT_EQ(registry
+                  .GetCounter("bistro_receipts_delivery_group_commits_total",
+                              "")
+                  ->value(),
+              1u);
+    EXPECT_EQ(
+        registry.GetCounter("bistro_receipts_delivery_group_files_total", "")
+            ->value(),
+        3u);
+  }
+  // The whole group survives reopen and drops out of the recomputed
+  // delivery queues.
+  auto db = ReceiptDatabase::Open(&fs, "/db");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->Delivered("s", 1));
+  EXPECT_TRUE((*db)->Delivered("t", 1));
+  auto queue_s = (*db)->ComputeDeliveryQueue("s", {"F"});
+  ASSERT_EQ(queue_s.size(), 1u);
+  EXPECT_EQ(queue_s[0].file_id, 3u);
+  EXPECT_EQ((*db)->ComputeDeliveryQueue("t", {"F"}).size(), 2u);
+}
+
+TEST(ReceiptGroupTest, EmptyDeliveryGroupIsANoOp) {
+  InMemoryFileSystem fs;
+  auto db = ReceiptDatabase::Open(&fs, "/db");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->RecordDeliveryGroup({}).ok());
+}
+
 TEST(ReceiptGroupTest, FindIdByNameTracksLatestArrival) {
   InMemoryFileSystem fs;
   auto db = ReceiptDatabase::Open(&fs, "/db");

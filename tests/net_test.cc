@@ -48,7 +48,7 @@ TEST(ProtocolTest, EmptyFieldsAndLargePayload) {
   msg.type = MessageType::kFileData;
   Rng rng(3);
   for (int i = 0; i < 100000; ++i) {
-    msg.payload += static_cast<char>(rng.Next() & 0xFF);
+    msg.payload.mutable_str() += static_cast<char>(rng.Next() & 0xFF);
   }
   auto decoded = DecodeMessage(EncodeMessage(msg));
   ASSERT_TRUE(decoded.ok());

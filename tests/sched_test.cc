@@ -240,6 +240,76 @@ TEST(PartitionedSchedulerTest, PendingAndInFlightAccounting) {
   EXPECT_EQ(sched.metrics().failed, 1u);
 }
 
+// ------------------------------------------------- Per-subscriber windows
+
+TEST(WindowTest, SinglePolicyWindowParksExcessAndReleasesFifo) {
+  SinglePolicyScheduler sched(PolicyKind::kFifo, 16);
+  sched.SetSubscriberWindow(2);
+  for (FileId i = 1; i <= 5; ++i) sched.Submit(MakeJob(i, "a", 100));
+  sched.Submit(MakeJob(10, "b", 100));
+  auto j1 = sched.Dequeue();
+  auto j2 = sched.Dequeue();
+  ASSERT_TRUE(j1.has_value());
+  ASSERT_TRUE(j2.has_value());
+  EXPECT_EQ(sched.InFlightFor("a"), 2u);
+  // "a" is window-full: the next dequeue skips over its parked backlog
+  // and hands out "b"'s job instead.
+  auto j3 = sched.Dequeue();
+  ASSERT_TRUE(j3.has_value());
+  EXPECT_EQ(j3->subscriber, "b");
+  EXPECT_FALSE(sched.Dequeue().has_value());
+  // The window-full pops were parked, not lost: still pending.
+  EXPECT_EQ(sched.parked(), 3u);
+  EXPECT_EQ(sched.pending(), 3u);
+  // An ack reopens the window; parked jobs release in FIFO order.
+  sched.OnComplete(*j1, true, 10, 10);
+  auto j4 = sched.Dequeue();
+  ASSERT_TRUE(j4.has_value());
+  EXPECT_EQ(j4->file_id, 3u);
+  EXPECT_EQ(sched.InFlightFor("a"), 2u);
+  EXPECT_FALSE(sched.Dequeue().has_value());
+}
+
+TEST(WindowTest, WindowZeroIsUnlimited) {
+  SinglePolicyScheduler sched(PolicyKind::kFifo, 16);
+  for (FileId i = 1; i <= 5; ++i) sched.Submit(MakeJob(i, "a", 100));
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(sched.Dequeue().has_value());
+  EXPECT_EQ(sched.InFlightFor("a"), 5u);
+  EXPECT_EQ(sched.parked(), 0u);
+}
+
+TEST(WindowTest, PartitionedWindowChargesSlotsOnlyForDispatchedJobs) {
+  PartitionedScheduler::Options opts;
+  opts.num_partitions = 1;
+  opts.slots_per_partition = 4;
+  PartitionedScheduler sched(opts);
+  sched.SetSubscriberWindow(1);
+  for (FileId i = 1; i <= 3; ++i) sched.Submit(MakeJob(i, "a", 100));
+  sched.Submit(MakeJob(10, "b", 50));  // earlier deadline than a's backlog
+  auto first = sched.Dequeue();
+  auto second = sched.Dequeue();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // One job each: "a"'s window of 1 cannot eat both partition slots.
+  EXPECT_NE(first->subscriber, second->subscriber);
+  // Parked a-jobs don't hold partition slots: in_flight is exactly 2.
+  EXPECT_EQ(sched.in_flight(), 2u);
+  EXPECT_FALSE(sched.Dequeue().has_value());
+  const TransferJob& a_job = first->subscriber == "a" ? *first : *second;
+  sched.OnComplete(a_job, true, 10, 10);
+  auto next = sched.Dequeue();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->subscriber, "a");
+  EXPECT_EQ(sched.InFlightFor("a"), 1u);
+  // Drain: completing everything leaves no in-flight and no parked jobs.
+  sched.OnComplete(first->subscriber == "a" ? *second : *first, true, 10, 10);
+  sched.OnComplete(*next, true, 10, 10);
+  while (auto j = sched.Dequeue()) sched.OnComplete(*j, true, 10, 10);
+  EXPECT_EQ(sched.in_flight(), 0u);
+  EXPECT_EQ(sched.parked(), 0u);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
 TEST(PartitionedSchedulerTest, RebalanceMovesSlowSubscriberDown) {
   PartitionedScheduler::Options opts;
   opts.num_partitions = 2;
