@@ -9,12 +9,26 @@
 //      true feed first — against the raw edit-distance baseline (which
 //      the paper's TRAP example defeats).
 // E7c  Discovery throughput on large corpora (names/second).
+//
+// E12  Incremental vs batch analysis (DESIGN.md §11): a drifting corpus
+//      arrives in cycles; the batch baseline re-clusters the full
+//      retained history every cycle while the incremental engine folds
+//      only the new names and re-induces its live clusters. Sweep of
+//      corpus size x workers; JSON snapshot for CI trend tracking.
+//
+// Env:
+//   BISTRO_BENCH_QUICK  non-empty -> smaller corpora (CI smoke mode)
+//   BISTRO_BENCH_OUT    JSON output path (default BENCH_analyzer.json)
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 
 #include "analyzer/analyzer.h"
+#include "analyzer/stream.h"
 #include "common/strings.h"
+#include "common/threadpool.h"
 #include "config/parser.h"
 #include "pattern/pattern.h"
 #include "sim/sources.h"
@@ -202,12 +216,159 @@ void Throughput() {
               FormatDuration(elapsed).c_str(), rate);
 }
 
+// ------------------------------------------------- E12: incremental sweep
+
+struct SweepResult {
+  size_t names = 0;
+  size_t workers = 0;
+  double batch_sec = 0;
+  double incremental_sec = 0;
+  double speedup = 0;
+  double folds_per_sec = 0;
+  size_t clusters = 0;
+  size_t feeds = 0;
+};
+
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void IncrementalSweep(bool quick, const std::string& out_path) {
+  std::printf("\n--- E12: incremental vs batch analysis, size x workers ---\n");
+  // The corpus streams in over `cycles` analysis sweeps, the scenario the
+  // analyzer daemon actually runs: with the default 10-minute
+  // cycle_interval a daemon performs 144 sweeps per day, so 50 models
+  // roughly a work shift of accumulation and is conservative. Batch cost
+  // grows quadratically in the number of sweeps (it re-clusters the full
+  // retained history each time); incremental grows linearly.
+  const size_t cycles = 50;
+  const std::vector<size_t> sizes =
+      quick ? std::vector<size_t>{2000, 10000}
+            : std::vector<size_t>{10000, 100000, 1000000};
+  const std::vector<size_t> worker_sweep = {0, 1, 4};
+  DiscoveryOptions discovery;
+  discovery.min_support = 3;
+
+  std::printf("%-9s %-8s %11s %11s %9s %13s %9s\n", "names", "workers",
+              "batch_sec", "incr_sec", "speedup", "folds/sec", "clusters");
+  std::vector<SweepResult> results;
+  for (size_t names : sizes) {
+    Rng rng(1912);
+    CorpusGenerator gen(&rng);
+    CorpusGenerator::DriftOptions drift;
+    drift.total = names;
+    auto corpus =
+        gen.GenerateDrifting(drift, FromCivil(CivilTime{2010, 9, 25}));
+    const size_t delta = (corpus.size() + cycles - 1) / cycles;
+
+    // Batch baseline: every cycle re-clusters the full retained history —
+    // the pre-incremental daemon's cost model. Worker count is irrelevant
+    // (DiscoverFeeds is single-threaded), so time it once per size.
+    std::vector<FileObservation> history;
+    history.reserve(corpus.size());
+    auto b0 = std::chrono::steady_clock::now();
+    size_t batch_feeds = 0;
+    for (size_t off = 0; off < corpus.size(); off += delta) {
+      size_t end = std::min(off + delta, corpus.size());
+      history.insert(history.end(), corpus.begin() + off, corpus.begin() + end);
+      batch_feeds = DiscoverFeeds(history, discovery).feeds.size();
+    }
+    double batch_sec = Seconds(b0, std::chrono::steady_clock::now());
+
+    for (size_t workers : worker_sweep) {
+      ThreadPool pool(workers);
+      ThreadPool* p = workers > 0 ? &pool : nullptr;
+      IncrementalCorpus::Options copts;
+      copts.max_corpus = corpus.size();  // same population as the baseline
+      IncrementalCorpus inc(copts);
+      auto i0 = std::chrono::steady_clock::now();
+      size_t inc_feeds = 0;
+      for (size_t off = 0; off < corpus.size(); off += delta) {
+        size_t end = std::min(off + delta, corpus.size());
+        inc.ObserveBatch({corpus.begin() + off, corpus.begin() + end}, p);
+        inc_feeds = inc.Induce(discovery, p).feeds.size();
+      }
+      double inc_sec = Seconds(i0, std::chrono::steady_clock::now());
+      if (inc_feeds != batch_feeds) {
+        std::fprintf(stderr,
+                     "E12 MISMATCH at %zu names: batch %zu feeds vs "
+                     "incremental %zu\n",
+                     names, batch_feeds, inc_feeds);
+      }
+
+      SweepResult r;
+      r.names = corpus.size();
+      r.workers = workers;
+      r.batch_sec = batch_sec;
+      r.incremental_sec = inc_sec;
+      r.speedup = inc_sec > 0 ? batch_sec / inc_sec : 0;
+      r.folds_per_sec = inc_sec > 0 ? double(corpus.size()) / inc_sec : 0;
+      r.clusters = inc.cluster_count();
+      r.feeds = inc_feeds;
+      results.push_back(r);
+      std::printf("%-9zu %-8zu %11.3f %11.3f %8.1fx %13.0f %9zu\n", r.names,
+                  r.workers, r.batch_sec, r.incremental_sec, r.speedup,
+                  r.folds_per_sec, r.clusters);
+    }
+  }
+
+  // Bounded-memory mode: a tight retention budget keeps the corpus (and
+  // cycle cost) flat no matter how much junk streams past.
+  {
+    Rng rng(1912);
+    CorpusGenerator gen(&rng);
+    CorpusGenerator::DriftOptions drift;
+    drift.total = sizes.back();
+    auto corpus =
+        gen.GenerateDrifting(drift, FromCivil(CivilTime{2010, 9, 25}));
+    IncrementalCorpus::Options copts;
+    copts.max_corpus = 10000;
+    IncrementalCorpus inc(copts);
+    auto t0 = std::chrono::steady_clock::now();
+    inc.ObserveBatch(corpus);
+    double sec = Seconds(t0, std::chrono::steady_clock::now());
+    std::printf("bounded: %zu names through a %zu budget in %.3fs "
+                "(retained %zu, shed %llu, clusters %zu)\n",
+                corpus.size(), copts.max_corpus, sec, inc.size(),
+                (unsigned long long)inc.stats().shed, inc.cluster_count());
+  }
+
+  std::string json = StrFormat(
+      "{\n  \"bench\": \"analyzer\",\n  \"quick\": %s,\n"
+      "  \"cycles\": %zu,\n  \"results\": [\n",
+      quick ? "true" : "false", cycles);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    json += StrFormat(
+        "    {\"names\": %zu, \"workers\": %zu, \"batch_sec\": %.4f, "
+        "\"incremental_sec\": %.4f, \"speedup\": %.2f, "
+        "\"folds_per_sec\": %.0f, \"clusters\": %zu, \"feeds\": %zu}%s\n",
+        r.names, r.workers, r.batch_sec, r.incremental_sec, r.speedup,
+        r.folds_per_sec, r.clusters, r.feeds,
+        i + 1 < results.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  }
+}
+
 }  // namespace
 
 int main() {
-  std::printf("=== E7: feed analyzer quality and throughput ===\n\n");
+  const bool quick = std::getenv("BISTRO_BENCH_QUICK") != nullptr;
+  const char* out_env = std::getenv("BISTRO_BENCH_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_analyzer.json";
+  std::printf("=== E7/E12: feed analyzer quality and throughput ===\n\n");
   DiscoveryQuality();
   FalseNegativeDetection();
   Throughput();
+  IncrementalSweep(quick, out_path);
   return 0;
 }

@@ -6,50 +6,40 @@
 
 namespace bistro {
 
-FeedAnalyzer::FeedAnalyzer(const FeedRegistry* registry, Logger* logger,
-                           Options options)
-    : registry_(registry), logger_(logger), options_(options) {}
-
-std::vector<NewFeedSuggestion> FeedAnalyzer::DiscoverNewFeeds(
-    const std::vector<FileObservation>& unmatched) const {
+std::vector<NewFeedSuggestion> BuildNewFeedSuggestions(
+    std::vector<AtomicFeed> feeds, Logger* logger) {
   std::vector<NewFeedSuggestion> out;
-  DiscoveryResult discovered = DiscoverFeeds(unmatched, options_.discovery);
   int counter = 0;
-  for (AtomicFeed& feed : discovered.feeds) {
+  for (AtomicFeed& feed : feeds) {
     NewFeedSuggestion suggestion;
     suggestion.suggested_spec.name =
         StrFormat("DISCOVERED.FEED%03d", counter++);
     suggestion.suggested_spec.pattern = feed.pattern;
     suggestion.feed = std::move(feed);
-    logger_->Info("analyzer",
-                  StrFormat("discovered feed candidate: %s (%zu files, "
-                            "period %s)",
-                            suggestion.feed.pattern.c_str(),
-                            suggestion.feed.file_count,
-                            FormatDuration(suggestion.feed.est_period).c_str()));
+    logger->Info("analyzer",
+                 StrFormat("discovered feed candidate: %s (%zu files, "
+                           "period %s)",
+                           suggestion.feed.pattern.c_str(),
+                           suggestion.feed.file_count,
+                           FormatDuration(suggestion.feed.est_period).c_str()));
     out.push_back(std::move(suggestion));
   }
   return out;
 }
 
-std::vector<FalseNegativeReport> FeedAnalyzer::DetectFalseNegatives(
-    const std::vector<FileObservation>& unmatched) const {
+std::vector<FalseNegativeReport> BuildFalseNegativeReports(
+    const std::vector<AtomicFeed>& groups,
+    const std::function<std::vector<std::string>(const AtomicFeed&)>&
+        collect_files,
+    const FeedRegistry& registry, double fn_threshold, Logger* logger) {
   std::vector<FalseNegativeReport> out;
-  // Group unmatched files by generalized pattern first: one warning per
-  // pattern, however many files exhibit it (§5.2).
-  DiscoveryOptions grouping = options_.discovery;
-  grouping.min_support = 1;
-  DiscoveryResult groups = DiscoverFeeds(unmatched, grouping);
-  std::vector<AtomicFeed> all = std::move(groups.feeds);
-  all.insert(all.end(), groups.outliers.begin(), groups.outliers.end());
-
-  for (const AtomicFeed& group : all) {
+  for (const AtomicFeed& group : groups) {
     // Find the most similar registered feed (across every pattern a feed
     // carries, primary and alternates).
     const RegisteredFeed* best = nullptr;
     std::string best_pattern;
     double best_sim = 0;
-    for (const RegisteredFeed* feed : registry_->feeds()) {
+    for (const RegisteredFeed* feed : registry.feeds()) {
       double sim = PatternSimilarity(group.pattern, feed->spec.pattern);
       std::string pattern = feed->spec.pattern;
       for (const auto& alt : feed->spec.alt_patterns) {
@@ -65,7 +55,7 @@ std::vector<FalseNegativeReport> FeedAnalyzer::DetectFalseNegatives(
         best_pattern = pattern;
       }
     }
-    if (best == nullptr || best_sim < options_.fn_threshold) continue;
+    if (best == nullptr || best_sim < fn_threshold) continue;
     FalseNegativeReport report;
     report.feed = best->spec.name;
     report.feed_pattern = best_pattern;
@@ -73,13 +63,8 @@ std::vector<FalseNegativeReport> FeedAnalyzer::DetectFalseNegatives(
     report.similarity = best_sim;
     report.suggested_spec = best->spec;
     report.suggested_spec.alt_patterns.push_back(group.pattern);
-    // Re-collect the filenames of this group.
-    for (const auto& obs : unmatched) {
-      if (GeneralizeName(obs.name) == group.pattern) {
-        report.files.push_back(obs.name);
-      }
-    }
-    logger_->Warning(
+    report.files = collect_files(group);
+    logger->Warning(
         "analyzer",
         StrFormat("possible false negatives for feed %s: %zu files match "
                   "generalized pattern %s (similarity %.2f)",
@@ -94,16 +79,10 @@ std::vector<FalseNegativeReport> FeedAnalyzer::DetectFalseNegatives(
   return out;
 }
 
-std::vector<FalsePositiveReport> FeedAnalyzer::DetectFalsePositives(
-    const FeedName& feed,
-    const std::vector<FileObservation>& matched) const {
+std::vector<FalsePositiveReport> BuildFalsePositiveReports(
+    const FeedName& feed, std::vector<AtomicFeed> all, double fp_max_support,
+    Logger* logger) {
   std::vector<FalsePositiveReport> out;
-  if (matched.empty()) return out;
-  DiscoveryOptions grouping = options_.discovery;
-  grouping.min_support = 1;
-  DiscoveryResult groups = DiscoverFeeds(matched, grouping);
-  std::vector<AtomicFeed> all = std::move(groups.feeds);
-  all.insert(all.end(), groups.outliers.begin(), groups.outliers.end());
   if (all.size() < 2) return out;  // homogeneous feed: nothing suspicious
   std::sort(all.begin(), all.end(),
             [](const AtomicFeed& a, const AtomicFeed& b) {
@@ -111,12 +90,12 @@ std::vector<FalsePositiveReport> FeedAnalyzer::DetectFalsePositives(
             });
   const std::string& dominant = all.front().pattern;
   for (size_t i = 1; i < all.size(); ++i) {
-    if (all[i].support > options_.fp_max_support) continue;
+    if (all[i].support > fp_max_support) continue;
     FalsePositiveReport report;
     report.feed = feed;
     report.outlier = all[i];
     report.dominant_pattern = dominant;
-    logger_->Warning(
+    logger->Warning(
         "analyzer",
         StrFormat("possible false positives in feed %s: %zu files of shape "
                   "%s diverge from dominant %s",
@@ -125,6 +104,51 @@ std::vector<FalsePositiveReport> FeedAnalyzer::DetectFalsePositives(
     out.push_back(std::move(report));
   }
   return out;
+}
+
+FeedAnalyzer::FeedAnalyzer(const FeedRegistry* registry, Logger* logger,
+                           Options options)
+    : registry_(registry), logger_(logger), options_(options) {}
+
+std::vector<NewFeedSuggestion> FeedAnalyzer::DiscoverNewFeeds(
+    const std::vector<FileObservation>& unmatched) const {
+  DiscoveryResult discovered = DiscoverFeeds(unmatched, options_.discovery);
+  return BuildNewFeedSuggestions(std::move(discovered.feeds), logger_);
+}
+
+std::vector<FalseNegativeReport> FeedAnalyzer::DetectFalseNegatives(
+    const std::vector<FileObservation>& unmatched) const {
+  // Group unmatched files by generalized pattern first: one warning per
+  // pattern, however many files exhibit it (§5.2).
+  DiscoveryOptions grouping = options_.discovery;
+  grouping.min_support = 1;
+  DiscoveryResult groups = DiscoverFeeds(unmatched, grouping);
+  std::vector<AtomicFeed> all = std::move(groups.feeds);
+  all.insert(all.end(), groups.outliers.begin(), groups.outliers.end());
+  auto collect = [&unmatched](const AtomicFeed& group) {
+    std::vector<std::string> files;
+    for (const auto& obs : unmatched) {
+      if (GeneralizeName(obs.name) == group.pattern) {
+        files.push_back(obs.name);
+      }
+    }
+    return files;
+  };
+  return BuildFalseNegativeReports(all, collect, *registry_,
+                                   options_.fn_threshold, logger_);
+}
+
+std::vector<FalsePositiveReport> FeedAnalyzer::DetectFalsePositives(
+    const FeedName& feed,
+    const std::vector<FileObservation>& matched) const {
+  if (matched.empty()) return {};
+  DiscoveryOptions grouping = options_.discovery;
+  grouping.min_support = 1;
+  DiscoveryResult groups = DiscoverFeeds(matched, grouping);
+  std::vector<AtomicFeed> all = std::move(groups.feeds);
+  all.insert(all.end(), groups.outliers.begin(), groups.outliers.end());
+  return BuildFalsePositiveReports(feed, std::move(all),
+                                   options_.fp_max_support, logger_);
 }
 
 }  // namespace bistro

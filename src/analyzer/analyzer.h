@@ -1,6 +1,7 @@
 #ifndef BISTRO_ANALYZER_ANALYZER_H_
 #define BISTRO_ANALYZER_ANALYZER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@ struct NewFeedSuggestion {
   AtomicFeed feed;
   /// A ready-to-review feed spec the subscriber can approve.
   FeedSpec suggested_spec;
+
+  bool operator==(const NewFeedSuggestion&) const = default;
 };
 
 /// A potential false negative (§5.2): unmatched files whose generalized
@@ -30,6 +33,8 @@ struct FalseNegativeReport {
   /// as an alternative pattern. Subscribers approve it, administrators
   /// feed it to BistroServer::ReviseFeed (§5.2's suggestion loop).
   FeedSpec suggested_spec;
+
+  bool operator==(const FalseNegativeReport&) const = default;
 };
 
 /// A potential false positive (§5.3): an atomic feed inside a feed's
@@ -38,6 +43,8 @@ struct FalsePositiveReport {
   FeedName feed;
   AtomicFeed outlier;            // the suspicious subgroup
   std::string dominant_pattern;  // what most of the feed looks like
+
+  bool operator==(const FalsePositiveReport&) const = default;
 };
 
 /// The Bistro feed analyzer (paper §5): watches classification decisions
@@ -87,6 +94,36 @@ class FeedAnalyzer {
   Logger* logger_;
   Options options_;
 };
+
+// ------------------------------------------------------- shared builders
+//
+// The report-assembly logic is shared between the batch FeedAnalyzer and
+// the streaming IncrementalAnalyzer (stream.h): both produce AtomicFeed
+// groups — batch by re-clustering the whole corpus, streaming from its
+// incrementally maintained clusters — and hand them to the builders
+// below. One code path is what makes the two analyzers' reports
+// bit-identical (the golden-equivalence property, DESIGN.md §11).
+
+/// Turns discovered groups (already sorted by support) into named,
+/// ready-to-review feed suggestions.
+std::vector<NewFeedSuggestion> BuildNewFeedSuggestions(
+    std::vector<AtomicFeed> feeds, Logger* logger);
+
+/// Matches each generalized group against every registered feed pattern
+/// (primary + alternates) and reports those above `fn_threshold`.
+/// `collect_files` returns the affected filenames of a group — batch
+/// re-generalizes the whole corpus, streaming looks the bucket up.
+std::vector<FalseNegativeReport> BuildFalseNegativeReports(
+    const std::vector<AtomicFeed>& groups,
+    const std::function<std::vector<std::string>(const AtomicFeed&)>&
+        collect_files,
+    const FeedRegistry& registry, double fn_threshold, Logger* logger);
+
+/// Flags low-support subgroups of a feed's matched traffic. `groups` is
+/// every structural group of the feed, sorted by support descending.
+std::vector<FalsePositiveReport> BuildFalsePositiveReports(
+    const FeedName& feed, std::vector<AtomicFeed> groups,
+    double fp_max_support, Logger* logger);
 
 }  // namespace bistro
 

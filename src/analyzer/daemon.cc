@@ -1,8 +1,30 @@
 #include "analyzer/daemon.h"
 
+#include "common/hash.h"
 #include "common/strings.h"
 
 namespace bistro {
+
+namespace {
+
+IncrementalAnalyzer::Options StreamOptions(const AnalyzerDaemon::Options& o) {
+  IncrementalAnalyzer::Options stream;
+  stream.analyzer = o.analyzer;
+  stream.workers = o.workers;
+  stream.corpus.shards = o.shards;
+  stream.corpus.max_corpus = o.max_corpus;
+  stream.corpus.max_exemplars = o.max_exemplars;
+  return stream;
+}
+
+}  // namespace
+
+void AnalyzerDaemon::Options::ApplyTuning(const AnalyzerTuningSpec& tuning) {
+  if (tuning.workers) workers = static_cast<size_t>(*tuning.workers);
+  if (tuning.max_corpus) max_corpus = static_cast<size_t>(*tuning.max_corpus);
+  if (tuning.shards) shards = static_cast<size_t>(*tuning.shards);
+  if (tuning.cycle_interval) interval = *tuning.cycle_interval;
+}
 
 AnalyzerDaemon::AnalyzerDaemon(BistroServer* server, EventLoop* loop,
                                Logger* logger, Options options)
@@ -10,7 +32,8 @@ AnalyzerDaemon::AnalyzerDaemon(BistroServer* server, EventLoop* loop,
       loop_(loop),
       logger_(logger),
       options_(options),
-      analyzer_(server->registry(), logger, options.analyzer) {
+      incremental_(server->registry(), logger, server->metrics(),
+                   StreamOptions(options)) {
   MetricsRegistry* metrics = server->metrics();
   passes_counter_ = metrics->GetCounter("bistro_analyzer_passes_total",
                                         "Analysis passes completed");
@@ -38,51 +61,29 @@ void AnalyzerDaemon::Start() {
 
 void AnalyzerDaemon::ObserveMatched(const FeedName& feed,
                                     const std::string& name, TimePoint when) {
-  auto& sample = matched_samples_[feed];
-  sample.push_back({name, when});
-  if (sample.size() > options_.max_unmatched) {
-    sample.erase(sample.begin(), sample.begin() + sample.size() / 2);
-  }
+  incremental_.ObserveMatched(feed, {name, when, Fnv1a64(name)});
 }
 
 void AnalyzerDaemon::RunOnce() {
   ++passes_;
-  for (auto& [name, when] : server_->DrainUnmatched()) {
-    unmatched_history_.push_back({std::move(name), when});
-  }
-  if (unmatched_history_.size() > options_.max_unmatched) {
-    unmatched_history_.erase(
-        unmatched_history_.begin(),
-        unmatched_history_.begin() +
-            (unmatched_history_.size() - options_.max_unmatched));
-  }
-  false_negatives_ = analyzer_.DetectFalseNegatives(unmatched_history_);
-  // New-feed discovery runs on unmatched files NOT explained as false
-  // negatives of an existing feed — those are new subfeeds.
-  std::set<std::string> explained;
-  for (const auto& report : false_negatives_) {
-    for (const auto& f : report.files) explained.insert(f);
-  }
-  std::vector<FileObservation> unexplained;
-  for (const auto& obs : unmatched_history_) {
-    if (explained.count(obs.name) == 0) unexplained.push_back(obs);
-  }
-  new_feeds_ = analyzer_.DiscoverNewFeeds(unexplained);
-  false_positives_.clear();
-  for (const auto& [feed, sample] : matched_samples_) {
-    auto reports = analyzer_.DetectFalsePositives(feed, sample);
-    for (auto& r : reports) false_positives_.push_back(std::move(r));
-  }
+  // The drained stream may re-deliver names already folded in (unmatched
+  // files survive in the landing zone and are re-scanned every tick);
+  // the corpus dedupes them by FileId.
+  incremental_.ObserveUnmatched(server_->DrainUnmatched());
+  IncrementalAnalyzer::CycleResult cycle = incremental_.RunCycle();
+  new_feeds_ = std::move(cycle.new_feeds);
+  false_negatives_ = std::move(cycle.false_negatives);
+  false_positives_ = std::move(cycle.false_positives);
   passes_counter_->Increment();
   suggestions_counter_->Increment(new_feeds_.size() + false_negatives_.size() +
                                   false_positives_.size());
-  unmatched_gauge_->Set(static_cast<int64_t>(unmatched_history_.size()));
+  unmatched_gauge_->Set(static_cast<int64_t>(incremental_.corpus().size()));
   logger_->Info(
       "analyzer",
       StrFormat("analysis pass %zu: %zu new-feed suggestions, %zu FN "
                 "reports, %zu FP reports (%zu unmatched files retained)",
                 passes_, new_feeds_.size(), false_negatives_.size(),
-                false_positives_.size(), unmatched_history_.size()));
+                false_positives_.size(), incremental_.corpus().size()));
 }
 
 }  // namespace bistro

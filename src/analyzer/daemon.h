@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analyzer/analyzer.h"
+#include "analyzer/stream.h"
 #include "core/server.h"
 #include "sim/event_loop.h"
 
@@ -14,20 +15,37 @@ namespace bistro {
 /// monitors a stream of incoming data files ... and periodically
 /// generates a list of new feed definitions").
 ///
-/// Every `interval` the daemon drains the server's unmatched-file stream,
-/// accumulates it, and regenerates three report sets: new-feed
-/// suggestions, false-negative reports (with ready-to-apply revised
-/// specs) and — for each registered feed, from a sample of its matched
-/// names — false-positive reports. Reports are never applied
-/// automatically; they are exposed for subscriber review (§3.2).
+/// Every `interval` the daemon drains the server's unmatched-file stream
+/// into an IncrementalCorpus — names fold into their template clusters as
+/// they arrive, deduplicated by FileId (unmatched files stay in the
+/// landing zone and are re-seen by every scan) — and regenerates three
+/// report sets: new-feed suggestions, false-negative reports (with
+/// ready-to-apply revised specs) and — for each registered feed, from a
+/// sample of its matched names — false-positive reports. A cycle costs
+/// O(new names + live clusters) rather than re-clustering the retained
+/// history, and memory is bounded by the corpus retention budget
+/// (DESIGN.md §11). Reports are never applied automatically; they are
+/// exposed for subscriber review (§3.2).
 class AnalyzerDaemon {
  public:
   struct Options {
     Options() {}
     Duration interval = 10 * kMinute;
     FeedAnalyzer::Options analyzer;
-    /// Cap on retained unmatched history (oldest dropped first).
-    size_t max_unmatched = 100000;
+    /// Retention budget: names kept in the unmatched corpus (and per
+    /// matched-feed sample), oldest shed first.
+    size_t max_corpus = 100000;
+    /// Worker threads folding/inducing shards; 0 = inline deterministic.
+    size_t workers = 0;
+    /// Stem-keyed corpus shards.
+    size_t shards = 16;
+    /// Per-cluster exemplar reservoir size.
+    size_t max_exemplars = 512;
+
+    /// Applies a parsed `analyzer { ... }` config block: set keys
+    /// override the fields above, unset keys leave them untouched (the
+    /// same contract as the delivery/ingest tuning blocks).
+    void ApplyTuning(const AnalyzerTuningSpec& tuning);
   };
 
   AnalyzerDaemon(BistroServer* server, EventLoop* loop, Logger* logger,
@@ -55,13 +73,15 @@ class AnalyzerDaemon {
     return false_positives_;
   }
   size_t passes() const { return passes_; }
+  /// Names currently retained in the unmatched corpus.
+  size_t corpus_size() const { return incremental_.corpus().size(); }
 
  private:
   BistroServer* server_;
   EventLoop* loop_;
   Logger* logger_;
   Options options_;
-  FeedAnalyzer analyzer_;
+  IncrementalAnalyzer incremental_;
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   bool started_ = false;
 
@@ -69,8 +89,6 @@ class AnalyzerDaemon {
   Counter* suggestions_counter_;
   Gauge* unmatched_gauge_;
 
-  std::vector<FileObservation> unmatched_history_;
-  std::map<FeedName, std::vector<FileObservation>> matched_samples_;
   std::vector<NewFeedSuggestion> new_feeds_;
   std::vector<FalseNegativeReport> false_negatives_;
   std::vector<FalsePositiveReport> false_positives_;

@@ -1,0 +1,65 @@
+#ifndef BISTRO_ANALYZER_INDUCTION_H_
+#define BISTRO_ANALYZER_INDUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "analyzer/infer.h"
+#include "analyzer/tokenizer.h"
+
+namespace bistro {
+
+/// Evidence about one structural cluster, sufficient to run field typing,
+/// timestamp recognition and arrival-pattern estimation. This is the
+/// representation shared by the batch path (DiscoverFeeds, which stores
+/// every observed name) and the streaming path (IncrementalCorpus, which
+/// stores a bounded exemplar sample): induction itself cannot tell the
+/// two apart, which is what makes the incremental analyzer's output
+/// provably identical to batch whenever nothing has been sampled away
+/// (DESIGN.md §11).
+struct ClusterEvidence {
+  /// Tokens of the first member (cluster structure; digit texts are the
+  /// first member's and are only used for token kinds/separators).
+  std::vector<NameToken> shape;
+
+  struct Digit {
+    /// Token index within `shape`.
+    size_t token_index = 0;
+    /// Width if consistent across *all* folded members (not just the
+    /// retained exemplars), else 0.
+    size_t fixed_width = 0;
+    /// One value per exemplar row (row r belongs to names[r]).
+    std::vector<std::string> values;
+  };
+  /// One entry per digit token of `shape`, in token order.
+  std::vector<Digit> digits;
+
+  /// Exemplar names, row-parallel with Digit::values.
+  std::vector<std::string> names;
+
+  /// True member count (>= names.size(); larger when exemplars were
+  /// reservoir-sampled).
+  size_t file_count = 0;
+};
+
+/// Induces an AtomicFeed from cluster evidence: assigns time specs (wide
+/// packed stamps, separated component runs, unit continuations), types
+/// the remaining digit fields (constant / categorical / integer), builds
+/// the pattern, and estimates period and batch size from extracted data
+/// timestamps. `total_files` is the population the cluster was drawn
+/// from (for the support fraction). `stamp_count`, when non-null,
+/// receives the number of distinct data intervals seen (0 when the
+/// cluster has no timestamp fields) — the one piece of derived state a
+/// caller needs to re-scale files_per_interval for a changed file_count
+/// without re-analyzing (IncrementalCorpus caches per-cluster results).
+AtomicFeed AnalyzeClusterEvidence(const ClusterEvidence& evidence,
+                                  size_t total_files,
+                                  const DiscoveryOptions& options,
+                                  size_t* stamp_count = nullptr);
+
+/// Escapes '%' in literal text so it survives as a pattern literal.
+std::string EscapePatternLiteral(const std::string& text);
+
+}  // namespace bistro
+
+#endif  // BISTRO_ANALYZER_INDUCTION_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analyzer/induction.h"
 #include "common/strings.h"
 
 namespace bistro {
@@ -63,37 +64,24 @@ std::string TryWideTimestamp(size_t width, const std::vector<std::string>& value
 
 // ----------------------------------------------------- cluster analysis
 
-struct DigitPosition {
-  size_t token_index;
-  /// Width if consistent across samples, else 0.
-  size_t fixed_width;
-  std::vector<std::string> values;  // one per sample
-};
-
-struct Cluster {
-  std::vector<const FileObservation*> files;
-  std::vector<NameToken> shape;  // tokens of the first file (structure)
-  std::vector<DigitPosition> digit_positions;
-};
-
 /// Assigns time specs to digit positions: wide packed stamps, separated
 /// component sequences (%Y _ %m _ %d ...), and unit continuations after a
 /// stamp (..%H followed by a 2-digit 0-59 token -> %M).
-std::map<size_t, std::string> AssignTimeSpecs(Cluster* cluster) {
+std::map<size_t, std::string> AssignTimeSpecs(const ClusterEvidence& ev) {
   std::map<size_t, std::string> specs;  // token_index -> spec
-  auto find_digit = [&](size_t token_index) -> DigitPosition* {
-    for (auto& dp : cluster->digit_positions) {
+  auto find_digit = [&](size_t token_index) -> const ClusterEvidence::Digit* {
+    for (const auto& dp : ev.digits) {
       if (dp.token_index == token_index) return &dp;
     }
     return nullptr;
   };
 
-  const auto& shape = cluster->shape;
+  const auto& shape = ev.shape;
   // Pass 1: wide packed stamps and separated component runs.
   for (size_t i = 0; i < shape.size(); ++i) {
     if (shape[i].kind != NameToken::Kind::kDigits) continue;
     if (specs.count(i) != 0) continue;
-    DigitPosition* dp = find_digit(i);
+    const ClusterEvidence::Digit* dp = find_digit(i);
     if (dp == nullptr || dp->fixed_width == 0) continue;
     std::string wide = TryWideTimestamp(dp->fixed_width, dp->values);
     if (!wide.empty()) {
@@ -114,7 +102,7 @@ std::map<size_t, std::string> AssignTimeSpecs(Cluster* cluster) {
       for (const auto& comp : kComponents) {
         if (pos + 2 >= shape.size()) break;
         if (shape[pos + 1].kind != NameToken::Kind::kSep) break;
-        DigitPosition* next = find_digit(pos + 2);
+        const ClusterEvidence::Digit* next = find_digit(pos + 2);
         if (next == nullptr || next->fixed_width != 2) break;
         if (!AllInRange(SliceAll(next->values, 0, 2), comp.lo, comp.hi)) break;
         run.emplace_back(pos + 2, comp.spec);
@@ -142,7 +130,7 @@ std::map<size_t, std::string> AssignTimeSpecs(Cluster* cluster) {
       if (next_idx >= shape.size()) continue;
       if (shape[idx + 1].kind != NameToken::Kind::kSep) continue;
       if (specs.count(next_idx) != 0) continue;
-      DigitPosition* next = find_digit(next_idx);
+      const ClusterEvidence::Digit* next = find_digit(next_idx);
       if (next == nullptr || next->fixed_width != 2) continue;
       if (!AllInRange(SliceAll(next->values, 0, 2), it->second.second.first,
                       it->second.second.second)) {
@@ -154,15 +142,6 @@ std::map<size_t, std::string> AssignTimeSpecs(Cluster* cluster) {
     }
   }
   return specs;
-}
-
-std::string EscapeLiteral(const std::string& text) {
-  std::string out;
-  for (char c : text) {
-    if (c == '%') out += "%%";
-    else out += c;
-  }
-  return out;
 }
 
 /// Parses a token's digits according to its time spec into civil fields.
@@ -200,25 +179,38 @@ void ApplySpec(const std::string& spec, const std::string& value, CivilTime* c) 
   }
 }
 
-AtomicFeed AnalyzeCluster(Cluster* cluster, size_t total_files,
-                          const DiscoveryOptions& options) {
+}  // namespace
+
+std::string EscapePatternLiteral(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '%') out += "%%";
+    else out += c;
+  }
+  return out;
+}
+
+AtomicFeed AnalyzeClusterEvidence(const ClusterEvidence& ev, size_t total_files,
+                                  const DiscoveryOptions& options,
+                                  size_t* stamp_count) {
+  if (stamp_count != nullptr) *stamp_count = 0;
   AtomicFeed feed;
-  feed.file_count = cluster->files.size();
-  feed.example = cluster->files.front()->name;
+  feed.file_count = ev.file_count;
+  feed.example = ev.names.front();
   feed.support =
       static_cast<double>(feed.file_count) / static_cast<double>(total_files);
 
-  auto time_specs = AssignTimeSpecs(cluster);
+  auto time_specs = AssignTimeSpecs(ev);
 
   // Build the pattern and the field list.
   size_t digit_cursor = 0;
-  for (size_t i = 0; i < cluster->shape.size(); ++i) {
-    const NameToken& tok = cluster->shape[i];
+  for (size_t i = 0; i < ev.shape.size(); ++i) {
+    const NameToken& tok = ev.shape[i];
     if (tok.kind != NameToken::Kind::kDigits) {
-      feed.pattern += EscapeLiteral(tok.text);
+      feed.pattern += EscapePatternLiteral(tok.text);
       continue;
     }
-    DigitPosition& dp = cluster->digit_positions[digit_cursor++];
+    const ClusterEvidence::Digit& dp = ev.digits[digit_cursor++];
     InferredField field;
     field.token_index = i;
     auto ts = time_specs.find(i);
@@ -242,17 +234,19 @@ AtomicFeed AnalyzeCluster(Cluster* cluster, size_t total_files,
     feed.fields.push_back(std::move(field));
   }
 
-  // Arrival-pattern inference from extracted data timestamps.
+  // Arrival-pattern inference from extracted data timestamps. Rows are
+  // the retained exemplars; file_count (the true population) sets the
+  // batch-size numerator so sampling thins the stamp set, not the count.
   if (!time_specs.empty()) {
     std::vector<TimePoint> stamps;
-    for (size_t f = 0; f < cluster->files.size(); ++f) {
+    for (size_t f = 0; f < ev.names.size(); ++f) {
       CivilTime civil;
       size_t dc = 0;
-      for (size_t i = 0; i < cluster->shape.size(); ++i) {
-        if (cluster->shape[i].kind != NameToken::Kind::kDigits) continue;
+      for (size_t i = 0; i < ev.shape.size(); ++i) {
+        if (ev.shape[i].kind != NameToken::Kind::kDigits) continue;
         auto ts = time_specs.find(i);
         if (ts != time_specs.end()) {
-          ApplySpec(ts->second, cluster->digit_positions[dc].values[f], &civil);
+          ApplySpec(ts->second, ev.digits[dc].values[f], &civil);
         }
         ++dc;
       }
@@ -269,39 +263,41 @@ AtomicFeed AnalyzeCluster(Cluster* cluster, size_t total_files,
       feed.est_period = gaps[gaps.size() / 2];
     }
     if (!stamps.empty()) {
-      feed.files_per_interval = static_cast<double>(cluster->files.size()) /
+      feed.files_per_interval = static_cast<double>(ev.file_count) /
                                 static_cast<double>(stamps.size());
     }
+    if (stamp_count != nullptr) *stamp_count = stamps.size();
   }
   return feed;
 }
-
-}  // namespace
 
 DiscoveryResult DiscoverFeeds(const std::vector<FileObservation>& observations,
                               const DiscoveryOptions& options) {
   DiscoveryResult result;
   if (observations.empty()) return result;
 
-  // 1. Tokenize and cluster by structural signature.
-  std::map<std::string, Cluster> clusters;
+  // 1. Tokenize and cluster by structural signature. The batch path keeps
+  // every observation as an exemplar row, so induction sees the full
+  // population (the streaming path feeds the same code a bounded sample).
+  std::map<std::string, ClusterEvidence> clusters;
   for (const auto& obs : observations) {
     auto tokens = TokenizeName(obs.name);
     std::string sig = NameSignature(tokens);
-    Cluster& cluster = clusters[sig];
-    if (cluster.files.empty()) {
+    ClusterEvidence& cluster = clusters[sig];
+    if (cluster.names.empty()) {
       cluster.shape = tokens;
       for (size_t i = 0; i < tokens.size(); ++i) {
         if (tokens[i].kind == NameToken::Kind::kDigits) {
-          cluster.digit_positions.push_back({i, tokens[i].text.size(), {}});
+          cluster.digits.push_back({i, tokens[i].text.size(), {}});
         }
       }
     }
-    cluster.files.push_back(&obs);
+    cluster.names.push_back(obs.name);
+    ++cluster.file_count;
     size_t dc = 0;
     for (size_t i = 0; i < tokens.size(); ++i) {
       if (tokens[i].kind != NameToken::Kind::kDigits) continue;
-      DigitPosition& dp = cluster.digit_positions[dc++];
+      ClusterEvidence::Digit& dp = cluster.digits[dc++];
       if (dp.fixed_width != tokens[i].text.size()) dp.fixed_width = 0;
       dp.values.push_back(tokens[i].text);
     }
@@ -309,7 +305,8 @@ DiscoveryResult DiscoverFeeds(const std::vector<FileObservation>& observations,
 
   // 2. Analyze each cluster into an atomic feed.
   for (auto& [sig, cluster] : clusters) {
-    AtomicFeed feed = AnalyzeCluster(&cluster, observations.size(), options);
+    AtomicFeed feed =
+        AnalyzeClusterEvidence(cluster, observations.size(), options);
     if (feed.file_count < options.min_support) {
       result.outliers.push_back(std::move(feed));
     } else {
@@ -325,35 +322,36 @@ DiscoveryResult DiscoverFeeds(const std::vector<FileObservation>& observations,
   return result;
 }
 
-std::string GeneralizeName(const std::string& name) {
+std::string GeneralizeTokens(const std::vector<NameToken>& tokens) {
   // Single-file generalization: every digit run is a field; timestamps
-  // are recognized from this one sample.
-  std::vector<FileObservation> one = {{name, 0}};
-  DiscoveryOptions options;
-  options.min_support = 1;
-  auto result = DiscoverFeeds(one, options);
-  const std::vector<AtomicFeed>& feeds =
-      result.feeds.empty() ? result.outliers : result.feeds;
-  if (feeds.empty()) return name;
-  // Constants inferred from a single sample are meaningless: rebuild the
-  // pattern with constants widened to %i.
-  const AtomicFeed& feed = feeds.front();
-  auto tokens = TokenizeName(name);
-  std::string pattern;
-  size_t fc = 0;
+  // are recognized from this one sample, constants are meaningless and
+  // widen to %i. Runs once per observation on the streaming fold path,
+  // so it feeds the timestamp heuristics directly instead of going
+  // through the full discovery machinery — same decision, less work.
+  ClusterEvidence ev;
+  ev.shape = tokens;
   for (size_t i = 0; i < tokens.size(); ++i) {
-    if (tokens[i].kind != NameToken::Kind::kDigits) {
-      pattern += EscapeLiteral(tokens[i].text);
-      continue;
-    }
-    const InferredField& field = feed.fields[fc++];
-    if (field.type == InferredField::Type::kTimestamp) {
-      pattern += field.time_spec;
-    } else {
-      pattern += "%i";
+    if (tokens[i].kind == NameToken::Kind::kDigits) {
+      ev.digits.push_back({i, tokens[i].text.size(), {tokens[i].text}});
     }
   }
+  auto time_specs = AssignTimeSpecs(ev);
+  std::string pattern;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != NameToken::Kind::kDigits) {
+      pattern += EscapePatternLiteral(tokens[i].text);
+      continue;
+    }
+    auto ts = time_specs.find(i);
+    pattern += ts != time_specs.end() ? ts->second : "%i";
+  }
   return pattern;
+}
+
+std::string GeneralizeName(const std::string& name) {
+  auto tokens = TokenizeName(name);
+  if (tokens.empty()) return name;
+  return GeneralizeTokens(tokens);
 }
 
 }  // namespace bistro

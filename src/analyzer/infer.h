@@ -15,6 +15,11 @@ namespace bistro {
 struct FileObservation {
   std::string name;
   TimePoint arrival_time = 0;
+  /// Stable identity of the observation (FileId for server-fed streams,
+  /// a name hash for unmatched files that never got a receipt; 0 =
+  /// unknown). Lets the streaming corpus dedupe files that are re-seen
+  /// across landing-zone scans.
+  uint64_t id = 0;
 };
 
 /// Inferred type of one variable (digit) field within an atomic feed.
@@ -33,6 +38,8 @@ struct InferredField {
   /// For kTimestamp: the pattern specifiers this token expands to
   /// ("%Y%m%d%H", "%M", ...).
   std::string time_spec;
+
+  bool operator==(const InferredField&) const = default;
 };
 
 /// A discovered atomic feed (paper §5.1): a homogeneous group of files
@@ -54,6 +61,8 @@ struct AtomicFeed {
   double files_per_interval = 0;
   /// Fraction of the input this group covers.
   double support = 0;
+
+  bool operator==(const AtomicFeed&) const = default;
 };
 
 /// Options for feed discovery.
@@ -80,6 +89,12 @@ DiscoveryResult DiscoverFeeds(const std::vector<FileObservation>& observations,
 /// field, timestamps recognized when unambiguous). The building block of
 /// false-negative detection (§5.2).
 std::string GeneralizeName(const std::string& name);
+
+/// GeneralizeName over an already-tokenized name — the streaming fold
+/// path (stream.cc) calls this once per observation, so it skips the
+/// full discovery machinery and runs only the timestamp heuristics.
+/// Guaranteed to agree with GeneralizeName on the same name.
+std::string GeneralizeTokens(const std::vector<NameToken>& tokens);
 
 }  // namespace bistro
 

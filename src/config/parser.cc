@@ -126,9 +126,12 @@ class Parser {
         BISTRO_RETURN_IF_ERROR(ParseDelivery(&config));
       } else if (t.kind == TokKind::kIdent && t.text == "ingest") {
         BISTRO_RETURN_IF_ERROR(ParseIngest(&config));
+      } else if (t.kind == TokKind::kIdent && t.text == "analyzer") {
+        BISTRO_RETURN_IF_ERROR(ParseAnalyzer(&config));
       } else {
         return Err(
-            "expected 'group', 'feed', 'subscriber', 'delivery' or 'ingest'");
+            "expected 'group', 'feed', 'subscriber', 'delivery', 'ingest' "
+            "or 'analyzer'");
       }
     }
     return config;
@@ -401,6 +404,38 @@ class Parser {
     return Status::OK();
   }
 
+  Status ParseAnalyzer(ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "analyzer", "'analyzer'"));
+    AnalyzerTuningSpec* a = &config->analyzer;
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated analyzer block");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      if (attr == "workers") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v < 0) return Err("workers must be >= 0");
+        a->workers = static_cast<int>(v);
+      } else if (attr == "max_corpus") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v <= 0) return Err("max_corpus must be positive");
+        a->max_corpus = static_cast<int>(v);
+      } else if (attr == "shards") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v <= 0) return Err("shards must be positive");
+        a->shards = static_cast<int>(v);
+      } else if (attr == "cycle_interval") {
+        BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
+        if (v <= 0) return Err("cycle_interval must be positive");
+        a->cycle_interval = v;
+      } else {
+        return Err("unknown analyzer attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
+    }
+    ++pos_;  // consume '}'
+    return Status::OK();
+  }
+
   Status ParseSubscriber(ServerConfig* config) {
     BISTRO_RETURN_IF_ERROR(
         Expect(TokKind::kIdent, "subscriber", "'subscriber'"));
@@ -602,6 +637,17 @@ std::string FormatConfig(const ServerConfig& config) {
     if (g.batch) out += StrFormat("  batch %d;\n", *g.batch);
     if (g.overload_policy) {
       out += "  overload_policy " + *g.overload_policy + ";\n";
+    }
+    out += "}\n";
+  }
+  const AnalyzerTuningSpec& a = config.analyzer;
+  if (!a.empty()) {
+    out += "analyzer {\n";
+    if (a.workers) out += StrFormat("  workers %d;\n", *a.workers);
+    if (a.max_corpus) out += StrFormat("  max_corpus %d;\n", *a.max_corpus);
+    if (a.shards) out += StrFormat("  shards %d;\n", *a.shards);
+    if (a.cycle_interval) {
+      out += "  cycle_interval " + DurationLiteral(*a.cycle_interval) + ";\n";
     }
     out += "}\n";
   }

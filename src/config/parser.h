@@ -11,7 +11,8 @@ namespace bistro {
 ///
 /// Grammar (informal):
 ///
-///   config      := (group | feed | subscriber)*
+///   config      := (group | feed | subscriber
+///                   | delivery | ingest | analyzer)*
 ///   group       := "group" NAME "{" (group | feed)* "}"
 ///   feed        := "feed" NAME "{" feed_attr* "}"
 ///   feed_attr   := "pattern" STRING ";"
@@ -29,6 +30,13 @@ namespace bistro {
 ///   trigger_spec:= ("file" | "punctuation"
 ///                   | "batch" batch_opt+ ) ["exec" STRING] ["remote"]
 ///   batch_opt   := "count" INT | "timeout" DURATION
+///   delivery    := "delivery" "{" (KEY VALUE ";")* "}"
+///   ingest      := "ingest" "{" (KEY VALUE ";")* "}"
+///   analyzer    := "analyzer" "{" (KEY VALUE ";")* "}"
+///
+/// The delivery/ingest/analyzer tuning blocks take flat KEY VALUE pairs;
+/// every key is optional and unset keys keep compiled-in defaults (the
+/// full key reference with defaults is docs/OPERATIONS.md).
 ///
 /// NAME is dotted inside `feeds` lists ("SNMP.CPU"); `#` starts a
 /// line comment; strings are double-quoted with \" and \\ escapes.

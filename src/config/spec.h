@@ -135,12 +135,35 @@ struct IngestTuningSpec {
   bool operator==(const IngestTuningSpec&) const = default;
 };
 
+/// Feed-analyzer tuning (the config's `analyzer { ... }` block). Every
+/// field is optional, mirroring the delivery/ingest blocks: unset keys
+/// keep the daemon's compiled-in defaults.
+struct AnalyzerTuningSpec {
+  /// Worker threads folding/inducing corpus shards. 0 = inline
+  /// deterministic analysis (results are identical either way).
+  std::optional<int> workers;
+  /// Retention budget: unmatched names kept for analysis, oldest shed
+  /// first once exceeded (bounds analyzer memory, not correctness).
+  std::optional<int> max_corpus;
+  /// Stem-keyed corpus shards (the unit of fold/induce parallelism).
+  std::optional<int> shards;
+  /// Analysis cycle cadence.
+  std::optional<Duration> cycle_interval;
+
+  bool empty() const {
+    return !workers && !max_corpus && !shards && !cycle_interval;
+  }
+
+  bool operator==(const AnalyzerTuningSpec&) const = default;
+};
+
 /// A parsed Bistro configuration.
 struct ServerConfig {
   std::vector<FeedSpec> feeds;
   std::vector<SubscriberSpec> subscribers;
   DeliveryTuningSpec delivery;
   IngestTuningSpec ingest;
+  AnalyzerTuningSpec analyzer;
 
   bool operator==(const ServerConfig&) const = default;
 };

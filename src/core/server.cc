@@ -150,7 +150,8 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
         [weak, srv](const IncomingFile& file) {
           if (!weak.lock()) return;
           srv->files_unmatched_->Increment();
-          srv->unmatched_.emplace_back(file.name, file.arrival_time);
+          srv->unmatched_.push_back(
+              {file.name, file.arrival_time, Fnv1a64(file.name)});
           srv->logger_->Debug("classifier", "unmatched file: " + file.name);
         },
         [weak, srv](const IngestPipeline::Committed& done) {
@@ -342,8 +343,8 @@ void BistroServer::StartMaintenanceTimer() {
                    });
 }
 
-std::vector<std::pair<std::string, TimePoint>> BistroServer::DrainUnmatched() {
-  std::vector<std::pair<std::string, TimePoint>> out;
+std::vector<FileObservation> BistroServer::DrainUnmatched() {
+  std::vector<FileObservation> out;
   out.swap(unmatched_);
   return out;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analyzer/infer.h"
 #include "classify/classifier.h"
 #include "common/logging.h"
 #include "config/registry.h"
@@ -156,8 +157,10 @@ class BistroServer : public Endpoint {
   IngestPipeline* ingest() { return pipeline_.get(); }
 
   /// Names of files that matched no feed, for the analyzer (§5.1).
-  /// Drains the buffer.
-  std::vector<std::pair<std::string, TimePoint>> DrainUnmatched();
+  /// Drains the buffer. Each observation carries a stable id (a name
+  /// hash — unmatched files never receive a FileId) so the analyzer can
+  /// dedupe files that are re-seen on every landing-zone scan.
+  std::vector<FileObservation> DrainUnmatched();
 
   // ------------------------------------------------------------ Endpoint
 
@@ -204,7 +207,7 @@ class BistroServer : public Endpoint {
   Counter* files_expired_;
   Counter* bytes_received_;
   Counter* punctuations_;
-  std::vector<std::pair<std::string, TimePoint>> unmatched_;
+  std::vector<FileObservation> unmatched_;
   bool maintenance_running_ = false;
 
   /// Declared last: its worker threads call into the members above, so it

@@ -1,5 +1,7 @@
 #include "sim/sources.h"
 
+#include <cctype>
+
 #include "common/strings.h"
 
 namespace bistro {
@@ -150,6 +152,52 @@ std::vector<CorpusGenerator::Labelled> CorpusGenerator::Generate(
     out.push_back(std::move(l));
   }
   rng_->Shuffle(&out);
+  return out;
+}
+
+std::vector<FileObservation> CorpusGenerator::GenerateDrifting(
+    const DriftOptions& options, TimePoint start) {
+  std::vector<FileObservation> out;
+  out.reserve(options.total);
+  // Per-template emission counters keep (template, interval, poller)
+  // triples — and therefore names — unique across the whole stream.
+  std::vector<size_t> emitted(options.num_templates, 0);
+  const size_t drift_at = options.total / 2;
+  const int drifted =
+      static_cast<int>(options.num_templates * options.drift_fraction);
+  size_t junk_serial = 0;
+  for (size_t i = 0; i < options.total; ++i) {
+    if (rng_->Bernoulli(options.junk_fraction)) {
+      FileObservation obs;
+      obs.name = rng_->AlnumString(6 + rng_->Uniform(10)) + "_" +
+                 std::to_string(junk_serial++) + "." + rng_->AlnumString(3);
+      obs.arrival_time = start + static_cast<Duration>(i) * kSecond;
+      out.push_back(std::move(obs));
+      continue;
+    }
+    int t = static_cast<int>(rng_->Uniform(options.num_templates));
+    size_t seq = emitted[t]++;
+    int poller = 1 + static_cast<int>(seq % options.pollers);
+    TimePoint when =
+        start + static_cast<Duration>(seq / options.pollers) * options.period;
+    CivilTime c = ToCivil(when);
+    // Two-letter alphabetic metric stems: a trailing digit would merge
+    // structurally identical templates into one cluster.
+    std::string metric =
+        StrFormat("METRIC%c%c", 'A' + t % 26, 'A' + t / 26 % 26);
+    char sep = '_';
+    if (i >= drift_at && t < drifted) {
+      // The drifted convention: lower-cased stem, dashed separators.
+      for (char& ch : metric) ch = static_cast<char>(std::tolower(ch));
+      sep = '-';
+    }
+    FileObservation obs;
+    obs.name = StrFormat("%s%cPOLLER%d%c%04d%02d%02d%02d%02d.csv.gz",
+                         metric.c_str(), sep, poller, sep, c.year, c.month,
+                         c.day, c.hour, c.minute);
+    obs.arrival_time = when;
+    out.push_back(std::move(obs));
+  }
   return out;
 }
 

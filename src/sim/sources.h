@@ -124,6 +124,25 @@ class CorpusGenerator {
   /// The exact Bistro pattern a template's files follow (ground truth).
   static std::string TruthPattern(const FeedTemplate& t);
 
+  /// Large streaming corpora for the incremental-analyzer experiments
+  /// (E12): `total` names drawn from `num_templates` synthetic feeds in
+  /// arrival order, mixed with a junk fraction. At the halfway point a
+  /// `drift_fraction` of the templates mutate their naming convention
+  /// (lower-cased metric, '_' separators become '-'), so late names stop
+  /// folding into the old clusters — the production drift an analyzer
+  /// has to keep up with.
+  struct DriftOptions {
+    DriftOptions() {}
+    size_t total = 100000;
+    int num_templates = 50;
+    int pollers = 4;
+    Duration period = 5 * kMinute;
+    double junk_fraction = 0.01;
+    double drift_fraction = 0.25;
+  };
+  std::vector<FileObservation> GenerateDrifting(const DriftOptions& options,
+                                                TimePoint start);
+
  private:
   Rng* rng_;
 };

@@ -1,0 +1,153 @@
+// Keeps the operator documentation honest: every ```bistro fenced snippet
+// in docs/ must parse with the real config parser, every ```bistro-fault
+// snippet with the real fault-plan parser, configs/example.conf must load
+// and round-trip, and OPERATIONS.md must mention every key the parser
+// accepts — so neither the docs nor the example can silently rot.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/parser.h"
+#include "fault/plan.h"
+
+namespace bistro {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string DocPath(const char* rel) {
+  return std::string(BISTRO_REPO_ROOT) + "/" + rel;
+}
+
+struct Snippet {
+  int line = 0;  // line of the opening fence, for failure messages
+  std::string text;
+};
+
+// Extracts fenced code blocks whose info string is exactly `tag`.
+std::vector<Snippet> ExtractFenced(const std::string& markdown,
+                                   const std::string& tag) {
+  std::vector<Snippet> out;
+  std::istringstream in(markdown);
+  std::string line;
+  int lineno = 0;
+  const std::string open = "```" + tag;
+  bool in_block = false;
+  Snippet current;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!in_block) {
+      if (line == open) {
+        in_block = true;
+        current = Snippet{lineno, ""};
+      }
+    } else if (line.rfind("```", 0) == 0) {
+      in_block = false;
+      out.push_back(std::move(current));
+    } else {
+      current.text += line;
+      current.text += '\n';
+    }
+  }
+  EXPECT_FALSE(in_block) << "unterminated ```" << tag << " fence";
+  return out;
+}
+
+void ExpectDocConfigsParse(const char* rel, size_t min_blocks) {
+  const std::string doc = ReadFileOrDie(DocPath(rel));
+  const std::vector<Snippet> snippets = ExtractFenced(doc, "bistro");
+  EXPECT_GE(snippets.size(), min_blocks)
+      << rel << ": fence extraction found fewer ```bistro blocks than "
+      << "expected — did the tag convention change?";
+  for (const Snippet& s : snippets) {
+    auto config = ParseConfig(s.text);
+    EXPECT_TRUE(config.ok()) << rel << " snippet at line " << s.line
+                             << " does not parse: "
+                             << config.status().message() << "\n"
+                             << s.text;
+  }
+}
+
+TEST(ConfigDocsTest, ExampleConfParsesAndRoundTrips) {
+  const std::string text = ReadFileOrDie(DocPath("configs/example.conf"));
+  auto config = ParseConfig(text);
+  ASSERT_TRUE(config.ok()) << config.status().message();
+  EXPECT_FALSE(config->feeds.empty());
+  EXPECT_FALSE(config->subscribers.empty());
+
+  auto reparsed = ParseConfig(FormatConfig(*config));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  EXPECT_EQ(FormatConfig(*config), FormatConfig(*reparsed));
+}
+
+TEST(ConfigDocsTest, OperationsSnippetsParse) {
+  ExpectDocConfigsParse("docs/OPERATIONS.md", 4);
+}
+
+TEST(ConfigDocsTest, PatternsSnippetsParse) {
+  ExpectDocConfigsParse("docs/PATTERNS.md", 3);
+}
+
+TEST(ConfigDocsTest, OperationsFaultSnippetsParse) {
+  const std::string doc = ReadFileOrDie(DocPath("docs/OPERATIONS.md"));
+  const std::vector<Snippet> snippets = ExtractFenced(doc, "bistro-fault");
+  EXPECT_GE(snippets.size(), 1u);
+  for (const Snippet& s : snippets) {
+    auto plan = ParseFaultPlan(s.text);
+    EXPECT_TRUE(plan.ok()) << "OPERATIONS.md fault snippet at line " << s.line
+                           << " does not parse: " << plan.status().message()
+                           << "\n"
+                           << s.text;
+  }
+}
+
+TEST(ConfigDocsTest, OperationsCoversEveryParserKey) {
+  const std::string doc = ReadFileOrDie(DocPath("docs/OPERATIONS.md"));
+  // Every keyword and enum value the parsers accept (mirrors
+  // src/config/parser.cc and src/fault/plan.cc). Adding a config key
+  // without documenting it fails here.
+  const char* kKeys[] = {
+      // top-level blocks
+      "group", "feed", "subscriber", "delivery", "ingest", "analyzer",
+      // feed attributes + codec names
+      "pattern", "normalize", "compress", "decompress", "tardiness",
+      "none", "rle", "lz",
+      // subscriber attributes + enum values
+      "host", "destination", "feeds", "method", "push", "notify",
+      "window", "trigger",
+      // trigger grammar
+      "file", "punctuation", "batch", "count", "timeout", "exec", "remote",
+      // delivery tuning
+      "retry_backoff_min", "retry_backoff", "retry_backoff_max",
+      "retry_multiplier", "retry_jitter", "max_attempts", "offline_after",
+      "probe_interval", "coalesce_bytes", "cache_bytes", "receipt_group",
+      "receipt_flush_interval",
+      // ingest tuning + overload policies
+      "workers", "queue_depth", "overload_policy",
+      "block", "shed_oldest", "spill",
+      // analyzer tuning
+      "max_corpus", "shards", "cycle_interval",
+      // fault plans
+      "fault_plan", "seed", "write_error", "torn_write", "sync_error",
+      "scope", "send_failure", "corrupt", "ack_loss", "flap", "degrade",
+      // booleans
+      "on", "off",
+  };
+  for (const char* key : kKeys) {
+    EXPECT_NE(doc.find(key), std::string::npos)
+        << "docs/OPERATIONS.md never mentions config key '" << key << "'";
+  }
+}
+
+}  // namespace
+}  // namespace bistro

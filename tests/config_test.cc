@@ -193,6 +193,51 @@ TEST(ConfigParseTest, DeliveryBlockRejectsBadValues) {
   EXPECT_FALSE(ParseConfig("delivery { receipt_group 0; }").ok());
 }
 
+TEST(ConfigParseTest, AnalyzerTuningBlock) {
+  auto config = ParseConfig(R"(
+feed F { pattern "f_%i"; }
+analyzer {
+  workers 2;
+  max_corpus 50000;
+  shards 8;
+  cycle_interval 5m;
+}
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  const AnalyzerTuningSpec& a = config->analyzer;
+  EXPECT_EQ(a.workers, 2);
+  EXPECT_EQ(a.max_corpus, 50000);
+  EXPECT_EQ(a.shards, 8);
+  EXPECT_EQ(a.cycle_interval, 5 * kMinute);
+  // Unset keys stay unset (the engine keeps its compiled-in defaults).
+  auto partial = ParseConfig("analyzer { workers 0; }");
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_EQ(partial->analyzer.workers, 0);
+  EXPECT_FALSE(partial->analyzer.max_corpus.has_value());
+  EXPECT_FALSE(partial->analyzer.empty());
+}
+
+TEST(ConfigParseTest, AnalyzerBlockRejectsBadValues) {
+  EXPECT_FALSE(ParseConfig("analyzer { workers -1; }").ok());
+  EXPECT_FALSE(ParseConfig("analyzer { max_corpus 0; }").ok());
+  EXPECT_FALSE(ParseConfig("analyzer { shards 0; }").ok());
+  EXPECT_FALSE(ParseConfig("analyzer { cycle_interval 0s; }").ok());
+  EXPECT_FALSE(ParseConfig("analyzer { frobnicate 1; }").ok());
+  EXPECT_FALSE(ParseConfig("analyzer { workers 1; ").ok());  // unterminated
+}
+
+TEST(ConfigFormatTest, AnalyzerBlockRoundTrips) {
+  auto config = ParseConfig(R"(
+feed F { pattern "f_%i"; }
+analyzer { workers 4; max_corpus 200000; shards 32; cycle_interval 90s; }
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  std::string formatted = FormatConfig(*config);
+  auto reparsed = ParseConfig(formatted);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << formatted;
+  EXPECT_EQ(*reparsed, *config) << formatted;
+}
+
 TEST(ConfigFormatTest, DeliveryBlockRoundTrips) {
   auto config = ParseConfig(R"(
 feed F { pattern "f_%i"; }

@@ -160,6 +160,34 @@ TEST(AnalyzerDaemonTest, SeparatesFalseNegativesFromNewFeeds) {
             "GPSFEED_unit%i_%Y%m%d.csv");
 }
 
+TEST(AnalyzerDaemonTest, RescannedUnmatchedFilesAreNotDoubleCounted) {
+  // Unmatched files stay in the landing zone (quarantined for analysis),
+  // so every ScanLandingZone re-observes them. The analyzer corpus must
+  // dedupe the replays by FileId or each scan tick would inflate the
+  // corpus and the reported file counts.
+  DaemonFixture fx(R"(feed KNOWN { pattern "known_%i.dat"; })");
+  AnalyzerDaemon::Options opts;
+  opts.analyzer.discovery.min_support = 3;
+  AnalyzerDaemon daemon(fx.server.get(), &fx.loop, &fx.logger, opts);
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(
+        fx.server
+            ->Deposit("src", StrFormat("MYSTERY_%d_20100926.csv", i), "x")
+            .ok());
+  }
+  daemon.RunOnce();
+  EXPECT_EQ(daemon.corpus_size(), 3u);
+  for (int pass = 0; pass < 3; ++pass) {
+    auto rescanned = fx.server->ScanLandingZone();
+    ASSERT_TRUE(rescanned.ok()) << rescanned.status();
+    ASSERT_EQ(*rescanned, 3u);  // the quarantined files really are re-fed
+    daemon.RunOnce();
+    EXPECT_EQ(daemon.corpus_size(), 3u);
+    ASSERT_EQ(daemon.new_feed_suggestions().size(), 1u);
+    EXPECT_EQ(daemon.new_feed_suggestions()[0].feed.file_count, 3u);
+  }
+}
+
 TEST(AnalyzerDaemonTest, FalsePositiveReportsFromMatchedSamples) {
   DaemonFixture fx(R"(feed BROAD { pattern "%s_%Y%m%d.csv"; })");
   AnalyzerDaemon::Options opts;

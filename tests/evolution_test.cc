@@ -127,10 +127,7 @@ subscriber warehouse { feeds MEMORY; method push; }
   // 3. The analyzer inspects the unmatched stream and produces a
   //    suggestion...
   FeedAnalyzer analyzer((*server)->registry(), &logger);
-  std::vector<FileObservation> unmatched;
-  for (auto& [name, when] : (*server)->DrainUnmatched()) {
-    unmatched.push_back({name, when});
-  }
+  std::vector<FileObservation> unmatched = (*server)->DrainUnmatched();
   auto reports = analyzer.DetectFalseNegatives(unmatched);
   ASSERT_EQ(reports.size(), 1u);
   EXPECT_EQ(reports[0].feed, "MEMORY");

@@ -125,7 +125,8 @@ TEST_F(ServerTest, UnmatchedFilesQuarantinedForAnalyzer) {
   EXPECT_EQ(server_->stats().files_unmatched, 1u);
   auto unmatched = server_->DrainUnmatched();
   ASSERT_EQ(unmatched.size(), 1u);
-  EXPECT_EQ(unmatched[0].first, "mystery_file.bin");
+  EXPECT_EQ(unmatched[0].name, "mystery_file.bin");
+  EXPECT_NE(unmatched[0].id, 0u);  // stable id for analyzer dedupe
   // Not delivered to anyone.
   EXPECT_EQ(warehouse_->files_received(), 0u);
   // Still in the landing zone (quarantine).

@@ -1,0 +1,344 @@
+// Tests for the incremental analyzer (DESIGN.md §11): golden equivalence
+// with the batch FeedAnalyzer — same discovered feeds, false-negative and
+// false-positive reports on the same corpora — plus the streaming-only
+// properties: duplicate suppression, the retention budget, the exemplar
+// reservoir, parallel-fold determinism and the bistro_analyzer_* metrics.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "analyzer/stream.h"
+#include "common/strings.h"
+#include "common/threadpool.h"
+#include "config/parser.h"
+#include "obs/metrics.h"
+#include "sim/sources.h"
+
+namespace bistro {
+namespace {
+
+// The exact file set from §5.1 of the paper (also in analyzer_test.cc).
+std::vector<FileObservation> PaperCorpus() {
+  return {
+      {"MEMORY_POLLER1_2010092504_51.csv.gz", 0},
+      {"CPU_POLL1_201009250502.txt", 0},
+      {"MEMORY_POLLER2_2010092504_59.csv.gz", 0},
+      {"MEMORY_POLLER1_2010092509_58.csv.gz", 0},
+      {"CPU_POLL2_201009250503.txt", 0},
+      {"MEMORY_POLLER2_2010092510_02.csv.gz", 0},
+      {"CPU_POLL2_201009251001.txt", 0},
+      {"CPU_POLL2_201009250959.txt", 0},
+  };
+}
+
+std::unique_ptr<FeedRegistry> MustRegistry(std::string_view text) {
+  auto config = ParseConfig(text);
+  EXPECT_TRUE(config.ok()) << config.status();
+  auto registry = FeedRegistry::Create(*config);
+  EXPECT_TRUE(registry.ok()) << registry.status();
+  return std::move(*registry);
+}
+
+// A drifting multi-template corpus, deduplicated by name so batch and
+// incremental see identical populations (the incremental corpus drops
+// re-observations by design; §3.1 names are unique in production).
+std::vector<FileObservation> GeneratedCorpus() {
+  Rng rng(77);
+  CorpusGenerator gen(&rng);
+  std::vector<CorpusGenerator::FeedTemplate> templates(3);
+  templates[0].metric = "MEMORY";
+  templates[0].style = CorpusGenerator::FeedTemplate::Style::kSplitStamp;
+  templates[1].metric = "CPU";
+  templates[1].style = CorpusGenerator::FeedTemplate::Style::kWideStamp;
+  templates[2].metric = "BPS";
+  templates[2].style = CorpusGenerator::FeedTemplate::Style::kSeparatedDate;
+  auto corpus = gen.Generate(templates, /*junk=*/5,
+                             FromCivil(CivilTime{2010, 9, 25}));
+  std::vector<FileObservation> observations;
+  std::set<std::string> seen;
+  for (const auto& l : corpus) {
+    if (seen.insert(l.obs.name).second) observations.push_back(l.obs);
+  }
+  return observations;
+}
+
+// ------------------------------------------------- golden equivalence
+
+TEST(StreamGoldenTest, InductionMatchesBatchOnPaperCorpus) {
+  DiscoveryOptions options;
+  options.min_support = 2;
+  auto batch = DiscoverFeeds(PaperCorpus(), options);
+  for (size_t workers : {0u, 4u}) {
+    IncrementalCorpus corpus;
+    ThreadPool pool(workers);
+    corpus.ObserveBatch(PaperCorpus(), workers > 0 ? &pool : nullptr);
+    auto incremental = corpus.Induce(options, workers > 0 ? &pool : nullptr);
+    EXPECT_EQ(incremental.feeds, batch.feeds) << "workers=" << workers;
+    EXPECT_EQ(incremental.outliers, batch.outliers) << "workers=" << workers;
+  }
+}
+
+TEST(StreamGoldenTest, InductionMatchesBatchOnGeneratedCorpus) {
+  auto observations = GeneratedCorpus();
+  DiscoveryOptions options;
+  options.min_support = 3;
+  auto batch = DiscoverFeeds(observations, options);
+  ASSERT_FALSE(batch.feeds.empty());
+  for (size_t workers : {0u, 4u}) {
+    IncrementalCorpus corpus;
+    ThreadPool pool(workers);
+    corpus.ObserveBatch(observations, workers > 0 ? &pool : nullptr);
+    auto incremental = corpus.Induce(options, workers > 0 ? &pool : nullptr);
+    EXPECT_EQ(incremental.feeds, batch.feeds) << "workers=" << workers;
+    EXPECT_EQ(incremental.outliers, batch.outliers) << "workers=" << workers;
+  }
+}
+
+TEST(StreamGoldenTest, DiscoverySuggestionsMatchBatch) {
+  auto registry = MustRegistry("");
+  Logger logger;
+  FeedAnalyzer::Options options;
+  options.discovery.min_support = 2;
+  FeedAnalyzer batch(registry.get(), &logger, options);
+  auto expected = batch.DiscoverNewFeeds(PaperCorpus());
+  ASSERT_EQ(expected.size(), 2u);
+
+  for (size_t workers : {0u, 4u}) {
+    IncrementalAnalyzer::Options opts;
+    opts.analyzer = options;
+    opts.workers = workers;
+    IncrementalAnalyzer analyzer(registry.get(), &logger, nullptr, opts);
+    analyzer.ObserveUnmatched(PaperCorpus());
+    EXPECT_EQ(analyzer.DiscoverNewFeeds(), expected) << "workers=" << workers;
+  }
+}
+
+TEST(StreamGoldenTest, FalseNegativesMatchBatch) {
+  auto registry = MustRegistry(R"(
+feed MEMORY { pattern "MEMORY_poller%i_%Y%m%d.gz"; }
+feed OTHER  { pattern "invoice-%i.pdf"; }
+)");
+  Logger logger;
+  FeedAnalyzer batch(registry.get(), &logger);
+  std::vector<FileObservation> unmatched = {
+      {"MEMORY_Poller1_20100926.gz", 0},
+      {"MEMORY_Poller2_20100926.gz", 0},
+      {"MEMORY_Poller1_20100927.gz", 0},
+  };
+  auto expected = batch.DetectFalseNegatives(unmatched);
+  ASSERT_EQ(expected.size(), 1u);
+
+  for (size_t workers : {0u, 4u}) {
+    IncrementalAnalyzer::Options opts;
+    opts.workers = workers;
+    IncrementalAnalyzer analyzer(registry.get(), &logger, nullptr, opts);
+    analyzer.ObserveUnmatched(unmatched);
+    EXPECT_EQ(analyzer.DetectFalseNegatives(), expected)
+        << "workers=" << workers;
+  }
+}
+
+TEST(StreamGoldenTest, FalsePositivesMatchBatch) {
+  auto registry = MustRegistry(R"(feed BPS { pattern "%s_%Y%m%d%H.csv"; })");
+  Logger logger;
+  FeedAnalyzer::Options options;
+  options.fp_max_support = 0.2;
+  FeedAnalyzer batch(registry.get(), &logger, options);
+  std::vector<FileObservation> matched;
+  TimePoint start = FromCivil(CivilTime{2010, 9, 25});
+  for (int i = 0; i < 40; ++i) {
+    CivilTime c = ToCivil(start + i * kHour);
+    matched.push_back({StrFormat("BPS_poller_%04d%02d%02d%02d.csv", c.year,
+                                 c.month, c.day, c.hour),
+                       0});
+  }
+  for (int i = 0; i < 3; ++i) {
+    CivilTime c = ToCivil(start + i * kHour);
+    matched.push_back({StrFormat("PPSx_%04d%02d%02d%02d.csv", c.year, c.month,
+                                 c.day, c.hour),
+                       0});
+  }
+  auto expected = batch.DetectFalsePositives("BPS", matched);
+  ASSERT_EQ(expected.size(), 1u);
+
+  IncrementalAnalyzer::Options opts;
+  opts.analyzer = options;
+  IncrementalAnalyzer analyzer(registry.get(), &logger, nullptr, opts);
+  for (const auto& obs : matched) analyzer.ObserveMatched("BPS", obs);
+  EXPECT_EQ(analyzer.DetectFalsePositives("BPS"), expected);
+}
+
+TEST(StreamGoldenTest, CycleMatchesBatchDaemonComposition) {
+  // The daemon's composition: FN detection first, then new-feed discovery
+  // over only the names NOT explained as false negatives. The incremental
+  // cycle must reproduce the batch pipeline exactly (InduceExcluding).
+  auto registry =
+      MustRegistry(R"(feed MEMORY { pattern "MEMORY_poller%i_%Y%m%d.gz"; })");
+  Logger logger;
+  FeedAnalyzer::Options options;
+  options.discovery.min_support = 3;
+  std::vector<FileObservation> unmatched;
+  for (int i = 1; i <= 3; ++i) {
+    unmatched.push_back({StrFormat("MEMORY_Poller%d_20100926.gz", i), 0});
+  }
+  for (int i = 1; i <= 4; ++i) {
+    unmatched.push_back({StrFormat("GPSFEED_unit%d_20100926.csv", i), 0});
+  }
+
+  FeedAnalyzer batch(registry.get(), &logger, options);
+  auto expected_fn = batch.DetectFalseNegatives(unmatched);
+  ASSERT_EQ(expected_fn.size(), 1u);
+  std::set<std::string> explained;
+  for (const auto& report : expected_fn) {
+    explained.insert(report.files.begin(), report.files.end());
+  }
+  std::vector<FileObservation> remaining;
+  for (const auto& obs : unmatched) {
+    if (explained.count(obs.name) == 0) remaining.push_back(obs);
+  }
+  auto expected_new = batch.DiscoverNewFeeds(remaining);
+  ASSERT_EQ(expected_new.size(), 1u);
+
+  for (size_t workers : {0u, 4u}) {
+    IncrementalAnalyzer::Options opts;
+    opts.analyzer = options;
+    opts.workers = workers;
+    IncrementalAnalyzer analyzer(registry.get(), &logger, nullptr, opts);
+    analyzer.ObserveUnmatched(unmatched);
+    auto cycle = analyzer.RunCycle();
+    EXPECT_EQ(cycle.false_negatives, expected_fn) << "workers=" << workers;
+    EXPECT_EQ(cycle.new_feeds, expected_new) << "workers=" << workers;
+    EXPECT_TRUE(cycle.false_positives.empty());
+  }
+}
+
+TEST(StreamGoldenTest, InduceExcludingMatchesBatchOnSubset) {
+  auto observations = PaperCorpus();
+  // Exclude the MEMORY group; the result must equal batch discovery over
+  // only the remaining (CPU) observations.
+  std::set<std::string> exclude;
+  std::vector<FileObservation> remaining;
+  for (const auto& obs : observations) {
+    if (obs.name.rfind("MEMORY", 0) == 0) {
+      exclude.insert(obs.name);
+    } else {
+      remaining.push_back(obs);
+    }
+  }
+  DiscoveryOptions options;
+  options.min_support = 2;
+  auto batch = DiscoverFeeds(remaining, options);
+  ASSERT_EQ(batch.feeds.size(), 1u);
+
+  IncrementalCorpus corpus;
+  corpus.ObserveBatch(observations);
+  auto excluded = corpus.InduceExcluding(exclude, options);
+  EXPECT_EQ(excluded.feeds, batch.feeds);
+  EXPECT_EQ(excluded.outliers, batch.outliers);
+  // Excluding nothing degenerates to plain induction.
+  auto all = corpus.InduceExcluding({}, options);
+  EXPECT_EQ(all.feeds, corpus.Induce(options).feeds);
+}
+
+// ------------------------------------------------- streaming properties
+
+TEST(StreamCorpusTest, DuplicatesDroppedByNameAndId) {
+  IncrementalCorpus corpus;
+  FileObservation obs{"CPU_POLL1_201009250502.txt", 0, 42};
+  EXPECT_TRUE(corpus.Observe(obs));
+  EXPECT_FALSE(corpus.Observe(obs));  // same name and id
+  // Same id under a different name: the landing zone re-scan can present
+  // a renamed path, but the FileId pins identity.
+  EXPECT_FALSE(corpus.Observe({"CPU_POLL1_renamed.txt", 0, 42}));
+  // Same name, no id (hash fallback): still a duplicate.
+  EXPECT_FALSE(corpus.Observe({"CPU_POLL1_201009250502.txt", 0}));
+  EXPECT_EQ(corpus.size(), 1u);
+  EXPECT_EQ(corpus.stats().duplicates, 3u);
+}
+
+TEST(StreamCorpusTest, RetentionBudgetShedsOldestFirst) {
+  IncrementalCorpus::Options options;
+  options.max_corpus = 10;
+  options.shards = 4;
+  IncrementalCorpus corpus(options);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(corpus.Observe({StrFormat("LOG_%d_20101230.txt", i), 0}));
+  }
+  EXPECT_EQ(corpus.size(), 10u);
+  EXPECT_EQ(corpus.stats().shed, 15u);
+  // The survivors are the 15..24 suffix (FIFO), still one live cluster.
+  auto bucket = corpus.GeneralizedBucket("LOG_%i_%Y%m%d.txt");
+  ASSERT_EQ(bucket.size(), 10u);
+  EXPECT_EQ(bucket.front(), "LOG_15_20101230.txt");
+  EXPECT_EQ(bucket.back(), "LOG_24_20101230.txt");
+  DiscoveryOptions discovery;
+  discovery.min_support = 1;
+  auto result = corpus.Induce(discovery);
+  ASSERT_EQ(result.feeds.size(), 1u);
+  EXPECT_EQ(result.feeds[0].file_count, 10u);
+}
+
+TEST(StreamCorpusTest, ReservoirBoundsExemplarsNotCounts) {
+  IncrementalCorpus::Options options;
+  options.max_exemplars = 4;
+  IncrementalCorpus corpus(options);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(corpus.Observe({StrFormat("CPU_%d_20101230.txt", i), 0}));
+  }
+  EXPECT_EQ(corpus.size(), 100u);
+  EXPECT_EQ(corpus.cluster_count(), 1u);
+  DiscoveryOptions discovery;
+  discovery.min_support = 1;
+  auto result = corpus.Induce(discovery);
+  ASSERT_EQ(result.feeds.size(), 1u);
+  // Support comes from the true member count, not the sampled exemplars.
+  EXPECT_EQ(result.feeds[0].file_count, 100u);
+  EXPECT_EQ(result.feeds[0].pattern, "CPU_%i_%Y%m%d.txt");
+}
+
+TEST(StreamCorpusTest, ParallelBatchMatchesInline) {
+  auto observations = GeneratedCorpus();
+  IncrementalCorpus inline_corpus, pooled_corpus;
+  ThreadPool pool(4);
+  EXPECT_EQ(inline_corpus.ObserveBatch(observations),
+            pooled_corpus.ObserveBatch(observations, &pool));
+  EXPECT_EQ(inline_corpus.size(), pooled_corpus.size());
+  EXPECT_EQ(inline_corpus.cluster_count(), pooled_corpus.cluster_count());
+  EXPECT_EQ(inline_corpus.stats().folds, pooled_corpus.stats().folds);
+  EXPECT_EQ(inline_corpus.stats().new_clusters,
+            pooled_corpus.stats().new_clusters);
+  DiscoveryOptions discovery;
+  discovery.min_support = 3;
+  auto a = inline_corpus.Induce(discovery);
+  auto b = pooled_corpus.Induce(discovery, &pool);
+  EXPECT_EQ(a.feeds, b.feeds);
+  EXPECT_EQ(a.outliers, b.outliers);
+}
+
+TEST(StreamAnalyzerTest, PublishesMetricsThroughRegistry) {
+  auto registry = MustRegistry("");
+  Logger logger;
+  MetricsRegistry metrics;
+  IncrementalAnalyzer::Options opts;
+  opts.analyzer.discovery.min_support = 2;
+  IncrementalAnalyzer analyzer(registry.get(), &logger, &metrics, opts);
+  auto corpus = PaperCorpus();
+  analyzer.ObserveUnmatched(corpus);
+  analyzer.ObserveUnmatched(corpus);  // replay: every name is a duplicate
+  analyzer.RunCycle();
+  analyzer.RunCycle();
+  uint64_t folds = metrics.GetCounter("bistro_analyzer_folds_total", "")->value();
+  uint64_t fresh =
+      metrics.GetCounter("bistro_analyzer_new_clusters_total", "")->value();
+  EXPECT_EQ(folds + fresh, corpus.size());  // every admitted name counted once
+  EXPECT_EQ(fresh, 2u);                     // two templates in the §5.1 corpus
+  EXPECT_EQ(metrics.GetCounter("bistro_analyzer_duplicates_total", "")->value(),
+            corpus.size());
+  EXPECT_EQ(metrics.GetGauge("bistro_analyzer_corpus_retained", "")->value(),
+            static_cast<int64_t>(corpus.size()));
+  EXPECT_EQ(metrics.GetHistogram("bistro_analyzer_cycle_us", "")->Count(), 2u);
+}
+
+}  // namespace
+}  // namespace bistro

@@ -161,7 +161,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   (*server)->StartMaintenanceTimer();
-  AnalyzerDaemon analyzer(server->get(), &loop, &logger);
+  AnalyzerDaemon::Options analyzer_opts;
+  analyzer_opts.ApplyTuning(config->analyzer);
+  AnalyzerDaemon analyzer(server->get(), &loop, &logger, analyzer_opts);
   analyzer.Start();
 
   std::fprintf(stderr,
