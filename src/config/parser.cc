@@ -128,10 +128,14 @@ class Parser {
         BISTRO_RETURN_IF_ERROR(ParseIngest(&config));
       } else if (t.kind == TokKind::kIdent && t.text == "analyzer") {
         BISTRO_RETURN_IF_ERROR(ParseAnalyzer(&config));
+      } else if (t.kind == TokKind::kIdent && t.text == "server") {
+        BISTRO_RETURN_IF_ERROR(ParseServer(&config));
+      } else if (t.kind == TokKind::kIdent && t.text == "peer") {
+        BISTRO_RETURN_IF_ERROR(ParsePeer(&config));
       } else {
         return Err(
-            "expected 'group', 'feed', 'subscriber', 'delivery', 'ingest' "
-            "or 'analyzer'");
+            "expected 'group', 'feed', 'subscriber', 'delivery', 'ingest', "
+            "'analyzer', 'server' or 'peer'");
       }
     }
     return config;
@@ -436,6 +440,91 @@ class Parser {
     return Status::OK();
   }
 
+  Status ParseServer(ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "server", "'server'"));
+    ServerNetSpec* s = &config->server;
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated server block");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      if (attr == "listen") {
+        BISTRO_ASSIGN_OR_RETURN(s->listen, ExpectString());
+      } else if (attr == "max_frame_bytes") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v <= 0) return Err("max_frame_bytes must be positive");
+        s->max_frame_bytes = v;
+      } else if (attr == "outbound_queue_bytes") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v <= 0) return Err("outbound_queue_bytes must be positive");
+        s->outbound_queue_bytes = v;
+      } else if (attr == "reconnect_backoff_min") {
+        BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
+        if (v <= 0) return Err("reconnect_backoff_min must be positive");
+        s->reconnect_backoff_min = v;
+      } else if (attr == "reconnect_backoff_max") {
+        BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
+        if (v <= 0) return Err("reconnect_backoff_max must be positive");
+        s->reconnect_backoff_max = v;
+      } else if (attr == "ack_timeout") {
+        BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
+        if (v <= 0) return Err("ack_timeout must be positive");
+        s->ack_timeout = v;
+      } else {
+        return Err("unknown server attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
+    }
+    ++pos_;  // consume '}'
+    return Status::OK();
+  }
+
+  Status ParsePeer(ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "peer", "'peer'"));
+    PeerSpec peer;
+    BISTRO_ASSIGN_OR_RETURN(peer.name, ExpectIdent());
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated peer");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      if (attr == "address") {
+        BISTRO_ASSIGN_OR_RETURN(peer.address, ExpectString());
+      } else if (attr == "feeds") {
+        BISTRO_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+        peer.feeds.push_back(std::move(first));
+        while (Peek().kind == TokKind::kPunct && Peek().text == ",") {
+          ++pos_;
+          BISTRO_ASSIGN_OR_RETURN(std::string next, ExpectIdent());
+          peer.feeds.push_back(std::move(next));
+        }
+      } else if (attr == "shard") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t index, ExpectInt());
+        BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "of", "'of'"));
+        BISTRO_ASSIGN_OR_RETURN(int64_t count, ExpectInt());
+        if (count <= 0) return Err("shard count must be positive");
+        if (index < 0 || index >= count) {
+          return Err("shard index must be in [0, count)");
+        }
+        peer.shard_index = static_cast<int>(index);
+        peer.shard_count = static_cast<int>(count);
+      } else if (attr == "window") {
+        BISTRO_ASSIGN_OR_RETURN(peer.window, ExpectDuration());
+      } else {
+        return Err("unknown peer attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
+    }
+    ++pos_;  // consume '}'
+    if (peer.address.empty()) {
+      return Status::InvalidArgument("peer " + peer.name + " has no address");
+    }
+    if (!peer.feeds.empty() && peer.shard_count > 0) {
+      return Status::InvalidArgument(
+          "peer " + peer.name + " sets both explicit feeds and sharding");
+    }
+    config->peers.push_back(std::move(peer));
+    return Status::OK();
+  }
+
   Status ParseSubscriber(ServerConfig* config) {
     BISTRO_RETURN_IF_ERROR(
         Expect(TokKind::kIdent, "subscriber", "'subscriber'"));
@@ -648,6 +737,44 @@ std::string FormatConfig(const ServerConfig& config) {
     if (a.shards) out += StrFormat("  shards %d;\n", *a.shards);
     if (a.cycle_interval) {
       out += "  cycle_interval " + DurationLiteral(*a.cycle_interval) + ";\n";
+    }
+    out += "}\n";
+  }
+  const ServerNetSpec& srv = config.server;
+  if (!srv.empty()) {
+    out += "server {\n";
+    if (!srv.listen.empty()) out += "  listen " + Quote(srv.listen) + ";\n";
+    if (srv.max_frame_bytes) {
+      out += StrFormat("  max_frame_bytes %lld;\n",
+                       (long long)*srv.max_frame_bytes);
+    }
+    if (srv.outbound_queue_bytes) {
+      out += StrFormat("  outbound_queue_bytes %lld;\n",
+                       (long long)*srv.outbound_queue_bytes);
+    }
+    if (srv.reconnect_backoff_min) {
+      out += "  reconnect_backoff_min " +
+             DurationLiteral(*srv.reconnect_backoff_min) + ";\n";
+    }
+    if (srv.reconnect_backoff_max) {
+      out += "  reconnect_backoff_max " +
+             DurationLiteral(*srv.reconnect_backoff_max) + ";\n";
+    }
+    if (srv.ack_timeout) {
+      out += "  ack_timeout " + DurationLiteral(*srv.ack_timeout) + ";\n";
+    }
+    out += "}\n";
+  }
+  for (const PeerSpec& peer : config.peers) {
+    out += "peer " + peer.name + " {\n";
+    out += "  address " + Quote(peer.address) + ";\n";
+    if (!peer.feeds.empty()) out += "  feeds " + Join(peer.feeds, ", ") + ";\n";
+    if (peer.shard_count > 0) {
+      out += StrFormat("  shard %d of %d;\n", peer.shard_index,
+                       peer.shard_count);
+    }
+    if (peer.window != 0) {
+      out += "  window " + DurationLiteral(peer.window) + ";\n";
     }
     out += "}\n";
   }

@@ -157,6 +157,55 @@ struct AnalyzerTuningSpec {
   bool operator==(const AnalyzerTuningSpec&) const = default;
 };
 
+/// This server's network identity and socket-transport tuning (the
+/// config's `server { ... }` block). Every tuning field is optional,
+/// mirroring the other tuning blocks: unset keys keep the transport's
+/// compiled-in defaults.
+struct ServerNetSpec {
+  /// "ip:port" to accept Bistro-to-Bistro connections on; empty = this
+  /// server does not listen (outbound-only or purely local).
+  std::string listen;
+  /// Bound on a single inbound frame body (bytes).
+  std::optional<int64_t> max_frame_bytes;
+  /// Per-peer outbound queue cap (bytes) before sends fail with
+  /// backpressure.
+  std::optional<int64_t> outbound_queue_bytes;
+  /// Reconnect backoff envelope (decorrelated jitter between them).
+  std::optional<Duration> reconnect_backoff_min;
+  std::optional<Duration> reconnect_backoff_max;
+  /// Unacked sends older than this fail and drop the connection.
+  std::optional<Duration> ack_timeout;
+
+  bool empty() const {
+    return listen.empty() && !max_frame_bytes && !outbound_queue_bytes &&
+           !reconnect_backoff_min && !reconnect_backoff_max && !ack_timeout;
+  }
+
+  bool operator==(const ServerNetSpec&) const = default;
+};
+
+/// A downstream Bistro server fed over the socket transport (the
+/// config's `peer <name> { ... }` block) — paper Fig. 1's
+/// server-feeds-server topology. A peer is registered as a push
+/// subscriber whose endpoint is a TCP address; exactly-once handoff
+/// rides the ordinary receipt machinery.
+struct PeerSpec {
+  std::string name;     // also the subscriber name upstream
+  std::string address;  // "ip:port" of the peer's `server { listen; }`
+  /// Feeds routed to this peer. Empty = route by sharding (below), or
+  /// every feed when no sharding is set either.
+  std::vector<FeedName> feeds;
+  /// `shard <index> of <count>;` — feeds hash-partitioned by name across
+  /// a fleet of count peers; this peer takes partition `index`.
+  /// shard_count == 0 means sharding is off.
+  int shard_index = -1;
+  int shard_count = 0;
+  /// Backfill window on subscribe (0 = full history), as for subscribers.
+  Duration window = 0;
+
+  bool operator==(const PeerSpec&) const = default;
+};
+
 /// A parsed Bistro configuration.
 struct ServerConfig {
   std::vector<FeedSpec> feeds;
@@ -164,6 +213,8 @@ struct ServerConfig {
   DeliveryTuningSpec delivery;
   IngestTuningSpec ingest;
   AnalyzerTuningSpec analyzer;
+  ServerNetSpec server;
+  std::vector<PeerSpec> peers;
 
   bool operator==(const ServerConfig&) const = default;
 };

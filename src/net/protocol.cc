@@ -62,6 +62,8 @@ std::string EncodeMessage(const Message& msg) {
   PutVarint(&body, ZigZag(msg.data_time));
   PutVarint(&body, ZigZag(msg.batch_time));
   PutVarint(&body, msg.batch_count);
+  PutVarint(&body, msg.net_seq);
+  PutVarint(&body, msg.ack_code);
   std::string out;
   out.reserve(body.size() + 8);
   PutVarint(&out, body.size());
@@ -73,9 +75,15 @@ std::string EncodeMessage(const Message& msg) {
   return out;
 }
 
-Result<Message> DecodeMessage(std::string_view data) {
+Result<Message> DecodeMessage(std::string_view data, size_t max_frame_bytes) {
   uint64_t len;
   if (!GetVarint(&data, &len)) return Status::Corruption("message: bad length");
+  // Bound check before the size comparison below: a hostile length prefix
+  // must not drive any downstream allocation, and 4 + len could otherwise
+  // wrap for lengths near UINT64_MAX.
+  if (len > max_frame_bytes) {
+    return Status::Corruption("message: body exceeds max_frame_bytes");
+  }
   if (data.size() < 4 + len) return Status::Corruption("message: truncated");
   uint32_t crc;
   std::memcpy(&crc, data.data(), 4);
@@ -105,6 +113,10 @@ Result<Message> DecodeMessage(std::string_view data) {
   msg.batch_time = UnZigZag(u);
   if (!GetVarint(&body, &u)) return Status::Corruption("message: batch_count");
   msg.batch_count = u;
+  if (!GetVarint(&body, &u)) return Status::Corruption("message: net_seq");
+  msg.net_seq = u;
+  if (!GetVarint(&body, &u)) return Status::Corruption("message: ack_code");
+  msg.ack_code = static_cast<uint32_t>(u);
   return msg;
 }
 
@@ -115,9 +127,17 @@ std::string EncodeBundle(const std::vector<Message>& msgs) {
   return out;
 }
 
-Result<std::vector<Message>> DecodeBundle(std::string_view data) {
+Result<std::vector<Message>> DecodeBundle(std::string_view data,
+                                          size_t max_frame_bytes) {
   uint64_t count;
   if (!GetVarint(&data, &count)) return Status::Corruption("bundle: bad count");
+  // The claimed count sizes the reserve below, so validate it against the
+  // bytes actually present first: every encoded message occupies at least
+  // one byte, so a count beyond the remaining size is provably a lie (in
+  // practice a hostile header) and must not drive an allocation.
+  if (count > data.size()) {
+    return Status::Corruption("bundle: count exceeds data");
+  }
   // Each inner blob is self-delimiting (varint body length + 4-byte frame
   // CRC + body), so peel off one exact extent per message.
   std::vector<Message> msgs;
@@ -125,12 +145,18 @@ Result<std::vector<Message>> DecodeBundle(std::string_view data) {
   for (uint64_t i = 0; i < count; ++i) {
     std::string_view probe = data;
     uint64_t body_len;
-    if (!GetVarint(&probe, &body_len) || probe.size() < 4 + body_len) {
+    if (!GetVarint(&probe, &body_len)) {
+      return Status::Corruption("bundle: truncated");
+    }
+    if (body_len > max_frame_bytes) {
+      return Status::Corruption("bundle: body exceeds max_frame_bytes");
+    }
+    if (probe.size() < 4 + body_len) {
       return Status::Corruption("bundle: truncated");
     }
     size_t blob_len = (data.size() - probe.size()) + 4 + body_len;
-    BISTRO_ASSIGN_OR_RETURN(Message msg,
-                            DecodeMessage(data.substr(0, blob_len)));
+    BISTRO_ASSIGN_OR_RETURN(
+        Message msg, DecodeMessage(data.substr(0, blob_len), max_frame_bytes));
     msgs.push_back(std::move(msg));
     data.remove_prefix(blob_len);
   }

@@ -96,15 +96,33 @@ struct Message {
   TimePoint data_time = 0;   // timestamp extracted from the filename
   TimePoint batch_time = 0;  // batch interval marker (kEndOfBatch)
   uint64_t batch_count = 0;  // files in the closed batch (kEndOfBatch)
+  /// Transport-level correlation id. Stream transports (TCP) assign a
+  /// per-connection sequence to every request they put on the wire; the
+  /// remote side echoes it in the kAck so the sender can match an ack to
+  /// the in-flight send it answers. 0 = unused (datagram-style transports
+  /// correlate by position).
+  uint64_t net_seq = 0;
+  /// kAck only: StatusCode of the remote endpoint's HandleMessage result
+  /// (0 = OK). On failure the remote puts the error text in `name`, so
+  /// the sender's retry machinery sees the same Status it would have seen
+  /// in-process.
+  uint32_t ack_code = 0;
 
   bool operator==(const Message&) const = default;
 };
 
+/// Default bound on a decoded message body (and on stream-decoder
+/// buffering). Frames from untrusted sockets claiming more than this are
+/// rejected as corrupt before any allocation happens.
+inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
+
 /// Serializes a message to a CRC-framed binary blob.
 std::string EncodeMessage(const Message& msg);
 
-/// Parses a blob produced by EncodeMessage; verifies the CRC.
-Result<Message> DecodeMessage(std::string_view data);
+/// Parses a blob produced by EncodeMessage; verifies the CRC. Bodies
+/// larger than `max_frame_bytes` are rejected without allocating.
+Result<Message> DecodeMessage(std::string_view data,
+                              size_t max_frame_bytes = kDefaultMaxFrameBytes);
 
 /// Serializes several messages into one multi-message wire frame
 /// (varint count + concatenated EncodeMessage blobs). Used by the
@@ -116,7 +134,10 @@ std::string EncodeBundle(const std::vector<Message>& msgs);
 /// Parses a frame produced by EncodeBundle. Callers must know a frame is
 /// a bundle (the transports keep bundle and single sends on separate
 /// paths); the format is not self-describing against EncodeMessage.
-Result<std::vector<Message>> DecodeBundle(std::string_view data);
+/// The claimed message count is validated against the bytes actually
+/// present before any allocation sized from it.
+Result<std::vector<Message>> DecodeBundle(
+    std::string_view data, size_t max_frame_bytes = kDefaultMaxFrameBytes);
 
 }  // namespace bistro
 

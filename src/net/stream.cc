@@ -6,7 +6,7 @@ namespace {
 // Peeks the total frame size (varint length prefix + 4-byte CRC + body)
 // at the front of `data`; returns 0 if more bytes are needed, or an error
 // sentinel of SIZE_MAX on malformed varint.
-size_t FrameSize(std::string_view data) {
+size_t FrameSize(std::string_view data, uint64_t* body_len) {
   uint64_t len = 0;
   int shift = 0;
   size_t i = 0;
@@ -15,6 +15,7 @@ size_t FrameSize(std::string_view data) {
     ++i;
     len |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) {
+      *body_len = len;
       return i + 4 + len;
     }
     shift += 7;
@@ -28,13 +29,23 @@ Status MessageStreamDecoder::Feed(std::string_view bytes) {
   if (!status_.ok()) return status_;
   buffer_.append(bytes.data(), bytes.size());
   while (true) {
-    size_t frame = FrameSize(buffer_);
+    uint64_t body_len = 0;
+    size_t frame = FrameSize(buffer_, &body_len);
     if (frame == SIZE_MAX) {
       status_ = Status::Corruption("message stream: malformed length prefix");
       return status_;
     }
+    // Reject an oversized claim the moment the prefix is readable — the
+    // buffer must never grow toward a hostile length. (This also guards
+    // the prefix + 4 + len sum against wrap for lengths near UINT64_MAX.)
+    if (frame != 0 && body_len > max_frame_bytes_) {
+      status_ = Status::Corruption("message stream: frame exceeds max bytes");
+      return status_;
+    }
     if (frame == 0 || buffer_.size() < frame) return Status::OK();
-    auto msg = DecodeMessage(std::string_view(buffer_).substr(0, frame));
+    auto msg =
+        DecodeMessage(std::string_view(buffer_).substr(0, frame),
+                      max_frame_bytes_);
     if (!msg.ok()) {
       status_ = msg.status();
       return status_;

@@ -18,6 +18,13 @@ namespace bistro {
 /// framing error; the connection must be dropped).
 class MessageStreamDecoder {
  public:
+  /// `max_frame_bytes` bounds a single frame's claimed body size; a frame
+  /// claiming more poisons the stream immediately, before any buffering
+  /// grows toward the bogus length. This is the defense that makes the
+  /// decoder safe on bytes from an untrusted socket.
+  explicit MessageStreamDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
   /// Appends received bytes; decodes any complete frames.
   /// Returns the first error encountered (sticky).
   Status Feed(std::string_view bytes);
@@ -33,6 +40,7 @@ class MessageStreamDecoder {
   size_t buffered_bytes() const { return buffer_.size(); }
 
  private:
+  size_t max_frame_bytes_;
   std::string buffer_;
   std::deque<Message> decoded_;
   Status status_;

@@ -236,7 +236,25 @@ Status FileSinkEndpoint::HandleMessage(const Message& msg) {
       std::string dest = path::Join(dest_root_, msg.dest_path.empty()
                                                     ? msg.name
                                                     : msg.dest_path);
-      BISTRO_RETURN_IF_ERROR(fs_->WriteFile(dest, msg.payload));
+      Status wrote = fs_->WriteFile(dest, msg.payload);
+      if (!wrote.ok()) {
+        if (msg.file_id != 0) {
+          // The id was optimistically inserted above; a failed land must
+          // stay retryable, or the retry would be absorbed as a
+          // "duplicate" of a write that never happened.
+          delivered_ids_.erase(msg.file_id);
+          if (!delivered_order_.empty() &&
+              delivered_order_.back() == msg.file_id) {
+            delivered_order_.pop_back();
+          }
+        }
+        // Sink-side I/O trouble (full disk, unmounted volume, dropped
+        // connection behind a network filesystem) is transient from the
+        // sender's point of view: surface it as Unavailable so the
+        // delivery retry/backoff/dead-letter machinery applies uniformly
+        // instead of treating it as a poison failure.
+        return Status::Unavailable("sink write: " + wrote.ToString());
+      }
       ++files_received_;
       break;
     }

@@ -65,7 +65,9 @@ class Transport {
                                 uint64_t bytes) const = 0;
 
   /// Registers send/failure/byte counters in `registry`. Optional.
-  void AttachMetrics(MetricsRegistry* registry);
+  /// Virtual so transports with their own machinery (sockets:
+  /// connections, acks, reconnects) can register additional series.
+  virtual void AttachMetrics(MetricsRegistry* registry);
 
  protected:
   /// Implementations call these around each Send.

@@ -1,12 +1,77 @@
 #include "sim/event_loop.h"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
 namespace bistro {
 
+EventLoop::EventLoop(Clock* clock) : clock_(clock) {
+  // The wakeup pipe exists regardless of clock type (cheap, and the clock
+  // can in principle differ per run of the same wiring); only real-clock
+  // waits ever block on it.
+  if (pipe(wake_fds_) == 0) {
+    for (int fd : wake_fds_) {
+      int flags = fcntl(fd, F_GETFL, 0);
+      if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      int fdflags = fcntl(fd, F_GETFD, 0);
+      if (fdflags >= 0) fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC);
+    }
+  } else {
+    wake_fds_[0] = wake_fds_[1] = -1;
+  }
+}
+
+EventLoop::~EventLoop() {
+  for (int fd : wake_fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
 void EventLoop::PostAt(TimePoint t, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TimePoint now = clock_->Now();
+    if (t < now) t = now;
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+  // Interrupt a blocked poll so cross-thread posts run promptly instead
+  // of waiting out the current timer. The relaxed load keeps the common
+  // same-thread Post free of syscalls.
+  if (polling_.load(std::memory_order_relaxed)) Wake();
+}
+
+void EventLoop::Wake() {
+  if (wake_fds_[1] < 0) return;
+  char byte = 0;
+  // Nonblocking: a full pipe already guarantees a pending wakeup.
+  ssize_t ignored = write(wake_fds_[1], &byte, 1);
+  (void)ignored;
+}
+
+void EventLoop::WatchFd(int fd, FdCallback cb) {
   std::lock_guard<std::mutex> lock(mu_);
-  TimePoint now = clock_->Now();
-  if (t < now) t = now;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  FdWatch watch;
+  watch.cb = std::make_shared<FdCallback>(std::move(cb));
+  fds_[fd] = std::move(watch);
+}
+
+void EventLoop::SetFdWriteInterest(int fd, bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fds_.find(fd);
+  if (it != fds_.end()) it->second.want_write = enabled;
+}
+
+void EventLoop::UnwatchFd(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fds_.erase(fd);
+}
+
+size_t EventLoop::watched_fds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fds_.size();
 }
 
 void EventLoop::AdvanceTo(TimePoint t) {
@@ -15,22 +80,101 @@ void EventLoop::AdvanceTo(TimePoint t) {
   if (auto* sim = dynamic_cast<SimClock*>(clock_)) {
     sim->AdvanceTo(t);
   } else {
-    clock_->SleepFor(t - now);
+    WaitReal(t);
   }
 }
 
-bool EventLoop::RunOne() {
-  Event event;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) return false;
-    event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+void EventLoop::WaitReal(TimePoint t) {
+  if (wake_fds_[0] < 0) {
+    // No pipe (construction failed): legacy timer-granularity sleep.
+    TimePoint now = clock_->Now();
+    if (t > now) clock_->SleepFor(t - now);
+    return;
   }
-  AdvanceTo(event.due);
-  event.fn();
-  ++executed_;
+  std::vector<pollfd> pfds;
+  int timeout_ms;
+  {
+    // Everything that decides how long to sleep happens inside the same
+    // critical section PostAt uses, and polling_ is set before the lock
+    // is released: a poster that pushed before this block shortened the
+    // computed timeout; one that pushes after it observes polling_ and
+    // writes the wakeup byte (which persists even if poll() has not
+    // started yet). Either way no wakeup is lost.
+    std::lock_guard<std::mutex> lock(mu_);
+    TimePoint now = clock_->Now();
+    if (now >= t) return;
+    if (!queue_.empty() && queue_.top().due < t) t = queue_.top().due;
+    Duration remaining = t > now ? t - now : 0;
+    timeout_ms =
+        static_cast<int>((remaining + kMillisecond - 1) / kMillisecond);
+    if (timeout_ms < 0) timeout_ms = 0;
+    pfds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+    for (const auto& [fd, watch] : fds_) {
+      short events = POLLIN;
+      if (watch.want_write) events |= POLLOUT;
+      pfds.push_back(pollfd{fd, events, 0});
+    }
+    polling_.store(true, std::memory_order_relaxed);
+  }
+  int n = poll(pfds.data(), pfds.size(), timeout_ms);
+  polling_.store(false, std::memory_order_relaxed);
+  if (n <= 0) return;  // timeout or EINTR: caller re-examines the queue
+
+  if (pfds[0].revents != 0) {
+    char drain[64];
+    while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+    }
+  }
+  // Dispatch fd readiness. Callbacks may watch/unwatch fds (including
+  // themselves), so re-resolve each one under the lock right before the
+  // call; the shared_ptr keeps an invoked callback alive even if it
+  // unwatches itself mid-call.
+  for (size_t i = 1; i < pfds.size(); ++i) {
+    short revents = pfds[i].revents;
+    if (revents == 0) continue;
+    bool readable = (revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0;
+    bool writable = (revents & POLLOUT) != 0;
+    std::shared_ptr<FdCallback> cb;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = fds_.find(pfds[i].fd);
+      if (it != fds_.end()) cb = it->second.cb;
+    }
+    if (cb) (*cb)(readable, writable);
+  }
+}
+
+bool EventLoop::PopDue(std::function<void()>* fn, TimePoint* next_due) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) {
+    *next_due = 0;
+    return false;
+  }
+  TimePoint due = queue_.top().due;
+  if (due > clock_->Now()) {
+    *next_due = due;
+    return false;
+  }
+  *fn = std::move(const_cast<Event&>(queue_.top()).fn);
+  queue_.pop();
   return true;
+}
+
+bool EventLoop::RunOne() {
+  for (;;) {
+    std::function<void()> fn;
+    TimePoint next_due = 0;
+    if (PopDue(&fn, &next_due)) {
+      fn();
+      ++executed_;
+      return true;
+    }
+    if (next_due == 0) return false;  // idle
+    // Wait (or advance simulated time) to the earliest due event, then
+    // re-examine: a cross-thread post or an fd callback may have queued
+    // something earlier in the meantime.
+    AdvanceTo(next_due);
+  }
 }
 
 void EventLoop::RunUntilIdle() {
@@ -42,18 +186,36 @@ void EventLoop::RunUntilIdle() {
 void EventLoop::RunUntil(TimePoint until) {
   stopped_ = false;
   while (!stopped_) {
-    Event event;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (queue_.empty() || queue_.top().due > until) break;
-      event = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
+    std::function<void()> fn;
+    TimePoint next_due = 0;
+    if (PopDue(&fn, &next_due)) {
+      fn();
+      ++executed_;
+      continue;
     }
-    AdvanceTo(event.due);
-    event.fn();
-    ++executed_;
+    if (next_due == 0 || next_due > until) break;
+    AdvanceTo(next_due);
   }
   AdvanceTo(until);
+}
+
+void EventLoop::RunFor(Duration d) {
+  TimePoint deadline = clock_->Now() + d;
+  stopped_ = false;
+  while (!stopped_) {
+    std::function<void()> fn;
+    TimePoint next_due = 0;
+    if (PopDue(&fn, &next_due)) {
+      fn();
+      ++executed_;
+      continue;
+    }
+    TimePoint now = clock_->Now();
+    if (now >= deadline) break;
+    TimePoint wait = deadline;
+    if (next_due != 0 && next_due < wait) wait = next_due;
+    AdvanceTo(wait);
+  }
 }
 
 size_t EventLoop::pending() const {

@@ -1,8 +1,11 @@
 #ifndef BISTRO_SIM_EVENT_LOOP_H_
 #define BISTRO_SIM_EVENT_LOOP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <vector>
@@ -17,14 +20,25 @@ namespace bistro {
 /// With a SimClock, RunUntilIdle() advances the clock straight to each
 /// event's due time, so a simulated day of feed traffic executes in
 /// milliseconds and is fully deterministic (ties break by posting order).
-/// With a RealClock, the loop sleeps until events come due, which lets the
-/// same server wiring run live in the examples.
+/// With a RealClock, the loop waits until events come due, which lets the
+/// same server wiring run live in the examples and the daemon.
+///
+/// Real-clock waits block in poll(2) on a wakeup pipe plus any watched
+/// file descriptors, so a Post() from another thread (Wake()) or socket
+/// readiness interrupts the wait immediately instead of riding out a
+/// timer interval. Fd watching is the integration point for the TCP
+/// socket transport; it is a no-op under simulated time (a SimClock loop
+/// never blocks, and simulated deployments use simulated transports).
 class EventLoop {
  public:
-  explicit EventLoop(Clock* clock) : clock_(clock) {}
+  explicit EventLoop(Clock* clock);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
 
   /// Schedules `fn` at the current time (runs after already-due events
-  /// posted earlier).
+  /// posted earlier). Thread-safe; wakes a blocked real-clock wait.
   void Post(std::function<void()> fn) { PostAt(clock_->Now(), std::move(fn)); }
 
   /// Schedules `fn` at absolute time `t` (clamped to now if in the past).
@@ -42,11 +56,47 @@ class EventLoop {
   /// at the end. Later events stay queued.
   void RunUntil(TimePoint until);
 
+  /// Runs due events and fd callbacks for up to `d`, blocking in poll()
+  /// between events under a real clock (a cross-thread Post or fd
+  /// readiness ends the wait early; the loop then services it and keeps
+  /// going until the deadline). Under a SimClock this is equivalent to
+  /// RunUntil(Now() + d). The daemon's main loop is built on this.
+  void RunFor(Duration d);
+
   /// Runs a single event if one is queued. Returns false when idle.
   bool RunOne();
 
-  /// Makes RunUntilIdle()/RunUntil() return after the current event.
+  /// Makes RunUntilIdle()/RunUntil()/RunFor() return after the current
+  /// event.
   void Stop() { stopped_ = true; }
+
+  /// Interrupts a blocked real-clock wait from any thread. Harmless when
+  /// the loop is not waiting (or runs under simulated time).
+  void Wake();
+
+  // ------------------------------------------------------ Fd readiness
+
+  /// Callback invoked on the loop when a watched fd becomes readable
+  /// and/or writable (error/hangup conditions report as readable so the
+  /// owner's read() observes them).
+  using FdCallback = std::function<void(bool readable, bool writable)>;
+
+  /// Watches `fd` for readability (always) and, when write interest is
+  /// enabled, writability. Real-clock loops only: under a SimClock the
+  /// loop never blocks and watched fds are never polled. Call from the
+  /// loop thread.
+  void WatchFd(int fd, FdCallback cb);
+
+  /// Enables/disables POLLOUT interest for a watched fd (owners enable it
+  /// only while they have queued bytes, the standard level-triggered
+  /// idiom). No-op for unwatched fds.
+  void SetFdWriteInterest(int fd, bool enabled);
+
+  /// Stops watching `fd`. The caller closes the descriptor.
+  void UnwatchFd(int fd);
+
+  /// Number of fds currently watched (tests, introspection).
+  size_t watched_fds() const;
 
   TimePoint Now() const { return clock_->Now(); }
   Clock* clock() const { return clock_; }
@@ -65,15 +115,34 @@ class EventLoop {
       return a.due != b.due ? a.due > b.due : a.seq > b.seq;
     }
   };
+  struct FdWatch {
+    std::shared_ptr<FdCallback> cb;
+    bool want_write = false;
+  };
 
   void AdvanceTo(TimePoint t);
+  /// Real-clock wait until `t`, poll-based when the wakeup pipe exists.
+  /// Returns after dispatching fd events or being woken, so callers
+  /// re-examine the queue.
+  void WaitReal(TimePoint t);
+  /// Pops one due event if any; returns false when none is due yet (in
+  /// which case *next_due is the earliest due time, or 0 if empty).
+  bool PopDue(std::function<void()>* fn, TimePoint* next_due);
 
   Clock* clock_;
   mutable std::mutex mu_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::map<int, FdWatch> fds_;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   bool stopped_ = false;
+  /// Wakeup pipe (read end, write end); {-1, -1} when unavailable
+  /// (creation failed), in which case real-clock waits fall back to
+  /// plain sleeps and cross-thread wakeups ride the sleep granularity.
+  int wake_fds_[2] = {-1, -1};
+  /// True while the loop thread is blocked in poll(); Wake() only pays
+  /// the pipe write when someone is actually waiting.
+  std::atomic<bool> polling_{false};
 };
 
 }  // namespace bistro

@@ -137,6 +137,10 @@ TEST(ConfigDocsTest, OperationsCoversEveryParserKey) {
       "block", "shed_oldest", "spill",
       // analyzer tuning
       "max_corpus", "shards", "cycle_interval",
+      // federation: server { } identity/socket tuning and peer blocks
+      "server", "listen", "max_frame_bytes", "outbound_queue_bytes",
+      "reconnect_backoff_min", "reconnect_backoff_max", "ack_timeout",
+      "peer", "address", "shard", "of",
       // fault plans
       "fault_plan", "seed", "write_error", "torn_write", "sync_error",
       "scope", "send_failure", "corrupt", "ack_loss", "flap", "degrade",

@@ -226,6 +226,89 @@ TEST(ConfigParseTest, AnalyzerBlockRejectsBadValues) {
   EXPECT_FALSE(ParseConfig("analyzer { workers 1; ").ok());  // unterminated
 }
 
+TEST(ConfigParseTest, ServerBlock) {
+  auto config = ParseConfig(R"(
+server {
+  listen "0.0.0.0:4400";
+  max_frame_bytes 8388608;
+  outbound_queue_bytes 33554432;
+  reconnect_backoff_min 100ms;
+  reconnect_backoff_max 5s;
+  ack_timeout 20s;
+}
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  const ServerNetSpec& s = config->server;
+  EXPECT_EQ(s.listen, "0.0.0.0:4400");
+  EXPECT_EQ(s.max_frame_bytes, 8388608);
+  EXPECT_EQ(s.outbound_queue_bytes, 33554432);
+  EXPECT_EQ(s.reconnect_backoff_min, 100 * kMillisecond);
+  EXPECT_EQ(s.reconnect_backoff_max, 5 * kSecond);
+  EXPECT_EQ(s.ack_timeout, 20 * kSecond);
+  // Unset tuning keys stay unset (transport keeps compiled-in defaults).
+  auto partial = ParseConfig(R"(server { listen "127.0.0.1:0"; })");
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_FALSE(partial->server.max_frame_bytes.has_value());
+  EXPECT_FALSE(partial->server.empty());
+}
+
+TEST(ConfigParseTest, ServerBlockRejectsBadValues) {
+  EXPECT_FALSE(ParseConfig("server { max_frame_bytes 0; }").ok());
+  EXPECT_FALSE(ParseConfig("server { outbound_queue_bytes -1; }").ok());
+  EXPECT_FALSE(ParseConfig("server { reconnect_backoff_min 0s; }").ok());
+  EXPECT_FALSE(ParseConfig("server { ack_timeout 0s; }").ok());
+  EXPECT_FALSE(ParseConfig("server { frobnicate 1; }").ok());
+  EXPECT_FALSE(ParseConfig(R"(server { listen "x:y"; )").ok());  // unterminated
+}
+
+TEST(ConfigParseTest, PeerBlocks) {
+  auto config = ParseConfig(R"(
+feed SNMP.CPU { pattern "cpu_%i"; }
+feed SNMP.MEM { pattern "mem_%i"; }
+peer east { address "10.0.0.2:4400"; feeds SNMP.CPU, SNMP.MEM; window 1h; }
+peer west { address "10.0.0.3:4400"; shard 1 of 4; }
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  ASSERT_EQ(config->peers.size(), 2u);
+  const PeerSpec& east = config->peers[0];
+  EXPECT_EQ(east.name, "east");
+  EXPECT_EQ(east.address, "10.0.0.2:4400");
+  EXPECT_EQ(east.feeds, (std::vector<FeedName>{"SNMP.CPU", "SNMP.MEM"}));
+  EXPECT_EQ(east.window, kHour);
+  EXPECT_EQ(east.shard_count, 0);
+  const PeerSpec& west = config->peers[1];
+  EXPECT_TRUE(west.feeds.empty());
+  EXPECT_EQ(west.shard_index, 1);
+  EXPECT_EQ(west.shard_count, 4);
+}
+
+TEST(ConfigParseTest, PeerRejectsBadValues) {
+  // No address.
+  EXPECT_FALSE(ParseConfig("peer p { feeds F; }").ok());
+  // Explicit feeds and sharding are alternative routing policies.
+  EXPECT_FALSE(
+      ParseConfig(R"(peer p { address "h:1"; feeds F; shard 0 of 2; })").ok());
+  // Shard index out of [0, count).
+  EXPECT_FALSE(ParseConfig(R"(peer p { address "h:1"; shard 2 of 2; })").ok());
+  EXPECT_FALSE(ParseConfig(R"(peer p { address "h:1"; shard 0 of 0; })").ok());
+  EXPECT_FALSE(ParseConfig(R"(peer p { address "h:1"; frobnicate 1; })").ok());
+  EXPECT_FALSE(ParseConfig(R"(peer p { address "h:1"; )").ok());  // unterminated
+}
+
+TEST(ConfigFormatTest, ServerAndPeerBlocksRoundTrip) {
+  auto config = ParseConfig(R"(
+feed SNMP.CPU { pattern "cpu_%i"; }
+server { listen "127.0.0.1:4400"; ack_timeout 15s; max_frame_bytes 1048576; }
+peer east { address "10.0.0.2:4400"; feeds SNMP.CPU; window 30m; }
+peer west { address "10.0.0.3:4400"; shard 0 of 2; }
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  std::string formatted = FormatConfig(*config);
+  auto reparsed = ParseConfig(formatted);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << formatted;
+  EXPECT_EQ(*reparsed, *config) << formatted;
+}
+
 TEST(ConfigFormatTest, AnalyzerBlockRoundTrips) {
   auto config = ParseConfig(R"(
 feed F { pattern "f_%i"; }

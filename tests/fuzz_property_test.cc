@@ -7,6 +7,7 @@
 //  - WAL/KvStore state survives arbitrary crash points (prefix truncation
 //    never yields corruption errors, only a consistent earlier state).
 
+#include <algorithm>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -16,6 +17,8 @@
 #include "common/strings.h"
 #include "config/parser.h"
 #include "kv/kvstore.h"
+#include "net/protocol.h"
+#include "net/stream.h"
 #include "pattern/pattern.h"
 #include "vfs/memfs.h"
 
@@ -263,6 +266,159 @@ TEST_P(CrashPointTest, AnyWalPrefixRecoversConsistently) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashPointTest, ::testing::Range(1, 5));
+
+// ------------------------------------------------------------ frame fuzz
+//
+// The frame decoders parse bytes straight off a TCP socket, so hostile
+// input must produce a clean Corruption — never a crash, never an
+// allocation sized by an attacker-controlled header.
+
+Message RandomMessage(Rng* rng) {
+  Message msg;
+  msg.type = static_cast<MessageType>(1 + rng->Uniform(6));
+  msg.file_id = rng->Uniform(1u << 20);
+  msg.feed = "FEED." + rng->AlnumString(1 + rng->Uniform(8));
+  msg.name = rng->AlnumString(rng->Uniform(24));
+  msg.dest_path = "/dest/" + rng->AlnumString(rng->Uniform(12));
+  msg.payload = rng->AlnumString(rng->Uniform(512));
+  msg.payload_crc = static_cast<uint32_t>(rng->Uniform(1u << 31));
+  msg.data_time = static_cast<TimePoint>(rng->Uniform(1u << 30)) - (1 << 29);
+  msg.batch_time = static_cast<TimePoint>(rng->Uniform(1u << 30));
+  msg.batch_count = rng->Uniform(100);
+  msg.net_seq = rng->Uniform(1u << 24);
+  msg.ack_code = static_cast<uint32_t>(rng->Uniform(16));
+  return msg;
+}
+
+class FrameFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrameFuzzTest, MessagesRoundTripThroughChunkedStream) {
+  Rng rng(GetParam() * 101);
+  std::vector<Message> sent;
+  for (int i = 0; i < 20; ++i) sent.push_back(RandomMessage(&rng));
+  std::string wire = EncodeMessageStream(sent);
+  // Feed the stream in random-sized chunks, as a socket would deliver it.
+  MessageStreamDecoder decoder;
+  size_t off = 0;
+  while (off < wire.size()) {
+    size_t n = std::min<size_t>(1 + rng.Uniform(97), wire.size() - off);
+    ASSERT_TRUE(decoder.Feed(std::string_view(wire).substr(off, n)).ok());
+    off += n;
+  }
+  for (const Message& expect : sent) {
+    auto got = decoder.Next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, expect);  // includes net_seq / ack_code
+  }
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST_P(FrameFuzzTest, RandomBytesNeverCrashTheDecoders) {
+  Rng rng(GetParam() * 211);
+  for (int round = 0; round < 200; ++round) {
+    std::string junk;
+    size_t len = rng.Uniform(200);
+    junk.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    // Either outcome (ok or error) is acceptable; what matters is a clean
+    // return on arbitrary bytes.
+    (void)DecodeMessage(junk);
+    (void)DecodeBundle(junk);
+    MessageStreamDecoder decoder;
+    (void)decoder.Feed(junk);
+  }
+}
+
+TEST_P(FrameFuzzTest, BitFlipsAreDetectedOrYieldAValidParse) {
+  Rng rng(GetParam() * 307);
+  for (int round = 0; round < 100; ++round) {
+    std::string wire = EncodeMessage(RandomMessage(&rng));
+    size_t pos = rng.Uniform(wire.size());
+    wire[pos] = static_cast<char>(
+        static_cast<uint8_t>(wire[pos]) ^ (1u << rng.Uniform(8)));
+    auto decoded = DecodeMessage(wire);
+    // A flip in the varint length prefix can reshape the frame arbitrarily;
+    // everywhere else the CRC catches it. Either way: clean status, no
+    // crash, and errors are Corruption (retry machinery treats them as
+    // poison, not transient).
+    if (!decoded.ok()) {
+      EXPECT_TRUE(decoded.status().IsCorruption()) << decoded.status();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzzTest, ::testing::Range(1, 5));
+
+TEST(FrameHardeningTest, HostileLengthPrefixIsRejectedBeforeAllocation) {
+  // 10-byte varint claiming ~UINT64_MAX for the body length.
+  std::string hostile;
+  for (int i = 0; i < 9; ++i) hostile.push_back(static_cast<char>(0xFF));
+  hostile.push_back(0x01);
+  hostile.append(4, '\0');  // "CRC"
+  auto decoded = DecodeMessage(hostile);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+
+  MessageStreamDecoder decoder;
+  EXPECT_FALSE(decoder.Feed(hostile).ok());
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_TRUE(decoder.status().IsCorruption());
+}
+
+TEST(FrameHardeningTest, FrameOverConfiguredBoundPoisonsTheStream) {
+  Message big;
+  big.type = MessageType::kFileData;
+  big.payload = std::string(4096, 'x');
+  std::string wire = EncodeMessage(big);
+  MessageStreamDecoder small(/*max_frame_bytes=*/1024);
+  EXPECT_FALSE(small.Feed(wire).ok());
+  EXPECT_TRUE(small.poisoned());
+  // The same frame is fine for a decoder with the default bound.
+  MessageStreamDecoder normal;
+  ASSERT_TRUE(normal.Feed(wire).ok());
+  auto got = normal.Next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, big);
+}
+
+TEST(FrameHardeningTest, HostileBundleCountIsRejectedBeforeAllocation) {
+  // Varint count of ~2^60 followed by almost no data: must be rejected
+  // without reserving 2^60 slots.
+  std::string hostile;
+  for (int i = 0; i < 8; ++i) hostile.push_back(static_cast<char>(0xFF));
+  hostile.push_back(0x0F);
+  hostile += "xx";
+  auto decoded = DecodeBundle(hostile);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+
+  // A count that is merely wrong (but small) still errors cleanly.
+  std::string wrong_count;
+  wrong_count.push_back(5);
+  auto few = DecodeBundle(wrong_count);
+  EXPECT_FALSE(few.ok());
+}
+
+TEST(FrameHardeningTest, TruncatedFramesWaitRatherThanError) {
+  // A prefix of a valid frame is not corruption for the stream decoder —
+  // more bytes may arrive. Only a complete-but-bad frame poisons.
+  Rng rng(99);
+  Message msg = RandomMessage(&rng);
+  std::string wire = EncodeMessage(msg);
+  for (size_t cut = 0; cut + 1 < wire.size(); cut += 7) {
+    MessageStreamDecoder decoder;
+    ASSERT_TRUE(decoder.Feed(std::string_view(wire).substr(0, cut)).ok());
+    EXPECT_FALSE(decoder.Next().has_value());
+    // Completing the frame yields the message.
+    ASSERT_TRUE(decoder.Feed(std::string_view(wire).substr(cut)).ok());
+    auto got = decoder.Next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, msg);
+  }
+}
 
 }  // namespace
 }  // namespace bistro

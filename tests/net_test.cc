@@ -2,9 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <functional>
+#include <memory>
+
 #include "common/random.h"
 #include "common/strings.h"
+#include "net/socket_transport.h"
 #include "net/transport.h"
+#include "sim/event_loop.h"
 #include "vfs/memfs.h"
 
 namespace bistro {
@@ -212,6 +222,326 @@ TEST(FileSinkEndpointTest, CountsNotificationsAndBatches) {
   EXPECT_EQ(sink.notifications(), 1u);
   EXPECT_EQ(sink.batches(), 1u);
   EXPECT_EQ(hooks, 2);
+}
+
+// ------------------------------------------------------ SocketTransport
+
+// Endpoint that records every message and answers with a fixed status.
+class CollectingEndpoint : public Endpoint {
+ public:
+  Status HandleMessage(const Message& msg) override {
+    messages.push_back(msg);
+    return reply;
+  }
+  std::vector<Message> messages;
+  Status reply = Status::OK();
+};
+
+// Runs the loop in short real-time slices until `pred` holds (or 10s).
+void PumpUntil(EventLoop* loop, const std::function<bool()>& pred) {
+  TimePoint deadline = RealClock::Get()->Now() + 10 * kSecond;
+  while (!pred() && RealClock::Get()->Now() < deadline) {
+    loop->RunFor(10 * kMillisecond);
+  }
+}
+
+TEST(ParseInetAddressTest, AcceptsAndRejects) {
+  auto ok = ParseInetAddress("127.0.0.1:4400");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->second, 4400);
+  EXPECT_TRUE(ParseInetAddress("localhost:0").ok());
+  EXPECT_TRUE(ParseInetAddress(":9100").ok());  // INADDR_ANY listener
+  EXPECT_FALSE(ParseInetAddress("").ok());
+  EXPECT_FALSE(ParseInetAddress("127.0.0.1").ok());
+  EXPECT_FALSE(ParseInetAddress("bistro.example.com:9100").ok());
+  EXPECT_FALSE(ParseInetAddress("127.0.0.1:notaport").ok());
+  EXPECT_FALSE(ParseInetAddress("127.0.0.1:70000").ok());
+}
+
+TEST(SocketTransportTest, SendsAndAcksOverRealTcp) {
+  EventLoop loop(RealClock::Get());
+  SocketTransport::Options server_opts;
+  server_opts.listen_address = "127.0.0.1:0";
+  SocketTransport server(&loop, server_opts);
+  CollectingEndpoint inbound;
+  server.SetInboundEndpoint(&inbound);
+  ASSERT_TRUE(server.Listen().ok());
+  ASSERT_GT(server.listen_port(), 0);
+
+  SocketTransport client(&loop, {});
+  client.AddPeer("srv", "127.0.0.1:" + std::to_string(server.listen_port()));
+
+  Message msg = SampleMessage();
+  Status result = Status::TimedOut("no callback");
+  bool done = false;
+  client.Send("srv", msg, [&](const Status& s) {
+    result = s;
+    done = true;
+  });
+  PumpUntil(&loop, [&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.ok()) << result;
+  ASSERT_EQ(inbound.messages.size(), 1u);
+  // net_seq is stamped by the transport; everything else round-trips.
+  Message got = inbound.messages[0];
+  got.net_seq = 0;
+  EXPECT_EQ(got, msg);
+  EXPECT_EQ(client.connects(), 1u);
+  EXPECT_EQ(server.accepts(), 1u);
+  EXPECT_TRUE(client.PeerConnected("srv"));
+}
+
+TEST(SocketTransportTest, RemoteHandlerErrorPropagatesThroughAck) {
+  EventLoop loop(RealClock::Get());
+  SocketTransport::Options server_opts;
+  server_opts.listen_address = "localhost:0";
+  SocketTransport server(&loop, server_opts);
+  CollectingEndpoint inbound;
+  inbound.reply = Status::Corruption("payload checksum mismatch");
+  server.SetInboundEndpoint(&inbound);
+  ASSERT_TRUE(server.Listen().ok());
+
+  SocketTransport client(&loop, {});
+  client.AddPeer("srv", "127.0.0.1:" + std::to_string(server.listen_port()));
+
+  Status result;
+  bool done = false;
+  client.Send("srv", SampleMessage(), [&](const Status& s) {
+    result = s;
+    done = true;
+  });
+  PumpUntil(&loop, [&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.IsCorruption()) << result;
+  EXPECT_NE(result.message().find("checksum"), std::string::npos);
+}
+
+// Large payloads over loopback force partial writes (the socket buffer is
+// far smaller than the queued bytes); rapid-fire sends interleave many
+// frames in single reads. Order and integrity must survive both.
+TEST(SocketTransportTest, PartialWritesAndInterleavedFramesKeepOrder) {
+  EventLoop loop(RealClock::Get());
+  SocketTransport::Options server_opts;
+  server_opts.listen_address = "127.0.0.1:0";
+  SocketTransport server(&loop, server_opts);
+  CollectingEndpoint inbound;
+  server.SetInboundEndpoint(&inbound);
+  ASSERT_TRUE(server.Listen().ok());
+
+  SocketTransport client(&loop, {});
+  client.AddPeer("srv", "127.0.0.1:" + std::to_string(server.listen_port()));
+
+  constexpr int kCount = 64;
+  Rng rng(7);
+  int acked = 0;
+  int failed = 0;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < kCount; i++) {
+    Message msg;
+    msg.type = MessageType::kFileData;
+    msg.file_id = static_cast<uint64_t>(i) + 1;
+    msg.feed = "BULK";
+    msg.name = "file_" + std::to_string(i);
+    // Mix tiny frames (interleaving) with ~256 KiB frames (partial writes).
+    size_t size = (i % 4 == 0) ? (256u << 10) + rng.Uniform(1024) : rng.Uniform(64) + 1;
+    std::string payload;
+    payload.reserve(size);
+    for (size_t b = 0; b < size; b++) {
+      payload.push_back(static_cast<char>('a' + (b + i) % 26));
+    }
+    msg.payload = payload;
+    payloads.push_back(std::move(payload));
+    client.Send("srv", msg, [&](const Status& s) { s.ok() ? acked++ : failed++; });
+  }
+  PumpUntil(&loop, [&] { return acked + failed == kCount; });
+  EXPECT_EQ(acked, kCount);
+  EXPECT_EQ(failed, 0);
+  ASSERT_EQ(inbound.messages.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; i++) {
+    EXPECT_EQ(inbound.messages[i].name, "file_" + std::to_string(i));
+    EXPECT_EQ(inbound.messages[i].payload.str(), payloads[i]) << i;
+  }
+}
+
+TEST(SocketTransportTest, SendBundleAcksEveryItem) {
+  EventLoop loop(RealClock::Get());
+  SocketTransport::Options server_opts;
+  server_opts.listen_address = "127.0.0.1:0";
+  SocketTransport server(&loop, server_opts);
+  CollectingEndpoint inbound;
+  server.SetInboundEndpoint(&inbound);
+  ASSERT_TRUE(server.Listen().ok());
+
+  SocketTransport client(&loop, {});
+  client.AddPeer("srv", "127.0.0.1:" + std::to_string(server.listen_port()));
+
+  int acked = 0;
+  std::vector<BundleItem> items;
+  for (int i = 0; i < 5; i++) {
+    BundleItem item;
+    item.msg = SampleMessage();
+    item.msg.file_id = 100 + static_cast<uint64_t>(i);
+    item.msg.name = "bundle_" + std::to_string(i);
+    item.done = [&](const Status& s) {
+      ASSERT_TRUE(s.ok()) << s;
+      acked++;
+    };
+    items.push_back(std::move(item));
+  }
+  client.SendBundle("srv", std::move(items));
+  PumpUntil(&loop, [&] { return acked == 5; });
+  EXPECT_EQ(acked, 5);
+  ASSERT_EQ(inbound.messages.size(), 5u);
+  EXPECT_EQ(inbound.messages[4].name, "bundle_4");
+}
+
+TEST(SocketTransportTest, UnknownEndpointFailsUnavailable) {
+  EventLoop loop(RealClock::Get());
+  SocketTransport client(&loop, {});
+  Status result;
+  bool done = false;
+  client.Send("nobody", SampleMessage(), [&](const Status& s) {
+    result = s;
+    done = true;
+  });
+  PumpUntil(&loop, [&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.IsUnavailable()) << result;
+}
+
+TEST(SocketTransportTest, LocalEndpointWinsOverPeerName) {
+  EventLoop loop(RealClock::Get());
+  SocketTransport transport(&loop, {});
+  CollectingEndpoint local;
+  transport.AddPeer("dual", "127.0.0.1:1");  // nothing listens there
+  transport.Register("dual", &local);
+  bool done = false;
+  Status result;
+  transport.Send("dual", SampleMessage(), [&](const Status& s) {
+    result = s;
+    done = true;
+  });
+  PumpUntil(&loop, [&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.ok()) << result;
+  EXPECT_EQ(local.messages.size(), 1u);
+}
+
+TEST(SocketTransportTest, QueueCapRejectsOversizedBacklog) {
+  EventLoop loop(RealClock::Get());
+  SocketTransport::Options opts;
+  opts.outbound_queue_bytes = 4096;
+  SocketTransport client(&loop, opts);
+  client.AddPeer("srv", "127.0.0.1:1");  // never connects; sends just queue
+
+  Message big = SampleMessage();
+  big.payload = std::string(8192, 'x');
+  Status result;
+  bool done = false;
+  client.Send("srv", big, [&](const Status& s) {
+    result = s;
+    done = true;
+  });
+  PumpUntil(&loop, [&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.IsUnavailable()) << result;
+  EXPECT_NE(result.message().find("queue"), std::string::npos) << result;
+}
+
+TEST(SocketTransportTest, AckTimeoutFailsSendAndDropsConnection) {
+  EventLoop loop(RealClock::Get());
+  // Raw listener that completes handshakes (kernel backlog) but never
+  // reads or acks: the peer looks connected yet is effectively dead.
+  int raw = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(raw, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(raw, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  int port = ntohs(addr.sin_port);
+
+  SocketTransport::Options opts;
+  opts.ack_timeout = 200 * kMillisecond;
+  opts.reconnect_backoff_min = kHour;  // keep it down once dropped
+  opts.reconnect_backoff_max = kHour;
+  SocketTransport client(&loop, opts);
+  client.AddPeer("dead", "127.0.0.1:" + std::to_string(port));
+
+  Status result;
+  bool done = false;
+  client.Send("dead", SampleMessage(), [&](const Status& s) {
+    result = s;
+    done = true;
+  });
+  PumpUntil(&loop, [&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.IsUnavailable()) << result;
+  EXPECT_GE(client.ack_timeouts(), 1u);
+  EXPECT_GE(client.disconnects(), 1u);
+  EXPECT_FALSE(client.PeerConnected("dead"));
+  ::close(raw);
+}
+
+// A peer that dies and comes back on a new port is reachable again after
+// re-addressing (the upstream restart path) — queued sends survive the
+// outage as delivery-engine retries would.
+TEST(SocketTransportTest, ReconnectsAfterPeerRestart) {
+  EventLoop loop(RealClock::Get());
+  SocketTransport::Options server_opts;
+  server_opts.listen_address = "127.0.0.1:0";
+  auto server = std::make_unique<SocketTransport>(&loop, server_opts);
+  CollectingEndpoint first_inbound;
+  server->SetInboundEndpoint(&first_inbound);
+  ASSERT_TRUE(server->Listen().ok());
+
+  SocketTransport::Options client_opts;
+  client_opts.reconnect_backoff_min = 10 * kMillisecond;
+  client_opts.reconnect_backoff_max = 50 * kMillisecond;
+  SocketTransport client(&loop, client_opts);
+  client.AddPeer("srv", "127.0.0.1:" + std::to_string(server->listen_port()));
+
+  bool done = false;
+  client.Send("srv", SampleMessage(), [&](const Status& s) {
+    ASSERT_TRUE(s.ok()) << s;
+    done = true;
+  });
+  PumpUntil(&loop, [&] { return done; });
+  ASSERT_TRUE(done);
+
+  // Kill the server; the established connection drops.
+  server.reset();
+  PumpUntil(&loop, [&] { return !client.PeerConnected("srv"); });
+  EXPECT_FALSE(client.PeerConnected("srv"));
+
+  // An in-outage send fails Unavailable (the delivery engine would retry).
+  Status outage;
+  bool outage_done = false;
+  client.Send("srv", SampleMessage(), [&](const Status& s) {
+    outage = s;
+    outage_done = true;
+  });
+  PumpUntil(&loop, [&] { return outage_done; });
+
+  // Restart on a fresh ephemeral port and re-address the peer.
+  SocketTransport revived(&loop, server_opts);
+  CollectingEndpoint second_inbound;
+  revived.SetInboundEndpoint(&second_inbound);
+  ASSERT_TRUE(revived.Listen().ok());
+  client.AddPeer("srv", "127.0.0.1:" + std::to_string(revived.listen_port()));
+
+  bool again = false;
+  client.Send("srv", SampleMessage(), [&](const Status& s) {
+    ASSERT_TRUE(s.ok()) << s;
+    again = true;
+  });
+  PumpUntil(&loop, [&] { return again; });
+  ASSERT_TRUE(again);
+  EXPECT_EQ(second_inbound.messages.size(), 1u);
+  EXPECT_GE(client.connects(), 2u);
 }
 
 }  // namespace

@@ -1,5 +1,9 @@
 // Tests for the discrete-event loop and the simulated network.
 
+#include <unistd.h>
+
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "sim/event_loop.h"
@@ -92,6 +96,75 @@ TEST(EventLoopTest, WorksWithRealClock) {
   loop.Post([&] { ran++; });
   loop.RunUntilIdle();
   EXPECT_EQ(ran, 2);
+}
+
+// A cross-thread Post must interrupt a blocked real-clock wait instead of
+// riding out the timer: the loop below would otherwise sleep the full five
+// seconds before noticing the event.
+TEST(EventLoopTest, CrossThreadPostWakesBlockedWait) {
+  RealClock clock;
+  EventLoop loop(&clock);
+  int ran = 0;
+  TimePoint started = clock.Now();
+  std::thread poster([&] {
+    clock.SleepFor(20 * kMillisecond);
+    loop.Post([&] {
+      ran++;
+      loop.Stop();
+    });
+  });
+  loop.RunFor(5 * kSecond);
+  Duration elapsed = clock.Now() - started;
+  poster.join();
+  EXPECT_EQ(ran, 1);
+  // Generous bound for loaded CI machines; without the wakeup pipe this
+  // would be the full 5 s.
+  EXPECT_LT(elapsed, 2 * kSecond) << "wakeup took " << elapsed << "us";
+}
+
+TEST(EventLoopTest, RunForReturnsAtDeadline) {
+  RealClock clock;
+  EventLoop loop(&clock);
+  int ran = 0;
+  loop.PostAfter(5 * kMillisecond, [&] { ran++; });
+  loop.PostAfter(10 * kSecond, [&] { ran++; });  // beyond the deadline
+  TimePoint started = clock.Now();
+  loop.RunFor(30 * kMillisecond);
+  EXPECT_EQ(ran, 1);
+  EXPECT_GE(clock.Now() - started, 30 * kMillisecond);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+// Watched fds dispatch their callbacks from within a blocked wait.
+TEST(EventLoopTest, WatchedFdDispatchesOnReadable) {
+  RealClock clock;
+  EventLoop loop(&clock);
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  int readable_calls = 0;
+  std::string got;
+  loop.WatchFd(fds[0], [&](bool readable, bool) {
+    if (!readable) return;
+    ++readable_calls;
+    char buf[16];
+    ssize_t n = read(fds[0], buf, sizeof(buf));
+    if (n > 0) got.assign(buf, static_cast<size_t>(n));
+    loop.UnwatchFd(fds[0]);
+    loop.Stop();
+  });
+  EXPECT_EQ(loop.watched_fds(), 1u);
+  std::thread writer([&] {
+    clock.SleepFor(10 * kMillisecond);
+    ssize_t ignored = write(fds[1], "ping", 4);
+    (void)ignored;
+  });
+  loop.RunFor(5 * kSecond);
+  writer.join();
+  EXPECT_EQ(readable_calls, 1);
+  EXPECT_EQ(got, "ping");
+  EXPECT_EQ(loop.watched_fds(), 0u);
+  close(fds[0]);
+  close(fds[1]);
 }
 
 // ---------------------------------------------------------------- Network

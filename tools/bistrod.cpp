@@ -11,12 +11,24 @@
 //   bistrod --config feeds.conf --root /var/bistro \
 //           [--scan-interval 10s] [--status-interval 60s] \
 //           [--window 7d] [--duration 0 (run forever)] \
+//           [--listen ip:port (accept Bistro-to-Bistro connections;
+//            overrides the config's server { listen; })] \
+//           [--port-file <path> (write the bound listen port, for
+//            ephemeral-port orchestration)] \
+//           [--durable (fsync staged files and receipt WAL writes)] \
 //           [--metrics-json <path> (dump a metrics snapshot on shutdown)] \
 //           [--admin-file <path> (poll for operator commands: status,
 //            deadletters, redrive — one per line; file is consumed)]
 //
 // Layout under --root: landing/ staging/ db/ plus one directory per
 // subscriber without an absolute `destination`.
+//
+// Federation: a config with a `server { listen; }` block (or --listen)
+// accepts feeds from upstream Bistro servers; `peer <name> { ... }`
+// blocks push this server's feeds to downstream ones. Both run over the
+// TCP socket transport; a config with neither stays purely local.
+
+#include <unistd.h>
 
 #include <csignal>
 #include <cstdio>
@@ -27,6 +39,8 @@
 #include "config/parser.h"
 #include "core/admin.h"
 #include "core/server.h"
+#include "federation/federation.h"
+#include "net/socket_transport.h"
 #include "obs/export.h"
 #include "vfs/localfs.h"
 
@@ -44,6 +58,9 @@ struct Args {
   Duration status_interval = 60 * kSecond;
   Duration window = 0;
   Duration duration = 0;  // 0 = run until signal
+  std::string listen;     // overrides config server { listen; }
+  std::string port_file;  // write the bound listen port here
+  bool durable = false;   // fsync staging + receipt WAL
   std::string metrics_json_path;  // empty = no snapshot
   std::string admin_file;         // empty = no admin console
 };
@@ -70,6 +87,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->admin_file = v;
+    } else if (flag == "--listen") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->listen = v;
+    } else if (flag == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->port_file = v;
+    } else if (flag == "--durable") {
+      args->durable = true;
     } else if (flag == "--scan-interval" || flag == "--status-interval" ||
                flag == "--window" || flag == "--duration") {
       const char* v = next();
@@ -100,6 +127,8 @@ void Usage() {
                "[--scan-interval 10s]\n"
                "               [--status-interval 60s] [--window 7d] "
                "[--duration 0]\n"
+               "               [--listen ip:port] [--port-file <path>] "
+               "[--durable]\n"
                "               [--metrics-json <path>] [--admin-file <path>]\n");
 }
 
@@ -119,7 +148,6 @@ int main(int argc, char** argv) {
   EventLoop loop(&clock);
   Logger logger(&clock);
   logger.AddSink(std::make_shared<StderrSink>());
-  LoopbackTransport transport(&loop);
   CommandInvoker invoker(&logger);
 
   auto config_text = fs.ReadFile(args.config_path);
@@ -133,6 +161,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "config error: %s\n",
                  config.status().ToString().c_str());
     return 1;
+  }
+  if (!args.listen.empty()) config->server.listen = args.listen;
+
+  // One transport carries everything: local subscriber sinks (loopback
+  // semantics) plus federated peers and inbound upstreams over TCP.
+  // Different processes draw different reconnect jitter.
+  SocketTransport transport(
+      &loop, SocketOptionsFromSpec(config->server,
+                                   static_cast<uint64_t>(getpid())));
+  if (Status s = transport.Listen(); !s.ok()) {
+    std::fprintf(stderr, "listen error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (transport.listen_port() >= 0) {
+    std::fprintf(stderr, "listening for peers on %s (port %d)\n",
+                 config->server.listen.c_str(), transport.listen_port());
+    if (!args.port_file.empty()) {
+      // Written atomically: orchestration polls for the file and must
+      // never read a half-written port.
+      std::string tmp = args.port_file + ".tmp";
+      Status wrote =
+          fs.WriteFile(tmp, std::to_string(transport.listen_port()) + "\n");
+      if (wrote.ok()) wrote = fs.Rename(tmp, args.port_file);
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", args.port_file.c_str(),
+                     wrote.ToString().c_str());
+        return 1;
+      }
+    }
   }
 
   // Local subscribers: deliver into their destination directories.
@@ -153,11 +210,27 @@ int main(int argc, char** argv) {
   options.staging_root = path::Join(args.root, "staging");
   options.db_dir = path::Join(args.root, "db");
   options.history_window = args.window;
+  if (args.durable) {
+    // A receipt must never outlive the bytes (or vice versa) across a
+    // crash — the exactly-once federation argument leans on this.
+    options.sync_staging = true;
+    options.kv.sync_wal = true;
+  }
   auto server = BistroServer::Create(options, *config, &fs, &transport, &loop,
                                      &invoker, &logger);
   if (!server.ok()) {
     std::fprintf(stderr, "server error: %s\n",
                  server.status().ToString().c_str());
+    return 1;
+  }
+  // Files arriving from upstream Bistro servers enter through the same
+  // ingest path as local deposits, deduped by arrival receipt.
+  FederationInbound inbound(server->get(), &logger);
+  inbound.AttachMetrics((*server)->metrics());
+  transport.SetInboundEndpoint(&inbound);
+  if (Status s = WirePeers(*config, server->get(), &transport, &logger);
+      !s.ok()) {
+    std::fprintf(stderr, "federation error: %s\n", s.ToString().c_str());
     return 1;
   }
   (*server)->StartMaintenanceTimer();
@@ -202,14 +275,15 @@ int main(int argc, char** argv) {
         }
       }
     }
-    // Drain due events, then sleep briefly (signals interrupt promptly).
-    loop.RunUntil(clock.Now());
-    clock.SleepFor(200 * kMillisecond);
+    // Run events and socket readiness for one tick; cross-thread posts,
+    // peer traffic, and signals all interrupt the wait promptly.
+    loop.RunFor(200 * kMillisecond);
   }
 
   std::fprintf(stderr, "bistrod shutting down\n");
   (*server)->delivery()->FlushBatches();
   loop.RunUntil(clock.Now());
+  transport.Shutdown();
   std::fputs(RenderStatusReport(server->get()).c_str(), stderr);
   if (!args.metrics_json_path.empty()) {
     Status s = fs.WriteFile(args.metrics_json_path,
