@@ -17,6 +17,13 @@
 // Acceptance (ISSUE 6): loopback TCP throughput within 2x of the
 // SimTransport ceiling for >= 64 KiB payloads.
 //
+// With --partition, a second experiment runs (ISSUE 7): the link to the
+// peer is severed through the PartitionableTransport chaos harness while
+// a PeerHealthTracker drives the circuit breaker, then healed, and the
+// bench measures recovery time — heal -> first acked send, and heal ->
+// steady state (a full window streaming again) — across several
+// partition/heal cycles.
+//
 // Env:
 //   BISTRO_BENCH_QUICK  non-empty -> smaller corpus (CI smoke mode)
 //   BISTRO_BENCH_OUT    JSON output path (default BENCH_federation.json)
@@ -25,12 +32,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/strings.h"
+#include "fault/partition.h"
+#include "federation/health.h"
 #include "net/socket_transport.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
@@ -180,9 +191,131 @@ RunResult RunSim(int files, const std::string& payload) {
   return r;
 }
 
+// ------------------------------------------------- partition recovery
+
+struct PartitionResult {
+  int cycles = 0;
+  double outage_ms = 0;
+  std::vector<double> first_ack_ms;  // heal -> first OK ack, per cycle
+  std::vector<double> steady_ms;     // heal -> full window re-streamed
+  uint64_t fast_fails = 0;           // sends refused by the open circuit
+  uint64_t severed_rejects = 0;      // reconnects bounced off the shim
+};
+
+double P50(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0 : v[v.size() / 2];
+}
+double Max(const std::vector<double>& v) {
+  return v.empty() ? 0 : *std::max_element(v.begin(), v.end());
+}
+
+/// Severs the link through the chaos harness for `outage` per cycle,
+/// heals, and measures how fast the health machine + transport recover.
+PartitionResult RunPartitionRecovery(int cycles, Duration outage) {
+  EventLoop loop(RealClock::Get());
+  Logger logger(RealClock::Get());
+  logger.SetMinLevel(LogLevel::kAlarm);
+
+  SocketTransport::Options server_opts;
+  server_opts.listen_address = "127.0.0.1:0";
+  SocketTransport server(&loop, server_opts);
+  CountingEndpoint endpoint;
+  server.SetInboundEndpoint(&endpoint);
+  if (!server.Listen().ok()) std::exit(1);
+
+  SocketTransport::Options client_opts;
+  client_opts.reconnect_backoff_min = 10 * kMillisecond;
+  client_opts.reconnect_backoff_max = 50 * kMillisecond;
+  client_opts.ack_timeout = 200 * kMillisecond;
+  SocketTransport client(&loop, client_opts);
+  PartitionableTransport harness(&loop, &client, "up");
+  if (!harness
+           .AddPeer("srv",
+                    "127.0.0.1:" + std::to_string(server.listen_port()))
+           .ok()) {
+    std::exit(1);
+  }
+
+  PeerHealthTracker tracker(&loop, &client, &logger);
+  PeerHealthOptions hopts;
+  hopts.probe_interval = 50 * kMillisecond;
+  hopts.suspect_after = 1;
+  hopts.down_after = 2;
+  tracker.Track("srv", hopts);
+  tracker.Attach();
+
+  Rng rng(7);
+  const std::string payload = rng.AlnumString(4096);
+  int seq = 0;
+  auto send_one = [&](SendCallback done) {
+    client.Send("srv", MakeMessage(seq++, payload), std::move(done));
+  };
+
+  // Warm the connection.
+  bool warm = false;
+  send_one([&](const Status& s) { warm = s.ok(); });
+  while (!warm) loop.RunFor(kMillisecond);
+
+  PartitionResult pr;
+  pr.cycles = cycles;
+  pr.outage_ms = static_cast<double>(outage / kMillisecond);
+  for (int c = 0; c < cycles; ++c) {
+    harness.Partition("srv");
+    TimePoint outage_end = RealClock::Get()->Now() + outage;
+    while (RealClock::Get()->Now() < outage_end) {
+      // Keep offering traffic, as production would: failures walk the
+      // peer to `down` and the open circuit starts failing fast.
+      send_one([](const Status&) {});
+      loop.RunFor(5 * kMillisecond);
+    }
+
+    harness.Heal("srv");
+    const double healed = WallSeconds();
+
+    // Heal -> first OK ack: keep one offer in flight (open-circuit
+    // rejects bounce immediately) until a send round-trips.
+    bool acked = false, inflight = false;
+    while (!acked) {
+      if (!inflight) {
+        inflight = true;
+        send_one([&](const Status& s) {
+          inflight = false;
+          if (s.ok()) acked = true;
+        });
+      }
+      loop.RunFor(kMillisecond);
+    }
+    pr.first_ack_ms.push_back((WallSeconds() - healed) * 1e3);
+
+    // Heal -> steady state: a full window streams to completion.
+    const int kSteadyFiles = 64;
+    int ok_n = 0, live = 0;
+    while (ok_n < kSteadyFiles) {
+      while (live < kWindow && ok_n + live < kSteadyFiles) {
+        ++live;
+        send_one([&](const Status& s) {
+          --live;
+          if (s.ok()) ++ok_n;
+        });
+      }
+      loop.RunFor(kMillisecond);
+    }
+    pr.steady_ms.push_back((WallSeconds() - healed) * 1e3);
+  }
+
+  pr.fast_fails = tracker.fast_fails();
+  pr.severed_rejects = harness.severed_rejects();
+  return pr;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool with_partition = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--partition") == 0) with_partition = true;
+  }
   const bool quick = std::getenv("BISTRO_BENCH_QUICK") != nullptr;
   const char* out_env = std::getenv("BISTRO_BENCH_OUT");
   const std::string out_path =
@@ -241,7 +374,39 @@ int main() {
         r.files_per_sec, r.mb_per_sec, r.p50_us, r.p99_us,
         i + 1 < results.size() ? "," : "");
   }
-  json += StrFormat("  ],\n  \"tcp_vs_sim_at_64k\": %.3f\n}\n", ratio_at_64k);
+  json += StrFormat("  ],\n  \"tcp_vs_sim_at_64k\": %.3f", ratio_at_64k);
+
+  if (with_partition) {
+    const int cycles = quick ? 3 : 5;
+    PartitionResult pr =
+        RunPartitionRecovery(cycles, /*outage=*/300 * kMillisecond);
+    std::printf(
+        "=== Partition recovery (chaos harness + health tracker, %d "
+        "cycles, %.0f ms outage) ===\n\n",
+        pr.cycles, pr.outage_ms);
+    std::printf("%-26s %9s %9s\n", "", "p50 ms", "max ms");
+    std::printf("%-26s %9.1f %9.1f\n", "heal -> first ack",
+                P50(pr.first_ack_ms), Max(pr.first_ack_ms));
+    std::printf("%-26s %9.1f %9.1f\n", "heal -> steady state",
+                P50(pr.steady_ms), Max(pr.steady_ms));
+    std::printf(
+        "circuit fast-fails during outages: %llu; reconnects bounced "
+        "off the severed link: %llu\n\n",
+        (unsigned long long)pr.fast_fails,
+        (unsigned long long)pr.severed_rejects);
+    json += StrFormat(
+        ",\n  \"partition\": {\"cycles\": %d, \"outage_ms\": %.0f, "
+        "\"heal_to_first_ack_ms_p50\": %.1f, "
+        "\"heal_to_first_ack_ms_max\": %.1f, "
+        "\"heal_to_steady_ms_p50\": %.1f, \"heal_to_steady_ms_max\": %.1f, "
+        "\"fast_fails\": %llu, \"severed_rejects\": %llu}",
+        pr.cycles, pr.outage_ms, P50(pr.first_ack_ms), Max(pr.first_ack_ms),
+        P50(pr.steady_ms), Max(pr.steady_ms),
+        (unsigned long long)pr.fast_fails,
+        (unsigned long long)pr.severed_rejects);
+  }
+
+  json += "\n}\n";
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);

@@ -138,6 +138,19 @@ class Parser {
             "'analyzer', 'server' or 'peer'");
       }
     }
+    // Cross-peer checks need the full peer list.
+    for (const PeerSpec& peer : config.peers) {
+      if (peer.failover.empty()) continue;
+      bool found = false;
+      for (const PeerSpec& other : config.peers) {
+        if (other.name == peer.failover) found = true;
+      }
+      if (!found) {
+        return Status::InvalidArgument("peer " + peer.name +
+                                       " names unknown failover peer '" +
+                                       peer.failover + "'");
+      }
+    }
     return config;
   }
 
@@ -508,6 +521,24 @@ class Parser {
         peer.shard_count = static_cast<int>(count);
       } else if (attr == "window") {
         BISTRO_ASSIGN_OR_RETURN(peer.window, ExpectDuration());
+      } else if (attr == "replicas") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t n, ExpectInt());
+        if (n < 1) return Err("replicas must be at least 1");
+        peer.replicas = static_cast<int>(n);
+      } else if (attr == "failover") {
+        BISTRO_ASSIGN_OR_RETURN(peer.failover, ExpectIdent());
+      } else if (attr == "probe_interval") {
+        BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
+        if (v <= 0) return Err("probe_interval must be positive");
+        peer.probe_interval = v;
+      } else if (attr == "suspect_after") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t n, ExpectInt());
+        if (n < 1) return Err("suspect_after must be at least 1");
+        peer.suspect_after = static_cast<int>(n);
+      } else if (attr == "down_after") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t n, ExpectInt());
+        if (n < 1) return Err("down_after must be at least 1");
+        peer.down_after = static_cast<int>(n);
       } else {
         return Err("unknown peer attribute '" + attr + "'");
       }
@@ -520,6 +551,23 @@ class Parser {
     if (!peer.feeds.empty() && peer.shard_count > 0) {
       return Status::InvalidArgument(
           "peer " + peer.name + " sets both explicit feeds and sharding");
+    }
+    if (peer.replicas > 1 && peer.shard_count == 0) {
+      return Status::InvalidArgument(
+          "peer " + peer.name + " sets replicas without sharding");
+    }
+    if (peer.shard_count > 0 && peer.replicas > peer.shard_count) {
+      return Status::InvalidArgument(
+          "peer " + peer.name + " sets replicas above its shard count");
+    }
+    if (peer.failover == peer.name) {
+      return Status::InvalidArgument(
+          "peer " + peer.name + " names itself as failover");
+    }
+    if (peer.suspect_after && peer.down_after &&
+        *peer.down_after < *peer.suspect_after) {
+      return Status::InvalidArgument(
+          "peer " + peer.name + " sets down_after below suspect_after");
     }
     config->peers.push_back(std::move(peer));
     return Status::OK();
@@ -772,6 +820,20 @@ std::string FormatConfig(const ServerConfig& config) {
     if (peer.shard_count > 0) {
       out += StrFormat("  shard %d of %d;\n", peer.shard_index,
                        peer.shard_count);
+    }
+    if (peer.replicas > 1) {
+      out += StrFormat("  replicas %d;\n", peer.replicas);
+    }
+    if (!peer.failover.empty()) out += "  failover " + peer.failover + ";\n";
+    if (peer.probe_interval) {
+      out += "  probe_interval " + DurationLiteral(*peer.probe_interval) +
+             ";\n";
+    }
+    if (peer.suspect_after) {
+      out += StrFormat("  suspect_after %d;\n", *peer.suspect_after);
+    }
+    if (peer.down_after) {
+      out += StrFormat("  down_after %d;\n", *peer.down_after);
     }
     if (peer.window != 0) {
       out += "  window " + DurationLiteral(peer.window) + ";\n";

@@ -141,4 +141,19 @@ Status FeedRegistry::AddSubscriber(const SubscriberSpec& spec) {
   return Status::OK();
 }
 
+Status FeedRegistry::UpdateSubscriber(const SubscriberSpec& spec) {
+  for (const auto& interest : spec.feeds) {
+    if (Expand(interest).empty()) {
+      return Status::InvalidArgument("unknown feed or group: " + interest);
+    }
+  }
+  for (auto& sub : subscribers_) {
+    if (sub.name == spec.name) {
+      sub = spec;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("subscriber: " + spec.name);
+}
+
 }  // namespace bistro

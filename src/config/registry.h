@@ -71,6 +71,12 @@ class FeedRegistry {
   /// moment and expect history backfill, paper §4.2).
   Status AddSubscriber(const SubscriberSpec& spec);
 
+  /// Replaces an existing subscriber's spec in place (failover re-routes
+  /// a peer's feeds onto its replica and later restores them). The feed
+  /// set may be empty — a subscriber of nothing receives nothing but
+  /// keeps its receipts. NotFound when the name is unknown.
+  Status UpdateSubscriber(const SubscriberSpec& spec);
+
  private:
   FeedRegistry() = default;
 

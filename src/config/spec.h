@@ -200,6 +200,21 @@ struct PeerSpec {
   /// shard_count == 0 means sharding is off.
   int shard_index = -1;
   int shard_count = 0;
+  /// `replicas <n>;` — with sharding, this peer carries its own shard
+  /// plus the next n-1 shards (wrapping), so every feed reaches n peers
+  /// and any single peer's data survives on a neighbor. 1 = plain
+  /// sharding. Requires sharding; must not exceed shard_count.
+  int replicas = 1;
+  /// `failover <peer>;` — when this peer's health reaches `down`, its
+  /// feeds re-route to the named peer until this one recovers. Must name
+  /// another configured peer.
+  std::string failover;
+  /// Health state machine tuning (unset keys keep compiled-in defaults):
+  /// keepalive-probe cadence while unhealthy, consecutive failures before
+  /// healthy -> suspect, and before suspect -> down (circuit opens).
+  std::optional<Duration> probe_interval;
+  std::optional<int> suspect_after;
+  std::optional<int> down_after;
   /// Backfill window on subscribe (0 = full history), as for subscribers.
   Duration window = 0;
 

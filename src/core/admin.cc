@@ -1,6 +1,7 @@
 #include "core/admin.h"
 
 #include "common/strings.h"
+#include "federation/health.h"
 
 namespace bistro {
 
@@ -115,7 +116,8 @@ std::string RenderDeadLetters(BistroServer* server) {
 }
 
 std::string ExecuteAdminCommand(BistroServer* server,
-                                const std::string& command) {
+                                const std::string& command,
+                                FederationRuntime* federation) {
   std::string cmd(Trim(command));
   if (cmd == "status") return RenderStatusReport(server);
   if (cmd == "deadletters") return RenderDeadLetters(server);
@@ -124,8 +126,12 @@ std::string ExecuteAdminCommand(BistroServer* server,
     server->delivery()->RedriveDeadLetters();
     return StrFormat("redriven %zu dead-letter job(s)\n", n);
   }
+  if (cmd == "peers") {
+    if (federation == nullptr) return "no federation peers wired\n";
+    return federation->RenderPeers();
+  }
   if (cmd == "help") {
-    return "commands: status | deadletters | redrive | help\n";
+    return "commands: status | deadletters | redrive | peers | help\n";
   }
   return StrFormat("unknown admin command: '%s' (try 'help')\n", cmd.c_str());
 }

@@ -20,16 +20,26 @@ std::string RenderStatusReport(BistroServer* server);
 /// count an operator needs to decide whether to redrive.
 std::string RenderDeadLetters(BistroServer* server);
 
+class FederationRuntime;
+
 /// Executes one operator console command against a running server and
 /// returns the rendered result. Commands:
 ///   status       — full status report (RenderStatusReport)
 ///   deadletters  — list parked dead-letter jobs (RenderDeadLetters)
 ///   redrive      — resubmit every dead-letter job with a fresh budget
+///   peers        — per-peer health/wire table (needs a FederationRuntime)
 ///   help         — list available commands
 /// Unknown commands return an error string (never crash): this is the
-/// dispatch surface behind `bistrod --admin-file`.
+/// dispatch surface behind `bistrod --admin-file`. `federation` may be
+/// null (non-federated daemon): `peers` then reports that no peers are
+/// wired.
 std::string ExecuteAdminCommand(BistroServer* server,
-                                const std::string& command);
+                                const std::string& command,
+                                FederationRuntime* federation);
+inline std::string ExecuteAdminCommand(BistroServer* server,
+                                       const std::string& command) {
+  return ExecuteAdminCommand(server, command, nullptr);
+}
 
 }  // namespace bistro
 

@@ -584,6 +584,30 @@ void DeliveryEngine::BackfillFeed(const FeedName& feed) {
   }
 }
 
+void DeliveryEngine::RerouteUndelivered(const SubscriberName& from,
+                                        const SubscriberName& to) {
+  const SubscriberSpec* from_sub = registry_->FindSubscriber(from);
+  const SubscriberSpec* to_sub = registry_->FindSubscriber(to);
+  if (from_sub == nullptr || to_sub == nullptr) return;
+  if (offline_.count(to) != 0) return;  // the replica is down too
+  FlushDeliveryReceipts();
+  auto feeds = registry_->SubscribedFeeds(*from_sub);
+  TimePoint window_start =
+      from_sub->window > 0 ? loop_->Now() - from_sub->window : 0;
+  if (window_start < 0) window_start = 0;
+  auto queue = receipts_->ComputeDeliveryQueue(from, feeds, window_start);
+  // Files the replica already holds would only waste wire bytes (the
+  // downstream dedupe absorbs them regardless); skip them here.
+  std::vector<ArrivalReceipt> missing;
+  missing.reserve(queue.size());
+  for (ArrivalReceipt& receipt : queue) {
+    if (!receipts_->Delivered(to, receipt.file_id)) {
+      missing.push_back(std::move(receipt));
+    }
+  }
+  SubmitJobsFor(*to_sub, missing, /*backfill=*/true);
+}
+
 bool DeliveryEngine::IsOffline(const SubscriberName& subscriber) const {
   return offline_.count(subscriber) != 0;
 }

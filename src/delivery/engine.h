@@ -139,6 +139,14 @@ class DeliveryEngine {
   /// Recomputes queues for every subscriber of `feed` (after revision).
   void BackfillFeed(const FeedName& feed);
 
+  /// Failover re-route: submits to `to` every file in `from`'s feeds
+  /// that has no delivery receipt for `from` — the backlog a down
+  /// primary is sitting on — skipping files `to` already holds. The
+  /// caller must have subscribed `to` to the relevant feeds first; any
+  /// duplicate this creates is absorbed downstream by receipt dedupe.
+  void RerouteUndelivered(const SubscriberName& from,
+                          const SubscriberName& to);
+
   bool IsOffline(const SubscriberName& subscriber) const;
   /// Force an offline/online transition (tests, admin).
   void SetOffline(const SubscriberName& subscriber, bool offline);

@@ -1,0 +1,405 @@
+#include "fault/partition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bistro {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+PartitionableTransport::PartitionableTransport(EventLoop* loop,
+                                               SocketTransport* inner,
+                                               std::string self_name)
+    : loop_(loop), inner_(inner), self_name_(std::move(self_name)) {}
+
+PartitionableTransport::~PartitionableTransport() { Shutdown(); }
+
+Result<std::string> PartitionableTransport::ShimPeer(
+    const std::string& name, const std::string& target_address) {
+  BISTRO_ASSIGN_OR_RETURN(auto target, ParseInetAddress(target_address));
+  (void)target;  // validated; the relay re-parses per connect
+  auto it = shims_.find(name);
+  if (it != shims_.end()) {
+    // Re-targeted (peer restarted on a fresh port): keep the shim address
+    // stable so the inner transport's peer entry stays valid.
+    it->second->target = target_address;
+    return "127.0.0.1:" + std::to_string(it->second->port);
+  }
+
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IoError(Errno("shim socket"));
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sin.sin_port = 0;
+  if (bind(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0 ||
+      listen(fd, SOMAXCONN) != 0) {
+    Status s = Status::IoError(Errno("shim bind/listen"));
+    close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(sin);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&sin), &len) != 0) {
+    Status s = Status::IoError(Errno("shim getsockname"));
+    close(fd);
+    return s;
+  }
+
+  auto shim = std::make_unique<Shim>();
+  shim->peer = name;
+  shim->target = target_address;
+  shim->listen_fd = fd;
+  shim->port = ntohs(sin.sin_port);
+  loop_->WatchFd(fd, [this, name](bool readable, bool) {
+    if (readable) OnShimAccept(name);
+  });
+  int port = shim->port;
+  shims_[name] = std::move(shim);
+  return "127.0.0.1:" + std::to_string(port);
+}
+
+Status PartitionableTransport::AddPeer(const std::string& name,
+                                       const std::string& target_address) {
+  BISTRO_ASSIGN_OR_RETURN(std::string shim_addr,
+                          ShimPeer(name, target_address));
+  inner_->AddPeer(name, shim_addr);
+  return Status::OK();
+}
+
+std::string PartitionableTransport::ShimAddress(const std::string& name) const {
+  auto it = shims_.find(name);
+  if (it == shims_.end()) return "";
+  return "127.0.0.1:" + std::to_string(it->second->port);
+}
+
+void PartitionableTransport::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  *alive_ = false;
+  std::vector<uint64_t> ids;
+  for (const auto& [id, relay] : relays_) ids.push_back(id);
+  for (uint64_t id : ids) DestroyRelay(id);
+  for (auto& [name, shim] : shims_) {
+    if (shim->listen_fd >= 0) {
+      loop_->UnwatchFd(shim->listen_fd);
+      close(shim->listen_fd);
+      shim->listen_fd = -1;
+    }
+  }
+}
+
+// ---------------------------------------------------------- directives
+
+void PartitionableTransport::Partition(const std::string& peer) {
+  auto it = shims_.find(peer);
+  if (it == shims_.end()) return;
+  it->second->severed = true;
+  DestroyShimRelays(it->second.get());
+}
+
+void PartitionableTransport::Blackhole(const std::string& peer, bool to_peer) {
+  auto it = shims_.find(peer);
+  if (it == shims_.end()) return;
+  if (to_peer) {
+    it->second->drop_to_peer = true;
+  } else {
+    it->second->drop_from_peer = true;
+  }
+}
+
+void PartitionableTransport::SlowLink(const std::string& peer,
+                                      Duration delay) {
+  auto it = shims_.find(peer);
+  if (it == shims_.end()) return;
+  it->second->delay = delay;
+}
+
+void PartitionableTransport::Heal(const std::string& peer) {
+  auto it = shims_.find(peer);
+  if (it == shims_.end()) return;
+  Shim* shim = it->second.get();
+  shim->severed = false;
+  shim->drop_to_peer = false;
+  shim->drop_from_peer = false;
+  shim->delay = 0;
+}
+
+void PartitionableTransport::Arm(const FaultPlan& plan) {
+  std::weak_ptr<bool> alive = alive_;
+  for (const LinkFault& fault : plan.net.link_faults) {
+    std::string peer;
+    bool to_peer = true;
+    if (fault.from == self_name_ && shims_.count(fault.to) != 0) {
+      peer = fault.to;
+    } else if (fault.to == self_name_ && shims_.count(fault.from) != 0) {
+      peer = fault.from;
+      to_peer = false;
+    } else {
+      continue;  // some other harness's link
+    }
+    LinkFault::Kind kind = fault.kind;
+    Duration delay = fault.delay;
+    loop_->PostAfter(fault.at, [this, alive, peer, kind, to_peer, delay] {
+      auto self = alive.lock();
+      if (self == nullptr || !*self) return;
+      switch (kind) {
+        case LinkFault::Kind::kPartition:
+          Partition(peer);
+          break;
+        case LinkFault::Kind::kBlackhole:
+          Blackhole(peer, to_peer);
+          break;
+        case LinkFault::Kind::kSlowLink:
+          SlowLink(peer, delay);
+          break;
+      }
+    });
+  }
+  for (const LinkHeal& heal : plan.net.link_heals) {
+    std::string peer;
+    if (heal.from == self_name_ && shims_.count(heal.to) != 0) {
+      peer = heal.to;
+    } else if (heal.to == self_name_ && shims_.count(heal.from) != 0) {
+      peer = heal.from;
+    } else {
+      continue;
+    }
+    loop_->PostAfter(heal.at, [this, alive, peer] {
+      auto self = alive.lock();
+      if (self == nullptr || !*self) return;
+      Heal(peer);
+    });
+  }
+}
+
+// --------------------------------------------------------------- relays
+
+void PartitionableTransport::OnShimAccept(const std::string& peer) {
+  auto sit = shims_.find(peer);
+  if (sit == shims_.end()) return;
+  Shim* shim = sit->second.get();
+  for (;;) {
+    int cfd = accept4(shim->listen_fd, nullptr, nullptr,
+                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept error
+    }
+    if (shim->severed) {
+      // The deterministic partition: the kernel completed the TCP
+      // handshake from the backlog, but the connection dies before a
+      // byte flows — the inner transport sees an immediate reset and
+      // schedules a reconnect that will fail the same way.
+      close(cfd);
+      ++severed_rejects_;
+      continue;
+    }
+    auto target = ParseInetAddress(shim->target);
+    if (!target.ok()) {
+      close(cfd);
+      continue;
+    }
+    int sfd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (sfd < 0) {
+      close(cfd);
+      continue;
+    }
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_addr.s_addr = target->first;
+    sin.sin_port = htons(target->second);
+    int rc = connect(sfd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin));
+    if (rc != 0 && errno != EINPROGRESS) {
+      close(cfd);
+      close(sfd);
+      continue;
+    }
+
+    auto relay = std::make_unique<Relay>();
+    relay->id = next_relay_id_++;
+    relay->shim = shim;
+    relay->cfd = cfd;
+    relay->sfd = sfd;
+    relay->server_connecting = rc != 0;
+    uint64_t id = relay->id;
+    shim->relay_ids.push_back(id);
+    relays_[id] = std::move(relay);
+    loop_->WatchFd(cfd, [this, id](bool readable, bool writable) {
+      OnRelayEvent(id, /*client_side=*/true, readable, writable);
+    });
+    loop_->WatchFd(sfd, [this, id](bool readable, bool writable) {
+      OnRelayEvent(id, /*client_side=*/false, readable, writable);
+    });
+    if (relays_[id]->server_connecting) {
+      relays_[id]->sfd_want_write = true;
+      loop_->SetFdWriteInterest(sfd, true);
+    }
+  }
+}
+
+void PartitionableTransport::OnRelayEvent(uint64_t id, bool client_side,
+                                          bool readable, bool writable) {
+  auto it = relays_.find(id);
+  if (it == relays_.end()) return;
+  Relay* relay = it->second.get();
+
+  if (!client_side && relay->server_connecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(relay->sfd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      err = errno;
+    }
+    if (err != 0) {
+      DestroyRelay(id);
+      return;
+    }
+    relay->server_connecting = false;
+    if (!FlushSide(relay, /*to_server=*/true)) {
+      DestroyRelay(id);
+      return;
+    }
+  }
+
+  if (writable) {
+    // cfd drains the to_client queue, sfd the to_server queue.
+    if (!FlushSide(relay, /*to_server=*/!client_side)) {
+      DestroyRelay(id);
+      return;
+    }
+  }
+  if (readable) {
+    if (!PumpReads(relay, client_side)) {
+      DestroyRelay(id);
+      return;
+    }
+  }
+}
+
+bool PartitionableTransport::PumpReads(Relay* relay, bool client_side) {
+  Shim* shim = relay->shim;
+  const bool to_server = client_side;  // client bytes head toward the peer
+  int fd = client_side ? relay->cfd : relay->sfd;
+  char buf[65536];
+  for (;;) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      if ((to_server && shim->drop_to_peer) ||
+          (!to_server && shim->drop_from_peer)) {
+        dropped_bytes_ += static_cast<uint64_t>(n);
+        continue;
+      }
+      std::string chunk(buf, static_cast<size_t>(n));
+      if (shim->delay > 0) {
+        ++delayed_chunks_;
+        uint64_t id = relay->id;
+        std::weak_ptr<bool> alive = alive_;
+        loop_->PostAfter(
+            shim->delay,
+            [this, alive, id, to_server, chunk = std::move(chunk)]() mutable {
+              auto self = alive.lock();
+              if (self == nullptr || !*self) return;
+              auto it = relays_.find(id);
+              if (it == relays_.end()) return;  // relay died while delayed
+              Relay* r = it->second.get();
+              DeliverChunk(r, to_server, std::move(chunk));
+              if (!FlushSide(r, to_server)) DestroyRelay(id);
+            });
+        continue;
+      }
+      DeliverChunk(relay, to_server, std::move(chunk));
+      if (!FlushSide(relay, to_server)) return false;
+      continue;
+    }
+    if (n == 0) return false;  // clean close: tear down both sides
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+void PartitionableTransport::DeliverChunk(Relay* relay, bool to_server,
+                                          std::string chunk) {
+  if (to_server) {
+    relay->to_server.push_back(std::move(chunk));
+  } else {
+    relay->to_client.push_back(std::move(chunk));
+  }
+}
+
+bool PartitionableTransport::FlushSide(Relay* relay, bool to_server) {
+  if (to_server && relay->server_connecting) return true;  // queued for later
+  int fd = to_server ? relay->sfd : relay->cfd;
+  std::deque<std::string>& q = to_server ? relay->to_server : relay->to_client;
+  size_t& head = to_server ? relay->to_server_head : relay->to_client_head;
+  bool& want_write =
+      to_server ? relay->sfd_want_write : relay->cfd_want_write;
+  while (!q.empty()) {
+    const std::string& chunk = q.front();
+    size_t left = chunk.size() - head;
+    ssize_t n = send(fd, chunk.data() + head, left, MSG_NOSIGNAL);
+    if (n > 0) {
+      head += static_cast<size_t>(n);
+      if (head == chunk.size()) {
+        q.pop_front();
+        head = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!want_write) {
+        want_write = true;
+        loop_->SetFdWriteInterest(fd, true);
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  if (want_write) {
+    want_write = false;
+    loop_->SetFdWriteInterest(fd, false);
+  }
+  return true;
+}
+
+void PartitionableTransport::DestroyRelay(uint64_t id) {
+  auto it = relays_.find(id);
+  if (it == relays_.end()) return;
+  Relay* relay = it->second.get();
+  if (relay->cfd >= 0) {
+    loop_->UnwatchFd(relay->cfd);
+    close(relay->cfd);
+  }
+  if (relay->sfd >= 0) {
+    loop_->UnwatchFd(relay->sfd);
+    close(relay->sfd);
+  }
+  Shim* shim = relay->shim;
+  for (auto rit = shim->relay_ids.begin(); rit != shim->relay_ids.end();
+       ++rit) {
+    if (*rit == id) {
+      shim->relay_ids.erase(rit);
+      break;
+    }
+  }
+  relays_.erase(it);
+}
+
+void PartitionableTransport::DestroyShimRelays(Shim* shim) {
+  std::vector<uint64_t> ids = shim->relay_ids;
+  for (uint64_t id : ids) DestroyRelay(id);
+}
+
+}  // namespace bistro

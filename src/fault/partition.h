@@ -1,0 +1,176 @@
+#ifndef BISTRO_FAULT_PARTITION_H_
+#define BISTRO_FAULT_PARTITION_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "net/socket_transport.h"
+
+namespace bistro {
+
+/// Deterministic network-partition chaos harness for the real TCP
+/// transport — no root, no iptables, usable from tests and benches.
+///
+/// For each peer a shim listener is interposed on 127.0.0.1: the inner
+/// SocketTransport connects to the shim, the shim relays bytes to the
+/// peer's real address, and fault directives act on the relay:
+///
+///   Partition  severs the link both ways: established relays close
+///              (the sender sees a reset) and new connections are
+///              accepted-then-closed (reconnect attempts keep failing),
+///              so the peer looks dead at the TCP level.
+///   Blackhole  silently discards bytes in one direction while the
+///              connection stays established — the half-open failure
+///              mode only ack timeouts can detect. Dropping the
+///              peer->self direction loses acks after delivery, the
+///              duplicate-generating case receipt dedupe must absorb.
+///   SlowLink   delays every forwarded chunk by a fixed duration.
+///   Heal       restores clean forwarding.
+///
+/// Everything runs on the owning (real-clock) EventLoop's thread, like
+/// the SocketTransport itself; directives are plain method calls or are
+/// scheduled from a FaultPlan's `partition`/`blackhole`/`slow_link`/
+/// `heal` entries via Arm(), so a partition matrix is a parseable,
+/// seedable artifact rather than ad-hoc test code.
+///
+/// The class is also a Transport that delegates to the inner
+/// SocketTransport, so a server wired through it is bit-for-bit the
+/// production wiring plus an interposed wire.
+class PartitionableTransport : public Transport {
+ public:
+  /// `self_name` is this side's name in FaultPlan link directives (e.g.
+  /// "up"); the other end of each directive names a shimmed peer.
+  PartitionableTransport(EventLoop* loop, SocketTransport* inner,
+                         std::string self_name);
+  ~PartitionableTransport() override;
+
+  PartitionableTransport(const PartitionableTransport&) = delete;
+  PartitionableTransport& operator=(const PartitionableTransport&) = delete;
+
+  /// Interposes a shim in front of `target_address` and returns the
+  /// shim's own "127.0.0.1:port" — point the inner transport (or the
+  /// peer's config entry) at it. Idempotent per name: re-shimming an
+  /// existing peer re-targets it and keeps the shim address.
+  Result<std::string> ShimPeer(const std::string& name,
+                               const std::string& target_address);
+
+  /// ShimPeer + inner->AddPeer(name, shim address) in one step.
+  Status AddPeer(const std::string& name, const std::string& target_address);
+
+  /// Shim address for a shimmed peer ("" when unknown).
+  std::string ShimAddress(const std::string& name) const;
+
+  // ------------------------------------------------------- directives
+  void Partition(const std::string& peer);
+  /// Discards bytes flowing self->peer (`to_peer` true) or peer->self.
+  void Blackhole(const std::string& peer, bool to_peer);
+  void SlowLink(const std::string& peer, Duration delay);
+  void Heal(const std::string& peer);
+
+  /// Schedules every link directive of `plan.net` that names self on one
+  /// side and a shimmed peer on the other, relative to now. Directives
+  /// for unknown parties are ignored (the same plan can arm several
+  /// harnesses). Call after the peers are shimmed.
+  void Arm(const FaultPlan& plan);
+
+  /// Closes every shim and relay. Called by the destructor.
+  void Shutdown();
+
+  // ------------------------------------------- introspection (tests)
+  SocketTransport* inner() { return inner_; }
+  /// Relay connections accepted and immediately closed while severed.
+  uint64_t severed_rejects() const { return severed_rejects_; }
+  /// Bytes discarded by blackholes.
+  uint64_t dropped_bytes() const { return dropped_bytes_; }
+  /// Chunks forwarded late by slow links.
+  uint64_t delayed_chunks() const { return delayed_chunks_; }
+  /// Live relay connections through all shims.
+  size_t relay_count() const { return relays_.size(); }
+
+  // ----------------------------------------------------- Transport API
+  void Send(const std::string& endpoint, const Message& msg,
+            SendCallback done) override {
+    inner_->Send(endpoint, msg, std::move(done));
+  }
+  void SendBundle(const std::string& endpoint,
+                  std::vector<BundleItem> items) override {
+    inner_->SendBundle(endpoint, std::move(items));
+  }
+  Duration EstimateCost(const std::string& endpoint,
+                        uint64_t bytes) const override {
+    return inner_->EstimateCost(endpoint, bytes);
+  }
+  void AttachMetrics(MetricsRegistry* registry) override {
+    inner_->AttachMetrics(registry);
+  }
+
+ private:
+  struct Shim;
+
+  /// One client<->server byte relay through a shim. Either side closing
+  /// (or a connect failure) tears the whole relay down; the inner
+  /// transport observes an ordinary TCP disconnect.
+  struct Relay {
+    uint64_t id = 0;
+    Shim* shim = nullptr;
+    int cfd = -1;  // accepted inner-transport side
+    int sfd = -1;  // outbound side toward the real peer
+    bool server_connecting = false;
+    bool cfd_want_write = false;
+    bool sfd_want_write = false;
+    /// Pending chunks per direction; the head chunk may be partially
+    /// written (head offset bytes already sent).
+    std::deque<std::string> to_server, to_client;
+    size_t to_server_head = 0, to_client_head = 0;
+  };
+
+  struct Shim {
+    std::string peer;
+    std::string target;
+    int listen_fd = -1;
+    int port = -1;
+    bool severed = false;
+    bool drop_to_peer = false;    // discard client->server bytes
+    bool drop_from_peer = false;  // discard server->client bytes
+    Duration delay = 0;
+    std::vector<uint64_t> relay_ids;
+  };
+
+  void OnShimAccept(const std::string& peer);
+  void OnRelayEvent(uint64_t id, bool client_side, bool readable,
+                    bool writable);
+  /// Reads one side until EAGAIN, routing chunks per the shim's fault
+  /// state. Returns false when the side died (caller destroys).
+  bool PumpReads(Relay* relay, bool client_side);
+  void DeliverChunk(Relay* relay, bool to_server, std::string chunk);
+  /// Writes queued chunks for one direction until EAGAIN or empty.
+  /// Returns false on a dead socket.
+  bool FlushSide(Relay* relay, bool to_server);
+  void DestroyRelay(uint64_t id);
+  void DestroyShimRelays(Shim* shim);
+
+  EventLoop* loop_;
+  SocketTransport* inner_;
+  std::string self_name_;
+
+  std::map<std::string, std::unique_ptr<Shim>> shims_;
+  std::map<uint64_t, std::unique_ptr<Relay>> relays_;
+  uint64_t next_relay_id_ = 1;
+  bool shut_down_ = false;
+  /// Liveness token for loop timers (slow-link deliveries, armed plan
+  /// directives): they no-op once the harness is gone.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  uint64_t severed_rejects_ = 0;
+  uint64_t dropped_bytes_ = 0;
+  uint64_t delayed_chunks_ = 0;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_FAULT_PARTITION_H_

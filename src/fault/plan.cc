@@ -225,6 +225,32 @@ class PlanParser {
         BISTRO_ASSIGN_OR_RETURN(deg.factor, TakeDouble());
         if (deg.factor < 1.0) return Err("degrade factor must be >= 1");
         net->degrades.push_back(std::move(deg));
+      } else if (attr == "partition" || attr == "blackhole" ||
+                 attr == "slow_link") {
+        LinkFault fault;
+        fault.kind = attr == "partition"   ? LinkFault::Kind::kPartition
+                     : attr == "blackhole" ? LinkFault::Kind::kBlackhole
+                                           : LinkFault::Kind::kSlowLink;
+        BISTRO_ASSIGN_OR_RETURN(fault.from, TakeString());
+        BISTRO_ASSIGN_OR_RETURN(fault.to, TakeString());
+        if (fault.from == fault.to) {
+          return Err(attr + " endpoints must differ");
+        }
+        if (fault.kind == LinkFault::Kind::kSlowLink) {
+          BISTRO_ASSIGN_OR_RETURN(fault.delay, TakeDuration());
+          if (fault.delay <= 0) return Err("slow_link delay must be positive");
+        }
+        BISTRO_RETURN_IF_ERROR(ExpectIdent("at"));
+        BISTRO_ASSIGN_OR_RETURN(fault.at, TakeDuration());
+        net->link_faults.push_back(std::move(fault));
+      } else if (attr == "heal") {
+        LinkHeal heal;
+        BISTRO_ASSIGN_OR_RETURN(heal.from, TakeString());
+        BISTRO_ASSIGN_OR_RETURN(heal.to, TakeString());
+        if (heal.from == heal.to) return Err("heal endpoints must differ");
+        BISTRO_RETURN_IF_ERROR(ExpectIdent("at"));
+        BISTRO_ASSIGN_OR_RETURN(heal.at, TakeDuration());
+        net->link_heals.push_back(std::move(heal));
       } else {
         return Err("unknown net attribute '" + attr + "'");
       }
@@ -296,6 +322,22 @@ std::string FormatFaultPlan(const FaultPlan& plan) {
     for (const LinkDegrade& d : n.degrades) {
       out += "    degrade \"" + d.endpoint + "\" " +
              StrFormat("%g", d.factor) + ";\n";
+    }
+    for (const LinkFault& f : n.link_faults) {
+      const char* verb = f.kind == LinkFault::Kind::kPartition ? "partition"
+                         : f.kind == LinkFault::Kind::kBlackhole
+                             ? "blackhole"
+                             : "slow_link";
+      out += std::string("    ") + verb + " \"" + f.from + "\" \"" + f.to +
+             "\"";
+      if (f.kind == LinkFault::Kind::kSlowLink) {
+        out += " " + DurationLiteral(f.delay);
+      }
+      out += " at " + DurationLiteral(f.at) + ";\n";
+    }
+    for (const LinkHeal& h : n.link_heals) {
+      out += "    heal \"" + h.from + "\" \"" + h.to + "\" at " +
+             DurationLiteral(h.at) + ";\n";
     }
     out += "  }\n";
   }

@@ -43,6 +43,36 @@ struct LinkDegrade {
   bool operator==(const LinkDegrade&) const = default;
 };
 
+/// One scheduled fault on the link between two named transport parties
+/// (real sockets, applied by PartitionableTransport; see fault/partition.h).
+///
+///   partition  severs the link both ways at `at`: established relays
+///              close and new connections are accepted-then-closed, so
+///              the sender sees resets and reconnect failures.
+///   blackhole  silently discards bytes flowing `from` -> `to` from `at`
+///              on; connections stay up, so the sender only learns via
+///              ack timeouts — the half-open failure mode.
+///   slow_link  adds `delay` to every forwarded chunk (both directions).
+struct LinkFault {
+  enum class Kind { kPartition, kBlackhole, kSlowLink };
+  Kind kind = Kind::kPartition;
+  std::string from;
+  std::string to;
+  Duration delay = 0;  // kSlowLink only
+  TimePoint at = 0;
+
+  bool operator==(const LinkFault&) const = default;
+};
+
+/// Scheduled heal of every fault on the `from`/`to` link at `at`.
+struct LinkHeal {
+  std::string from;
+  std::string to;
+  TimePoint at = 0;
+
+  bool operator==(const LinkHeal&) const = default;
+};
+
 /// Network fault probabilities (per send) and scheduled link events.
 struct NetFaultSpec {
   /// A send fails before reaching the wire (transient IoError).
@@ -56,6 +86,8 @@ struct NetFaultSpec {
   double ack_loss_prob = 0.0;
   std::vector<LinkFlap> flaps;
   std::vector<LinkDegrade> degrades;
+  std::vector<LinkFault> link_faults;
+  std::vector<LinkHeal> link_heals;
 
   bool operator==(const NetFaultSpec&) const = default;
 };
@@ -75,6 +107,10 @@ struct NetFaultSpec {
 ///       send_failure 0.1; corrupt 0.03; ack_loss 0.01;
 ///       flap "sub0" down 10m up 35m;
 ///       degrade "sub1" 4.0;
+///       partition "up" "down" at 2s;
+///       blackhole "down" "up" at 2s;
+///       slow_link "up" "down" 200ms at 0s;
+///       heal "up" "down" at 6s;
 ///     }
 ///   }
 struct FaultPlan {

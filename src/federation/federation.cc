@@ -1,5 +1,7 @@
 #include "federation/federation.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 
 namespace bistro {
@@ -66,13 +68,44 @@ bool FeedInShard(const FeedName& feed, int index, int count) {
          static_cast<uint64_t>(index);
 }
 
+namespace {
+/// With `replicas n`, peer `index` carries its own shard plus the n-1
+/// preceding shards (wrapping): the feed hashed to shard h lands on peers
+/// h, h+1, ..., h+n-1 mod count, so losing any single peer leaves every
+/// feed on a live neighbor.
+bool FeedInReplicatedShard(const FeedName& feed, int index, int count,
+                           int replicas) {
+  if (count <= 0) return true;
+  uint64_t home = Fnv1a64(feed) % static_cast<uint64_t>(count);
+  int distance = (index - static_cast<int>(home) + count) % count;
+  return distance < std::max(1, replicas);
+}
+
+/// True when some other peer names `peer` as its failover target.
+bool IsFailoverTarget(const ServerConfig& config, const PeerSpec& peer) {
+  for (const PeerSpec& other : config.peers) {
+    if (other.failover == peer.name) return true;
+  }
+  return false;
+}
+}  // namespace
+
 std::vector<FeedName> PeerFeeds(const ServerConfig& config,
                                 const PeerSpec& peer) {
   if (!peer.feeds.empty()) return peer.feeds;
+  if (peer.shard_count <= 0) {
+    // A peer with no explicit feeds and no shard normally takes every
+    // feed — but a pure standby (declared only to be someone's failover
+    // target) takes nothing until the failover activates.
+    if (IsFailoverTarget(config, peer)) return {};
+    std::vector<FeedName> out;
+    for (const FeedSpec& feed : config.feeds) out.push_back(feed.name);
+    return out;
+  }
   std::vector<FeedName> out;
   for (const FeedSpec& feed : config.feeds) {
-    if (peer.shard_count <= 0 ||
-        FeedInShard(feed.name, peer.shard_index, peer.shard_count)) {
+    if (FeedInReplicatedShard(feed.name, peer.shard_index, peer.shard_count,
+                              peer.replicas)) {
       out.push_back(feed.name);
     }
   }
@@ -112,8 +145,15 @@ Status WirePeers(const ServerConfig& config, BistroServer* server,
     sub.feeds = PeerFeeds(config, peer);
     sub.window = peer.window;
     if (sub.feeds.empty()) {
-      logger->Warning("federation",
-                      "peer " + peer.name + " routes no feeds (empty shard?)");
+      if (IsFailoverTarget(config, peer)) {
+        logger->Info("federation", "peer " + peer.name +
+                                       " is a standby (failover target); "
+                                       "takes no feeds until activated");
+      } else {
+        logger->Warning(
+            "federation",
+            "peer " + peer.name + " routes no feeds (empty shard?)");
+      }
       continue;
     }
     Status added = server->AddSubscriber(sub);

@@ -68,8 +68,11 @@ class FederationInbound : public Endpoint {
 /// federation's stable hash partitioning (FNV-1a of the feed name).
 bool FeedInShard(const FeedName& feed, int index, int count);
 
-/// Feeds of `config` routed to `peer`: the explicit list when present,
-/// the peer's hash shard when sharding is set, every feed otherwise.
+/// Feeds of `config` routed to `peer`: the explicit list when present;
+/// the peer's hash shard (widened to `replicas` consecutive shards) when
+/// sharding is set; every feed otherwise — except that a peer declared
+/// only as another peer's `failover` target is a standby and takes no
+/// feeds until the failover activates.
 std::vector<FeedName> PeerFeeds(const ServerConfig& config,
                                 const PeerSpec& peer);
 

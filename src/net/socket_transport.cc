@@ -61,7 +61,33 @@ SocketTransport::SocketTransport(EventLoop* loop, Options options)
       options_(std::move(options)),
       backoff_rng_(options_.backoff_seed) {}
 
-SocketTransport::~SocketTransport() { Shutdown(); }
+SocketTransport::~SocketTransport() {
+  // By destructor time the metrics registry (owned by the server, which
+  // is usually destroyed first) may already be gone; the increments the
+  // final teardown would make are unobservable anyway.
+  DetachMetrics();
+  Shutdown();
+}
+
+void SocketTransport::DetachMetrics() {
+  DetachBaseMetrics();
+  m_connects_ = nullptr;
+  m_accepts_ = nullptr;
+  m_disconnects_ = nullptr;
+  m_reconnects_ = nullptr;
+  m_acks_ = nullptr;
+  m_ack_timeouts_ = nullptr;
+  m_frames_in_ = nullptr;
+  m_bytes_in_ = nullptr;
+  m_queue_rejects_ = nullptr;
+  m_gate_rejects_ = nullptr;
+  m_connections_ = nullptr;
+  registry_ = nullptr;
+  for (auto& [name, peer] : peers_) {
+    peer.m_peer_reconnects = nullptr;
+    peer.m_peer_disconnected_secs = nullptr;
+  }
+}
 
 Status SocketTransport::Listen() {
   if (options_.listen_address.empty()) return Status::OK();
@@ -102,6 +128,10 @@ void SocketTransport::AddPeer(const std::string& name,
   Peer& peer = peers_[name];
   if (peer.conn == nullptr) {
     peer.conn = std::make_unique<Conn>(options_.max_frame_bytes);
+    // Outage time accrues from declaration until the first connect: a
+    // peer that never comes up reads as 100% disconnected.
+    peer.disconnected_since = loop_->Now();
+    AttachPeerMetrics(name, &peer);
   } else if (peer.address != address) {
     // Re-addressed (typically a peer that restarted on a fresh ephemeral
     // port): the old connection is dead weight, start over immediately.
@@ -195,6 +225,16 @@ void SocketTransport::Send(const std::string& endpoint, const Message& msg,
   Peer& peer = pit->second;
   Conn* conn = peer.conn.get();
 
+  if (gate_) {
+    Status gated = gate_(endpoint, msg);
+    if (!gated.ok()) {
+      ++gate_rejects_;
+      if (m_gate_rejects_ != nullptr) m_gate_rejects_->Increment();
+      FailCallback(done, gated);
+      return;
+    }
+  }
+
   Message framed = msg;  // cheap: payload bytes are shared
   framed.net_seq = peer.next_seq++;
   std::string frame = EncodeMessage(framed);
@@ -225,6 +265,18 @@ void SocketTransport::SendBundle(const std::string& endpoint,
   }
   Peer& peer = peers_[endpoint];
   Conn* conn = peer.conn.get();
+
+  if (gate_ && !items.empty()) {
+    // Bundles are homogeneous (coalesced push files), so one gate
+    // decision covers the frame; every item fails together.
+    Status gated = gate_(endpoint, items[0].msg);
+    if (!gated.ok()) {
+      ++gate_rejects_;
+      if (m_gate_rejects_ != nullptr) m_gate_rejects_->Increment();
+      for (BundleItem& item : items) FailCallback(item.done, gated);
+      return;
+    }
+  }
 
   // One contiguous write burst; each inner frame keeps its own sequence
   // and callback, so per-file acks survive coalescing.
@@ -270,6 +322,12 @@ Status SocketTransport::FlushWrites(Conn* conn) {
   while (!conn->outq.empty()) {
     const std::string& frame = conn->outq.front();
     size_t left = frame.size() - conn->out_head;
+    // SIGPIPE audit: this send() is the transport's ONLY write(2)-family
+    // call (peer, inbound-ack and shutdown paths all funnel here), and
+    // MSG_NOSIGNAL is mandatory — a reader that died mid-stream must
+    // surface as EPIPE below (a retryable Unavailable) rather than
+    // killing the process. Pinned by SocketTransportTest.
+    // SigpipeSafeWhenReaderDiesMidStream.
     ssize_t n = send(conn->fd, frame.data() + conn->out_head, left,
                      MSG_NOSIGNAL);
     if (n > 0) {
@@ -379,7 +437,9 @@ void SocketTransport::FinishConnect(const std::string& name, Peer* peer) {
   Conn* conn = peer->conn.get();
   bool was_connecting = conn->connecting;
   conn->connecting = false;
+  conn->established = true;
   peer->last_backoff = 0;  // healthy again: next failure backs off afresh
+  MarkConnected(peer);
   SetNoDelay(conn->fd);
   ++connects_;
   if (m_connects_ != nullptr) m_connects_->Increment();
@@ -390,6 +450,7 @@ void SocketTransport::FinishConnect(const std::string& name, Peer* peer) {
       OnPeerFdEvent(name, readable, writable);
     });
   }
+  if (observer_ != nullptr) observer_->OnPeerConnected(name);
   Status s = FlushWrites(conn);
   if (!s.ok()) DropPeerConn(name, peer, s, /*reconnect=*/true);
 }
@@ -434,7 +495,7 @@ void SocketTransport::OnPeerFdEvent(const std::string& name, bool readable,
     while (auto msg = conn->decoder.Next()) {
       if (m_frames_in_ != nullptr) m_frames_in_->Increment();
       if (msg->type == MessageType::kAck) {
-        HandleAck(&peer, *msg);
+        HandleAck(name, &peer, *msg);
       }
       // Non-ack traffic on an outbound connection is not part of the
       // protocol (each federation direction uses its own connection);
@@ -444,25 +505,32 @@ void SocketTransport::OnPeerFdEvent(const std::string& name, bool readable,
   }
 }
 
-void SocketTransport::HandleAck(Peer* peer, const Message& ack) {
+void SocketTransport::HandleAck(const std::string& name, Peer* peer,
+                                const Message& ack) {
   auto it = peer->pending.find(ack.net_seq);
   if (it == peer->pending.end()) return;  // late ack after timeout/redrive
   SendCallback done = std::move(it->second.done);
   peer->pending.erase(it);
+  peer->last_ack_at = loop_->Now();
   if (m_acks_ != nullptr) m_acks_->Increment();
   Status result =
       ack.ack_code == 0
           ? Status::OK()
           : Status(static_cast<StatusCode>(ack.ack_code), ack.name);
   CountOutcome(result);
+  // Any matched ack — even one carrying a handler error — proves the
+  // peer is alive and responsive; the observer treats it as liveness.
+  if (observer_ != nullptr) observer_->OnPeerAck(name, result);
   if (done) done(result);
 }
 
 void SocketTransport::DropPeerConn(const std::string& name, Peer* peer,
-                                   const Status& status, bool reconnect) {
+                                   const Status& status, bool reconnect,
+                                   bool notify_observer) {
   Conn* conn = peer->conn.get();
-  if (conn->fd >= 0) {
-    bool established = !conn->connecting;
+  bool had_fd = conn->fd >= 0;
+  bool established = conn->established;
+  if (had_fd) {
     loop_->UnwatchFd(conn->fd);
     close(conn->fd);
     conn->fd = -1;
@@ -470,7 +538,9 @@ void SocketTransport::DropPeerConn(const std::string& name, Peer* peer,
     if (m_disconnects_ != nullptr) m_disconnects_->Increment();
     if (established && m_connections_ != nullptr) m_connections_->Add(-1);
   }
+  MarkDisconnected(peer);
   conn->connecting = false;
+  conn->established = false;
   conn->want_write = false;
   conn->decoder = MessageStreamDecoder(options_.max_frame_bytes);
   conn->outq.clear();
@@ -488,7 +558,29 @@ void SocketTransport::DropPeerConn(const std::string& name, Peer* peer,
   peer->pending.clear();
   for (auto& [seq, p] : pending) FailCallback(p.done, failure);
 
+  if (notify_observer && had_fd && observer_ != nullptr) {
+    if (established) {
+      observer_->OnPeerDisconnected(name, failure);
+    } else {
+      observer_->OnPeerConnectFailed(name, failure);
+    }
+  }
+
   if (reconnect) ScheduleReconnect(name, peer);
+}
+
+void SocketTransport::MarkConnected(Peer* peer) {
+  if (peer->disconnected_since == 0) return;
+  peer->disconnected_total += loop_->Now() - peer->disconnected_since;
+  peer->disconnected_since = 0;
+  if (peer->m_peer_disconnected_secs != nullptr) {
+    peer->m_peer_disconnected_secs->Set(peer->disconnected_total / kSecond);
+  }
+}
+
+void SocketTransport::MarkDisconnected(Peer* peer) {
+  if (peer->disconnected_since != 0) return;  // outage already running
+  peer->disconnected_since = loop_->Now();
 }
 
 Duration SocketTransport::NextReconnectBackoff(Peer* peer) {
@@ -523,7 +615,9 @@ void SocketTransport::ScheduleReconnect(const std::string& name, Peer* peer) {
     peer.reconnect_scheduled = false;
     Conn* conn = peer.conn.get();
     if (conn->fd >= 0 || conn->connecting) return;
+    ++peer.reconnect_attempts;
     if (m_reconnects_ != nullptr) m_reconnects_->Increment();
+    if (peer.m_peer_reconnects != nullptr) peer.m_peer_reconnects->Increment();
     StartConnect(name, &peer);
   });
 }
@@ -576,9 +670,12 @@ void SocketTransport::SweepAckTimeouts() {
     if (m_ack_timeouts_ != nullptr) m_ack_timeouts_->Increment();
     // A connection that stopped acking is indistinguishable from a
     // half-open peer: drop it wholesale (all pending fail, delivery
-    // retries) rather than cherry-picking sequences.
+    // retries) rather than cherry-picking sequences. The observer hears
+    // OnPeerAckTimeout only — the drop it causes is the same piece of
+    // evidence, not a second failure.
+    if (observer_ != nullptr) observer_->OnPeerAckTimeout(name);
     DropPeerConn(name, &it->second, Status::Unavailable("ack timeout"),
-                 /*reconnect=*/true);
+                 /*reconnect=*/true, /*notify_observer=*/false);
   }
   if (any_pending) ArmAckSweep();
 }
@@ -688,8 +785,51 @@ void SocketTransport::AttachMetrics(MetricsRegistry* registry) {
   m_queue_rejects_ = registry->GetCounter(
       "bistro_net_queue_rejects_total",
       "Sends refused because the peer outbound queue was full");
+  m_gate_rejects_ = registry->GetCounter(
+      "bistro_net_gate_rejects_total",
+      "Sends refused by the installed send gate (open circuit)");
   m_connections_ = registry->GetGauge("bistro_net_connections",
                                       "Established TCP connections");
+  registry_ = registry;
+  for (auto& [name, peer] : peers_) AttachPeerMetrics(name, &peer);
+}
+
+void SocketTransport::AttachPeerMetrics(const std::string& name, Peer* peer) {
+  if (registry_ == nullptr || peer->m_peer_reconnects != nullptr) return;
+  peer->m_peer_reconnects = registry_->GetCounter(
+      "bistro_net_peer_" + name + "_reconnects_total",
+      "Reconnect attempts toward peer " + name);
+  peer->m_peer_disconnected_secs = registry_->GetGauge(
+      "bistro_net_peer_" + name + "_disconnected_seconds",
+      "Cumulative seconds peer " + name + " lacked a connection");
+}
+
+SocketTransport::PeerNetStats SocketTransport::GetPeerStats(
+    const std::string& name) const {
+  PeerNetStats stats;
+  auto it = peers_.find(name);
+  if (it == peers_.end()) return stats;
+  const Peer& peer = it->second;
+  const Conn* conn = peer.conn.get();
+  stats.known = true;
+  stats.connected = conn != nullptr && conn->fd >= 0 && !conn->connecting;
+  stats.reconnect_attempts = peer.reconnect_attempts;
+  stats.disconnected_total = peer.disconnected_total;
+  if (peer.disconnected_since != 0) {
+    stats.disconnected_total += loop_->Now() - peer.disconnected_since;
+  }
+  stats.last_ack_age =
+      peer.last_ack_at == 0 ? -1 : loop_->Now() - peer.last_ack_at;
+  stats.queued_bytes = conn != nullptr ? conn->outq_bytes : 0;
+  stats.pending_acks = peer.pending.size();
+  return stats;
+}
+
+std::vector<std::string> SocketTransport::PeerNames() const {
+  std::vector<std::string> names;
+  names.reserve(peers_.size());
+  for (const auto& [name, peer] : peers_) names.push_back(name);
+  return names;
 }
 
 }  // namespace bistro

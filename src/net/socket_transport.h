@@ -72,6 +72,46 @@ class SocketTransport : public Transport {
     uint64_t backoff_seed = 1;
   };
 
+  /// Observer of per-peer connection-lifecycle evidence — the hooks the
+  /// federation health state machine feeds on. Callbacks run on the loop
+  /// thread after the transport's own state is consistent; observers may
+  /// call back into the transport (e.g. to send probes). An ack-timeout
+  /// drop reports as OnPeerAckTimeout only (not also a disconnect), so
+  /// each failure counts once.
+  class PeerObserver {
+   public:
+    virtual ~PeerObserver() = default;
+    virtual void OnPeerConnected(const std::string& /*peer*/) {}
+    virtual void OnPeerConnectFailed(const std::string& /*peer*/,
+                                     const Status& /*cause*/) {}
+    virtual void OnPeerDisconnected(const std::string& /*peer*/,
+                                    const Status& /*cause*/) {}
+    virtual void OnPeerAckTimeout(const std::string& /*peer*/) {}
+    virtual void OnPeerAck(const std::string& /*peer*/,
+                           const Status& /*status*/) {}
+  };
+
+  /// Circuit breaker hook: consulted before a message is queued toward a
+  /// peer (never for local/loopback endpoints). A non-OK status fails
+  /// the send immediately with that status — no bytes queue, so a dead
+  /// peer stops burning outbound_queue_bytes.
+  using SendGate =
+      std::function<Status(const std::string& peer, const Message& msg)>;
+
+  /// Point-in-time per-peer wire statistics (admin console, tests).
+  struct PeerNetStats {
+    bool known = false;
+    bool connected = false;
+    uint64_t reconnect_attempts = 0;
+    /// Committed time spent wanting-but-lacking a connection, plus the
+    /// ongoing outage when disconnected now (counted from AddPeer).
+    Duration disconnected_total = 0;
+    /// Age of the last matched ack; -1 = never acked.
+    Duration last_ack_age = -1;
+    size_t queued_bytes = 0;
+    size_t pending_acks = 0;
+  };
+
   SocketTransport(EventLoop* loop, Options options);
   ~SocketTransport() override;
 
@@ -114,20 +154,33 @@ class SocketTransport : public Transport {
   }
   void AttachMetrics(MetricsRegistry* registry) override;
 
+  /// Installs (or clears, with nullptr) the lifecycle observer.
+  void SetPeerObserver(PeerObserver* observer) { observer_ = observer; }
+
+  /// Installs (or clears, with an empty function) the send gate.
+  void SetSendGate(SendGate gate) { gate_ = std::move(gate); }
+
   // --------------------------------------------- introspection (tests)
   uint64_t connects() const { return connects_; }
   uint64_t accepts() const { return accepts_; }
   uint64_t disconnects() const { return disconnects_; }
   uint64_t ack_timeouts() const { return ack_timeouts_; }
+  /// Sends refused by the installed SendGate.
+  uint64_t gate_rejects() const { return gate_rejects_; }
   /// True when the named peer has an established (not merely connecting)
   /// connection.
   bool PeerConnected(const std::string& name) const;
+  /// Wire statistics for one peer (known == false for unknown names).
+  PeerNetStats GetPeerStats(const std::string& name) const;
+  /// Names of all declared peers, in name order.
+  std::vector<std::string> PeerNames() const;
 
  private:
   /// One TCP connection (outbound to a peer, or accepted inbound).
   struct Conn {
     int fd = -1;
     bool connecting = false;       // non-blocking connect() in flight
+    bool established = false;      // FinishConnect completed on this fd
     bool want_write = false;       // POLLOUT interest currently enabled
     MessageStreamDecoder decoder;
     /// Outbound frames; the head entry may be partially written
@@ -151,14 +204,33 @@ class SocketTransport : public Transport {
     std::map<uint64_t, PendingSend> pending;
     Duration last_backoff = 0;
     bool reconnect_scheduled = false;
+    // Health bookkeeping surfaced via GetPeerStats and per-peer metrics.
+    uint64_t reconnect_attempts = 0;
+    TimePoint disconnected_since = 0;  // 0 = connected right now
+    Duration disconnected_total = 0;   // committed outage time
+    TimePoint last_ack_at = 0;         // 0 = never acked
+    Counter* m_peer_reconnects = nullptr;
+    Gauge* m_peer_disconnected_secs = nullptr;
   };
 
   // Connection lifecycle.
   void EnsureConnected(const std::string& name, Peer* peer);
   void StartConnect(const std::string& name, Peer* peer);
   void FinishConnect(const std::string& name, Peer* peer);
+  /// `notify_observer` false suppresses the disconnect/connect-failed
+  /// observer callback (the ack-timeout sweep reports its own event).
   void DropPeerConn(const std::string& name, Peer* peer,
-                    const Status& status, bool reconnect);
+                    const Status& status, bool reconnect,
+                    bool notify_observer = true);
+  /// Commits outage bookkeeping when a connection is lost/established.
+  void MarkDisconnected(Peer* peer);
+  void MarkConnected(Peer* peer);
+  /// Registers the per-peer counter/gauge pair when a registry is known.
+  void AttachPeerMetrics(const std::string& name, Peer* peer);
+  /// Nulls every registry-owned metric pointer. The destructor calls
+  /// this before Shutdown(): the registry (owned by the server, usually
+  /// destroyed first) may no longer exist by then.
+  void DetachMetrics();
   void ScheduleReconnect(const std::string& name, Peer* peer);
   Duration NextReconnectBackoff(Peer* peer);
 
@@ -173,7 +245,7 @@ class SocketTransport : public Transport {
 
   // Peer-side (outbound) events.
   void OnPeerFdEvent(const std::string& name, bool readable, bool writable);
-  void HandleAck(Peer* peer, const Message& ack);
+  void HandleAck(const std::string& name, Peer* peer, const Message& ack);
   void ArmAckSweep();
   void SweepAckTimeouts();
 
@@ -192,6 +264,9 @@ class SocketTransport : public Transport {
   Options options_;
   Rng backoff_rng_;
   Endpoint* inbound_endpoint_ = nullptr;
+  PeerObserver* observer_ = nullptr;
+  SendGate gate_;
+  MetricsRegistry* registry_ = nullptr;
 
   int listen_fd_ = -1;
   int listen_port_ = -1;
@@ -213,6 +288,7 @@ class SocketTransport : public Transport {
   uint64_t accepts_ = 0;
   uint64_t disconnects_ = 0;
   uint64_t ack_timeouts_ = 0;
+  uint64_t gate_rejects_ = 0;
 
   Counter* m_connects_ = nullptr;
   Counter* m_accepts_ = nullptr;
@@ -223,6 +299,7 @@ class SocketTransport : public Transport {
   Counter* m_frames_in_ = nullptr;
   Counter* m_bytes_in_ = nullptr;
   Counter* m_queue_rejects_ = nullptr;
+  Counter* m_gate_rejects_ = nullptr;
   Gauge* m_connections_ = nullptr;
 };
 

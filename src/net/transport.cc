@@ -19,6 +19,12 @@ void Transport::CountSend(uint64_t payload_bytes) {
   bytes_sent_->Increment(payload_bytes);
 }
 
+void Transport::DetachBaseMetrics() {
+  sends_ = nullptr;
+  send_failures_ = nullptr;
+  bytes_sent_ = nullptr;
+}
+
 void Transport::CountOutcome(const Status& status) {
   if (send_failures_ != nullptr && !status.ok()) send_failures_->Increment();
 }

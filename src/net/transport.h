@@ -73,6 +73,9 @@ class Transport {
   /// Implementations call these around each Send.
   void CountSend(uint64_t payload_bytes);
   void CountOutcome(const Status& status);
+  /// Forgets the registry-owned counters. For teardown paths where the
+  /// registry may no longer exist (see SocketTransport's destructor).
+  void DetachBaseMetrics();
 
  private:
   Counter* sends_ = nullptr;

@@ -141,9 +141,13 @@ TEST(ConfigDocsTest, OperationsCoversEveryParserKey) {
       "server", "listen", "max_frame_bytes", "outbound_queue_bytes",
       "reconnect_backoff_min", "reconnect_backoff_max", "ack_timeout",
       "peer", "address", "shard", "of",
+      // peer health + failover
+      "suspect_after", "down_after", "failover", "replicas",
       // fault plans
       "fault_plan", "seed", "write_error", "torn_write", "sync_error",
       "scope", "send_failure", "corrupt", "ack_loss", "flap", "degrade",
+      // network-partition link directives
+      "partition", "blackhole", "slow_link", "heal", "at",
       // booleans
       "on", "off",
   };

@@ -295,12 +295,56 @@ TEST(ConfigParseTest, PeerRejectsBadValues) {
   EXPECT_FALSE(ParseConfig(R"(peer p { address "h:1"; )").ok());  // unterminated
 }
 
+TEST(ConfigParseTest, PeerHealthAndFailoverKeys) {
+  auto config = ParseConfig(R"(
+feed SNMP.CPU { pattern "cpu_%i"; }
+peer east {
+  address "10.0.0.2:4400"; shard 0 of 4; replicas 2;
+  failover west; probe_interval 2s; suspect_after 2; down_after 5;
+}
+peer west { address "10.0.0.3:4400"; shard 1 of 4; replicas 2; }
+)");
+  ASSERT_TRUE(config.ok()) << config.status();
+  const PeerSpec& east = config->peers[0];
+  EXPECT_EQ(east.replicas, 2);
+  EXPECT_EQ(east.failover, "west");
+  EXPECT_EQ(east.probe_interval, 2 * kSecond);
+  EXPECT_EQ(east.suspect_after, 2);
+  EXPECT_EQ(east.down_after, 5);
+  const PeerSpec& west = config->peers[1];
+  EXPECT_EQ(west.replicas, 2);
+  EXPECT_TRUE(west.failover.empty());
+  EXPECT_FALSE(west.probe_interval.has_value());
+}
+
+TEST(ConfigParseTest, PeerHealthAndFailoverRejectBadValues) {
+  // replicas needs sharding, and can't exceed the shard count.
+  EXPECT_FALSE(
+      ParseConfig(R"(peer p { address "h:1"; replicas 2; })").ok());
+  EXPECT_FALSE(
+      ParseConfig(R"(peer p { address "h:1"; shard 0 of 2; replicas 3; })")
+          .ok());
+  EXPECT_FALSE(ParseConfig(R"(peer p { address "h:1"; replicas 0; })").ok());
+  // A failover target must be another configured peer.
+  EXPECT_FALSE(
+      ParseConfig(R"(peer p { address "h:1"; failover ghost; })").ok());
+  EXPECT_FALSE(ParseConfig(R"(peer p { address "h:1"; failover p; })").ok());
+  // Threshold ordering and positivity.
+  EXPECT_FALSE(ParseConfig(
+                   R"(peer p { address "h:1"; suspect_after 5; down_after 2; })")
+                   .ok());
+  EXPECT_FALSE(
+      ParseConfig(R"(peer p { address "h:1"; suspect_after 0; })").ok());
+  EXPECT_FALSE(
+      ParseConfig(R"(peer p { address "h:1"; probe_interval 0s; })").ok());
+}
+
 TEST(ConfigFormatTest, ServerAndPeerBlocksRoundTrip) {
   auto config = ParseConfig(R"(
 feed SNMP.CPU { pattern "cpu_%i"; }
 server { listen "127.0.0.1:4400"; ack_timeout 15s; max_frame_bytes 1048576; }
-peer east { address "10.0.0.2:4400"; feeds SNMP.CPU; window 30m; }
-peer west { address "10.0.0.3:4400"; shard 0 of 2; }
+peer east { address "10.0.0.2:4400"; feeds SNMP.CPU; window 30m; failover west; probe_interval 2s; suspect_after 2; down_after 4; }
+peer west { address "10.0.0.3:4400"; shard 0 of 2; replicas 2; }
 )");
   ASSERT_TRUE(config.ok()) << config.status();
   std::string formatted = FormatConfig(*config);

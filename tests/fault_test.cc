@@ -13,7 +13,9 @@
 #include "fault/faulty_transport.h"
 #include "fault/faulty_vfs.h"
 #include "fault/injector.h"
+#include "fault/partition.h"
 #include "fault/plan.h"
+#include "net/socket_transport.h"
 #include "kv/kvstore.h"
 #include "kv/wal.h"
 #include "sim/sources.h"
@@ -88,6 +90,63 @@ TEST(FaultPlanTest, RejectsBadInput) {
       ParseFaultPlan("fault_plan { net { degrade \"s\" 0.5; } }").ok());
   // Unknown attribute.
   EXPECT_FALSE(ParseFaultPlan("fault_plan { vfs { frobnicate 1; } }").ok());
+}
+
+constexpr char kLinkPlan[] = R"(
+fault_plan {
+  seed 7;
+  net {
+    slow_link "up" "down" 200ms at 0s;
+    partition "up" "down" at 2s;
+    blackhole "down" "up" at 2s;
+    heal "up" "down" at 6s;
+  }
+}
+)";
+
+TEST(FaultPlanTest, ParsesLinkDirectives) {
+  auto plan = ParseFaultPlan(kLinkPlan);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->net.link_faults.size(), 3u);
+  EXPECT_EQ(plan->net.link_faults[0].kind, LinkFault::Kind::kSlowLink);
+  EXPECT_EQ(plan->net.link_faults[0].from, "up");
+  EXPECT_EQ(plan->net.link_faults[0].to, "down");
+  EXPECT_EQ(plan->net.link_faults[0].delay, 200 * kMillisecond);
+  EXPECT_EQ(plan->net.link_faults[0].at, 0);
+  EXPECT_EQ(plan->net.link_faults[1].kind, LinkFault::Kind::kPartition);
+  EXPECT_EQ(plan->net.link_faults[1].at, 2 * kSecond);
+  EXPECT_EQ(plan->net.link_faults[2].kind, LinkFault::Kind::kBlackhole);
+  EXPECT_EQ(plan->net.link_faults[2].from, "down");
+  EXPECT_EQ(plan->net.link_faults[2].to, "up");
+  ASSERT_EQ(plan->net.link_heals.size(), 1u);
+  EXPECT_EQ(plan->net.link_heals[0].from, "up");
+  EXPECT_EQ(plan->net.link_heals[0].to, "down");
+  EXPECT_EQ(plan->net.link_heals[0].at, 6 * kSecond);
+}
+
+TEST(FaultPlanTest, LinkDirectivesRoundTrip) {
+  auto plan = ParseFaultPlan(kLinkPlan);
+  ASSERT_TRUE(plan.ok());
+  std::string text = FormatFaultPlan(*plan);
+  auto again = ParseFaultPlan(text);
+  ASSERT_TRUE(again.ok()) << again.status() << "\n" << text;
+  EXPECT_EQ(*again, *plan) << text;
+}
+
+TEST(FaultPlanTest, RejectsBadLinkDirectives) {
+  // A link needs two distinct endpoints.
+  EXPECT_FALSE(
+      ParseFaultPlan("fault_plan { net { partition \"a\" \"a\" at 1s; } }")
+          .ok());
+  // slow_link must actually slow something down.
+  EXPECT_FALSE(
+      ParseFaultPlan("fault_plan { net { slow_link \"a\" \"b\" 0s at 1s; } }")
+          .ok());
+  // The schedule time is mandatory.
+  EXPECT_FALSE(
+      ParseFaultPlan("fault_plan { net { partition \"a\" \"b\"; } }").ok());
+  EXPECT_FALSE(
+      ParseFaultPlan("fault_plan { net { heal \"a\" \"b\"; } }").ok());
 }
 
 // ------------------------------------------------------------- injector
@@ -825,6 +884,175 @@ TEST(SourceMetricsTest, FleetCountersExportThroughRegistry) {
             fleet.current_pollers());
   EXPECT_GT(fleet.files_dropped(), 0u);  // 0.4 dropout over 120 slots
   EXPECT_EQ(deposits, fleet.files_generated());
+}
+
+// ------------------------------------------- partition chaos harness
+
+// Endpoint recording inbound messages (server side of a shimmed link).
+class SinkEndpoint : public Endpoint {
+ public:
+  Status HandleMessage(const Message& msg) override {
+    messages.push_back(msg);
+    return Status::OK();
+  }
+  std::vector<Message> messages;
+};
+
+// Runs the real-clock loop in slices until `pred` holds (or 10s).
+void PumpRealUntil(EventLoop* loop, const std::function<bool()>& pred) {
+  TimePoint deadline = RealClock::Get()->Now() + 10 * kSecond;
+  while (!pred() && RealClock::Get()->Now() < deadline) {
+    loop->RunFor(10 * kMillisecond);
+  }
+}
+
+// One upstream transport wired to one downstream through a shim; the test
+// fixture for every harness behavior below.
+struct ShimmedPair {
+  explicit ShimmedPair(EventLoop* loop)
+      : server_opts(MakeServerOpts()),
+        server(loop, server_opts),
+        client_opts(MakeClientOpts()),
+        client(loop, client_opts),
+        harness(loop, &client, "up") {
+    server.SetInboundEndpoint(&inbound);
+    EXPECT_TRUE(server.Listen().ok());
+    EXPECT_TRUE(harness
+                    .AddPeer("down", "127.0.0.1:" +
+                                         std::to_string(server.listen_port()))
+                    .ok());
+  }
+
+  static SocketTransport::Options MakeServerOpts() {
+    SocketTransport::Options o;
+    o.listen_address = "127.0.0.1:0";
+    return o;
+  }
+  static SocketTransport::Options MakeClientOpts() {
+    SocketTransport::Options o;
+    o.reconnect_backoff_min = 10 * kMillisecond;
+    o.reconnect_backoff_max = 30 * kMillisecond;
+    o.ack_timeout = 300 * kMillisecond;
+    return o;
+  }
+
+  // Sends one small file and returns its final status.
+  Status SendOne(EventLoop* loop, const std::string& name) {
+    Message msg;
+    msg.type = MessageType::kFileData;
+    msg.name = name;
+    msg.payload = "payload";
+    Status result = Status::TimedOut("no callback");
+    bool done = false;
+    harness.Send("down", msg, [&](const Status& s) {
+      result = s;
+      done = true;
+    });
+    PumpRealUntil(loop, [&] { return done; });
+    return result;
+  }
+
+  SocketTransport::Options server_opts;
+  SocketTransport server;
+  SinkEndpoint inbound;
+  SocketTransport::Options client_opts;
+  SocketTransport client;
+  PartitionableTransport harness;
+};
+
+TEST(PartitionableTransportTest, RelaysTransparently) {
+  EventLoop loop(RealClock::Get());
+  ShimmedPair pair(&loop);
+  // The inner transport talks to the shim, not the real address.
+  EXPECT_NE(pair.harness.ShimAddress("down"), "");
+  EXPECT_NE(pair.harness.ShimAddress("down"),
+            "127.0.0.1:" + std::to_string(pair.server.listen_port()));
+  Status s = pair.SendOne(&loop, "clean.dat");
+  EXPECT_TRUE(s.ok()) << s;
+  ASSERT_EQ(pair.inbound.messages.size(), 1u);
+  EXPECT_EQ(pair.inbound.messages[0].name, "clean.dat");
+  EXPECT_GE(pair.harness.relay_count(), 1u);
+}
+
+TEST(PartitionableTransportTest, PartitionSeversAndHealRestores) {
+  EventLoop loop(RealClock::Get());
+  ShimmedPair pair(&loop);
+  ASSERT_TRUE(pair.SendOne(&loop, "before.dat").ok());
+
+  pair.harness.Partition("down");
+  Status severed = pair.SendOne(&loop, "during.dat");
+  EXPECT_TRUE(severed.IsUnavailable()) << severed;
+  EXPECT_EQ(pair.inbound.messages.size(), 1u);  // never crossed the wire
+  // Reconnect attempts during the partition are accepted-then-closed.
+  PumpRealUntil(&loop, [&] { return pair.harness.severed_rejects() > 0; });
+  EXPECT_GT(pair.harness.severed_rejects(), 0u);
+
+  pair.harness.Heal("down");
+  Status healed = pair.SendOne(&loop, "after.dat");
+  EXPECT_TRUE(healed.ok()) << healed;
+  EXPECT_EQ(pair.inbound.messages.back().name, "after.dat");
+}
+
+TEST(PartitionableTransportTest, BlackholeLosesAcksNotDelivery) {
+  EventLoop loop(RealClock::Get());
+  ShimmedPair pair(&loop);
+  ASSERT_TRUE(pair.SendOne(&loop, "before.dat").ok());
+
+  // Drop peer->self bytes: the file still arrives, its ack never returns
+  // — the duplicate-generating half-open case.
+  pair.harness.Blackhole("down", /*to_peer=*/false);
+  Status lost = pair.SendOne(&loop, "unacked.dat");
+  EXPECT_TRUE(lost.IsUnavailable()) << lost;
+  EXPECT_EQ(pair.inbound.messages.back().name, "unacked.dat");
+  EXPECT_GT(pair.harness.dropped_bytes(), 0u);
+  EXPECT_GE(pair.client.ack_timeouts(), 1u);
+
+  pair.harness.Heal("down");
+  EXPECT_TRUE(pair.SendOne(&loop, "after.dat").ok());
+}
+
+TEST(PartitionableTransportTest, SlowLinkDelaysTraffic) {
+  EventLoop loop(RealClock::Get());
+  ShimmedPair pair(&loop);
+  ASSERT_TRUE(pair.SendOne(&loop, "warm.dat").ok());
+
+  pair.harness.SlowLink("down", 100 * kMillisecond);
+  TimePoint start = RealClock::Get()->Now();
+  Status slow = pair.SendOne(&loop, "slow.dat");
+  Duration elapsed = RealClock::Get()->Now() - start;
+  EXPECT_TRUE(slow.ok()) << slow;
+  EXPECT_GE(elapsed, 100 * kMillisecond);  // at least one delayed leg
+  EXPECT_GT(pair.harness.delayed_chunks(), 0u);
+}
+
+TEST(PartitionableTransportTest, ArmSchedulesDirectivesFromPlan) {
+  EventLoop loop(RealClock::Get());
+  ShimmedPair pair(&loop);
+  ASSERT_TRUE(pair.SendOne(&loop, "before.dat").ok());
+
+  auto plan = ParseFaultPlan(R"(
+fault_plan {
+  net {
+    partition "up" "down" at 50ms;
+    heal "up" "down" at 700ms;
+  }
+}
+)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  pair.harness.Arm(*plan);
+
+  // Let the partition engage, then verify the link is dead.
+  TimePoint until = RealClock::Get()->Now() + 150 * kMillisecond;
+  while (RealClock::Get()->Now() < until) loop.RunFor(10 * kMillisecond);
+  Status severed = pair.SendOne(&loop, "during.dat");
+  EXPECT_TRUE(severed.IsUnavailable()) << severed;
+
+  // After the scheduled heal the link carries traffic again.
+  until = RealClock::Get()->Now() + 700 * kMillisecond;
+  while (RealClock::Get()->Now() < until) loop.RunFor(10 * kMillisecond);
+  Status healed = pair.SendOne(&loop, "after.dat");
+  EXPECT_TRUE(healed.ok()) << healed;
+  EXPECT_EQ(pair.inbound.messages.back().name, "after.dat");
 }
 
 }  // namespace

@@ -18,7 +18,7 @@
 //           [--durable (fsync staged files and receipt WAL writes)] \
 //           [--metrics-json <path> (dump a metrics snapshot on shutdown)] \
 //           [--admin-file <path> (poll for operator commands: status,
-//            deadletters, redrive — one per line; file is consumed)]
+//            deadletters, redrive, peers — one per line; file is consumed)]
 //
 // Layout under --root: landing/ staging/ db/ plus one directory per
 // subscriber without an absolute `destination`.
@@ -40,6 +40,7 @@
 #include "core/admin.h"
 #include "core/server.h"
 #include "federation/federation.h"
+#include "federation/health.h"
 #include "net/socket_transport.h"
 #include "obs/export.h"
 #include "vfs/localfs.h"
@@ -228,8 +229,10 @@ int main(int argc, char** argv) {
   FederationInbound inbound(server->get(), &logger);
   inbound.AttachMetrics((*server)->metrics());
   transport.SetInboundEndpoint(&inbound);
-  if (Status s = WirePeers(*config, server->get(), &transport, &logger);
-      !s.ok()) {
+  // Wires peers and runs the peer health state machine: suspect/down
+  // transitions, circuit-broken sends, and `failover` re-routing.
+  FederationRuntime federation(server->get(), &transport, &loop, &logger);
+  if (Status s = federation.Start(*config); !s.ok()) {
     std::fprintf(stderr, "federation error: %s\n", s.ToString().c_str());
     return 1;
   }
@@ -271,7 +274,9 @@ int main(int argc, char** argv) {
       if (commands.ok()) {
         for (const std::string& line : Split(*commands, '\n')) {
           if (Trim(line).empty()) continue;
-          std::fputs(ExecuteAdminCommand(server->get(), line).c_str(), stderr);
+          std::fputs(ExecuteAdminCommand(server->get(), line, &federation)
+                         .c_str(),
+                     stderr);
         }
       }
     }
