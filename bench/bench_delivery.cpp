@@ -36,6 +36,7 @@
 #include "common/strings.h"
 #include "config/parser.h"
 #include "core/server.h"
+#include "fanout/group.h"
 #include "sched/scheduler.h"
 #include "sim/network.h"
 #include "trigger/trigger.h"
@@ -252,6 +253,198 @@ RunResult RunOne(const BenchConfig& cfg, int fanout, int num_files,
   return r;
 }
 
+// ---- High-fanout sweep: subscriber groups scale the same engine to 1e5+
+// subscribers. The engine pays one send + one receipt row per GROUP; the
+// group relay fans to members in-process, so the per-file completion rate
+// should stay within 2x of the plain fanout-8 rate even at 100k members.
+
+/// Member endpoint for the fanout sweep: counts data files into a shared
+/// total so progress polling is O(1), not O(members).
+class CountingEndpoint : public Endpoint {
+ public:
+  explicit CountingEndpoint(uint64_t* total) : total_(total) {}
+  Status HandleMessage(const Message& msg) override {
+    if (msg.type == MessageType::kFileData) {
+      ++count_;
+      ++*total_;
+    }
+    return Status::OK();
+  }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t* total_;
+  uint64_t count_ = 0;
+};
+
+struct FanoutResult {
+  std::string label;
+  int groups = 0;            // 0 = plain individual subscribers
+  int members_per_group = 0;
+  uint64_t subscribers = 0;
+  int files = 0;
+  double sim_seconds = 0;
+  double file_rate = 0;      // files fully fanned out per sim second
+  double delivery_rate = 0;  // member deliveries per sim second
+  double ratio_vs_plain8 = 0;
+};
+
+FanoutResult RunFanout(const char* label, int groups, int members_per_group,
+                       int num_files, const std::string& payload) {
+  SimClock clock(FromCivil(CivilTime{2010, 9, 25}));
+  EventLoop loop(&clock);
+  InMemoryFileSystem memfs;
+  SimCostFileSystem fs(&memfs, &clock);
+  Rng rng(7);
+  SimNetwork network(&rng);
+  SimTransport transport(&loop, &network);
+  CallbackInvoker invoker;
+  Logger logger(&clock);
+  logger.SetMinLevel(LogLevel::kAlarm);
+  network.SetPipelinedAcks(true);
+
+  const uint64_t subscribers =
+      static_cast<uint64_t>(groups == 0 ? members_per_group
+                                        : groups * members_per_group);
+  // Plain rows register members directly as subscribers; group rows
+  // register one `group` block per relay, members only in the fan list.
+  std::string config_text =
+      "feed F { pattern \"F_POLL%i_%Y%m%d%H%M.txt\"; }\n"
+      "receipts { shards 4; }\n";
+  std::vector<std::string> wire_names;  // endpoints the engine sends to
+  if (groups == 0) {
+    for (int s = 0; s < members_per_group; ++s) {
+      config_text += StrFormat("subscriber s%d { feeds F; method push; }\n", s);
+      wire_names.push_back(StrFormat("s%d", s));
+    }
+  } else {
+    for (int g = 0; g < groups; ++g) {
+      config_text += StrFormat("group g%d { feeds F; members ", g);
+      for (int m = 0; m < members_per_group; ++m) {
+        config_text += StrFormat("%sm%d_%d", m == 0 ? "" : ", ", g, m);
+      }
+      config_text += "; }\n";
+      wire_names.push_back(StrFormat("g%d", g));
+    }
+  }
+  auto config = ParseConfig(config_text);
+  if (!config.ok()) std::abort();
+
+  LinkSpec wan;
+  wan.bandwidth_bytes_per_sec = 4 * 1000 * 1000;
+  wan.latency = 40 * kMillisecond;
+  uint64_t total = 0;
+  std::vector<std::unique_ptr<CountingEndpoint>> members;
+  members.reserve(subscribers);
+  std::map<std::string, Endpoint*> by_name;
+  auto add_member = [&](const std::string& name) {
+    members.push_back(std::make_unique<CountingEndpoint>(&total));
+    by_name[name] = members.back().get();
+  };
+  if (groups == 0) {
+    for (const std::string& name : wire_names) add_member(name);
+  } else {
+    for (int g = 0; g < groups; ++g) {
+      for (int m = 0; m < members_per_group; ++m) {
+        add_member(StrFormat("m%d_%d", g, m));
+      }
+    }
+  }
+  for (const std::string& name : wire_names) network.SetLink(name, wan);
+  if (groups == 0) {
+    for (const std::string& name : wire_names) {
+      transport.Register(name, by_name[name]);
+    }
+  }
+
+  // Constant across rows, and large enough (100 group endpoints x window
+  // 8 = 800) that the slot pool never binds: rows differ only in how the
+  // subscriber population is shaped, not in scheduler capacity.
+  PartitionedScheduler::Options sched_opts;
+  sched_opts.slots_per_partition = 1024;
+  PartitionedScheduler scheduler(sched_opts);
+
+  MetricsRegistry metrics;
+  BistroServer::Options opts;
+  opts.metrics = &metrics;
+  opts.kv.sync_wal = true;
+  opts.delivery.window = 8;
+  opts.delivery.coalesce_bytes = 16 * 1024;
+  opts.delivery.cache_bytes = 64 * 1024 * 1024;
+  opts.delivery.receipt_group = 32;
+  opts.delivery.receipt_flush_interval = 100 * kMillisecond;
+  auto server = BistroServer::Create(opts, *config, &fs, &transport, &loop,
+                                     &invoker, &logger, &scheduler);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    std::abort();
+  }
+
+  std::unique_ptr<fanout::GroupManager> manager;
+  if (groups > 0) {
+    fanout::GroupManager::Options group_options;
+    group_options.catchup_interval = 0;  // no stragglers in the sweep
+    manager = std::make_unique<fanout::GroupManager>(server->get(), &fs, &loop,
+                                                     &logger, group_options);
+    Status wired = manager->Wire(
+        config->groups,
+        [&](const std::string& m) -> Endpoint* {
+          auto it = by_name.find(m);
+          return it == by_name.end() ? nullptr : it->second;
+        },
+        [&](const std::string& name, Endpoint* ep) {
+          transport.Register(name, ep);
+        });
+    if (!wired.ok()) {
+      std::fprintf(stderr, "wire: %s\n", wired.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  for (const std::string& name : wire_names) {
+    (*server)->delivery()->SetOffline(name, true);
+  }
+  for (int i = 0; i < num_files; ++i) {
+    std::string name = StrFormat("F_POLL%d_201009250400.txt", i + 1);
+    if (!(*server)->Deposit("src", name, payload).ok()) std::abort();
+  }
+  loop.RunUntil(clock.Now() + kSecond);
+
+  const uint64_t want = subscribers * static_cast<uint64_t>(num_files);
+  TimePoint t0 = clock.Now();
+  for (const std::string& name : wire_names) {
+    (*server)->delivery()->SetOffline(name, false);
+  }
+  while (total < want) {
+    if (!loop.RunOne()) {
+      std::fprintf(stderr, "%s: loop idle at %llu/%llu deliveries\n", label,
+                   (unsigned long long)total, (unsigned long long)want);
+      std::abort();
+    }
+  }
+  TimePoint t1 = clock.Now();
+  loop.RunUntil(t1 + kSecond);
+
+  for (const auto& m : members) {
+    if (m->count() != static_cast<uint64_t>(num_files)) {
+      std::fprintf(stderr, "%s: member got %llu of %d files\n", label,
+                   (unsigned long long)m->count(), num_files);
+      std::abort();
+    }
+  }
+
+  FanoutResult r;
+  r.label = label;
+  r.groups = groups;
+  r.members_per_group = members_per_group;
+  r.subscribers = subscribers;
+  r.files = num_files;
+  r.sim_seconds = static_cast<double>(t1 - t0) / kSecond;
+  r.file_rate = static_cast<double>(num_files) / r.sim_seconds;
+  r.delivery_rate = static_cast<double>(want) / r.sim_seconds;
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -302,6 +495,36 @@ int main() {
     std::printf("\n");
   }
 
+  // High-fanout sweep: one send + one receipt row per group buys flat
+  // engine cost while member count grows 4 orders of magnitude.
+  const int fanout_files = quick ? 30 : 60;
+  std::vector<std::pair<const char*, std::pair<int, int>>> fanout_rows = {
+      {"plain8", {0, 8}},
+      {"groups-1k", {10, 100}},
+      {"groups-10k", {20, 500}},
+  };
+  if (!quick) fanout_rows.push_back({"groups-100k", {100, 1000}});
+
+  std::printf("=== Subscriber-group fanout: %d files x %zu B ===\n\n",
+              fanout_files, payload_bytes);
+  std::printf("%-12s %11s %7s %8s %9s %11s %14s %9s\n", "label", "subscribers",
+              "groups", "members", "sim sec", "files/sec", "deliveries/sec",
+              "vs plain8");
+  std::vector<FanoutResult> fanout_results;
+  double plain8_file_rate = 0;
+  for (const auto& [label, shape] : fanout_rows) {
+    FanoutResult r =
+        RunFanout(label, shape.first, shape.second, fanout_files, payload);
+    if (shape.first == 0) plain8_file_rate = r.file_rate;
+    r.ratio_vs_plain8 = r.file_rate / plain8_file_rate;
+    fanout_results.push_back(r);
+    std::printf("%-12s %11llu %7d %8d %9.3f %11.1f %14.0f %8.2fx\n",
+                r.label.c_str(), (unsigned long long)r.subscribers, r.groups,
+                r.members_per_group, r.sim_seconds, r.file_rate,
+                r.delivery_rate, r.ratio_vs_plain8);
+  }
+  std::printf("\n");
+
   std::string json = StrFormat(
       "{\n  \"bench\": \"delivery\",\n  \"quick\": %s,\n  \"files\": %d,\n"
       "  \"payload_bytes\": %zu,\n  \"fsync_cost_us\": %lld,\n"
@@ -320,6 +543,19 @@ int main() {
         (unsigned long long)r.coalesced_frames,
         (unsigned long long)r.receipt_flushes,
         i + 1 < results.size() ? "," : "");
+  }
+  json += "  ],\n  \"fanout\": [\n";
+  for (size_t i = 0; i < fanout_results.size(); ++i) {
+    const FanoutResult& r = fanout_results[i];
+    json += StrFormat(
+        "    {\"label\": \"%s\", \"subscribers\": %llu, \"groups\": %d, "
+        "\"members_per_group\": %d, \"files\": %d, \"sim_seconds\": %.4f, "
+        "\"files_per_sec\": %.2f, \"member_deliveries_per_sec\": %.0f, "
+        "\"file_rate_vs_plain8\": %.3f}%s\n",
+        r.label.c_str(), (unsigned long long)r.subscribers, r.groups,
+        r.members_per_group, r.files, r.sim_seconds, r.file_rate,
+        r.delivery_rate, r.ratio_vs_plain8,
+        i + 1 < fanout_results.size() ? "," : "");
   }
   json += "  ]\n}\n";
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
@@ -346,5 +582,19 @@ int main() {
   }
   std::printf("ACCEPTANCE PASS: %.2fx at fanout 8\n",
               fastpath_at_8 / lockstep_at_8);
+  if (!quick) {
+    const FanoutResult& big = fanout_results.back();
+    if (big.subscribers < 100000 ||
+        big.file_rate * 2.0 < plain8_file_rate) {
+      std::fprintf(stderr,
+                   "ACCEPTANCE FAIL: %s file rate %.1f/sec not within 2x of "
+                   "plain8 %.1f/sec\n",
+                   big.label.c_str(), big.file_rate, plain8_file_rate);
+      return 1;
+    }
+    std::printf("ACCEPTANCE PASS: %llu grouped subscribers at %.2fx the "
+                "plain fanout-8 file rate\n",
+                (unsigned long long)big.subscribers, big.ratio_vs_plain8);
+  }
   return 0;
 }

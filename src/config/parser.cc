@@ -1,6 +1,7 @@
 #include "config/parser.h"
 
 #include <cctype>
+#include <set>
 
 #include "common/strings.h"
 #include "pattern/pattern.h"
@@ -132,10 +133,14 @@ class Parser {
         BISTRO_RETURN_IF_ERROR(ParseServer(&config));
       } else if (t.kind == TokKind::kIdent && t.text == "peer") {
         BISTRO_RETURN_IF_ERROR(ParsePeer(&config));
+      } else if (t.kind == TokKind::kIdent && t.text == "relay") {
+        BISTRO_RETURN_IF_ERROR(ParseRelay(&config));
+      } else if (t.kind == TokKind::kIdent && t.text == "receipts") {
+        BISTRO_RETURN_IF_ERROR(ParseReceipts(&config));
       } else {
         return Err(
             "expected 'group', 'feed', 'subscriber', 'delivery', 'ingest', "
-            "'analyzer', 'server' or 'peer'");
+            "'analyzer', 'receipts', 'server', 'peer' or 'relay'");
       }
     }
     // Cross-peer checks need the full peer list.
@@ -149,6 +154,27 @@ class Parser {
         return Status::InvalidArgument("peer " + peer.name +
                                        " names unknown failover peer '" +
                                        peer.failover + "'");
+      }
+    }
+    // Group/subscriber/relay identities share one delivery namespace.
+    for (const GroupSpec& group : config.groups) {
+      for (const SubscriberSpec& sub : config.subscribers) {
+        if (sub.name == group.name) {
+          return Status::InvalidArgument(
+              "group " + group.name + " is also a subscriber name");
+        }
+      }
+      for (const GroupSpec& other : config.groups) {
+        if (&other != &group && other.name == group.name) {
+          return Status::InvalidArgument("duplicate group: " + group.name);
+        }
+      }
+    }
+    for (const RelaySpec& relay : config.relays) {
+      for (const RelaySpec& other : config.relays) {
+        if (&other != &relay && other.name == relay.name) {
+          return Status::InvalidArgument("duplicate relay: " + relay.name);
+        }
       }
     }
     return config;
@@ -216,11 +242,27 @@ class Parser {
     return v == "on";
   }
 
+  static bool IsGroupAttr(const std::string& word) {
+    return word == "feeds" || word == "members" || word == "window" ||
+           word == "straggler_after";
+  }
+
   Status ParseGroup(const std::string& prefix, ServerConfig* config) {
     BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "group", "'group'"));
     BISTRO_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
     std::string full = prefix.empty() ? name : prefix + "." + name;
     BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    // The keyword is overloaded: a block of nested `feed`/`group`
+    // definitions is a feed-hierarchy prefix; a block of subscriber-ish
+    // attributes (`feeds`, `members`, ...) is a *subscriber group* — one
+    // shared delivery identity fanned out to many member endpoints.
+    if (Peek().kind == TokKind::kIdent && IsGroupAttr(Peek().text)) {
+      if (!prefix.empty()) {
+        return Err("subscriber group '" + name +
+                   "' cannot be nested inside feed group '" + prefix + "'");
+      }
+      return ParseSubscriberGroup(std::move(name), config);
+    }
     while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
       if (AtEof()) return Err("unterminated group");
       const Token& t = Peek();
@@ -231,6 +273,120 @@ class Parser {
       } else {
         return Err("expected 'group' or 'feed' inside group");
       }
+    }
+    ++pos_;  // consume '}'
+    return Status::OK();
+  }
+
+  /// Body of a subscriber group; the opening `group <name> {` and the
+  /// first attribute peek already happened in ParseGroup.
+  Status ParseSubscriberGroup(std::string name, ServerConfig* config) {
+    GroupSpec group;
+    group.name = std::move(name);
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated group");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      if (attr == "feeds") {
+        BISTRO_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+        group.feeds.push_back(std::move(first));
+        while (Peek().kind == TokKind::kPunct && Peek().text == ",") {
+          ++pos_;
+          BISTRO_ASSIGN_OR_RETURN(std::string next, ExpectIdent());
+          group.feeds.push_back(std::move(next));
+        }
+      } else if (attr == "members") {
+        BISTRO_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+        group.members.push_back(std::move(first));
+        while (Peek().kind == TokKind::kPunct && Peek().text == ",") {
+          ++pos_;
+          BISTRO_ASSIGN_OR_RETURN(std::string next, ExpectIdent());
+          group.members.push_back(std::move(next));
+        }
+      } else if (attr == "window") {
+        BISTRO_ASSIGN_OR_RETURN(group.window, ExpectDuration());
+      } else if (attr == "straggler_after") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t n, ExpectInt());
+        if (n < 1) return Err("straggler_after must be at least 1");
+        group.straggler_after = static_cast<int>(n);
+      } else {
+        return Err("unknown group attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
+    }
+    ++pos_;  // consume '}'
+    if (group.feeds.empty()) {
+      return Status::InvalidArgument("group " + group.name +
+                                     " subscribes to no feeds");
+    }
+    if (group.members.empty()) {
+      return Status::InvalidArgument("group " + group.name + " has no members");
+    }
+    std::set<std::string> seen;
+    for (const std::string& member : group.members) {
+      if (!seen.insert(member).second) {
+        return Status::InvalidArgument("group " + group.name +
+                                       " lists member '" + member + "' twice");
+      }
+    }
+    config->groups.push_back(std::move(group));
+    return Status::OK();
+  }
+
+  Status ParseRelay(ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "relay", "'relay'"));
+    RelaySpec relay;
+    BISTRO_ASSIGN_OR_RETURN(relay.name, ExpectIdent());
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated relay");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      if (attr == "children") {
+        BISTRO_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+        relay.children.push_back(std::move(first));
+        while (Peek().kind == TokKind::kPunct && Peek().text == ",") {
+          ++pos_;
+          BISTRO_ASSIGN_OR_RETURN(std::string next, ExpectIdent());
+          relay.children.push_back(std::move(next));
+        }
+      } else if (attr == "spool") {
+        BISTRO_ASSIGN_OR_RETURN(relay.spool, ExpectString());
+      } else if (attr == "retry_backoff") {
+        BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
+        if (v <= 0) return Err("retry_backoff must be positive");
+        relay.retry_backoff = v;
+      } else if (attr == "max_attempts") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t n, ExpectInt());
+        if (n < 1) return Err("max_attempts must be at least 1");
+        relay.max_attempts = static_cast<int>(n);
+      } else {
+        return Err("unknown relay attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
+    }
+    ++pos_;  // consume '}'
+    if (relay.children.empty()) {
+      return Status::InvalidArgument("relay " + relay.name +
+                                     " has no children");
+    }
+    config->relays.push_back(std::move(relay));
+    return Status::OK();
+  }
+
+  Status ParseReceipts(ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "receipts", "'receipts'"));
+    ReceiptTuningSpec* r = &config->receipts;
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated receipts block");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      if (attr == "shards") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t v, ExpectInt());
+        if (v <= 0 || v > 256) return Err("shards must be in [1, 256]");
+        r->shards = static_cast<int>(v);
+      } else {
+        return Err("unknown receipts attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
     }
     ++pos_;  // consume '}'
     return Status::OK();
@@ -722,6 +878,18 @@ std::string FormatConfig(const ServerConfig& config) {
     }
     out += "}\n";
   }
+  for (const GroupSpec& group : config.groups) {
+    out += "group " + group.name + " {\n";
+    out += "  feeds " + Join(group.feeds, ", ") + ";\n";
+    out += "  members " + Join(group.members, ", ") + ";\n";
+    if (group.window != 0) {
+      out += "  window " + DurationLiteral(group.window) + ";\n";
+    }
+    if (group.straggler_after) {
+      out += StrFormat("  straggler_after %d;\n", *group.straggler_after);
+    }
+    out += "}\n";
+  }
   const DeliveryTuningSpec& d = config.delivery;
   if (!d.empty()) {
     out += "delivery {\n";
@@ -788,6 +956,12 @@ std::string FormatConfig(const ServerConfig& config) {
     }
     out += "}\n";
   }
+  const ReceiptTuningSpec& r = config.receipts;
+  if (!r.empty()) {
+    out += "receipts {\n";
+    if (r.shards) out += StrFormat("  shards %d;\n", *r.shards);
+    out += "}\n";
+  }
   const ServerNetSpec& srv = config.server;
   if (!srv.empty()) {
     out += "server {\n";
@@ -837,6 +1011,18 @@ std::string FormatConfig(const ServerConfig& config) {
     }
     if (peer.window != 0) {
       out += "  window " + DurationLiteral(peer.window) + ";\n";
+    }
+    out += "}\n";
+  }
+  for (const RelaySpec& relay : config.relays) {
+    out += "relay " + relay.name + " {\n";
+    out += "  children " + Join(relay.children, ", ") + ";\n";
+    if (!relay.spool.empty()) out += "  spool " + Quote(relay.spool) + ";\n";
+    if (relay.retry_backoff) {
+      out += "  retry_backoff " + DurationLiteral(*relay.retry_backoff) + ";\n";
+    }
+    if (relay.max_attempts) {
+      out += StrFormat("  max_attempts %d;\n", *relay.max_attempts);
     }
     out += "}\n";
   }

@@ -110,6 +110,7 @@ const SubscriberSpec* FeedRegistry::FindSubscriber(
 
 std::vector<const SubscriberSpec*> FeedRegistry::SubscribersOf(
     const FeedName& feed) const {
+  ++subscriber_scans_;
   std::vector<const SubscriberSpec*> out;
   for (const auto& sub : subscribers_) {
     for (const auto& interest : sub.feeds) {
@@ -125,6 +126,7 @@ std::vector<const SubscriberSpec*> FeedRegistry::SubscribersOf(
 Status FeedRegistry::UpdateFeed(const FeedSpec& spec) {
   BISTRO_ASSIGN_OR_RETURN(RegisteredFeed feed, CompileFeed(spec));
   feeds_.insert_or_assign(spec.name, std::move(feed));
+  ++version_;
   return Status::OK();
 }
 
@@ -138,6 +140,7 @@ Status FeedRegistry::AddSubscriber(const SubscriberSpec& spec) {
     }
   }
   subscribers_.push_back(spec);
+  ++version_;
   return Status::OK();
 }
 
@@ -150,6 +153,7 @@ Status FeedRegistry::UpdateSubscriber(const SubscriberSpec& spec) {
   for (auto& sub : subscribers_) {
     if (sub.name == spec.name) {
       sub = spec;
+      ++version_;
       return Status::OK();
     }
   }

@@ -62,7 +62,22 @@ class FeedRegistry {
   const SubscriberSpec* FindSubscriber(const SubscriberName& name) const;
 
   /// Subscribers whose interest set covers `feed`.
+  ///
+  /// This is a full scan over subscribers × interests — O(fanout) per
+  /// call. Hot paths go through fanout::SubscriptionIndex instead; the
+  /// scan counter below is the regression probe proving they do.
   std::vector<const SubscriberSpec*> SubscribersOf(const FeedName& feed) const;
+
+  /// Number of SubscribersOf full scans ever performed. Delivery,
+  /// backfill and refresh must leave this untouched once the
+  /// subscription index is wired (asserted by fanout tests).
+  uint64_t subscriber_scans() const { return subscriber_scans_; }
+
+  /// Monotone mutation counter: bumped by every UpdateFeed /
+  /// AddSubscriber / UpdateSubscriber. Derived structures (the
+  /// subscription index) compare it to rebuild lazily instead of
+  /// hooking every mutation site.
+  uint64_t version() const { return version_; }
 
   /// Adds or replaces a feed definition (analyzer-approved revision).
   Status UpdateFeed(const FeedSpec& spec);
@@ -82,6 +97,8 @@ class FeedRegistry {
 
   std::map<FeedName, RegisteredFeed> feeds_;
   std::vector<SubscriberSpec> subscribers_;
+  uint64_t version_ = 0;
+  mutable uint64_t subscriber_scans_ = 0;
 };
 
 }  // namespace bistro

@@ -79,6 +79,54 @@ struct SubscriberSpec {
   bool operator==(const SubscriberSpec&) const = default;
 };
 
+/// A subscriber *group* (the config's `group <name> { feeds; members; }`
+/// form): many endpoints that share ONE delivery identity. The server
+/// schedules, dedupes and receipts the group as a single subscriber —
+/// one delivery cursor, one pending entry, one receipt row per file —
+/// and a local group relay re-fans each accepted file out to the
+/// members. Distinguished from a feed-hierarchy `group { feed ...; }`
+/// block by its attributes (members/feeds vs. nested feed definitions).
+struct GroupSpec {
+  SubscriberName name;          // the shared delivery identity
+  std::vector<FeedName> feeds;  // feeds or feed groups of interest
+  std::vector<std::string> members;  // member endpoint identifiers
+  Duration window = 0;          // history wanted on subscribe (0 = all)
+  /// Consecutive member failures before the relay stops holding the
+  /// group ack for that member and moves it to straggler catch-up.
+  std::optional<int> straggler_after;
+
+  bool operator==(const GroupSpec&) const = default;
+};
+
+/// A dissemination relay (the config's `relay <name> { ... }` block):
+/// one upstream send re-fans out to `children` endpoints, composing
+/// with federation (children may be peers) so one upstream transmission
+/// serves a downstream tree. The relay acks upstream only after the
+/// message is durably spooled; forwarding then proceeds asynchronously
+/// with retries, and downstream receipt/FileId dedupe absorbs replays.
+struct RelaySpec {
+  std::string name;                   // also the relay's endpoint name
+  std::vector<std::string> children;  // downstream endpoint identifiers
+  std::string spool;                  // durable spool directory
+  std::optional<Duration> retry_backoff;
+  std::optional<int> max_attempts;
+
+  bool operator==(const RelaySpec&) const = default;
+};
+
+/// Receipt-store tuning (the config's `receipts { ... }` block). Every
+/// field is optional, mirroring the other tuning blocks.
+struct ReceiptTuningSpec {
+  /// Hash-sharded WAL segments: receipt rows partition across this many
+  /// independent KvStores, each group commit fsyncing only the shards it
+  /// touched. 1 (default) = the seed's single-store layout, bit-compatible.
+  std::optional<int> shards;
+
+  bool empty() const { return !shards; }
+
+  bool operator==(const ReceiptTuningSpec&) const = default;
+};
+
 /// Server-wide delivery/retry tuning (the config's `delivery { ... }`
 /// block). Every field is optional: unset fields keep the engine's
 /// compiled-in defaults, so configs written before a knob existed keep
@@ -225,9 +273,12 @@ struct PeerSpec {
 struct ServerConfig {
   std::vector<FeedSpec> feeds;
   std::vector<SubscriberSpec> subscribers;
+  std::vector<GroupSpec> groups;
+  std::vector<RelaySpec> relays;
   DeliveryTuningSpec delivery;
   IngestTuningSpec ingest;
   AnalyzerTuningSpec analyzer;
+  ReceiptTuningSpec receipts;
   ServerNetSpec server;
   std::vector<PeerSpec> peers;
 

@@ -5,7 +5,8 @@
 
 namespace bistro {
 
-std::string RenderStatusReport(BistroServer* server) {
+std::string RenderStatusReport(BistroServer* server,
+                               fanout::GroupManager* groups) {
   std::string out;
   ServerStats stats = server->stats();
   out += "=== Bistro server status ===\n";
@@ -39,6 +40,21 @@ std::string RenderStatusReport(BistroServer* server) {
       (unsigned long long)m.late, 100.0 * m.LateFraction(),
       FormatDuration(static_cast<Duration>(m.MeanTardiness())).c_str(),
       FormatDuration(m.max_tardiness).c_str());
+
+  if (groups != nullptr && !groups->groups().empty()) {
+    size_t members = 0, stragglers = 0, lag = 0;
+    for (const GroupSpec& spec : groups->groups()) {
+      if (const fanout::GroupRelay* relay = groups->relay(spec.name)) {
+        members += relay->member_count();
+        stragglers += relay->straggler_count();
+        lag += relay->straggler_lag();
+      }
+    }
+    out += StrFormat(
+        "groups: %zu group(s) covering %zu member(s), %zu straggler(s) "
+        "owed %zu file(s)\n",
+        groups->groups().size(), members, stragglers, lag);
+  }
 
   out += "feeds:\n";
   for (const RegisteredFeed* feed : server->registry()->feeds()) {
@@ -115,11 +131,69 @@ std::string RenderDeadLetters(BistroServer* server) {
   return out;
 }
 
+std::string RenderSubscriptions(BistroServer* server,
+                                const AdminFanout& fanout) {
+  std::string out = "=== Subscriptions ===\n";
+  size_t individuals = 0;
+  for (const SubscriberSpec& sub : server->registry()->subscribers()) {
+    if (fanout.groups != nullptr && fanout.groups->relay(sub.name) != nullptr) {
+      continue;  // rendered below as a group
+    }
+    ++individuals;
+  }
+  out += StrFormat("individual subscribers: %zu\n", individuals);
+  if (fanout.groups == nullptr || fanout.groups->groups().empty()) {
+    out += "groups: none\n";
+  } else {
+    out += "groups:\n";
+    for (const GroupSpec& spec : fanout.groups->groups()) {
+      const fanout::GroupRelay* relay = fanout.groups->relay(spec.name);
+      if (relay == nullptr) continue;
+      out += StrFormat(
+          "  %-20s %4zu member(s)  cursor %-8llu acked %-7llu "
+          "stragglers %zu (owed %zu)  interests: %s\n",
+          spec.name.c_str(), relay->member_count(),
+          (unsigned long long)relay->cursor(),
+          (unsigned long long)relay->files_acked(), relay->straggler_count(),
+          relay->straggler_lag(), Join(spec.feeds, ", ").c_str());
+      for (const fanout::GroupMemberStats& m : relay->member_stats()) {
+        std::string flag =
+            m.straggler ? StrFormat(" [STRAGGLER, owes %zu]", m.missed)
+                        : std::string();
+        out += StrFormat("    - %-20s delivered %-7llu%s\n", m.name.c_str(),
+                         (unsigned long long)m.delivered, flag.c_str());
+      }
+    }
+  }
+  if (fanout.relay_specs.empty()) {
+    out += "relays: none\n";
+  } else {
+    out += "relays:\n";
+    for (const RelaySpec& spec : fanout.relay_specs) {
+      int depth = fanout::RelayTreeDepth(fanout.relay_specs, spec.name);
+      std::string live;
+      for (const fanout::RelayNode* node : fanout.relay_nodes) {
+        if (node != nullptr && node->name() == spec.name) {
+          live = StrFormat("  backlog %zu, received %llu, forwarded %llu",
+                           node->Backlog(),
+                           (unsigned long long)node->received(),
+                           (unsigned long long)node->forwarded());
+        }
+      }
+      out += StrFormat("  %-20s depth %d  children: %s%s\n", spec.name.c_str(),
+                       depth, Join(spec.children, ", ").c_str(), live.c_str());
+    }
+  }
+  return out;
+}
+
 std::string ExecuteAdminCommand(BistroServer* server,
                                 const std::string& command,
-                                FederationRuntime* federation) {
+                                FederationRuntime* federation,
+                                const AdminFanout& fanout) {
   std::string cmd(Trim(command));
-  if (cmd == "status") return RenderStatusReport(server);
+  if (cmd == "status") return RenderStatusReport(server, fanout.groups);
+  if (cmd == "subscriptions") return RenderSubscriptions(server, fanout);
   if (cmd == "deadletters") return RenderDeadLetters(server);
   if (cmd == "redrive") {
     size_t n = server->delivery()->dead_letters().size();
@@ -131,7 +205,8 @@ std::string ExecuteAdminCommand(BistroServer* server,
     return federation->RenderPeers();
   }
   if (cmd == "help") {
-    return "commands: status | deadletters | redrive | peers | help\n";
+    return "commands: status | subscriptions | deadletters | redrive | "
+           "peers | help\n";
   }
   return StrFormat("unknown admin command: '%s' (try 'help')\n", cmd.c_str());
 }

@@ -90,9 +90,13 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
   }
   BISTRO_RETURN_IF_ERROR(fs->MkDirs(server->options_.landing_root));
   BISTRO_RETURN_IF_ERROR(fs->MkDirs(server->options_.staging_root));
+  int shards = server->options_.receipt_shards > 0
+                   ? server->options_.receipt_shards
+                   : config.receipts.shards.value_or(1);
   BISTRO_ASSIGN_OR_RETURN(
       server->receipts_,
-      ReceiptDatabase::Open(fs, server->options_.db_dir, server->options_.kv));
+      ReceiptDatabase::Open(fs, server->options_.db_dir, server->options_.kv,
+                            shards));
   server->receipts_->AttachMetrics(server->metrics_);
   server->classifier_ = std::make_unique<FeedClassifier>(
       server->registry_.get(), FeedClassifier::IndexMode::kPrefixIndex);
@@ -180,9 +184,12 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
         traces_gauge->Set(static_cast<int64_t>(srv->tracer_->retained()));
       });
   // Receipts may already hold undelivered history (crash recovery):
-  // recompute every subscriber's queue at startup.
-  for (const auto& sub : server->registry_->subscribers()) {
-    server->delivery_->Backfill(sub.name);
+  // recompute every subscriber's queue at startup. Runs off the
+  // subscription index, not a registry scan — same contract as the
+  // delivery hot path.
+  for (const auto& name :
+       server->delivery_->subscription_index()->ActiveSubscribers()) {
+    server->delivery_->Backfill(name);
   }
   return server;
 }

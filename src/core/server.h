@@ -69,6 +69,9 @@ class BistroServer : public Endpoint {
     IngestPipeline::Options ingest;
     /// Receipt-database tuning (e.g. sync_wal for crash consistency).
     KvStore::Options kv;
+    /// Receipt-database shard count. 0 = take the config file's
+    /// `receipts { shards N; }` (default 1). See ReceiptDatabase::Open.
+    int receipt_shards = 0;
     /// fsync each staged file before recording its arrival receipt, so a
     /// receipt never points at bytes a crash can take away. Off by
     /// default; chaos/crash tests and durable deployments enable it.

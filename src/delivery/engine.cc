@@ -16,6 +16,7 @@ DeliveryEngine::DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
                                FileTracer* tracer)
     : loop_(loop),
       registry_(registry),
+      index_(registry),
       receipts_(receipts),
       staging_fs_(staging_fs),
       transport_(transport),
@@ -32,6 +33,7 @@ DeliveryEngine::DeliveryEngine(EventLoop* loop, FeedRegistry* registry,
   }
   scheduler_->SetSubscriberWindow(options_.window);
   payload_cache_.AttachMetrics(metrics);
+  index_.AttachMetrics(metrics);
   jobs_submitted_ = metrics->GetCounter("bistro_delivery_jobs_submitted_total",
                                         "Transfer jobs handed to the scheduler");
   files_delivered_ = metrics->GetCounter(
@@ -162,7 +164,7 @@ void DeliveryEngine::SubmitStagedFile(const StagedFile& file) {
   for (const FeedName& feed : file.feeds) {
     const RegisteredFeed* rf = registry_->FindFeed(feed);
     Duration tardiness = rf != nullptr ? rf->spec.tardiness : kDefaultTardiness;
-    for (const SubscriberSpec* sub : registry_->SubscribersOf(feed)) {
+    for (const SubscriberSpec* sub : index_.PostingsFor(feed)) {
       auto key = std::make_pair(file.id, sub->name);
       if (pending_.count(key) != 0) continue;
       if (offline_.count(sub->name) != 0) {
@@ -579,9 +581,13 @@ void DeliveryEngine::Backfill(const SubscriberName& sub_name) {
 }
 
 void DeliveryEngine::BackfillFeed(const FeedName& feed) {
-  for (const SubscriberSpec* sub : registry_->SubscribersOf(feed)) {
-    Backfill(sub->name);
+  // Copy the names first: Backfill may mutate registry state behind the
+  // postings vector (it aliases registry storage).
+  std::vector<SubscriberName> names;
+  for (const SubscriberSpec* sub : index_.PostingsFor(feed)) {
+    names.push_back(sub->name);
   }
+  for (const SubscriberName& name : names) Backfill(name);
 }
 
 void DeliveryEngine::RerouteUndelivered(const SubscriberName& from,
@@ -704,7 +710,7 @@ void DeliveryEngine::EmitBatch(const SubscriberSpec& sub, BatchEvent event) {
 void DeliveryEngine::OnSourcePunctuation(const FeedName& feed,
                                          TimePoint batch_time) {
   (void)batch_time;
-  for (const SubscriberSpec* sub : registry_->SubscribersOf(feed)) {
+  for (const SubscriberSpec* sub : index_.PostingsFor(feed)) {
     if (sub->trigger.batch.mode != BatchSpec::Mode::kPunctuation) continue;
     Batcher* batcher = GetBatcher(*sub, feed);
     auto event = batcher->OnPunctuation(loop_->Now());

@@ -13,6 +13,7 @@
 #include "config/registry.h"
 #include "core/types.h"
 #include "delivery/payload_cache.h"
+#include "fanout/subscription_index.h"
 #include "kv/receipts.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -172,6 +173,10 @@ class DeliveryEngine {
   /// Resubmits every dead-lettered job with a fresh attempt budget.
   void RedriveDeadLetters();
 
+  /// The per-feed subscription index the hot paths resolve fan-out
+  /// through (exposed for startup backfill and tests).
+  fanout::SubscriptionIndex* subscription_index() { return &index_; }
+
  private:
   /// A job resolved and ready to hand to the transport.
   struct PreparedJob {
@@ -220,6 +225,9 @@ class DeliveryEngine {
 
   EventLoop* loop_;
   FeedRegistry* registry_;
+  /// Inverted feed -> subscribers index; replaces SubscribersOf scans on
+  /// the delivery, punctuation and backfill paths.
+  fanout::SubscriptionIndex index_;
   ReceiptDatabase* receipts_;
   FileSystem* staging_fs_;
   Transport* transport_;

@@ -1,0 +1,71 @@
+#ifndef BISTRO_FANOUT_SUBSCRIPTION_INDEX_H_
+#define BISTRO_FANOUT_SUBSCRIPTION_INDEX_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/registry.h"
+#include "obs/metrics.h"
+
+namespace bistro {
+namespace fanout {
+
+/// Per-feed subscription postings: feed -> the subscribers (individuals,
+/// groups, peers — anything registered) whose interest set covers it.
+///
+/// The seed resolved fan-out with FeedRegistry::SubscribersOf, a full
+/// scan over subscribers × interests on EVERY staged file, punctuation
+/// and feed backfill — O(fanout) work per event even when one feed has
+/// two subscribers. The index inverts the interest sets once and makes
+/// each lookup O(postings for that feed).
+///
+/// Rebuilds are lazy: the registry bumps a version counter on every
+/// mutation (feed revision, subscriber add/update) and the index
+/// compares it per lookup. Config mutations are rare and human-scale;
+/// file arrivals are not. Returned pointers alias the registry's
+/// subscriber storage and are valid until its next mutation — consume
+/// them immediately, never cache across events.
+class SubscriptionIndex {
+ public:
+  explicit SubscriptionIndex(const FeedRegistry* registry)
+      : registry_(registry) {}
+
+  /// Subscribers covering `feed`, in registration order (matching what
+  /// SubscribersOf would return). Unknown feeds yield an empty list.
+  const std::vector<const SubscriberSpec*>& PostingsFor(const FeedName& feed);
+
+  /// Names of subscribers holding at least one posting, name-ordered.
+  /// Startup backfill iterates this instead of the raw subscriber list.
+  const std::vector<SubscriberName>& ActiveSubscribers();
+
+  /// Forces a rebuild on next lookup regardless of the version counter
+  /// (tests; callers that mutate specs in place behind the registry).
+  void Invalidate() { built_ = false; }
+
+  uint64_t lookups() const { return lookups_; }
+  uint64_t rebuilds() const { return rebuilds_; }
+
+  /// Registers bistro_fanout_index_* series.
+  void AttachMetrics(MetricsRegistry* registry);
+
+ private:
+  void MaybeRebuild();
+
+  const FeedRegistry* registry_;
+  bool built_ = false;
+  uint64_t built_version_ = 0;
+  uint64_t lookups_ = 0;
+  uint64_t rebuilds_ = 0;
+  std::map<FeedName, std::vector<const SubscriberSpec*>> postings_;
+  std::vector<SubscriberName> active_;
+  std::vector<const SubscriberSpec*> empty_;
+  Counter* m_rebuilds_ = nullptr;
+  Counter* m_lookups_ = nullptr;
+  Gauge* m_postings_ = nullptr;
+};
+
+}  // namespace fanout
+}  // namespace bistro
+
+#endif  // BISTRO_FANOUT_SUBSCRIPTION_INDEX_H_

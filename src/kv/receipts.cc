@@ -69,27 +69,56 @@ Result<ArrivalReceipt> DecodeArrival(FileId id, std::string_view enc) {
   return r;
 }
 
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ReceiptDatabase>> ReceiptDatabase::Open(
-    FileSystem* fs, std::string dir, KvStore::Options options) {
-  BISTRO_ASSIGN_OR_RETURN(auto kv, KvStore::Open(fs, std::move(dir), options));
-  return std::unique_ptr<ReceiptDatabase>(new ReceiptDatabase(std::move(kv)));
+    FileSystem* fs, std::string dir, KvStore::Options options, int shards) {
+  if (shards < 1) {
+    return Status::InvalidArgument("receipt shards must be at least 1");
+  }
+  std::vector<std::unique_ptr<KvStore>> kvs;
+  if (shards == 1) {
+    // The seed's layout, byte for byte: the store lives in `dir` itself.
+    BISTRO_ASSIGN_OR_RETURN(auto kv, KvStore::Open(fs, std::move(dir), options));
+    kvs.push_back(std::move(kv));
+  } else {
+    for (int i = 0; i < shards; ++i) {
+      BISTRO_ASSIGN_OR_RETURN(
+          auto kv,
+          KvStore::Open(fs, dir + StrFormat("/shard-%03d", i), options));
+      kvs.push_back(std::move(kv));
+    }
+  }
+  return std::unique_ptr<ReceiptDatabase>(new ReceiptDatabase(std::move(kvs)));
 }
 
-ReceiptDatabase::ReceiptDatabase(std::unique_ptr<KvStore> kv)
-    : kv_(std::move(kv)) {}
+ReceiptDatabase::ReceiptDatabase(std::vector<std::unique_ptr<KvStore>> kvs)
+    : kvs_(std::move(kvs)) {}
+
+size_t ReceiptDatabase::ShardOfSubscriber(
+    const SubscriberName& subscriber) const {
+  return kvs_.size() == 1 ? 0 : Fnv1a(subscriber) % kvs_.size();
+}
 
 Result<FileId> ReceiptDatabase::NextFileId() {
   std::lock_guard<std::mutex> lock(seq_mu_);
   FileId next = 1;
-  auto cur = kv_->Get("seq");
+  auto cur = kvs_[0]->Get("seq");
   if (cur.ok()) {
     auto parsed = ParseInt(*cur);
     if (!parsed) return Status::Corruption("bad seq value");
     next = static_cast<FileId>(*parsed) + 1;
   }
-  BISTRO_RETURN_IF_ERROR(kv_->Put("seq", std::to_string(next)));
+  BISTRO_RETURN_IF_ERROR(kvs_[0]->Put("seq", std::to_string(next)));
   return next;
 }
 
@@ -98,7 +127,7 @@ void ReceiptDatabase::AttachMetrics(MetricsRegistry* registry) {
       "bistro_receipts_arrivals_total", "Arrival receipts recorded");
   group_commits_ = registry->GetCounter(
       "bistro_receipts_group_commits_total",
-      "Arrival receipt groups committed (one fsync each)");
+      "Arrival receipt groups committed (one fsync per touched shard)");
   group_commit_files_ = registry->GetCounter(
       "bistro_receipts_group_commit_files_total",
       "Arrival receipts committed through groups");
@@ -106,14 +135,20 @@ void ReceiptDatabase::AttachMetrics(MetricsRegistry* registry) {
       "bistro_receipts_deliveries_total", "Delivery receipts recorded");
   delivery_group_commits_ = registry->GetCounter(
       "bistro_receipts_delivery_group_commits_total",
-      "Delivery receipt groups committed (one fsync each)");
+      "Delivery receipt groups committed");
   delivery_group_files_ = registry->GetCounter(
       "bistro_receipts_delivery_group_files_total",
       "Delivery receipts committed through groups");
   files_expired_ = registry->GetCounter(
       "bistro_receipts_expired_total",
       "Receipts expunged by the history-window cleaner");
-  kv_->wal()->AttachMetrics(registry);
+  shard_commits_ = registry->GetCounter(
+      "bistro_receipts_shard_commits_total",
+      "Per-shard WAL group commits (one fsync each)");
+  registry->GetGauge("bistro_receipts_shards", "Receipt store shard count")
+      ->Set(static_cast<int64_t>(kvs_.size()));
+  // Shards share one WAL counter set; the series sum across stores.
+  for (auto& kv : kvs_) kv->wal()->AttachMetrics(registry);
 }
 
 namespace {
@@ -130,7 +165,8 @@ std::vector<KvStore::Write> ArrivalBatch(const ArrivalReceipt& receipt) {
 }  // namespace
 
 Status ReceiptDatabase::RecordArrival(const ArrivalReceipt& receipt) {
-  BISTRO_RETURN_IF_ERROR(kv_->Apply(ArrivalBatch(receipt)));
+  BISTRO_RETURN_IF_ERROR(
+      kvs_[ShardOfId(receipt.file_id)]->Apply(ArrivalBatch(receipt)));
   if (arrivals_recorded_ != nullptr) arrivals_recorded_->Increment();
   return Status::OK();
 }
@@ -140,7 +176,7 @@ Status ReceiptDatabase::RecordArrivalGroup(
   if (receipts->empty()) return Status::OK();
   std::lock_guard<std::mutex> lock(seq_mu_);
   FileId seq = 0;
-  auto cur = kv_->Get("seq");
+  auto cur = kvs_[0]->Get("seq");
   if (cur.ok()) {
     auto parsed = ParseInt(*cur);
     if (!parsed) return Status::Corruption("bad seq value");
@@ -148,18 +184,24 @@ Status ReceiptDatabase::RecordArrivalGroup(
   } else if (!cur.status().IsNotFound()) {
     return cur.status();
   }
-  std::vector<std::vector<KvStore::Write>> batches;
-  batches.reserve(receipts->size() + 1);
-  // The sequence bump is the group's first record: a torn group keeps a
-  // record prefix, so the bump outlives any surviving receipt and the
-  // burned ids are never reassigned after recovery.
-  batches.push_back({KvStore::Write::Put(
+  // Per-shard batch lists. The sequence bump is shard 0's first record
+  // and shard 0 commits first: a torn group keeps a per-shard record
+  // prefix, so the bump outlives any surviving receipt and the burned
+  // ids are never reassigned after recovery. A file's a/, n/ and f/
+  // rows are colocated in its id's shard, so each arrival stays one
+  // atomic batch no matter how the group is severed.
+  std::vector<std::vector<std::vector<KvStore::Write>>> by_shard(kvs_.size());
+  by_shard[0].push_back({KvStore::Write::Put(
       "seq", std::to_string(seq + receipts->size()))});
   for (ArrivalReceipt& r : *receipts) {
     r.file_id = ++seq;
-    batches.push_back(ArrivalBatch(r));
+    by_shard[ShardOfId(r.file_id)].push_back(ArrivalBatch(r));
   }
-  BISTRO_RETURN_IF_ERROR(kv_->ApplyMulti(batches));
+  for (size_t i = 0; i < kvs_.size(); ++i) {
+    if (by_shard[i].empty()) continue;
+    BISTRO_RETURN_IF_ERROR(kvs_[i]->ApplyMulti(by_shard[i]));
+    if (shard_commits_ != nullptr) shard_commits_->Increment();
+  }
   if (arrivals_recorded_ != nullptr) {
     arrivals_recorded_->Increment(receipts->size());
   }
@@ -171,14 +213,26 @@ Status ReceiptDatabase::RecordArrivalGroup(
 }
 
 Result<FileId> ReceiptDatabase::FindIdByName(const std::string& name) const {
-  BISTRO_ASSIGN_OR_RETURN(std::string idkey, kv_->Get("n/" + name));
-  return ParseFileIdKey(idkey);
+  // Same-name re-arrivals may land in different shards; the newest wins,
+  // so take the highest id across every shard's n/ index.
+  std::optional<FileId> best;
+  for (const auto& kv : kvs_) {
+    auto idkey = kv->Get("n/" + name);
+    if (!idkey.ok()) {
+      if (idkey.status().IsNotFound()) continue;
+      return idkey.status();
+    }
+    BISTRO_ASSIGN_OR_RETURN(FileId id, ParseFileIdKey(*idkey));
+    if (!best || id > *best) best = id;
+  }
+  if (!best) return Status::NotFound("no arrival named " + name);
+  return *best;
 }
 
 Status ReceiptDatabase::RecordDelivery(const SubscriberName& subscriber,
                                        FileId file_id, TimePoint when) {
-  BISTRO_RETURN_IF_ERROR(kv_->Put("d/" + subscriber + "/" + FileIdKey(file_id),
-                                  std::to_string(when)));
+  BISTRO_RETURN_IF_ERROR(kvs_[ShardOfSubscriber(subscriber)]->Put(
+      "d/" + subscriber + "/" + FileIdKey(file_id), std::to_string(when)));
   if (deliveries_recorded_ != nullptr) deliveries_recorded_->Increment();
   return Status::OK();
 }
@@ -186,16 +240,21 @@ Status ReceiptDatabase::RecordDelivery(const SubscriberName& subscriber,
 Status ReceiptDatabase::RecordDeliveryGroup(
     const std::vector<DeliveryRecord>& records) {
   if (records.empty()) return Status::OK();
-  // One batch per receipt: a torn group (crash mid-commit keeps a batch
-  // prefix) loses only a suffix of receipts, never corrupts one.
-  std::vector<std::vector<KvStore::Write>> batches;
-  batches.reserve(records.size());
+  // One batch per receipt, partitioned by subscriber shard: a torn group
+  // (crash mid-commit keeps a per-shard batch prefix) loses only a
+  // suffix of some shard's receipts, never corrupts one. Each touched
+  // shard pays one WAL append + fsync regardless of fanout within it.
+  std::vector<std::vector<std::vector<KvStore::Write>>> by_shard(kvs_.size());
   for (const DeliveryRecord& r : records) {
-    batches.push_back({KvStore::Write::Put(
-        "d/" + r.subscriber + "/" + FileIdKey(r.file_id),
-        std::to_string(r.when))});
+    by_shard[ShardOfSubscriber(r.subscriber)].push_back(
+        {KvStore::Write::Put("d/" + r.subscriber + "/" + FileIdKey(r.file_id),
+                             std::to_string(r.when))});
   }
-  BISTRO_RETURN_IF_ERROR(kv_->ApplyMulti(batches));
+  for (size_t i = 0; i < kvs_.size(); ++i) {
+    if (by_shard[i].empty()) continue;
+    BISTRO_RETURN_IF_ERROR(kvs_[i]->ApplyMulti(by_shard[i]));
+    if (shard_commits_ != nullptr) shard_commits_->Increment();
+  }
   if (deliveries_recorded_ != nullptr) {
     deliveries_recorded_->Increment(records.size());
   }
@@ -208,21 +267,26 @@ Status ReceiptDatabase::RecordDeliveryGroup(
 
 bool ReceiptDatabase::Delivered(const SubscriberName& subscriber,
                                 FileId file_id) const {
-  return kv_->Contains("d/" + subscriber + "/" + FileIdKey(file_id));
+  return kvs_[ShardOfSubscriber(subscriber)]->Contains(
+      "d/" + subscriber + "/" + FileIdKey(file_id));
 }
 
 Result<ArrivalReceipt> ReceiptDatabase::GetArrival(FileId file_id) const {
-  BISTRO_ASSIGN_OR_RETURN(std::string enc, kv_->Get("a/" + FileIdKey(file_id)));
+  BISTRO_ASSIGN_OR_RETURN(std::string enc,
+                          kvs_[ShardOfId(file_id)]->Get("a/" + FileIdKey(file_id)));
   return DecodeArrival(file_id, enc);
 }
 
 std::vector<FileId> ReceiptDatabase::FilesInFeed(const FeedName& feed) const {
   std::vector<FileId> out;
   std::string prefix = "f/" + feed + "/";
-  for (const auto& [key, _] : kv_->ScanPrefix(prefix)) {
-    auto id = ParseFileIdKey(std::string_view(key).substr(prefix.size()));
-    if (id.ok()) out.push_back(*id);
+  for (const auto& kv : kvs_) {
+    for (const auto& [key, _] : kv->ScanPrefix(prefix)) {
+      auto id = ParseFileIdKey(std::string_view(key).substr(prefix.size()));
+      if (id.ok()) out.push_back(*id);
+    }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -250,26 +314,30 @@ std::vector<ArrivalReceipt> ReceiptDatabase::ComputeDeliveryQueue(
 
 Result<std::vector<std::string>> ReceiptDatabase::ExpireBefore(TimePoint cutoff) {
   std::vector<std::string> expunged_paths;
-  std::vector<KvStore::Write> batch;
-  for (const auto& [key, value] : kv_->ScanPrefix("a/")) {
-    auto id = ParseFileIdKey(std::string_view(key).substr(2));
-    if (!id.ok()) continue;
-    auto receipt = DecodeArrival(*id, value);
-    if (!receipt.ok() || receipt->arrival_time >= cutoff) continue;
-    expunged_paths.push_back(receipt->staged_path);
-    batch.push_back(KvStore::Write::Del(key));
-    std::string idkey = FileIdKey(*id);
-    for (const auto& feed : receipt->feeds) {
-      batch.push_back(KvStore::Write::Del("f/" + feed + "/" + idkey));
+  for (const auto& kv : kvs_) {
+    // A file's a/, f/ and n/ rows are colocated, so each shard expires
+    // independently with one atomic batch.
+    std::vector<KvStore::Write> batch;
+    for (const auto& [key, value] : kv->ScanPrefix("a/")) {
+      auto id = ParseFileIdKey(std::string_view(key).substr(2));
+      if (!id.ok()) continue;
+      auto receipt = DecodeArrival(*id, value);
+      if (!receipt.ok() || receipt->arrival_time >= cutoff) continue;
+      expunged_paths.push_back(receipt->staged_path);
+      batch.push_back(KvStore::Write::Del(key));
+      std::string idkey = FileIdKey(*id);
+      for (const auto& feed : receipt->feeds) {
+        batch.push_back(KvStore::Write::Del("f/" + feed + "/" + idkey));
+      }
+      // Drop the name-index entry only if it still points at this id; a
+      // newer same-name arrival owns the key now and must keep it.
+      auto named = kv->Get("n/" + receipt->name);
+      if (named.ok() && *named == idkey) {
+        batch.push_back(KvStore::Write::Del("n/" + receipt->name));
+      }
     }
-    // Drop the name-index entry only if it still points at this id; a
-    // newer same-name arrival owns the key now and must keep it.
-    auto named = kv_->Get("n/" + receipt->name);
-    if (named.ok() && *named == idkey) {
-      batch.push_back(KvStore::Write::Del("n/" + receipt->name));
-    }
+    if (!batch.empty()) BISTRO_RETURN_IF_ERROR(kv->Apply(batch));
   }
-  if (!batch.empty()) BISTRO_RETURN_IF_ERROR(kv_->Apply(batch));
   if (files_expired_ != nullptr) {
     files_expired_->Increment(expunged_paths.size());
   }
@@ -277,7 +345,9 @@ Result<std::vector<std::string>> ReceiptDatabase::ExpireBefore(TimePoint cutoff)
 }
 
 size_t ReceiptDatabase::ArrivalCount() const {
-  return kv_->ScanPrefix("a/").size();
+  size_t total = 0;
+  for (const auto& kv : kvs_) total += kv->ScanPrefix("a/").size();
+  return total;
 }
 
 }  // namespace bistro

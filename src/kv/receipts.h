@@ -26,7 +26,7 @@ struct ArrivalReceipt {
 };
 
 /// The transactional receipt database: arrival receipts plus delivery
-/// receipts, both in one KvStore so a (arrival, delivery...) history
+/// receipts, in one or more KvStores so a (arrival, delivery...) history
 /// survives crashes and delivery queues can always be recomputed.
 ///
 /// Key space:
@@ -38,14 +38,34 @@ struct ArrivalReceipt {
 ///                                committed)
 ///   d/<subscriber>/<file_id16x> -> delivery time (decimal)
 ///   seq                       -> last assigned file id
+///
+/// Sharding (`shards` > 1): receipt I/O must scale with shard count, not
+/// fanout, so keys hash-partition across independent KvStores (each with
+/// its own WAL + group commit):
+///
+///   - a/, f/ and n/ rows live in shard `file_id % shards`. Colocating a
+///     file's three rows keeps an arrival a single atomic batch in one
+///     WAL — a torn group still loses only a record *suffix*, exactly as
+///     in the single-store layout. FindIdByName consults every shard and
+///     returns the highest id found (same-name re-arrivals may land in
+///     different shards).
+///   - d/ rows live in shard `hash(subscriber) % shards`, so a delivery
+///     group commit partitions by subscriber and fsyncs only the shards
+///     it touched, and one subscriber's Delivered lookups stay in one
+///     store.
+///   - `seq` lives in shard 0, bumped first as before: burned ids are
+///     never reassigned no matter which shard's commit a crash severs.
+///
+/// shards == 1 (the default) keeps the seed's exact on-disk layout in
+/// `dir` itself; shards > 1 use `dir/shard-<i>`.
 class ReceiptDatabase {
  public:
   static Result<std::unique_ptr<ReceiptDatabase>> Open(
       FileSystem* fs, std::string dir,
-      KvStore::Options options = KvStore::Options());
+      KvStore::Options options = KvStore::Options(), int shards = 1);
 
   /// Registers receipt counters (arrivals, deliveries, expiries) and the
-  /// underlying WAL's counters in `registry`. Optional.
+  /// underlying WALs' counters in `registry`. Optional.
   void AttachMetrics(MetricsRegistry* registry);
 
   /// Assigns the next FileId (durable: survives restart without reuse).
@@ -56,13 +76,13 @@ class ReceiptDatabase {
   Status RecordArrival(const ArrivalReceipt& receipt);
 
   /// Group commit (the ingest pipeline's receipt stage): assigns each
-  /// receipt the next FileId and records the whole group with a single
-  /// WAL append + fsync, amortizing the durability cost over the group.
-  /// The sequence bump is the group's first record, so a torn group (a
-  /// crash mid-commit preserves a record *prefix*) can only burn ids —
-  /// it can never reassign an id a surviving receipt already uses.
-  /// On success every receipt's file_id is filled in, ascending in input
-  /// order; on failure none of the group is committed.
+  /// receipt the next FileId and records the whole group with one WAL
+  /// append + fsync per *touched shard*, amortizing the durability cost
+  /// over the group. The sequence bump is shard 0's first record and
+  /// shard 0 commits first, so a torn group (a crash mid-commit
+  /// preserves a per-shard record prefix) can only burn ids — it can
+  /// never reassign an id a surviving receipt already uses. On success
+  /// every receipt's file_id is filled in, ascending in input order.
   Status RecordArrivalGroup(std::vector<ArrivalReceipt>* receipts);
 
   /// The latest arrival recorded under `name`, via the n/<name> index.
@@ -81,11 +101,12 @@ class ReceiptDatabase {
   };
 
   /// Group commit for delivery receipts (mirror of RecordArrivalGroup):
-  /// the whole group rides one WAL append + one fsync. Unlike arrivals
-  /// there is no sequence to bump — a torn group simply loses a suffix of
-  /// receipts, which at worst causes those files to be re-delivered after
-  /// recovery; subscriber-side FileId dedupe absorbs the repeats, so
-  /// grouping never weakens exactly-once.
+  /// the group partitions by subscriber shard and rides one WAL append +
+  /// one fsync per touched shard. Unlike arrivals there is no sequence to
+  /// bump — a torn group simply loses a suffix of some shard's receipts,
+  /// which at worst causes those files to be re-delivered after recovery;
+  /// subscriber-side FileId dedupe absorbs the repeats, so grouping never
+  /// weakens exactly-once.
   Status RecordDeliveryGroup(const std::vector<DeliveryRecord>& records);
 
   /// Whether the file has been delivered to the subscriber.
@@ -93,7 +114,7 @@ class ReceiptDatabase {
 
   Result<ArrivalReceipt> GetArrival(FileId file_id) const;
 
-  /// All file ids recorded for `feed`, ascending.
+  /// All file ids recorded for `feed`, ascending (merged across shards).
   std::vector<FileId> FilesInFeed(const FeedName& feed) const;
 
   /// Computes a subscriber's delivery queue: every file in any of `feeds`
@@ -109,15 +130,23 @@ class ReceiptDatabase {
   /// the staged paths of expunged files (for the window cleaner).
   Result<std::vector<std::string>> ExpireBefore(TimePoint cutoff);
 
-  /// Number of arrival receipts.
+  /// Number of arrival receipts (summed across shards).
   size_t ArrivalCount() const;
 
-  KvStore* kv() { return kv_.get(); }
+  /// Shard 0's store (the only shard when sharding is off).
+  KvStore* kv() { return kvs_[0].get(); }
+  KvStore* kv(size_t shard) { return kvs_[shard].get(); }
+  size_t shard_count() const { return kvs_.size(); }
 
  private:
-  explicit ReceiptDatabase(std::unique_ptr<KvStore> kv);
+  explicit ReceiptDatabase(std::vector<std::unique_ptr<KvStore>> kvs);
 
-  std::unique_ptr<KvStore> kv_;
+  size_t ShardOfId(FileId id) const {
+    return static_cast<size_t>(id) % kvs_.size();
+  }
+  size_t ShardOfSubscriber(const SubscriberName& subscriber) const;
+
+  std::vector<std::unique_ptr<KvStore>> kvs_;
   std::mutex seq_mu_;
   Counter* arrivals_recorded_ = nullptr;
   Counter* deliveries_recorded_ = nullptr;
@@ -126,6 +155,7 @@ class ReceiptDatabase {
   Counter* group_commit_files_ = nullptr;
   Counter* delivery_group_commits_ = nullptr;
   Counter* delivery_group_files_ = nullptr;
+  Counter* shard_commits_ = nullptr;
 };
 
 }  // namespace bistro

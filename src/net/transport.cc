@@ -119,6 +119,10 @@ void SimTransport::Register(const std::string& name, Endpoint* endpoint) {
   endpoints_[name] = endpoint;
 }
 
+void SimTransport::Unregister(const std::string& name) {
+  endpoints_.erase(name);
+}
+
 void SimTransport::Send(const std::string& endpoint, const Message& msg,
                         SendCallback done) {
   CountSend(msg.payload.size());
@@ -133,11 +137,14 @@ void SimTransport::Send(const std::string& endpoint, const Message& msg,
     });
     return;
   }
-  auto it = endpoints_.find(endpoint);
-  Endpoint* ep = it == endpoints_.end() ? nullptr : it->second;
   std::string wire = EncodeMessage(msg);
+  // The endpoint resolves at DELIVERY time, not send time: a receiver
+  // that is replaced (or torn down by a crash) mid-flight gets the
+  // message at its current incarnation, or an Unavailable bounce.
   loop_->PostAt(*completion,
-                [this, ep, endpoint, wire = std::move(wire), done] {
+                [this, endpoint, wire = std::move(wire), done] {
+    auto it = endpoints_.find(endpoint);
+    Endpoint* ep = it == endpoints_.end() ? nullptr : it->second;
     if (ep == nullptr) {
       Status s = Status::Unavailable("no endpoint: " + endpoint);
       CountOutcome(s);
@@ -183,11 +190,12 @@ void SimTransport::SendBundle(const std::string& endpoint,
     });
     return;
   }
-  auto it = endpoints_.find(endpoint);
-  Endpoint* ep = it == endpoints_.end() ? nullptr : it->second;
   std::string wire = EncodeBundle(msgs);
-  loop_->PostAt(*completion, [this, ep, endpoint, wire = std::move(wire),
+  // Delivery-time endpoint resolution, as in Send above.
+  loop_->PostAt(*completion, [this, endpoint, wire = std::move(wire),
                               dones = std::move(dones)] {
+    auto it = endpoints_.find(endpoint);
+    Endpoint* ep = it == endpoints_.end() ? nullptr : it->second;
     if (ep == nullptr) {
       Status s = Status::Unavailable("no endpoint: " + endpoint);
       for (const SendCallback& done : dones) {

@@ -116,6 +116,9 @@ class SimTransport : public Transport {
       : loop_(loop), network_(network) {}
 
   void Register(const std::string& name, Endpoint* endpoint);
+  /// Takes the endpoint off the wire: messages in flight to it (resolved
+  /// at delivery time) bounce with Unavailable, as for a crashed process.
+  void Unregister(const std::string& name);
 
   void Send(const std::string& endpoint, const Message& msg,
             SendCallback done) override;

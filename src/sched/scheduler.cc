@@ -51,14 +51,33 @@ void DeliveryScheduler::RecordOutcome(const TransferJob& job, bool success,
 
 std::optional<TransferJob> DeliveryScheduler::TakeParked(
     const std::function<bool(const TransferJob&)>& admit) {
-  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+  // One pass over the ready queue (subscribers NoteDone saw reopen), not
+  // the whole parked map. Entries whose window closed again are dropped —
+  // the next NoteDone for them re-enqueues; entries the subclass's
+  // capacity check rejects stay ready for the next dequeue.
+  for (size_t i = ready_.size(); i > 0; --i) {
+    SubscriberName sub = std::move(ready_.front());
+    ready_.pop_front();
+    auto it = parked_.find(sub);
+    if (it == parked_.end() || !WindowPermits(sub)) {
+      ready_set_.erase(sub);
+      continue;
+    }
     std::deque<TransferJob>& queue = it->second;
-    if (!WindowPermits(it->first)) continue;
-    if (!admit(queue.front())) continue;
+    if (!admit(queue.front())) {
+      ready_.push_back(std::move(sub));
+      continue;
+    }
     TransferJob job = std::move(queue.front());
     queue.pop_front();
     --parked_count_;
-    if (queue.empty()) parked_.erase(it);
+    if (queue.empty()) {
+      parked_.erase(it);
+      ready_set_.erase(sub);
+    } else {
+      // More parked jobs; window state is rechecked on next access.
+      ready_.push_back(std::move(sub));
+    }
     return job;
   }
   return std::nullopt;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -101,6 +102,14 @@ class DeliveryScheduler {
     auto it = window_inflight_.find(sub);
     if (it == window_inflight_.end()) return;
     if (--it->second == 0) window_inflight_.erase(it);
+    // The completion may have reopened this subscriber's window; if it
+    // holds parked jobs, put it on the ready queue so TakeParked finds it
+    // without scanning the parked map (O(parked subscribers) per dequeue
+    // at high fanout, which is exactly when windows fill).
+    if (parked_.count(sub) != 0 && WindowPermits(sub) &&
+        ready_set_.insert(sub).second) {
+      ready_.push_back(sub);
+    }
   }
   /// Parks a job popped while its subscriber's window was full.
   void Park(TransferJob job) {
@@ -108,7 +117,9 @@ class DeliveryScheduler {
     ++parked_count_;
   }
   /// First parked job whose subscriber window has reopened and that the
-  /// subclass's own capacity check (`admit`) accepts. FIFO per subscriber.
+  /// subclass's own capacity check (`admit`) accepts. FIFO per
+  /// subscriber. Consults only the ready queue NoteDone maintains, so a
+  /// dequeue costs O(ready subscribers), not O(parked subscribers).
   std::optional<TransferJob> TakeParked(
       const std::function<bool(const TransferJob&)>& admit);
 
@@ -119,6 +130,10 @@ class DeliveryScheduler {
   size_t parked_count_ = 0;
   std::map<SubscriberName, size_t> window_inflight_;
   std::map<SubscriberName, std::deque<TransferJob>> parked_;
+  /// Subscribers with parked jobs whose window has reopened, in reopen
+  /// order; ready_set_ guards against duplicate enqueues.
+  std::deque<SubscriberName> ready_;
+  std::set<SubscriberName> ready_set_;
   Counter* completed_counter_ = nullptr;
   Counter* failed_counter_ = nullptr;
   Counter* late_counter_ = nullptr;
