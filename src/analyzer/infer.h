@@ -20,6 +20,11 @@ struct FileObservation {
   /// unknown). Lets the streaming corpus dedupe files that are re-seen
   /// across landing-zone scans.
   uint64_t id = 0;
+  /// Pre-computed tokenization (empty = not tokenized yet). The server
+  /// fills this when it records an unmatched file — the same table-driven
+  /// scan the classifier automaton uses — so the analyzer's fold never
+  /// re-walks the name.
+  std::vector<NameToken> tokens = {};
 };
 
 /// Inferred type of one variable (digit) field within an atomic feed.

@@ -78,7 +78,12 @@ uint32_t IncrementalCorpus::ShardOf(const std::string& name) const {
 
 const std::string* IncrementalCorpus::FoldIntoShard(uint32_t shard_index,
                                                     const FileObservation& obs) {
-  auto tokens = TokenizeName(obs.name);
+  // Observations from the server carry the classifier's tokenization;
+  // only bare observations (tests, replayed corpora) re-tokenize here.
+  std::vector<NameToken> scratch;
+  if (obs.tokens.empty()) scratch = TokenizeName(obs.name);
+  const std::vector<NameToken>& tokens =
+      obs.tokens.empty() ? scratch : obs.tokens;
   std::string signature = NameSignature(tokens);
 
   Shard& shard = shards_[shard_index];

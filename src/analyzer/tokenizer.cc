@@ -1,28 +1,43 @@
 #include "analyzer/tokenizer.h"
 
-#include "common/strings.h"
-
 namespace bistro {
+
+namespace {
+constexpr std::array<NameCharKind, 256> BuildNameCharClass() {
+  std::array<NameCharKind, 256> t{};
+  for (int c = 0; c < 256; ++c) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+      t[static_cast<size_t>(c)] = NameCharKind::kAlpha;
+    } else if (c >= '0' && c <= '9') {
+      t[static_cast<size_t>(c)] = NameCharKind::kDigit;
+    } else {
+      t[static_cast<size_t>(c)] = NameCharKind::kSep;
+    }
+  }
+  return t;
+}
+}  // namespace
+
+const std::array<NameCharKind, 256> kNameCharClass = BuildNameCharClass();
 
 std::vector<NameToken> TokenizeName(std::string_view name) {
   std::vector<NameToken> tokens;
   size_t i = 0;
   while (i < name.size()) {
-    char c = name[i];
-    if (IsAlpha(c)) {
-      size_t start = i;
-      while (i < name.size() && IsAlpha(name[i])) ++i;
-      tokens.push_back(
-          {NameToken::Kind::kAlpha, std::string(name.substr(start, i - start))});
-    } else if (IsDigit(c)) {
-      size_t start = i;
-      while (i < name.size() && IsDigit(name[i])) ++i;
-      tokens.push_back({NameToken::Kind::kDigits,
-                        std::string(name.substr(start, i - start))});
-    } else {
-      tokens.push_back({NameToken::Kind::kSep, std::string(1, c)});
+    NameCharKind k = kNameCharClass[static_cast<uint8_t>(name[i])];
+    if (k == NameCharKind::kSep) {
+      tokens.push_back({NameToken::Kind::kSep, std::string(1, name[i])});
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < name.size() &&
+           kNameCharClass[static_cast<uint8_t>(name[i])] == k) {
       ++i;
     }
+    tokens.push_back({k == NameCharKind::kAlpha ? NameToken::Kind::kAlpha
+                                                : NameToken::Kind::kDigits,
+                      std::string(name.substr(start, i - start))});
   }
   return tokens;
 }

@@ -1,10 +1,26 @@
 #ifndef BISTRO_ANALYZER_TOKENIZER_H_
 #define BISTRO_ANALYZER_TOKENIZER_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace bistro {
+
+/// Character class of one filename byte. One shared 256-entry table
+/// drives both TokenizeName below and the classifier automaton's fused
+/// classify+tokenize scan (classify/automaton.h), so the two
+/// segmentations cannot drift apart. Matches IsAlpha/IsDigit from
+/// common/strings.h.
+enum class NameCharKind : uint8_t {
+  kSep = 0,
+  kAlpha = 1,
+  kDigit = 2,
+};
+
+extern const std::array<NameCharKind, 256> kNameCharClass;
 
 /// One lexical token of a filename.
 ///

@@ -1,0 +1,457 @@
+#include "classify/automaton.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+namespace bistro {
+
+namespace {
+
+/// One NFA transition over a contiguous byte range.
+struct NfaEdge {
+  uint8_t lo = 0;
+  uint8_t hi = 0;
+  uint32_t target = 0;
+};
+
+struct NfaState {
+  std::vector<NfaEdge> edges;
+  std::vector<uint32_t> eps;
+  int32_t accept = -1;  // global pattern id, -1 = none
+};
+
+/// Lowers each pattern's token list to an NFA fragment hanging off the
+/// shared start state 0.
+class NfaBuilder {
+ public:
+  NfaBuilder() { states.emplace_back(); }  // state 0 = start
+
+  void AddPattern(const Pattern& pattern, int32_t pattern_id) {
+    uint32_t cur = NewState();
+    states[0].eps.push_back(cur);
+    for (const PatternToken& t : pattern.tokens()) {
+      using Kind = PatternToken::Kind;
+      switch (t.kind) {
+        case Kind::kLiteral:
+          for (char c : t.literal) cur = ByteEdge(cur, static_cast<uint8_t>(c));
+          break;
+        case Kind::kString: {
+          // Non-empty arbitrary string: enter the loop on any byte, then
+          // self-loop. Exit is implicit: the loop state continues the chain.
+          uint32_t loop = NewState();
+          Edge(cur, 0, 255, loop);
+          Edge(loop, 0, 255, loop);
+          cur = loop;
+          break;
+        }
+        case Kind::kInt: {
+          // Unbounded digit self-loop; int64-overflow exactness is
+          // restored by the scan's long-run verify flag (see header).
+          uint32_t loop = NewState();
+          Edge(cur, '0', '9', loop);
+          Edge(loop, '0', '9', loop);
+          cur = loop;
+          break;
+        }
+        case Kind::kYear4:
+          cur = DigitChain(cur, 4);
+          break;
+        case Kind::kYear2:
+          cur = DigitChain(cur, 2);
+          break;
+        case Kind::kMonth:
+          cur = TwoDigitRange(cur, 1, 12);
+          break;
+        case Kind::kDay:
+          cur = TwoDigitRange(cur, 1, 31);
+          break;
+        case Kind::kHour:
+          cur = TwoDigitRange(cur, 0, 23);
+          break;
+        case Kind::kMinute:
+        case Kind::kSecond:
+          cur = TwoDigitRange(cur, 0, 59);
+          break;
+      }
+    }
+    states[cur].accept = pattern_id;
+  }
+
+  std::vector<NfaState> states;
+
+ private:
+  uint32_t NewState() {
+    states.emplace_back();
+    return static_cast<uint32_t>(states.size() - 1);
+  }
+  void Edge(uint32_t from, uint8_t lo, uint8_t hi, uint32_t to) {
+    states[from].edges.push_back({lo, hi, to});
+  }
+  uint32_t ByteEdge(uint32_t cur, uint8_t c) {
+    uint32_t n = NewState();
+    Edge(cur, c, c, n);
+    return n;
+  }
+  uint32_t DigitChain(uint32_t cur, int width) {
+    for (int i = 0; i < width; ++i) {
+      uint32_t n = NewState();
+      Edge(cur, '0', '9', n);
+      cur = n;
+    }
+    return cur;
+  }
+  /// A constrained two-digit field [lo, hi] decomposes into positional
+  /// digit classes: month [1,12] = '0'[1-9] | '1'[0-2], hour [0,23] =
+  /// [0-1][0-9] | '2'[0-3], and so on — exactly the interpreter's range
+  /// check, expressed as states.
+  uint32_t TwoDigitRange(uint32_t cur, int lo, int hi) {
+    uint32_t out = NewState();
+    for (int d1 = lo / 10; d1 <= hi / 10; ++d1) {
+      int lo2 = (d1 == lo / 10) ? lo % 10 : 0;
+      int hi2 = (d1 == hi / 10) ? hi % 10 : 9;
+      uint32_t mid = NewState();
+      Edge(cur, static_cast<uint8_t>('0' + d1), static_cast<uint8_t>('0' + d1),
+           mid);
+      Edge(mid, static_cast<uint8_t>('0' + lo2),
+           static_cast<uint8_t>('0' + hi2), out);
+    }
+    return out;
+  }
+};
+
+struct VecHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+struct IntVecHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (int32_t x : v) {
+      h ^= static_cast<uint32_t>(x);
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const FeedAutomaton> FeedAutomaton::Compile(
+    const FeedRegistry& registry) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto automaton = std::shared_ptr<FeedAutomaton>(new FeedAutomaton());
+  FeedAutomaton& a = *automaton;
+  a.version_ = registry.version();
+
+  // Snapshot-owned copies of the table: feed names and compiled patterns
+  // in registry order, primary before alternates. Global pattern ids are
+  // therefore ordered exactly the way the linear classifier probes.
+  std::vector<uint32_t> pattern_feed;  // pattern id -> feed index
+  for (const RegisteredFeed* feed : registry.feeds()) {
+    uint32_t fi = static_cast<uint32_t>(a.feed_names_.size());
+    a.feed_names_.push_back(feed->spec.name);
+    a.patterns_.push_back(feed->pattern);
+    pattern_feed.push_back(fi);
+    for (const Pattern& alt : feed->alts) {
+      a.patterns_.push_back(alt);
+      pattern_feed.push_back(fi);
+    }
+  }
+
+  NfaBuilder nfa;
+  for (size_t pid = 0; pid < a.patterns_.size(); ++pid) {
+    nfa.AddPattern(a.patterns_[pid], static_cast<int32_t>(pid));
+  }
+
+  // Subset construction. The worklist is processed in creation order
+  // (breadth-first from the root); the relayout pass below renumbers the
+  // result depth-first for locality while the dense-row budget keeps
+  // following this breadth-first discovery order.
+  std::unordered_map<std::vector<uint32_t>, uint32_t, VecHash> subset_ids;
+  std::vector<std::vector<uint32_t>> subsets;
+  std::unordered_map<std::vector<int32_t>, uint32_t, IntVecHash> accept_ids;
+
+  std::vector<uint32_t> mark(nfa.states.size(), 0);
+  uint32_t epoch = 0;
+
+  // Expands `set` (members already marked with `epoch`) through epsilon
+  // edges and canonicalizes it.
+  auto close = [&](std::vector<uint32_t>* set) {
+    for (size_t i = 0; i < set->size(); ++i) {
+      for (uint32_t e : nfa.states[(*set)[i]].eps) {
+        if (mark[e] != epoch) {
+          mark[e] = epoch;
+          set->push_back(e);
+        }
+      }
+    }
+    std::sort(set->begin(), set->end());
+  };
+
+  auto intern = [&](std::vector<uint32_t>&& set) {
+    auto it = subset_ids.find(set);
+    if (it != subset_ids.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(subsets.size());
+    subset_ids.emplace(set, id);
+    subsets.push_back(std::move(set));
+    a.states_.emplace_back();
+    // Accept set: the pattern ids of accepting members, sorted = ordered
+    // by (feed, primary-before-alt) thanks to the id assignment above.
+    std::vector<int32_t> pats;
+    for (uint32_t s : subsets[id]) {
+      if (nfa.states[s].accept >= 0) pats.push_back(nfa.states[s].accept);
+    }
+    if (!pats.empty()) {
+      std::sort(pats.begin(), pats.end());
+      auto ait = accept_ids.find(pats);
+      if (ait != accept_ids.end()) {
+        a.states_[id].accept = ait->second;
+      } else {
+        uint32_t aid = static_cast<uint32_t>(a.accept_sets_.size());
+        accept_ids.emplace(pats, aid);
+        AcceptSet set_out;
+        set_out.entries.reserve(pats.size());
+        for (int32_t p : pats) {
+          set_out.entries.push_back({pattern_feed[static_cast<size_t>(p)],
+                                     static_cast<uint32_t>(p)});
+        }
+        for (const AcceptEntry& e : set_out.entries) {
+          if (set_out.feeds.empty() ||
+              a.feed_names_[e.feed] != set_out.feeds.back()) {
+            set_out.feeds.push_back(a.feed_names_[e.feed]);
+          }
+        }
+        set_out.primary_pattern = set_out.entries.front().pattern;
+        a.accept_sets_.push_back(std::move(set_out));
+        a.states_[id].accept = aid;
+      }
+    }
+    return id;
+  };
+
+  {
+    ++epoch;
+    std::vector<uint32_t> start{0};
+    mark[0] = epoch;
+    close(&start);
+    intern(std::move(start));
+  }
+
+  std::vector<NfaEdge> edges;
+  std::vector<int> bounds;
+  std::vector<uint32_t> seed;
+  for (uint32_t id = 0; id < subsets.size(); ++id) {
+    edges.clear();
+    for (uint32_t s : subsets[id]) {
+      const auto& es = nfa.states[s].edges;
+      edges.insert(edges.end(), es.begin(), es.end());
+    }
+    // Split the byte axis at every edge boundary; within one segment the
+    // active edge set — and so the successor subset — is constant.
+    bounds.clear();
+    for (const NfaEdge& e : edges) {
+      bounds.push_back(e.lo);
+      bounds.push_back(e.hi + 1);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    uint32_t first_range = static_cast<uint32_t>(a.ranges_.size());
+    for (size_t bi = 0; bi + 1 <= bounds.size(); ++bi) {
+      int b = bounds[bi];
+      if (b > 255) break;
+      int hi = (bi + 1 < bounds.size()) ? bounds[bi + 1] - 1 : 255;
+      ++epoch;
+      seed.clear();
+      for (const NfaEdge& e : edges) {
+        if (e.lo <= b && b <= e.hi && mark[e.target] != epoch) {
+          mark[e.target] = epoch;
+          seed.push_back(e.target);
+        }
+      }
+      if (seed.empty()) continue;
+      close(&seed);
+      uint32_t target = intern(std::vector<uint32_t>(seed));
+      // Merge with the previous range when contiguous and same target.
+      if (a.states_[id].num_ranges > 0) {
+        Range& prev = a.ranges_.back();
+        if (prev.target == target && static_cast<int>(prev.hi) + 1 == b) {
+          prev.hi = static_cast<uint8_t>(hi);
+          continue;
+        }
+      }
+      a.ranges_.push_back({static_cast<uint8_t>(b), static_cast<uint8_t>(hi),
+                           target});
+      a.states_[id].first_range = first_range;
+      ++a.states_[id].num_ranges;
+    }
+  }
+
+  // Path-contiguous relayout: renumber states depth-first. Construction
+  // order is breadth-first, which scatters each pattern's suffix chain
+  // (one state per literal byte) across distant layers — at 10^5 patterns
+  // every byte of a scan was a fresh cache miss. Pre-order DFS lays each
+  // chain out consecutively in states_ and ranges_, so walking it touches
+  // a couple of lines instead.
+  const size_t n = a.states_.size();
+  std::vector<uint32_t> order;  // new id -> construction id
+  order.reserve(n);
+  {
+    std::vector<uint32_t> remap(n, kNoState);
+    std::vector<uint32_t> stack{0};
+    remap[0] = 0;
+    while (!stack.empty()) {
+      uint32_t old_id = stack.back();
+      stack.pop_back();
+      order.push_back(old_id);
+      const State& os = a.states_[old_id];
+      // Push children reversed so the lowest byte range is walked first.
+      for (uint16_t i = os.num_ranges; i > 0; --i) {
+        uint32_t t = a.ranges_[os.first_range + i - 1].target;
+        if (remap[t] == kNoState) {
+          remap[t] = 0;  // mark visited; final id assigned below
+          stack.push_back(t);
+        }
+      }
+    }
+    for (uint32_t new_id = 0; new_id < order.size(); ++new_id) {
+      remap[order[new_id]] = new_id;
+    }
+    std::vector<State> new_states(n);
+    std::vector<Range> new_ranges;
+    new_ranges.reserve(a.ranges_.size());
+    for (uint32_t new_id = 0; new_id < order.size(); ++new_id) {
+      const State& os = a.states_[order[new_id]];
+      State ns = os;
+      ns.first_range = static_cast<uint32_t>(new_ranges.size());
+      for (uint16_t i = 0; i < os.num_ranges; ++i) {
+        const Range& r = a.ranges_[os.first_range + i];
+        new_ranges.push_back({r.lo, r.hi, remap[r.target]});
+      }
+      new_states[new_id] = ns;
+    }
+    a.states_ = std::move(new_states);
+    a.ranges_ = std::move(new_ranges);
+
+    // Dense rows go to the breadth-first head — the states every scan
+    // passes through — not the DFS head (which is one deep leftmost path).
+    size_t dense_count =
+        std::min<size_t>(n, FeedAutomaton::kDenseRowLimit);
+    a.dense_rows_.resize(dense_count);
+    size_t next_row = 0;
+    for (uint32_t old_id = 0; old_id < dense_count; ++old_id) {
+      uint32_t id = remap[old_id];
+      auto& row = a.dense_rows_[next_row];
+      row.fill(kNoState);
+      const State& st = a.states_[id];
+      for (uint16_t i = 0; i < st.num_ranges; ++i) {
+        const Range& r = a.ranges_[st.first_range + i];
+        for (int b = r.lo; b <= r.hi; ++b) {
+          row[static_cast<size_t>(b)] = r.target;
+        }
+      }
+      a.states_[id].dense = static_cast<int16_t>(next_row++);
+    }
+  }
+
+  auto t1 = std::chrono::steady_clock::now();
+  AutomatonStats& st = a.stats_;
+  st.patterns = a.patterns_.size();
+  st.nfa_states = nfa.states.size();
+  st.dfa_states = a.states_.size();
+  st.dense_rows = a.dense_rows_.size();
+  st.sparse_rows = a.states_.size() - a.dense_rows_.size();
+  st.accept_sets = a.accept_sets_.size();
+  st.compile_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+  uint64_t bytes = a.states_.size() * sizeof(State) +
+                   a.ranges_.size() * sizeof(Range) +
+                   a.dense_rows_.size() * sizeof(a.dense_rows_[0]);
+  for (const AcceptSet& s : a.accept_sets_) {
+    bytes += s.entries.size() * sizeof(AcceptEntry);
+    for (const FeedName& f : s.feeds) bytes += f.size() + sizeof(FeedName);
+  }
+  for (const Pattern& p : a.patterns_) {
+    bytes += p.spec().size() * 2 + p.tokens().size() * sizeof(PatternToken);
+  }
+  for (const FeedName& f : a.feed_names_) bytes += f.size() + sizeof(FeedName);
+  st.memory_bytes = bytes;
+  return automaton;
+}
+
+FeedAutomaton::ScanOutcome FeedAutomaton::Scan(std::string_view name) const {
+  ScanOutcome out;
+  uint32_t s = 0;
+  uint32_t digit_run = 0;
+  for (char ch : name) {
+    uint8_t c = static_cast<uint8_t>(ch);
+    if (kNameCharClass[c] == NameCharKind::kDigit) {
+      if (++digit_run >= kVerifyDigitRun) out.verify = true;
+    } else {
+      digit_run = 0;
+    }
+    s = Step(s, c);
+    if (s == kNoState) return out;  // no pattern can match any extension
+  }
+  const State& st = states_[s];
+  if (st.accept != kNoAccept) out.accepts = &accept_sets_[st.accept];
+  return out;
+}
+
+FeedAutomaton::ScanOutcome FeedAutomaton::ScanAndTokenize(
+    std::string_view name, std::vector<NameToken>* tokens) const {
+  ScanOutcome out;
+  uint32_t s = 0;
+  uint32_t digit_run = 0;
+  bool in_run = false;
+  size_t run_start = 0;
+  NameCharKind run_kind = NameCharKind::kSep;
+  auto flush = [&](size_t end) {
+    tokens->push_back({run_kind == NameCharKind::kAlpha
+                           ? NameToken::Kind::kAlpha
+                           : NameToken::Kind::kDigits,
+                       std::string(name.substr(run_start, end - run_start))});
+  };
+  for (size_t i = 0; i < name.size(); ++i) {
+    uint8_t c = static_cast<uint8_t>(name[i]);
+    NameCharKind k = kNameCharClass[c];
+    if (k == NameCharKind::kSep) {
+      if (in_run) {
+        flush(i);
+        in_run = false;
+      }
+      tokens->push_back({NameToken::Kind::kSep, std::string(1, name[i])});
+      digit_run = 0;
+    } else {
+      if (in_run && k != run_kind) {
+        flush(i);
+        in_run = false;
+      }
+      if (!in_run) {
+        in_run = true;
+        run_kind = k;
+        run_start = i;
+      }
+      if (k == NameCharKind::kDigit) {
+        if (++digit_run >= kVerifyDigitRun) out.verify = true;
+      } else {
+        digit_run = 0;
+      }
+    }
+    if (s != kNoState) s = Step(s, c);  // keep tokenizing past a dead DFA
+  }
+  if (in_run) flush(name.size());
+  if (s != kNoState && states_[s].accept != kNoAccept) {
+    out.accepts = &accept_sets_[states_[s].accept];
+  }
+  return out;
+}
+
+}  // namespace bistro

@@ -1,0 +1,180 @@
+#ifndef BISTRO_CLASSIFY_AUTOMATON_H_
+#define BISTRO_CLASSIFY_AUTOMATON_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyzer/tokenizer.h"
+#include "config/registry.h"
+#include "pattern/pattern.h"
+
+namespace bistro {
+
+/// Compile/size statistics for one compiled feed-table automaton, exposed
+/// through metrics and the `classifier` admin command.
+struct AutomatonStats {
+  uint64_t patterns = 0;       // (feed, pattern) pairs compiled in
+  uint64_t nfa_states = 0;     // states before subset construction
+  uint64_t dfa_states = 0;
+  uint64_t dense_rows = 0;     // byte-indexed 256-entry rows (hot states)
+  uint64_t sparse_rows = 0;    // range-list fallback rows (cold states)
+  uint64_t accept_sets = 0;    // distinct terminal (feed, pattern) sets
+  uint64_t memory_bytes = 0;   // resident footprint of the tables
+  uint64_t compile_micros = 0;
+};
+
+/// The entire feed table compiled into one DFA (ROADMAP item 3): every
+/// registered feed's primary and alternative patterns fuse into a single
+/// table-driven automaton, so classifying a filename is one left-to-right
+/// scan — no per-candidate pattern dispatch, however many feeds overlap.
+///
+/// Construction is the classic pipeline: each printf-style pattern lowers
+/// to an NFA fragment (literals become byte chains; the constrained
+/// two-digit time fields become tiny alternations over their positional
+/// digit classes, e.g. month = '0'[1-9] | '1'[0-2]; `%s`/`%i` become
+/// self-loop states), the fragments share one start state, and subset
+/// construction produces a DFA whose terminal states carry a precomputed
+/// *accept set*: the (feed, pattern) pairs that match, in registry order,
+/// deduplicated to the feed-name list a Classification needs plus the
+/// first matching pattern as the field-capture plan. Hot states (breadth-
+/// first from the root) get dense 256-entry rows; the long cold tails of
+/// 10^4–10^5-pattern tables fall back to sorted byte-range rows, keeping
+/// the table tens of bytes per pattern instead of a kilobyte per state.
+///
+/// Exactness: the DFA accepts a name iff some backtracking split of
+/// `Pattern::Match` accepts it, with one deliberate exception — `%i`
+/// compiles to an unbounded digit self-loop, while the interpreter's
+/// ParseInt refuses spans that overflow int64. The two can only diverge
+/// when the name contains a digit run of >= kVerifyDigitRun characters,
+/// which the scan detects as it goes; callers re-verify the accept set
+/// with the exact matcher on that (vanishingly rare) path. Everything
+/// else — `%s` non-emptiness, time-field ranges, `%%` literals — is
+/// encoded in the states themselves.
+///
+/// Layout: state ids are assigned depth-first after construction, so the
+/// long single-successor chains at the bottom of the table (each
+/// pattern's literal suffix) occupy consecutive States and consecutive
+/// ranges — a whole chain is a couple of cache lines instead of one miss
+/// per byte. The dense-row budget is still granted breadth-first: the
+/// shallowest states are the ones every scan walks through.
+///
+/// An automaton is immutable once compiled and safe to share across
+/// threads; FeedClassifier swaps snapshots via an atomic shared_ptr
+/// (RCU-style) so ingest workers classify lock-free during rebuilds. It
+/// is also self-contained — patterns and feed names are copied in — so a
+/// stale snapshot never dangles into a registry that was revised after
+/// the compile.
+class FeedAutomaton {
+ public:
+  /// A digit run at least this long can make ParseInt's int64-overflow
+  /// backoff visible; the scan flags such names for re-verification.
+  static constexpr uint32_t kVerifyDigitRun = 19;
+
+  /// One (feed, pattern) pair a terminal state accepts. Indices point
+  /// into feed_names() / pattern(); entries are ordered by registry feed
+  /// order, then primary-before-alternates within a feed — the same
+  /// order the linear classifier probes in.
+  struct AcceptEntry {
+    uint32_t feed = 0;
+    uint32_t pattern = 0;
+  };
+
+  /// Precomputed classification for one terminal state.
+  struct AcceptSet {
+    std::vector<AcceptEntry> entries;
+    /// Deduplicated feed names in entry order — copied verbatim into
+    /// Classification::feeds.
+    std::vector<FeedName> feeds;
+    /// The capture plan: entries[0].pattern, i.e. the first matching
+    /// pattern of the first matching feed. The classifier runs one
+    /// non-allocating TryMatch with it to extract the primary fields.
+    uint32_t primary_pattern = 0;
+  };
+
+  struct ScanOutcome {
+    /// Terminal accept set, or nullptr if no feed matches. Points into
+    /// the automaton; valid while the snapshot is held.
+    const AcceptSet* accepts = nullptr;
+    /// True when the name contains a >= kVerifyDigitRun digit run and
+    /// `accepts` must be re-verified with the exact pattern matcher.
+    bool verify = false;
+  };
+
+  /// Compiles every feed in `registry` (primary + alternative patterns).
+  /// The snapshot records registry.version() for lazy rebuild checks.
+  static std::shared_ptr<const FeedAutomaton> Compile(
+      const FeedRegistry& registry);
+
+  /// Classifies `name` in one scan.
+  ScanOutcome Scan(std::string_view name) const;
+
+  /// The fused scan: classifies `name` and, in the same pass over the
+  /// bytes, appends the analyzer's NameToken segmentation to `tokens`
+  /// (identical to TokenizeName(name) — both run off kNameCharClass).
+  ScanOutcome ScanAndTokenize(std::string_view name,
+                              std::vector<NameToken>* tokens) const;
+
+  const Pattern& pattern(uint32_t idx) const { return patterns_[idx]; }
+  const FeedName& feed_name(uint32_t idx) const { return feed_names_[idx]; }
+  size_t feed_count() const { return feed_names_.size(); }
+
+  /// Registry version this automaton was compiled at.
+  uint64_t version() const { return version_; }
+
+  const AutomatonStats& stats() const { return stats_; }
+
+ private:
+  static constexpr uint32_t kNoState = 0xFFFFFFFFu;
+  static constexpr uint32_t kNoAccept = 0xFFFFFFFFu;
+  /// States created this early in the breadth-first construction order
+  /// get dense rows; everything deeper uses range rows.
+  static constexpr uint32_t kDenseRowLimit = 2048;
+
+  /// One contiguous byte range [lo, hi] -> target state.
+  struct Range {
+    uint8_t lo = 0;
+    uint8_t hi = 0;
+    uint32_t target = kNoState;
+  };
+
+  /// 12 bytes; `dense` fits int16 because kDenseRowLimit < 32768. Keeping
+  /// the row small matters: a scan touches one State per byte, and the
+  /// cold tail of a 10^5-pattern table lives or dies on cache lines.
+  struct State {
+    uint32_t accept = kNoAccept;   // index into accept_sets_
+    uint32_t first_range = 0;      // offset into ranges_
+    uint16_t num_ranges = 0;
+    int16_t dense = -1;            // index into dense_rows_, or -1
+  };
+
+  FeedAutomaton() = default;
+
+  uint32_t Step(uint32_t state, uint8_t byte) const {
+    const State& s = states_[state];
+    if (s.dense >= 0) return dense_rows_[static_cast<size_t>(s.dense)][byte];
+    const Range* r = &ranges_[s.first_range];
+    for (uint16_t i = 0; i < s.num_ranges; ++i, ++r) {
+      if (byte < r->lo) break;  // ranges are sorted and disjoint
+      if (byte <= r->hi) return r->target;
+    }
+    return kNoState;
+  }
+
+  std::vector<State> states_;
+  std::vector<Range> ranges_;
+  std::vector<std::array<uint32_t, 256>> dense_rows_;
+  std::vector<AcceptSet> accept_sets_;
+  /// Snapshot-owned copies (see class comment on self-containment).
+  std::vector<Pattern> patterns_;
+  std::vector<FeedName> feed_names_;
+  uint64_t version_ = 0;
+  AutomatonStats stats_;
+};
+
+}  // namespace bistro
+
+#endif  // BISTRO_CLASSIFY_AUTOMATON_H_

@@ -137,10 +137,13 @@ class Parser {
         BISTRO_RETURN_IF_ERROR(ParseRelay(&config));
       } else if (t.kind == TokKind::kIdent && t.text == "receipts") {
         BISTRO_RETURN_IF_ERROR(ParseReceipts(&config));
+      } else if (t.kind == TokKind::kIdent && t.text == "classifier") {
+        BISTRO_RETURN_IF_ERROR(ParseClassifier(&config));
       } else {
         return Err(
             "expected 'group', 'feed', 'subscriber', 'delivery', 'ingest', "
-            "'analyzer', 'receipts', 'server', 'peer' or 'relay'");
+            "'analyzer', 'receipts', 'classifier', 'server', 'peer' or "
+            "'relay'");
       }
     }
     // Cross-peer checks need the full peer list.
@@ -385,6 +388,29 @@ class Parser {
         r->shards = static_cast<int>(v);
       } else {
         return Err("unknown receipts attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
+    }
+    ++pos_;  // consume '}'
+    return Status::OK();
+  }
+
+  Status ParseClassifier(ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(
+        Expect(TokKind::kIdent, "classifier", "'classifier'"));
+    ClassifierTuningSpec* c = &config->classifier;
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated classifier block");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      if (attr == "mode") {
+        BISTRO_ASSIGN_OR_RETURN(std::string v, ExpectIdent());
+        if (v != "automaton" && v != "trie" && v != "linear") {
+          return Err("classifier mode must be automaton, trie or linear");
+        }
+        c->mode = v;
+      } else {
+        return Err("unknown classifier attribute '" + attr + "'");
       }
       BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
     }
@@ -960,6 +986,12 @@ std::string FormatConfig(const ServerConfig& config) {
   if (!r.empty()) {
     out += "receipts {\n";
     if (r.shards) out += StrFormat("  shards %d;\n", *r.shards);
+    out += "}\n";
+  }
+  const ClassifierTuningSpec& cl = config.classifier;
+  if (!cl.empty()) {
+    out += "classifier {\n";
+    if (cl.mode) out += "  mode " + *cl.mode + ";\n";
     out += "}\n";
   }
   const ServerNetSpec& srv = config.server;

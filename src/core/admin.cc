@@ -187,12 +187,47 @@ std::string RenderSubscriptions(BistroServer* server,
   return out;
 }
 
+std::string RenderClassifier(BistroServer* server) {
+  FeedClassifier* classifier = server->classifier();
+  ClassifierStats stats = classifier->stats();
+  std::string out = "=== Classifier ===\n";
+  out += "mode: ";
+  out += IndexModeName(classifier->mode());
+  out += "\n";
+  out += StrFormat("files classified: %llu (%llu matched, %llu unmatched)\n",
+                   (unsigned long long)stats.files,
+                   (unsigned long long)stats.matched,
+                   (unsigned long long)stats.unmatched);
+  double per_file = stats.files == 0
+                        ? 0.0
+                        : static_cast<double>(stats.candidate_checks) /
+                              static_cast<double>(stats.files);
+  out += StrFormat("candidate pattern checks: %llu (%.2f per file)\n",
+                   (unsigned long long)stats.candidate_checks, per_file);
+  std::shared_ptr<const FeedAutomaton> automaton = classifier->automaton();
+  if (automaton != nullptr) {
+    const AutomatonStats& a = automaton->stats();
+    out += StrFormat(
+        "automaton: %zu pattern(s) over %zu feed(s), registry version %llu\n",
+        a.patterns, automaton->feed_count(),
+        (unsigned long long)automaton->version());
+    out += StrFormat("  dfa states: %zu (%zu dense, %zu sparse rows)\n",
+                     a.dfa_states, a.dense_rows, a.sparse_rows);
+    out += StrFormat("  accept sets: %zu\n", a.accept_sets);
+    out += StrFormat("  table memory: %s\n", HumanBytes(a.memory_bytes).c_str());
+    out += StrFormat("  last compile: %llu us\n",
+                     (unsigned long long)a.compile_micros);
+  }
+  return out;
+}
+
 std::string ExecuteAdminCommand(BistroServer* server,
                                 const std::string& command,
                                 FederationRuntime* federation,
                                 const AdminFanout& fanout) {
   std::string cmd(Trim(command));
   if (cmd == "status") return RenderStatusReport(server, fanout.groups);
+  if (cmd == "classifier") return RenderClassifier(server);
   if (cmd == "subscriptions") return RenderSubscriptions(server, fanout);
   if (cmd == "deadletters") return RenderDeadLetters(server);
   if (cmd == "redrive") {
@@ -205,8 +240,8 @@ std::string ExecuteAdminCommand(BistroServer* server,
     return federation->RenderPeers();
   }
   if (cmd == "help") {
-    return "commands: status | subscriptions | deadletters | redrive | "
-           "peers | help\n";
+    return "commands: status | classifier | subscriptions | deadletters | "
+           "redrive | peers | help\n";
   }
   return StrFormat("unknown admin command: '%s' (try 'help')\n", cmd.c_str());
 }

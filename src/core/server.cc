@@ -98,8 +98,17 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
       ReceiptDatabase::Open(fs, server->options_.db_dir, server->options_.kv,
                             shards));
   server->receipts_->AttachMetrics(server->metrics_);
+  // Classifier strategy: the compiled feed-table automaton unless the
+  // config's classifier block picks a legacy mode.
+  FeedClassifier::IndexMode classifier_mode =
+      FeedClassifier::IndexMode::kAutomaton;
+  if (config.classifier.mode) {
+    BISTRO_ASSIGN_OR_RETURN(classifier_mode,
+                            IndexModeFromName(*config.classifier.mode));
+  }
   server->classifier_ = std::make_unique<FeedClassifier>(
-      server->registry_.get(), FeedClassifier::IndexMode::kPrefixIndex);
+      server->registry_.get(), classifier_mode);
+  server->classifier_->AttachMetrics(server->metrics_);
   if (scheduler == nullptr) {
     PartitionedScheduler::Options sched_opts;
     // With a pipelined window, each subscriber may legitimately hold
@@ -154,8 +163,12 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
         [weak, srv](const IncomingFile& file) {
           if (!weak.lock()) return;
           srv->files_unmatched_->Increment();
-          srv->unmatched_.push_back(
-              {file.name, file.arrival_time, Fnv1a64(file.name)});
+          // Tokenize once here (the table-driven scan the classifier
+          // shares); the analyzer folds the observation without
+          // re-walking the name.
+          srv->unmatched_.push_back({file.name, file.arrival_time,
+                                     Fnv1a64(file.name),
+                                     TokenizeName(file.name)});
           srv->logger_->Debug("classifier", "unmatched file: " + file.name);
         },
         [weak, srv](const IngestPipeline::Committed& done) {

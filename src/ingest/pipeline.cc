@@ -127,9 +127,15 @@ void IngestPipeline::Start() {
 }
 
 Classification IngestPipeline::ClassifyLocked(const std::string& name) {
-  // Classify is const and its stats counters are atomic, so concurrent
-  // classifications only need the shared side of the definitions lock;
-  // RebuildClassifier still takes it exclusively.
+  // Automaton mode classifies against an immutable snapshot the worker
+  // grabs with one atomic load — no lock at all, so a concurrent
+  // RebuildClassifier (which compiles a new snapshot and swaps it in)
+  // never stalls the ingest path. Other modes walk registry-owned
+  // pattern objects, so they still need the shared side of the
+  // definitions lock against RebuildClassifier's exclusive side.
+  if (classifier_->mode() == FeedClassifier::IndexMode::kAutomaton) {
+    return classifier_->ClassifySnapshot(name);
+  }
   std::shared_lock<std::shared_mutex> lock(defs_mu_);
   return classifier_->Classify(name);
 }

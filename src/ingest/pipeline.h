@@ -224,10 +224,12 @@ class IngestPipeline {
   CommittedCallback on_committed_;
   ErrorCallback on_error_;
 
-  /// Guards feed definitions: classification and the worker's
-  /// registry/normalizer reads take it shared, RebuildClassifier takes it
-  /// exclusive. (FeedClassifier::Classify mutates its stats, so it runs
-  /// under the exclusive lock.)
+  /// Guards feed definitions: the worker's registry/normalizer reads
+  /// take it shared, RebuildClassifier takes it exclusive. Classification
+  /// takes the shared side only in linear/trie modes, which probe
+  /// registry-owned Pattern objects; automaton mode classifies against an
+  /// immutable shared_ptr snapshot (ClassifySnapshot) and skips this lock
+  /// entirely.
   mutable std::shared_mutex defs_mu_;
 
   /// Guards every queue + the in-flight set below.

@@ -116,11 +116,22 @@ Result<Pattern> Pattern::Compile(std::string_view spec) {
 
 namespace {
 
+/// Capture state for the matcher. %s fields are recorded as (pos, len)
+/// spans into the name — no string is materialized until the whole match
+/// succeeds, so backtracking over reject paths never allocates (beyond
+/// the amortized vector capacity, which the thread-local scratch reuses).
 struct MatchState {
-  std::vector<std::string> strings;
+  std::vector<std::pair<size_t, size_t>> string_spans;
   std::vector<int64_t> ints;
   CivilTime civil;
   bool has_time = false;
+
+  void Reset() {
+    string_spans.clear();
+    ints.clear();
+    civil = CivilTime{};
+    has_time = false;
+  }
 };
 
 bool ParseFixedDigits(std::string_view name, size_t pos, int width, int* out) {
@@ -136,6 +147,10 @@ bool ParseFixedDigits(std::string_view name, size_t pos, int width, int* out) {
 }
 
 // Recursive matcher with backtracking on the variable-width tokens.
+// Compiled twice: Capture=false is the pure accept test (no state writes
+// at all, only the range checks that gate acceptance), Capture=true
+// records spans/values into `state`.
+template <bool Capture>
 bool MatchTokens(const std::vector<PatternToken>& tokens, size_t ti,
                  std::string_view name, size_t pos, MatchState* state) {
   if (ti == tokens.size()) return pos == name.size();
@@ -144,14 +159,17 @@ bool MatchTokens(const std::vector<PatternToken>& tokens, size_t ti,
   switch (t.kind) {
     case Kind::kLiteral: {
       if (name.compare(pos, t.literal.size(), t.literal) != 0) return false;
-      return MatchTokens(tokens, ti + 1, name, pos + t.literal.size(), state);
+      return MatchTokens<Capture>(tokens, ti + 1, name,
+                                  pos + t.literal.size(), state);
     }
     case Kind::kString: {
       // Lazy: try the shortest non-empty span first, extending on failure.
       for (size_t len = 1; pos + len <= name.size(); ++len) {
-        state->strings.emplace_back(name.substr(pos, len));
-        if (MatchTokens(tokens, ti + 1, name, pos + len, state)) return true;
-        state->strings.pop_back();
+        if constexpr (Capture) state->string_spans.emplace_back(pos, len);
+        if (MatchTokens<Capture>(tokens, ti + 1, name, pos + len, state)) {
+          return true;
+        }
+        if constexpr (Capture) state->string_spans.pop_back();
         // Prune: if the next token is a literal, jump to its next occurrence.
         if (ti + 1 < tokens.size() &&
             tokens[ti + 1].kind == Kind::kLiteral) {
@@ -170,9 +188,11 @@ bool MatchTokens(const std::vector<PatternToken>& tokens, size_t ti,
       for (size_t use = len; use >= 1; --use) {
         auto v = ParseInt(name.substr(pos, use));
         if (!v) continue;  // overflow for absurd lengths
-        state->ints.push_back(*v);
-        if (MatchTokens(tokens, ti + 1, name, pos + use, state)) return true;
-        state->ints.pop_back();
+        if constexpr (Capture) state->ints.push_back(*v);
+        if (MatchTokens<Capture>(tokens, ti + 1, name, pos + use, state)) {
+          return true;
+        }
+        if constexpr (Capture) state->ints.pop_back();
       }
       return false;
     }
@@ -180,45 +200,51 @@ bool MatchTokens(const std::vector<PatternToken>& tokens, size_t ti,
       int v = 0;
       int width = t.FixedWidth();
       if (!ParseFixedDigits(name, pos, width, &v)) return false;
-      CivilTime saved = state->civil;
-      bool saved_has_time = state->has_time;
+      CivilTime saved;
+      bool saved_has_time = false;
+      if constexpr (Capture) {
+        saved = state->civil;
+        saved_has_time = state->has_time;
+      }
       switch (t.kind) {
         case Kind::kYear4:
-          state->civil.year = v;
+          if constexpr (Capture) state->civil.year = v;
           break;
         case Kind::kYear2:
-          state->civil.year = 2000 + v;
+          if constexpr (Capture) state->civil.year = 2000 + v;
           break;
         case Kind::kMonth:
           if (v < 1 || v > 12) return false;
-          state->civil.month = v;
+          if constexpr (Capture) state->civil.month = v;
           break;
         case Kind::kDay:
           if (v < 1 || v > 31) return false;
-          state->civil.day = v;
+          if constexpr (Capture) state->civil.day = v;
           break;
         case Kind::kHour:
           if (v > 23) return false;
-          state->civil.hour = v;
+          if constexpr (Capture) state->civil.hour = v;
           break;
         case Kind::kMinute:
           if (v > 59) return false;
-          state->civil.minute = v;
+          if constexpr (Capture) state->civil.minute = v;
           break;
         case Kind::kSecond:
           if (v > 59) return false;
-          state->civil.second = v;
+          if constexpr (Capture) state->civil.second = v;
           break;
         default:
           return false;
       }
-      state->has_time = true;
-      if (MatchTokens(tokens, ti + 1, name, pos + static_cast<size_t>(width),
-                      state)) {
+      if constexpr (Capture) state->has_time = true;
+      if (MatchTokens<Capture>(tokens, ti + 1, name,
+                               pos + static_cast<size_t>(width), state)) {
         return true;
       }
-      state->civil = saved;
-      state->has_time = saved_has_time;
+      if constexpr (Capture) {
+        state->civil = saved;
+        state->has_time = saved_has_time;
+      }
       return false;
     }
   }
@@ -226,15 +252,32 @@ bool MatchTokens(const std::vector<PatternToken>& tokens, size_t ti,
 
 }  // namespace
 
+bool Pattern::TryMatch(std::string_view name, MatchResult* out) const {
+  if (out == nullptr) {
+    return MatchTokens<false>(tokens_, 0, name, 0, nullptr);
+  }
+  // Thread-local scratch: the span/int vectors keep their capacity across
+  // calls, so steady-state matching performs no heap allocation except
+  // the strings of a *successful* capture.
+  static thread_local MatchState state;
+  state.Reset();
+  if (!MatchTokens<true>(tokens_, 0, name, 0, &state)) return false;
+  out->strings.resize(state.string_spans.size());
+  for (size_t i = 0; i < state.string_spans.size(); ++i) {
+    const auto& [pos, len] = state.string_spans[i];
+    out->strings[i].assign(name.data() + pos, len);
+  }
+  out->ints.assign(state.ints.begin(), state.ints.end());
+  out->civil = state.civil;
+  out->has_time = state.has_time;
+  out->timestamp.reset();
+  if (state.has_time) out->timestamp = FromCivil(state.civil);
+  return true;
+}
+
 std::optional<MatchResult> Pattern::Match(std::string_view name) const {
-  MatchState state;
-  if (!MatchTokens(tokens_, 0, name, 0, &state)) return std::nullopt;
   MatchResult r;
-  r.strings = std::move(state.strings);
-  r.ints = std::move(state.ints);
-  r.civil = state.civil;
-  r.has_time = state.has_time;
-  if (state.has_time) r.timestamp = FromCivil(state.civil);
+  if (!TryMatch(name, &r)) return std::nullopt;
   return r;
 }
 

@@ -69,9 +69,18 @@ class Pattern {
   /// Matches the full `name`; returns extracted fields on success.
   std::optional<MatchResult> Match(std::string_view name) const;
 
-  /// True if `name` matches (cheaper than Match when fields are unneeded).
+  /// Non-allocating match. With `out == nullptr` this is a pure accept
+  /// test: the matcher runs with captures compiled out, so reject paths
+  /// build no strings and no vectors at all. With `out` non-null the
+  /// fields are written into `*out` (clearing it first); a caller that
+  /// reuses one MatchResult across calls amortizes its buffers. Returns
+  /// whether the name matched.
+  bool TryMatch(std::string_view name, MatchResult* out) const;
+
+  /// True if `name` matches (cheaper than Match when fields are unneeded:
+  /// no MatchResult vectors are constructed on either path).
   bool Matches(std::string_view name) const {
-    return Match(name).has_value();
+    return TryMatch(name, nullptr);
   }
 
   /// The literal prefix before the first variable token ("MEMORY" above).

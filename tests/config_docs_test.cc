@@ -139,6 +139,8 @@ TEST(ConfigDocsTest, OperationsCoversEveryParserKey) {
       "max_corpus", "shards", "cycle_interval",
       // fan-out: subscriber groups, dissemination relays, receipt shards
       "members", "straggler_after", "relay", "children", "spool", "receipts",
+      // classifier strategy
+      "classifier", "mode", "automaton", "trie", "linear",
       // federation: server { } identity/socket tuning and peer blocks
       "server", "listen", "max_frame_bytes", "outbound_queue_bytes",
       "reconnect_backoff_min", "reconnect_backoff_max", "ack_timeout",

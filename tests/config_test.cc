@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/strings.h"
 #include "config/parser.h"
 #include "config/registry.h"
 
@@ -379,6 +380,22 @@ delivery {
   auto reparsed = ParseConfig(formatted);
   ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << formatted;
   EXPECT_EQ(*reparsed, *config) << formatted;
+}
+
+TEST(ConfigFormatTest, ClassifierBlockRoundTrips) {
+  for (const char* mode : {"automaton", "trie", "linear"}) {
+    auto config = ParseConfig(StrFormat(
+        "feed F { pattern \"f_%%i\"; }\nclassifier { mode %s; }\n", mode));
+    ASSERT_TRUE(config.ok()) << config.status();
+    ASSERT_TRUE(config->classifier.mode.has_value());
+    EXPECT_EQ(*config->classifier.mode, mode);
+    std::string formatted = FormatConfig(*config);
+    auto reparsed = ParseConfig(formatted);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << formatted;
+    EXPECT_EQ(*reparsed, *config) << formatted;
+  }
+  EXPECT_FALSE(ParseConfig("classifier { mode hash; }").ok());
+  EXPECT_FALSE(ParseConfig("classifier { workers 2; }").ok());
 }
 
 TEST(ConfigFormatTest, RoundTripsThroughParse) {
