@@ -19,6 +19,19 @@
 // threaded row reports its speedup against that baseline. The acceptance
 // bar for the pipeline is >= 2x at 4 workers.
 //
+// A second sweep (the `plans` section of the JSON; run alone with
+// --plans) measures the declarative-ingestion-plan hooks (DESIGN.md
+// §16): each mode attaches a PlanRuntime whose single clause exercises
+// one hook — snapshot lookup only (slo), per-file sampling hash
+// (sample 100 keeps everything), quota token bucket (budget never
+// binds), enrichment (CRC32 + header prepend), transform override
+// (same codec the feed already declares) — against the no-plans
+// baseline at the E10 headline config (4 workers, batch 32). The
+// interesting number is the overhead column: the governance hooks
+// (lookup, hash, bucket, override) should disappear into run-to-run
+// noise; only enrich does per-byte work (CRC32 + header prepend) and
+// should cost proportionally to payload size — and only when asked.
+//
 // Env:
 //   BISTRO_BENCH_QUICK  non-empty -> smaller corpus (CI smoke mode)
 //   BISTRO_BENCH_OUT    JSON output path (default BENCH_ingest.json)
@@ -26,6 +39,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +50,7 @@
 #include "config/parser.h"
 #include "config/registry.h"
 #include "ingest/pipeline.h"
+#include "ingest/plan.h"
 #include "kv/receipts.h"
 #include "sim/event_loop.h"
 #include "vfs/memfs.h"
@@ -103,6 +118,18 @@ std::string FeedConfig() {
   return text;
 }
 
+/// The plan sweep's config: the same feeds wrapped in one group so a
+/// single `plan ALL { ... }` block governs the whole fleet (the group
+/// selector is the production shape for fleet-wide governance). The
+/// classifier matches on patterns, so grouping changes nothing else.
+std::string GroupedFeedConfig(const std::string& plan_clauses) {
+  std::string text = "group ALL {\n" + FeedConfig() + "}\n";
+  if (!plan_clauses.empty()) {
+    text += "plan ALL { " + plan_clauses + " }\n";
+  }
+  return text;
+}
+
 /// Poller-style CSV: repetitive structure with varying values, so the lz
 /// codec has real work to do and real wins to find (~64 KB/file).
 std::string MakePayload(Rng* rng, size_t target_bytes) {
@@ -127,7 +154,8 @@ struct RunResult {
 };
 
 RunResult RunOne(int workers, size_t batch, int num_files,
-                 const std::vector<std::string>& payloads) {
+                 const std::vector<std::string>& payloads,
+                 const std::string& config_text) {
   SimClock clock(FromCivil(CivilTime{2010, 9, 25}));
   EventLoop loop(&clock);
   InMemoryFileSystem memfs;
@@ -135,7 +163,7 @@ RunResult RunOne(int workers, size_t batch, int num_files,
   Logger logger(&clock);
   logger.SetMinLevel(LogLevel::kAlarm);
 
-  auto config = ParseConfig(FeedConfig());
+  auto config = ParseConfig(config_text);
   if (!config.ok()) std::abort();
   auto registry = FeedRegistry::Create(*config);
   if (!registry.ok()) std::abort();
@@ -145,6 +173,14 @@ RunResult RunOne(int workers, size_t batch, int num_files,
   auto receipts = ReceiptDatabase::Open(&fs, "/bistro/db", kv_opts);
   if (!receipts.ok()) std::abort();
 
+  // Built before the pipeline so it outlives the worker threads.
+  std::unique_ptr<PlanRuntime> plans;
+  if (!config->plans.empty()) {
+    plans = std::make_unique<PlanRuntime>(config->plans, registry->get(),
+                                          PlanContextFromConfig(*config));
+    if (!plans->Validate().ok()) std::abort();
+  }
+
   IngestPipeline::Options opts;
   opts.workers = workers;
   opts.batch = batch;
@@ -153,6 +189,7 @@ RunResult RunOne(int workers, size_t batch, int num_files,
   IngestPipeline pipeline(opts, &fs, &classifier, registry->get(),
                           receipts->get(), &loop, &logger, nullptr);
   pipeline.SetCallbacks(nullptr, nullptr, nullptr, nullptr);
+  if (plans != nullptr) pipeline.AttachPlans(plans.get());
 
   // Land the whole corpus first (on the raw memfs: the benchmark measures
   // the pipeline, not the landing-zone writes).
@@ -198,9 +235,81 @@ RunResult RunOne(int workers, size_t batch, int num_files,
   return r;
 }
 
+struct PlanResult {
+  std::string mode;
+  std::string clauses;
+  double seconds = 0;
+  double files_per_sec = 0;
+  double overhead_pct = 0;  // vs the "none" baseline, same config
+};
+
+/// One row per plan hook at the E10 headline config (4 workers,
+/// batch 32). Every mode admits the full corpus, so the committed-count
+/// invariant in RunOne keeps holding and the rows stay comparable.
+std::vector<PlanResult> RunPlanSweep(int num_files,
+                                     const std::vector<std::string>& payloads) {
+  struct Mode {
+    const char* name;
+    const char* clauses;  // empty = no plan block at all (baseline)
+  };
+  const std::vector<Mode> modes = {
+      {"none", ""},
+      {"lookup_only", "slo bulk;"},
+      {"sample_hash", "sample 100;"},
+      {"quota_bucket", "quota 100000000 per 1m; quota_bytes 1000000000000 per 1m;"},
+      {"enrich", "enrich provenance, checksum;"},
+      {"transform_override", "transform lz;"},
+      {"all_hooks",
+       "sample 100; quota 100000000 per 1m; enrich provenance, checksum; "
+       "transform lz; slo bulk;"},
+  };
+
+  std::printf("=== Ingestion-plan hook overhead "
+              "(workers 4, batch 32, %d files) ===\n\n", num_files);
+  std::printf("%-20s %10s %12s %10s\n", "mode", "sec", "files/sec",
+              "overhead");
+
+  std::vector<PlanResult> results;
+  double baseline = 0;
+  for (const Mode& m : modes) {
+    RunResult r = RunOne(/*workers=*/4, /*batch=*/32, num_files, payloads,
+                         GroupedFeedConfig(m.clauses));
+    if (baseline == 0) baseline = r.files_per_sec;
+    PlanResult p;
+    p.mode = m.name;
+    p.clauses = m.clauses;
+    p.seconds = r.seconds;
+    p.files_per_sec = r.files_per_sec;
+    p.overhead_pct = (baseline / r.files_per_sec - 1.0) * 100.0;
+    results.push_back(p);
+    std::printf("%-20s %10.3f %12.0f %9.1f%%\n", p.mode.c_str(), p.seconds,
+                p.files_per_sec, p.overhead_pct);
+  }
+  std::printf("\n");
+  return results;
+}
+
+std::string PlansJson(const std::vector<PlanResult>& plan_results) {
+  std::string json = "  \"plans\": [\n";
+  for (size_t i = 0; i < plan_results.size(); ++i) {
+    const PlanResult& p = plan_results[i];
+    json += StrFormat(
+        "    {\"mode\": \"%s\", \"clauses\": \"%s\", \"seconds\": %.4f, "
+        "\"files_per_sec\": %.1f, \"overhead_pct\": %.2f}%s\n",
+        p.mode.c_str(), p.clauses.c_str(), p.seconds, p.files_per_sec,
+        p.overhead_pct, i + 1 < plan_results.size() ? "," : "");
+  }
+  json += "  ]\n";
+  return json;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool plans_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--plans") plans_only = true;
+  }
   const bool quick = std::getenv("BISTRO_BENCH_QUICK") != nullptr;
   const char* out_env = std::getenv("BISTRO_BENCH_OUT");
   const std::string out_path = out_env != nullptr ? out_env : "BENCH_ingest.json";
@@ -215,29 +324,34 @@ int main() {
     payloads.push_back(MakePayload(&rng, payload_bytes));
   }
 
-  std::printf("=== Ingest pipeline: workers x batch sweep "
-              "(%d files x %zu KB, fsync %lld us%s) ===\n\n",
-              num_files, payload_bytes / 1000,
-              (long long)kSyncLatency.count(), quick ? ", quick" : "");
-  std::printf("%-8s %-6s %10s %12s %10s %9s\n", "workers", "batch", "sec",
-              "files/sec", "MB/s", "speedup");
-
-  const std::vector<int> worker_sweep = {0, 1, 2, 4, 8};
-  const std::vector<size_t> batch_sweep = {1, 8, 32};
   std::vector<RunResult> results;
-  for (size_t batch : batch_sweep) {
-    double baseline = 0;
-    for (int workers : worker_sweep) {
-      RunResult r = RunOne(workers, batch, num_files, payloads);
-      if (workers == 0) baseline = r.files_per_sec;
-      r.speedup = r.files_per_sec / baseline;
-      results.push_back(r);
-      std::printf("%-8d %-6zu %10.3f %12.0f %10.1f %8.2fx\n", r.workers,
-                  r.batch, r.seconds, r.files_per_sec, r.mb_per_sec,
-                  r.speedup);
+  if (!plans_only) {
+    std::printf("=== Ingest pipeline: workers x batch sweep "
+                "(%d files x %zu KB, fsync %lld us%s) ===\n\n",
+                num_files, payload_bytes / 1000,
+                (long long)kSyncLatency.count(), quick ? ", quick" : "");
+    std::printf("%-8s %-6s %10s %12s %10s %9s\n", "workers", "batch", "sec",
+                "files/sec", "MB/s", "speedup");
+
+    const std::vector<int> worker_sweep = {0, 1, 2, 4, 8};
+    const std::vector<size_t> batch_sweep = {1, 8, 32};
+    for (size_t batch : batch_sweep) {
+      double baseline = 0;
+      for (int workers : worker_sweep) {
+        RunResult r = RunOne(workers, batch, num_files, payloads, FeedConfig());
+        if (workers == 0) baseline = r.files_per_sec;
+        r.speedup = r.files_per_sec / baseline;
+        results.push_back(r);
+        std::printf("%-8d %-6zu %10.3f %12.0f %10.1f %8.2fx\n", r.workers,
+                    r.batch, r.seconds, r.files_per_sec, r.mb_per_sec,
+                    r.speedup);
+      }
+      std::printf("\n");
     }
-    std::printf("\n");
   }
+
+  const std::vector<PlanResult> plan_results =
+      RunPlanSweep(num_files, payloads);
 
   std::string json = StrFormat(
       "{\n  \"bench\": \"ingest\",\n  \"quick\": %s,\n  \"files\": %d,\n"
@@ -254,7 +368,9 @@ int main() {
         r.workers, r.batch, r.seconds, r.files_per_sec, r.mb_per_sec,
         r.speedup, i + 1 < results.size() ? "," : "");
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
+  json += PlansJson(plan_results);
+  json += "}\n";
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
@@ -267,6 +383,8 @@ int main() {
   std::printf("\nExpected shape: workers overlap their staging fsyncs and "
               "(on multi-core\nhosts) the compression itself; larger receipt "
               "batches amortize the group\ncommit's WAL fsync. The combined "
-              "effect should clear 2x at 4 workers.\n");
+              "effect should clear 2x at 4 workers.\nPlan governance hooks "
+              "should sit in run-to-run noise; enrich pays real\nper-byte "
+              "CRC work and shows it.\n");
   return 0;
 }

@@ -139,11 +139,13 @@ class Parser {
         BISTRO_RETURN_IF_ERROR(ParseReceipts(&config));
       } else if (t.kind == TokKind::kIdent && t.text == "classifier") {
         BISTRO_RETURN_IF_ERROR(ParseClassifier(&config));
+      } else if (t.kind == TokKind::kIdent && t.text == "plan") {
+        BISTRO_RETURN_IF_ERROR(ParsePlan(&config));
       } else {
         return Err(
             "expected 'group', 'feed', 'subscriber', 'delivery', 'ingest', "
-            "'analyzer', 'receipts', 'classifier', 'server', 'peer' or "
-            "'relay'");
+            "'analyzer', 'receipts', 'classifier', 'server', 'peer', "
+            "'relay' or 'plan'");
       }
     }
     // Cross-peer checks need the full peer list.
@@ -177,6 +179,16 @@ class Parser {
       for (const RelaySpec& other : config.relays) {
         if (&other != &relay && other.name == relay.name) {
           return Status::InvalidArgument("duplicate relay: " + relay.name);
+        }
+      }
+    }
+    // One plan per selector; deeper cross-checks (unknown feeds, route
+    // targets, replication vs the peer fleet) run in the plan compiler,
+    // which sees the resolved registry.
+    for (const PlanSpec& plan : config.plans) {
+      for (const PlanSpec& other : config.plans) {
+        if (&other != &plan && other.feed == plan.feed) {
+          return Status::InvalidArgument("duplicate plan for " + plan.feed);
         }
       }
     }
@@ -415,6 +427,111 @@ class Parser {
       BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
     }
     ++pos_;  // consume '}'
+    return Status::OK();
+  }
+
+  Status ParsePlan(ServerConfig* config) {
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "plan", "'plan'"));
+    PlanSpec plan;
+    BISTRO_ASSIGN_OR_RETURN(plan.feed, ExpectIdent());
+    BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, "{", "'{'"));
+    bool has_attr = false;
+    while (!(Peek().kind == TokKind::kPunct && Peek().text == "}")) {
+      if (AtEof()) return Err("unterminated plan");
+      BISTRO_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      has_attr = true;
+      if (attr == "route") {
+        BISTRO_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+        plan.route.push_back(std::move(first));
+        while (Peek().kind == TokKind::kPunct && Peek().text == ",") {
+          ++pos_;
+          BISTRO_ASSIGN_OR_RETURN(std::string next, ExpectIdent());
+          plan.route.push_back(std::move(next));
+        }
+      } else if (attr == "split") {
+        for (;;) {
+          PlanSplitArm arm;
+          BISTRO_ASSIGN_OR_RETURN(int64_t pct, ExpectInt());
+          if (pct < 1 || pct > 100) {
+            return Err("split percent must be in [1, 100]");
+          }
+          arm.percent = static_cast<int>(pct);
+          BISTRO_RETURN_IF_ERROR(Expect(TokKind::kIdent, "to", "'to'"));
+          BISTRO_ASSIGN_OR_RETURN(arm.to, ExpectIdent());
+          plan.split.push_back(std::move(arm));
+          if (Peek().kind == TokKind::kPunct && Peek().text == ",") {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+        int total = 0;
+        for (const PlanSplitArm& arm : plan.split) total += arm.percent;
+        if (total != 100) return Err("split percents must sum to 100");
+        std::set<std::string> arms;
+        for (const PlanSplitArm& arm : plan.split) {
+          if (!arms.insert(arm.to).second) {
+            return Err("split lists arm '" + arm.to + "' twice");
+          }
+        }
+      } else if (attr == "replicate") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t n, ExpectInt());
+        if (n < 1) return Err("replicate must be at least 1");
+        plan.replicate = static_cast<int>(n);
+      } else if (attr == "sample") {
+        BISTRO_ASSIGN_OR_RETURN(double v, ExpectDouble());
+        if (v <= 0 || v > 100) return Err("sample must be in (0, 100]");
+        plan.sample = v;
+      } else if (attr == "transform") {
+        BISTRO_ASSIGN_OR_RETURN(std::string v, ExpectIdent());
+        if (v != "none" && v != "rle" && v != "lz" && v != "decompress") {
+          return Err("transform must be none, rle, lz or decompress");
+        }
+        plan.transform = std::move(v);
+      } else if (attr == "quota" || attr == "quota_bytes") {
+        BISTRO_ASSIGN_OR_RETURN(int64_t n, ExpectInt());
+        if (n < 1) return Err(attr + " must be at least 1");
+        if (attr == "quota") {
+          plan.quota_files = n;
+        } else {
+          plan.quota_bytes = n;
+        }
+        if (Peek().kind == TokKind::kIdent && Peek().text == "per") {
+          ++pos_;
+          BISTRO_ASSIGN_OR_RETURN(Duration v, ExpectDuration());
+          if (v <= 0) return Err("quota interval must be positive");
+          plan.quota_interval = v;
+        }
+      } else if (attr == "slo") {
+        BISTRO_ASSIGN_OR_RETURN(std::string v, ExpectIdent());
+        if (v != "interactive" && v != "standard" && v != "bulk") {
+          return Err("slo must be interactive, standard or bulk");
+        }
+        plan.slo = std::move(v);
+      } else if (attr == "enrich") {
+        for (;;) {
+          BISTRO_ASSIGN_OR_RETURN(std::string op, ExpectIdent());
+          if (op != "provenance" && op != "checksum") {
+            return Err("enrich op must be provenance or checksum");
+          }
+          plan.enrich.push_back(std::move(op));
+          if (Peek().kind == TokKind::kPunct && Peek().text == ",") {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+      } else {
+        return Err("unknown plan attribute '" + attr + "'");
+      }
+      BISTRO_RETURN_IF_ERROR(Expect(TokKind::kPunct, ";", "';'"));
+    }
+    ++pos_;  // consume '}'
+    if (!has_attr) {
+      return Status::InvalidArgument("plan " + plan.feed +
+                                     " declares nothing");
+    }
+    config->plans.push_back(std::move(plan));
     return Status::OK();
   }
 
@@ -992,6 +1109,38 @@ std::string FormatConfig(const ServerConfig& config) {
   if (!cl.empty()) {
     out += "classifier {\n";
     if (cl.mode) out += "  mode " + *cl.mode + ";\n";
+    out += "}\n";
+  }
+  for (const PlanSpec& plan : config.plans) {
+    out += "plan " + plan.feed + " {\n";
+    if (!plan.route.empty()) {
+      out += "  route " + Join(plan.route, ", ") + ";\n";
+    }
+    if (!plan.split.empty()) {
+      out += "  split ";
+      for (size_t i = 0; i < plan.split.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += StrFormat("%d to %s", plan.split[i].percent,
+                         plan.split[i].to.c_str());
+      }
+      out += ";\n";
+    }
+    if (plan.replicate) out += StrFormat("  replicate %d;\n", *plan.replicate);
+    if (plan.sample) out += StrFormat("  sample %g;\n", *plan.sample);
+    if (plan.transform) out += "  transform " + *plan.transform + ";\n";
+    if (plan.quota_files) {
+      out += StrFormat("  quota %lld per ", (long long)*plan.quota_files) +
+             DurationLiteral(plan.quota_interval) + ";\n";
+    }
+    if (plan.quota_bytes) {
+      out +=
+          StrFormat("  quota_bytes %lld per ", (long long)*plan.quota_bytes) +
+          DurationLiteral(plan.quota_interval) + ";\n";
+    }
+    if (plan.slo) out += "  slo " + *plan.slo + ";\n";
+    if (!plan.enrich.empty()) {
+      out += "  enrich " + Join(plan.enrich, ", ") + ";\n";
+    }
     out += "}\n";
   }
   const ServerNetSpec& srv = config.server;

@@ -281,6 +281,60 @@ struct PeerSpec {
   bool operator==(const PeerSpec&) const = default;
 };
 
+/// One arm of a plan's duplicate-delivery split: `split 50 to exp_a,
+/// 50 to exp_b;`. Percentages must sum to 100 across a plan's arms.
+struct PlanSplitArm {
+  int percent = 0;        // share of files routed to this arm, in [1, 100]
+  std::string to;         // subscriber/group/peer receiving the arm
+
+  bool operator==(const PlanSplitArm&) const = default;
+};
+
+/// Default refill interval for plan quotas (`quota N per <interval>`).
+constexpr Duration kDefaultQuotaInterval = kMinute;
+
+/// A declarative ingestion plan (the config's `plan <feed-or-group> { }`
+/// block): per-feed behavior for the staged pipeline, delivery routing
+/// and scheduling — INGESTBASE-style "ingestion as a compiled plan"
+/// layered over the paper's feed declarations. Every field is optional;
+/// an unset field keeps the pipeline's default behavior for that stage.
+/// Plans are validated against the registry and lowered by the plan
+/// compiler (src/ingest/plan.h); a selector may be an exact feed name or
+/// a group prefix, and the most specific plan wins per attribute.
+struct PlanSpec {
+  FeedName feed;                       // exact feed name or group prefix
+  /// Restrict delivery of the plan's feeds to these subscriber/group/
+  /// peer identities. Empty = every subscriber of the feed (default).
+  std::vector<std::string> route;
+  /// Duplicate-delivery A/B split: each file is routed to exactly one
+  /// arm (deterministic name hash); arms keep independent receipts.
+  std::vector<PlanSplitArm> split;
+  /// Required redundancy across federated peers; validated against the
+  /// configured peer fleet (replicate > peers is rejected).
+  std::optional<int> replicate;
+  /// Percent of files admitted into the feed (deterministic name-hash
+  /// sampling); the rest never classify into it. In (0, 100].
+  std::optional<double> sample;
+  /// Format transform overriding the feed's normalize policy:
+  /// "none", "rle", "lz" (compress) or "decompress".
+  std::optional<std::string> transform;
+  /// Admission quota: at most `quota_files` files (and/or `quota_bytes`
+  /// bytes) per `quota_interval`, enforced as a token bucket at admit.
+  /// Over-quota files stay in the landing zone for a later rescan.
+  std::optional<int64_t> quota_files;
+  std::optional<int64_t> quota_bytes;
+  Duration quota_interval = kDefaultQuotaInterval;
+  /// SLO class driving delivery priority: "interactive" (deadline pulled
+  /// in 4x), "standard" (feed tardiness as-is) or "bulk" (relaxed 4x).
+  std::optional<std::string> slo;
+  /// Enrichment hooks run in the normalize/worker stage, in order:
+  /// "provenance" (header with feed + arrival) and/or "checksum"
+  /// (payload CRC32 header).
+  std::vector<std::string> enrich;
+
+  bool operator==(const PlanSpec&) const = default;
+};
+
 /// A parsed Bistro configuration.
 struct ServerConfig {
   std::vector<FeedSpec> feeds;
@@ -294,6 +348,7 @@ struct ServerConfig {
   ClassifierTuningSpec classifier;
   ServerNetSpec server;
   std::vector<PeerSpec> peers;
+  std::vector<PlanSpec> plans;
 
   bool operator==(const ServerConfig&) const = default;
 };

@@ -221,6 +221,91 @@ std::string RenderClassifier(BistroServer* server) {
   return out;
 }
 
+std::string RenderPlans(BistroServer* server) {
+  PlanRuntime* plans = server->plans();
+  if (plans == nullptr) return "no ingestion plans configured\n";
+  std::shared_ptr<const CompiledPlans> snap = plans->snapshot();
+  PlanStats stats = plans->stats();
+  std::string out = "=== Ingestion plans ===\n";
+  out += StrFormat(
+      "governed feeds: %zu (registry version %llu, %llu rebuild(s), "
+      "%llu rebuild error(s))\n",
+      stats.governed_feeds, (unsigned long long)stats.snapshot_version,
+      (unsigned long long)stats.rebuilds,
+      (unsigned long long)stats.rebuild_errors);
+  if (snap != nullptr) {
+    for (const auto& [feed, fp] : snap->feeds) {
+      out += StrFormat("  %-24s (plan %s)\n", feed.c_str(),
+                       fp.selector.c_str());
+      if (fp.quota != nullptr) {
+        std::string budget;
+        if (fp.quota->file_capacity() > 0) {
+          budget += StrFormat("%lld file(s)",
+                              (long long)fp.quota->file_capacity());
+        }
+        if (fp.quota->byte_capacity() > 0) {
+          if (!budget.empty()) budget += " + ";
+          budget += HumanBytes(
+              static_cast<uint64_t>(fp.quota->byte_capacity()));
+        }
+        out += StrFormat("    quota: %s per %s (shared across plan %s)\n",
+                         budget.c_str(),
+                         FormatDuration(fp.quota->interval()).c_str(),
+                         fp.selector.c_str());
+      }
+      if (fp.sample_keep_bp < 10000) {
+        out += StrFormat("    sample: keep %.2f%%\n",
+                         fp.sample_keep_bp / 100.0);
+      }
+      if (fp.transform) {
+        const NormalizeSpec& t = fp.transform->spec();
+        const char* action =
+            t.action == CompressionAction::kCompress     ? "compress"
+            : t.action == CompressionAction::kDecompress ? "decompress"
+                                                         : "passthrough";
+        out += StrFormat("    transform: %s (%s)\n", action,
+                         std::string(CodecKindName(t.codec)).c_str());
+      }
+      if (!fp.route.empty()) {
+        out += StrFormat("    route: %s\n", Join(fp.route, ", ").c_str());
+      }
+      if (!fp.split.empty()) {
+        std::string arms;
+        for (const PlanSplitArm& arm : fp.split) {
+          if (!arms.empty()) arms += ", ";
+          arms += StrFormat("%d%% -> %s", arm.percent, arm.to.c_str());
+        }
+        out += StrFormat("    split: %s\n", arms.c_str());
+      }
+      if (!fp.slo.empty()) {
+        out += StrFormat("    slo: %s (deadline x%d/%d)\n", fp.slo.c_str(),
+                         fp.deadline_scale_num, fp.deadline_scale_den);
+      }
+      if (fp.replicate > 0) {
+        out += StrFormat("    replicate: %d\n", fp.replicate);
+      }
+      if (!fp.enrich.empty()) {
+        std::string ops;
+        for (EnrichOp op : fp.enrich) {
+          if (!ops.empty()) ops += ", ";
+          ops += op == EnrichOp::kProvenance ? "provenance" : "checksum";
+        }
+        out += StrFormat("    enrich: %s\n", ops.c_str());
+      }
+    }
+  }
+  out += StrFormat(
+      "activity: %llu quota-shed, %llu sampled out, %llu route-filtered, "
+      "%llu split-routed, %llu enriched, %llu transformed\n",
+      (unsigned long long)stats.quota_shed,
+      (unsigned long long)stats.sampled_out,
+      (unsigned long long)stats.route_filtered,
+      (unsigned long long)stats.split_routed,
+      (unsigned long long)stats.enriched,
+      (unsigned long long)stats.transformed);
+  return out;
+}
+
 std::string ExecuteAdminCommand(BistroServer* server,
                                 const std::string& command,
                                 FederationRuntime* federation,
@@ -239,9 +324,10 @@ std::string ExecuteAdminCommand(BistroServer* server,
     if (federation == nullptr) return "no federation peers wired\n";
     return federation->RenderPeers();
   }
+  if (cmd == "plans") return RenderPlans(server);
   if (cmd == "help") {
     return "commands: status | classifier | subscriptions | deadletters | "
-           "redrive | peers | help\n";
+           "redrive | peers | plans | help\n";
   }
   return StrFormat("unknown admin command: '%s' (try 'help')\n", cmd.c_str());
 }

@@ -42,6 +42,12 @@ std::string RenderSubscriptions(BistroServer* server,
 /// count an operator needs to decide whether to redrive.
 std::string RenderDeadLetters(BistroServer* server);
 
+/// Renders the compiled ingestion-plan table (the `plans` command): each
+/// governed feed's lowered stage configuration (quota, sampling,
+/// transform, routing/split, SLO class) plus the runtime's counters
+/// (rebuilds, quota sheds, sampled-out drops, filtered deliveries).
+std::string RenderPlans(BistroServer* server);
+
 class FederationRuntime;
 
 /// Executes one operator console command against a running server and
@@ -51,6 +57,7 @@ class FederationRuntime;
 ///   deadletters   — list parked dead-letter jobs (RenderDeadLetters)
 ///   redrive       — resubmit every dead-letter job with a fresh budget
 ///   peers         — per-peer health/wire table (needs a FederationRuntime)
+///   plans         — compiled ingestion-plan table (RenderPlans)
 ///   help          — list available commands
 /// Unknown commands return an error string (never crash): this is the
 /// dispatch surface behind `bistrod --admin-file`. `federation` may be

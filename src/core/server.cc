@@ -62,6 +62,16 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
   std::unique_ptr<BistroServer> server(
       new BistroServer(std::move(options), fs, transport, loop, invoker, logger));
   BISTRO_ASSIGN_OR_RETURN(server->registry_, FeedRegistry::Create(config));
+  // Compile the declarative ingestion plans against the registry now, so
+  // a plan naming an unknown feed, routing to an unknown target, or
+  // asking for more replicas than peers fails config load — not delivery.
+  if (!config.plans.empty()) {
+    server->plans_ = std::make_unique<PlanRuntime>(
+        config.plans, server->registry_.get(), PlanContextFromConfig(config));
+    BISTRO_RETURN_IF_ERROR(
+        server->plans_->Validate().WithContext("ingestion plans"));
+    server->plans_->AttachMetrics(server->metrics_);
+  }
   // Config-file delivery tuning overrides the compiled-in defaults (but
   // not the other way around: unset keys leave Options untouched).
   {
@@ -130,6 +140,9 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
       loop, server->registry_.get(), server->receipts_.get(), fs, transport,
       scheduler, invoker, logger, server->options_.delivery, server->metrics_,
       server->tracer_.get());
+  if (server->plans_ != nullptr) {
+    server->delivery_->AttachPlans(server->plans_.get());
+  }
   // Config-file ingest tuning overrides the compiled-in defaults, same
   // contract as the delivery block above.
   {
@@ -150,6 +163,9 @@ Result<std::unique_ptr<BistroServer>> BistroServer::Create(
       server->options_.ingest, fs, server->classifier_.get(),
       server->registry_.get(), server->receipts_.get(), loop, logger,
       server->metrics_);
+  if (server->plans_ != nullptr) {
+    server->pipeline_->AttachPlans(server->plans_.get());
+  }
   // In threaded mode the committed/error callbacks arrive via loop posts
   // that can outlive this server; the weak token turns them into no-ops.
   {

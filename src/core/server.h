@@ -14,6 +14,7 @@
 #include "delivery/archiver.h"
 #include "delivery/engine.h"
 #include "ingest/pipeline.h"
+#include "ingest/plan.h"
 #include "kv/receipts.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -158,6 +159,9 @@ class BistroServer : public Endpoint {
   FeedClassifier* classifier() { return classifier_.get(); }
   DeliveryEngine* delivery() { return delivery_.get(); }
   IngestPipeline* ingest() { return pipeline_.get(); }
+  /// Compiled ingestion-plan runtime; null when the config has no plan
+  /// blocks (plan hooks then cost nothing anywhere).
+  PlanRuntime* plans() { return plans_.get(); }
 
   /// Names of files that matched no feed, for the analyzer (§5.1).
   /// Drains the buffer. Each observation carries a stable id (a name
@@ -197,6 +201,9 @@ class BistroServer : public Endpoint {
   std::unique_ptr<FileTracer> tracer_;
 
   std::unique_ptr<FeedRegistry> registry_;
+  /// Must outlive delivery_ and pipeline_, which hold raw pointers to it
+  /// (both are declared — and therefore destroyed — after it).
+  std::unique_ptr<PlanRuntime> plans_;
   std::unique_ptr<ReceiptDatabase> receipts_;
   std::unique_ptr<FeedClassifier> classifier_;
   std::unique_ptr<DeliveryScheduler> owned_scheduler_;

@@ -1,5 +1,7 @@
 #include "delivery/engine.h"
 
+#include "ingest/plan.h"
+
 #include <algorithm>
 
 #include "common/hash.h"
@@ -164,7 +166,12 @@ void DeliveryEngine::SubmitStagedFile(const StagedFile& file) {
   for (const FeedName& feed : file.feeds) {
     const RegisteredFeed* rf = registry_->FindFeed(feed);
     Duration tardiness = rf != nullptr ? rf->spec.tardiness : kDefaultTardiness;
+    if (plans_ != nullptr) tardiness = plans_->TardinessFor(feed, tardiness);
     for (const SubscriberSpec* sub : index_.PostingsFor(feed)) {
+      if (plans_ != nullptr &&
+          !plans_->AllowsDelivery(feed, file.name, sub->name)) {
+        continue;
+      }
       auto key = std::make_pair(file.id, sub->name);
       if (pending_.count(key) != 0) continue;
       if (offline_.count(sub->name) != 0) {
@@ -534,18 +541,26 @@ void DeliveryEngine::SubmitJobsFor(const SubscriberSpec& sub,
   for (const ArrivalReceipt& receipt : queue) {
     auto key = std::make_pair(receipt.file_id, sub.name);
     if (pending_.count(key) != 0) continue;
-    // Pick the first of the file's feeds this subscriber follows.
+    // Pick the first of the file's feeds this subscriber follows — and
+    // that plan routing permits, so backfill never resurrects a delivery
+    // the real-time path filtered out.
     FeedName feed;
     for (const auto& f : receipt.feeds) {
-      if (std::find(subscribed.begin(), subscribed.end(), f) !=
+      if (std::find(subscribed.begin(), subscribed.end(), f) ==
           subscribed.end()) {
-        feed = f;
-        break;
+        continue;
       }
+      if (plans_ != nullptr &&
+          !plans_->AllowsDelivery(f, receipt.name, sub.name)) {
+        continue;
+      }
+      feed = f;
+      break;
     }
     if (feed.empty()) continue;
     const RegisteredFeed* rf = registry_->FindFeed(feed);
     Duration tardiness = rf != nullptr ? rf->spec.tardiness : kDefaultTardiness;
+    if (plans_ != nullptr) tardiness = plans_->TardinessFor(feed, tardiness);
     TransferJob job;
     job.file_id = receipt.file_id;
     job.subscriber = sub.name;

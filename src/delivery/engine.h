@@ -25,6 +25,8 @@
 
 namespace bistro {
 
+class PlanRuntime;
+
 /// Snapshot of the delivery subsystem's counters. The registry's
 /// `bistro_delivery_*` counters are the source of truth; this struct is
 /// the by-value view `stats()` assembles from them.
@@ -124,6 +126,13 @@ class DeliveryEngine {
                  Options options = Options(),
                  MetricsRegistry* metrics = nullptr,
                  FileTracer* tracer = nullptr);
+
+  /// Attaches the compiled ingestion-plan table (may be null: no plans,
+  /// exact legacy behavior). Plans restrict fan-out (route lists, A/B
+  /// split arms) and scale delivery deadlines by SLO class; the same
+  /// rules apply to real-time submission and receipt-driven backfill, so
+  /// a recomputed queue never resubmits a filtered delivery.
+  void AttachPlans(PlanRuntime* plans) { plans_ = plans; }
 
   /// Fans a freshly staged file out to every subscriber of its feeds.
   void SubmitStagedFile(const StagedFile& file);
@@ -235,6 +244,7 @@ class DeliveryEngine {
   TriggerInvoker* invoker_;
   Logger* logger_;
   Options options_;
+  PlanRuntime* plans_ = nullptr;  // optional; see AttachPlans
 
   /// Wraps a callback so it becomes a no-op if this engine has been
   /// destroyed before the event loop runs it (restart safety: retry,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "ingest/plan.h"
 #include "pattern/normalizer.h"
 
 namespace bistro {
@@ -157,12 +158,44 @@ Status IngestPipeline::Submit(const IncomingFile& file) {
     if (on_unmatched_) on_unmatched_(file);
     return Status::OK();
   }
+  if (!AdmitByPlan(file, &c)) return Status::OK();
   if (on_classified_) on_classified_(file);
   Item item;
   item.file = file;
   item.c = std::move(c);
   item.classify_at = clock_->Now();
   return Admit(std::move(item));
+}
+
+bool IngestPipeline::AdmitByPlan(const IncomingFile& file, Classification* c) {
+  if (plans_ == nullptr) return true;
+  PlanRuntime::ArrivalDecision decision;
+  {
+    // Shared: the plan hook reads the registry (lazy rebuild, primary
+    // match refresh), the same reads the worker stage protects this way.
+    std::shared_lock<std::shared_mutex> lock(defs_mu_);
+    decision = plans_->FilterArrival(file, clock_->Now(), c);
+  }
+  switch (decision) {
+    case PlanRuntime::ArrivalDecision::kAdmit:
+      return true;
+    case PlanRuntime::ArrivalDecision::kDefer:
+      // Over budget on every feed: the landing file stays put so the
+      // landing-zone rescan retries it once quota tokens refill.
+      return false;
+    case PlanRuntime::ArrivalDecision::kDiscard: {
+      // Sampled out of every feed — a deterministic choice a retry can
+      // never reverse, so drop the landing file too.
+      Status removed = fs_->Delete(file.landing_path);
+      if (!removed.ok() && !removed.IsNotFound()) {
+        logger_->Warning("ingest", "failed to remove sampled-out file " +
+                                       file.landing_path + ": " +
+                                       removed.ToString());
+      }
+      return false;
+    }
+  }
+  return true;
 }
 
 Status IngestPipeline::Admit(Item item) {
@@ -285,6 +318,8 @@ Status IngestPipeline::StageItem(Item* item) {
                           fs_->ReadFile(item->file.landing_path));
   FeedName feed_name;
   Normalizer normalizer;
+  std::shared_ptr<const CompiledPlans> plan_snap;
+  const FeedPlan* fp = nullptr;
   {
     // Shared: many workers may read feed definitions concurrently; feed
     // revision (RebuildClassifier) takes the exclusive side. The
@@ -297,6 +332,19 @@ Status IngestPipeline::StageItem(Item* item) {
     }
     feed_name = primary->spec.name;
     normalizer = primary->normalizer;
+    if (plans_ != nullptr) {
+      plan_snap = plans_->snapshot();  // held so `fp` stays valid unlocked
+      fp = plan_snap ? plan_snap->Find(feed_name) : nullptr;
+      if (fp != nullptr && fp->transform) {
+        normalizer = *fp->transform;
+        plans_->NoteTransformed();
+      }
+    }
+  }
+  if (fp != nullptr && !fp->enrich.empty()) {
+    // Enrichment precedes the format transform so headers are part of
+    // the (possibly compressed) staged payload.
+    plans_->Enrich(*fp, item->file, feed_name, &content);
   }
   BISTRO_ASSIGN_OR_RETURN(
       NormalizedFile normalized,
@@ -422,6 +470,7 @@ Status IngestPipeline::IngestSync(const IncomingFile& file) {
     if (on_unmatched_) on_unmatched_(file);
     return Status::OK();
   }
+  if (!AdmitByPlan(file, &c)) return Status::OK();
   if (on_classified_) on_classified_(file);
   admitted_->Increment();
 

@@ -23,6 +23,8 @@
 
 namespace bistro {
 
+class PlanRuntime;
+
 /// What the admit stage does when the pipeline's bounded queues are full
 /// (paper §4.1: the server must absorb bursty arrivals without falling
 /// over; INGESTBASE-style staged ingestion makes the policy explicit).
@@ -140,6 +142,12 @@ class IngestPipeline {
                     UnmatchedCallback on_unmatched,
                     CommittedCallback on_committed, ErrorCallback on_error);
 
+  /// Attaches the compiled ingestion-plan table (may be null: no plans,
+  /// exact legacy behavior). The plan hooks run after classification
+  /// (sampling, quota admission) and in the worker stage (transform
+  /// override, enrichment). Call before Start.
+  void AttachPlans(PlanRuntime* plans) { plans_ = plans; }
+
   /// Spawns worker + receipt threads (no-op in sync mode).
   void Start();
 
@@ -193,6 +201,11 @@ class IngestPipeline {
   };
 
   Status IngestSync(const IncomingFile& file);
+  /// Runs the plan admission hooks (sampling, quota) over a fresh
+  /// classification. Returns false when the file must not proceed; the
+  /// landing file is deleted for deterministic (sampling) drops and kept
+  /// for quota deferrals so the rescan retries them.
+  bool AdmitByPlan(const IncomingFile& file, Classification* c);
   Status Admit(Item item);
   void WorkerLoop(size_t shard_index);
   void ReceiptLoop();
@@ -218,6 +231,7 @@ class IngestPipeline {
   EventLoop* loop_;
   Clock* clock_;
   Logger* logger_;
+  PlanRuntime* plans_ = nullptr;  // optional; see AttachPlans
 
   ClassifiedCallback on_classified_;
   UnmatchedCallback on_unmatched_;

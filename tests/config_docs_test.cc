@@ -98,6 +98,29 @@ TEST(ConfigDocsTest, PatternsSnippetsParse) {
   ExpectDocConfigsParse("docs/PATTERNS.md", 3);
 }
 
+// The ingestion-plan operator guide: the opening grammar block plus the
+// four worked recipes (multi-tenant quota, A/B split, archival vs
+// real-time, sampled feed) must all go through the real parser.
+TEST(ConfigDocsTest, PlansSnippetsParse) {
+  ExpectDocConfigsParse("docs/PLANS.md", 5);
+}
+
+TEST(ConfigDocsTest, PlansGuideCoversEveryPlanKey) {
+  const std::string doc = ReadFileOrDie(DocPath("docs/PLANS.md"));
+  // Every keyword and enum value of the plan grammar (mirrors
+  // ParsePlan in src/config/parser.cc).
+  const char* kPlanKeys[] = {
+      "plan", "route", "split", "to", "replicate", "sample", "transform",
+      "none", "rle", "lz", "decompress", "quota", "quota_bytes", "per",
+      "slo", "interactive", "standard", "bulk", "enrich", "provenance",
+      "checksum",
+  };
+  for (const char* key : kPlanKeys) {
+    EXPECT_NE(doc.find(key), std::string::npos)
+        << "docs/PLANS.md never mentions plan key '" << key << "'";
+  }
+}
+
 TEST(ConfigDocsTest, OperationsFaultSnippetsParse) {
   const std::string doc = ReadFileOrDie(DocPath("docs/OPERATIONS.md"));
   const std::vector<Snippet> snippets = ExtractFenced(doc, "bistro-fault");
@@ -147,6 +170,10 @@ TEST(ConfigDocsTest, OperationsCoversEveryParserKey) {
       "peer", "address", "shard", "of",
       // peer health + failover
       "suspect_after", "down_after", "failover", "replicas",
+      // ingestion plans (full reference in docs/PLANS.md)
+      "plan", "route", "split", "to", "replicate", "sample", "transform",
+      "quota", "quota_bytes", "per", "slo", "interactive", "standard",
+      "bulk", "enrich", "provenance", "checksum",
       // fault plans
       "fault_plan", "seed", "write_error", "torn_write", "sync_error",
       "scope", "send_failure", "corrupt", "ack_loss", "flap", "degrade",

@@ -315,6 +315,10 @@ int main(int argc, char** argv) {
                args.root.c_str(), config->feeds.size(),
                config->subscribers.size(), config->groups.size(),
                config->relays.size(), options.landing_root.c_str());
+  if (PlanRuntime* plans = (*server)->plans()) {
+    std::fprintf(stderr, "ingestion plans: %zu block(s) governing %zu feed(s)\n",
+                 config->plans.size(), plans->stats().governed_feeds);
+  }
 
   TimePoint started = clock.Now();
   TimePoint next_scan = started;
